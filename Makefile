@@ -1,0 +1,48 @@
+# Reproduction of "Cluster of emerging technology: evaluation of a
+# production HPC system based on A64FX" (CLUSTER 2021).
+#
+# Stdlib-only Go; everything runs offline.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ablation paper export examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/omp/ ./internal/simdvec/ ./internal/bench/stream/
+
+# The full benchmark harness: one benchmark per table and figure.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Ablations: quantify each modelled mechanism's contribution.
+ablation:
+	$(GO) test -bench=Ablation -benchtime=1x .
+
+# Reproduce every table and figure of the paper on stdout.
+paper:
+	$(GO) run ./cmd/clustereval
+
+# Export all tables and figures as CSV into ./paperdata.
+export:
+	$(GO) run ./cmd/clustereval -out paperdata
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/custom-machine
+	$(GO) run ./examples/topology-explorer
+	$(GO) run ./examples/scaling-study
+	$(GO) run ./examples/pop-analysis
+
+clean:
+	rm -rf paperdata test_output.txt bench_output.txt

@@ -1,0 +1,195 @@
+package clustereval_test
+
+// Ablation benchmarks: each one toggles a single modelled mechanism and
+// reports the quantity it moves, quantifying how much of the paper's story
+// each design choice carries. Run with:
+//
+//	go test -bench=Ablation -benchtime=1x
+
+import (
+	"testing"
+
+	"clustereval/internal/apps/nemo"
+	"clustereval/internal/apps/wrf"
+	"clustereval/internal/bench/osu"
+	"clustereval/internal/bench/stream"
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/perfmodel"
+	"clustereval/internal/sched"
+	"clustereval/internal/toolchain"
+	"clustereval/internal/topology"
+	"clustereval/internal/units"
+)
+
+// BenchmarkAblation_SchedulerPolicy compares the mean communication latency
+// of a 48-node job under topology-aware vs random placement — what the
+// paper's topology-aware batch scheduler buys.
+func BenchmarkAblation_SchedulerPolicy(b *testing.B) {
+	arm := machine.CTEArm()
+	fab, err := interconnect.NewTofuD(arm, arm.Nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.NewTofuD(arm.Nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var alphaTA, alphaRnd units.Seconds
+	for i := 0; i < b.N; i++ {
+		allocTA, err := sched.New(topo, sched.TopologyAware, 1).Allocate(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allocRnd, err := sched.New(topo, sched.Random, 1).Allocate(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alphaTA = perfmodel.NewCommCost(fab, allocTA).Alpha
+		alphaRnd = perfmodel.NewCommCost(fab, allocRnd).Alpha
+	}
+	b.ReportMetric(alphaTA.Micro(), "topo-alpha-us")
+	b.ReportMetric(alphaRnd.Micro(), "rand-alpha-us")
+	b.ReportMetric(float64(alphaRnd)/float64(alphaTA), "penalty")
+}
+
+// BenchmarkAblation_OoOFactor sweeps the A64FX scalar out-of-order factor —
+// the single constant behind the application slowdowns — and reports the
+// WRF one-node gap at each setting.
+func BenchmarkAblation_OoOFactor(b *testing.B) {
+	mn4 := machine.MareNostrum4()
+	wm, err := wrf.NewModel(mn4, wrf.Iberia4km())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := wm.ElapsedTime(1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factors := []float64{0.30, 0.50, 1.00}
+	gaps := make([]float64, len(factors))
+	for i := 0; i < b.N; i++ {
+		for fi, f := range factors {
+			arm := machine.CTEArm()
+			arm.Node.Core.OoOFactor = f
+			wa, err := wrf.NewModel(arm, wrf.Iberia4km())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ta, err := wa.ElapsedTime(1, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gaps[fi] = float64(ta) / float64(tm)
+		}
+	}
+	b.ReportMetric(gaps[0], "gap@OoO=0.30") // the paper's machine: ~2.16
+	b.ReportMetric(gaps[1], "gap@OoO=0.50")
+	b.ReportMetric(gaps[2], "gap@OoO=1.00") // Skylake-class scalar core
+}
+
+// BenchmarkAblation_SVECompiler contrasts the GNU scalar fallback against a
+// compiler that emits SVE for application loops (what the Fujitsu compiler
+// would deliver if it built the applications).
+func BenchmarkAblation_SVECompiler(b *testing.B) {
+	arm := machine.CTEArm()
+	var gnuRate, fjRate float64
+	for i := 0; i < b.N; i++ {
+		gnu, err := perfmodel.NewExec(arm, toolchain.GNUArmSVE(), "WRF")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fj, err := perfmodel.NewExec(arm, toolchain.FujitsuArm("1.2.26b"), "WRF")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gnuRate = float64(gnu.CoreFlops(toolchain.AppLoop)) / 1e9
+		fjRate = float64(fj.CoreFlops(toolchain.AppLoop)) / 1e9
+	}
+	b.ReportMetric(gnuRate, "GNU-GF/core")
+	b.ReportMetric(fjRate, "SVE-GF/core")
+	b.ReportMetric(fjRate/gnuRate, "speedup")
+}
+
+// BenchmarkAblation_FirstTouch gives the A64FX working first-touch NUMA
+// placement and remeasures the OpenMP-only STREAM: the whole Fig. 2 story
+// hinges on this one OS property.
+func BenchmarkAblation_FirstTouch(b *testing.B) {
+	var broken, fixed units.BytesPerSecond
+	for i := 0; i < b.N; i++ {
+		arm := machine.CTEArm()
+		s, err := stream.Figure2(arm, toolchain.StreamOpenMPArm(), toolchain.C, 610e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		broken = s.Best.Bandwidth
+
+		armFixed := machine.CTEArm()
+		armFixed.Node.FirstTouchNUMA = true
+		sF, err := stream.Figure2(armFixed, toolchain.StreamOpenMPArm(), toolchain.C, 610e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed = sF.Best.Bandwidth
+	}
+	b.ReportMetric(broken.GB(), "default-GB/s")   // ~292 (paper)
+	b.ReportMetric(fixed.GB(), "firsttouch-GB/s") // ~860: the lost 3x
+	b.ReportMetric(float64(fixed)/float64(broken), "recovered")
+}
+
+// BenchmarkAblation_DegradedNode removes the arms0b1-11c fault and verifies
+// the detector goes quiet — the heatmap anomaly is entirely the injected
+// fault, not an artefact of the torus model.
+func BenchmarkAblation_DegradedNode(b *testing.B) {
+	arm := machine.CTEArm()
+	var withFault, withoutFault int
+	for i := 0; i < b.N; i++ {
+		fab, err := interconnect.NewTofuD(arm, arm.Nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := osu.Figure4(fab, units.Bytes(1<<20), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withFault = len(h.DegradedReceivers(0.5))
+
+		fab2, err := interconnect.NewTofuD(arm, arm.Nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fab2.DegradedRecv = map[int]float64{}
+		h2, err := osu.Figure4(fab2, units.Bytes(1<<20), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withoutFault = len(h2.DegradedReceivers(0.5))
+	}
+	b.ReportMetric(float64(withFault), "with-fault")
+	b.ReportMetric(float64(withoutFault), "without-fault")
+}
+
+// BenchmarkAblation_MPIBuffers removes the Fujitsu MPI's per-rank memory
+// overhead and reports NEMO's memory floor — the mechanism behind the
+// paper's "NP" entries.
+func BenchmarkAblation_MPIBuffers(b *testing.B) {
+	var floorDefault, floorLean int
+	for i := 0; i < b.N; i++ {
+		arm := machine.CTEArm()
+		m, err := nemo.NewModel(arm, nemo.BenchORCA1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		floorDefault = m.MinNodes()
+
+		lean := machine.CTEArm()
+		lean.MPIBufferPerRank = 0
+		m2, err := nemo.NewModel(lean, nemo.BenchORCA1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		floorLean = m2.MinNodes()
+	}
+	b.ReportMetric(float64(floorDefault), "floor-nodes") // paper: 8
+	b.ReportMetric(float64(floorLean), "lean-floor-nodes")
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestEachApp(t *testing.T) {
+	for _, app := range []string{"alya", "nemo", "gromacs", "openifs", "wrf"} {
+		if err := run(app); err != nil {
+			t.Errorf("app %s: %v", app, err)
+		}
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if err := run("linpack"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

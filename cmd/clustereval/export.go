@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"clustereval/internal/core"
+	"clustereval/internal/figures"
+	"clustereval/internal/report"
+)
+
+// exportAll writes every table and figure of the reproduction as CSV files
+// under dir, so the data can be replotted with external tooling.
+func exportAll(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, emit func(w io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+
+	ev := core.New()
+	pair := figures.Default()
+
+	tables := map[string]func() (*report.Table, error){
+		"table1.csv": func() (*report.Table, error) { return ev.TableI(), nil },
+		"table2.csv": func() (*report.Table, error) { return ev.TableII(), nil },
+		"table3.csv": func() (*report.Table, error) { return ev.TableIII(), nil },
+		"table4.csv": func() (*report.Table, error) {
+			rows, err := ev.TableIV()
+			if err != nil {
+				return nil, err
+			}
+			return core.RenderTableIV(rows), nil
+		},
+		"fig1.csv": func() (*report.Table, error) { return pair.Figure1() },
+		"fig3.csv": func() (*report.Table, error) {
+			t, _, err := pair.Figure3()
+			return t, err
+		},
+		"fig5.csv": func() (*report.Table, error) {
+			t, _, err := pair.Figure5()
+			return t, err
+		},
+		"fig7.csv": func() (*report.Table, error) {
+			t, _, err := pair.Figure7()
+			return t, err
+		},
+	}
+	for name, get := range tables {
+		t, err := get()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := write(name, t.CSV); err != nil {
+			return err
+		}
+	}
+
+	plots := map[string]func() (*report.Plot, error){
+		"fig2.csv": func() (*report.Plot, error) {
+			p, _, err := pair.Figure2()
+			return p, err
+		},
+		"fig6.csv": func() (*report.Plot, error) {
+			p, _, err := pair.Figure6()
+			return p, err
+		},
+		"fig8.csv":  pair.Figure8,
+		"fig9.csv":  pair.Figure9,
+		"fig10.csv": pair.Figure10,
+		"fig11.csv": pair.Figure11,
+		"fig12.csv": pair.Figure12,
+		"fig13.csv": pair.Figure13,
+		"fig14.csv": pair.Figure14,
+		"fig15.csv": pair.Figure15,
+		"fig16.csv": pair.Figure16,
+	}
+	for name, get := range plots {
+		p, err := get()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := write(name, p.CSV); err != nil {
+			return err
+		}
+	}
+
+	hm, _, err := pair.Figure4(256)
+	if err != nil {
+		return err
+	}
+	return write("fig4.csv", hm.CSV)
+}

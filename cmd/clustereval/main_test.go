@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", errRun, out)
+	}
+	return out
+}
+
+func TestRunTable4(t *testing.T) {
+	out := capture(t, func() error { return run(4, 0, false) })
+	for _, want := range []string{"LINPACK", "NEMO", "NP", "N/A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 4 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable4CSV(t *testing.T) {
+	out := capture(t, func() error { return run(4, 0, true) })
+	if !strings.Contains(out, "Applications,1,16,32,64,128,192") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	out := capture(t, func() error { return run(0, 6, false) })
+	if !strings.Contains(out, "Linpack scalability") {
+		t.Errorf("figure 6 output wrong:\n%s", out)
+	}
+	out = capture(t, func() error { return run(0, 4, false) })
+	if !strings.Contains(out, "degraded receiver detected: node 23") {
+		t.Errorf("figure 4 should flag node 23:\n%s", out)
+	}
+}
+
+func TestExportAll(t *testing.T) {
+	dir := t.TempDir()
+	out := capture(t, func() error { return exportAll(dir) })
+	if !strings.Contains(out, "table4.csv") || !strings.Contains(out, "fig16.csv") {
+		t.Errorf("export log incomplete:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tables + 16 figures.
+	if len(entries) != 20 {
+		t.Errorf("exported %d files, want 20", len(entries))
+	}
+	data, err := os.ReadFile(dir + "/fig2.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y\n") {
+		t.Errorf("fig2.csv header wrong: %.40s", data)
+	}
+}
+
+func TestRunRejectsBadSelectors(t *testing.T) {
+	if err := run(9, 0, false); err == nil {
+		t.Error("table 9 accepted")
+	}
+	if err := run(0, 99, false); err == nil {
+		t.Error("figure 99 accepted")
+	}
+}

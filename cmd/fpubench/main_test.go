@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunWithVariability(t *testing.T) {
+	if err := run(500, true); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadIterations(t *testing.T) {
+	if err := run(0, false); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}

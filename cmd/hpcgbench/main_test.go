@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestVerifyMode(t *testing.T) {
+	if err := run(8, 4); err != nil {
+		t.Fatalf("verify run failed: %v", err)
+	}
+}
+
+func TestModelMode(t *testing.T) {
+	if err := run(0, 4); err != nil {
+		t.Fatalf("model run failed: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestVerifyMode(t *testing.T) {
+	if err := run(120, 32, 4); err != nil {
+		t.Fatalf("verify run failed: %v", err)
+	}
+}
+
+func TestModelMode(t *testing.T) {
+	if err := run(0, 64, 8); err != nil {
+		t.Fatalf("model run failed: %v", err)
+	}
+}

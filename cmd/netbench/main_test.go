@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunWithDES(t *testing.T) {
+	if err := run(256, true); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}

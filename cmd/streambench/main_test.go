@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestVerifyMode(t *testing.T) {
+	if err := run(20000, 4); err != nil {
+		t.Fatalf("verify run failed: %v", err)
+	}
+}
+
+func TestFigureMode(t *testing.T) {
+	if err := run(0, 0); err != nil {
+		t.Fatalf("figure run failed: %v", err)
+	}
+}

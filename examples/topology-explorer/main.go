@@ -1,0 +1,77 @@
+// Topology-explorer: walk the CTE-Arm TofuD torus.
+//
+// It prints the 6-D topology shape, the hop-distance histogram, what the
+// topology-aware scheduler buys over random placement, and hunts the
+// degraded node of Fig. 4 the same way the paper's all-pairs sweep did.
+//
+//	go run ./examples/topology-explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustereval/internal/bench/osu"
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/sched"
+	"clustereval/internal/topology"
+	"clustereval/internal/units"
+)
+
+func main() {
+	arm := machine.CTEArm()
+	topo, err := topology.NewTofuD(arm.Nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TofuD torus: %d nodes, dimensions %v, diameter %d hops\n\n",
+		topo.Nodes(), topo.Dims(), topo.Diameter())
+
+	// Hop-distance histogram over all pairs.
+	counts := make([]int, topo.Diameter()+1)
+	for i := 0; i < topo.Nodes(); i++ {
+		for j := i + 1; j < topo.Nodes(); j++ {
+			counts[topo.Hops(i, j)]++
+		}
+	}
+	fmt.Println("pairs per hop distance:")
+	for h, c := range counts {
+		bar := ""
+		for i := 0; i < c/100; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %d hops: %5d %s\n", h, c, bar)
+	}
+	fmt.Println()
+
+	// Scheduler comparison: topology-aware vs random allocations.
+	fmt.Println("job placement quality (mean pairwise hops):")
+	for _, jobSize := range []int{8, 16, 48, 96} {
+		ta, err := sched.New(topo, sched.TopologyAware, 1).Allocate(jobSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rnd, err := sched.New(topo, sched.Random, 1).Allocate(jobSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3d nodes: topology-aware %.2f vs random %.2f\n",
+			jobSize, sched.AvgPairwiseHops(topo, ta), sched.AvgPairwiseHops(topo, rnd))
+	}
+	fmt.Println()
+
+	// Degraded-node hunt, as in Fig. 4.
+	fab, err := interconnect.NewTofuD(arm, arm.Nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := osu.Figure4(fab, units.Bytes(1<<20), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range h.DegradedReceivers(0.5) {
+		fmt.Printf("degraded receiver found: node %d = %s (recv %v, send %v)\n",
+			d, topology.TofuNodeName(d), h.MeanAsReceiver(d), h.MeanAsSender(d))
+	}
+}

@@ -1,0 +1,3 @@
+module clustereval
+
+go 1.22

@@ -1,0 +1,107 @@
+package gromacs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/machine"
+)
+
+// Property: for any modest system, forces sum to zero (Newton's third law
+// survives the cell-list bookkeeping) and a velocity-Verlet step conserves
+// momentum exactly.
+func TestForcesAndMomentumProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	f := func(seed uint64, nRaw uint8) bool {
+		// Keep the box above twice the cutoff for every generated n.
+		n := int(nRaw%150) + 30
+		s, err := NewSystem(n, 0.4, 2.0, seed)
+		if err != nil {
+			return false
+		}
+		s.ComputeForces()
+		var fsum [3]float64
+		for _, fv := range s.Force {
+			for d := 0; d < 3; d++ {
+				fsum[d] += fv[d]
+			}
+		}
+		for d := 0; d < 3; d++ {
+			if math.Abs(fsum[d]) > 1e-8 {
+				return false
+			}
+		}
+		for i := 0; i < 5; i++ {
+			s.Step(0.002)
+		}
+		p := s.Momentum()
+		for d := 0; d < 3; d++ {
+			if math.Abs(p[d]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: particles stay inside the periodic box through any short run.
+func TestParticlesStayInBoxProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	f := func(seed uint64, stepsRaw uint8) bool {
+		s, err := NewSystem(64, 0.5, 2.0, seed)
+		if err != nil {
+			return false
+		}
+		s.ComputeForces()
+		steps := int(stepsRaw%30) + 1
+		for i := 0; i < steps; i++ {
+			s.Step(0.002)
+		}
+		for _, p := range s.Pos {
+			for d := 0; d < 3; d++ {
+				if p[d] < 0 || p[d] >= s.Box {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the multi-node model's step time strictly decreases with node
+// count at fixed layout density (no anomaly configurations).
+func TestModelMonotoneProperty(t *testing.T) {
+	mod, err := NewModel(machineCTE(), LignocelluloseRF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nRaw uint8) bool {
+		nodes := int(nRaw%64) + 4 // avoid the 2-node anomaly configuration
+		l1 := Layout{Nodes: nodes, Ranks: 8 * nodes, ThreadsPerRank: 6}
+		l2 := Layout{Nodes: nodes * 2, Ranks: 16 * nodes, ThreadsPerRank: 6}
+		if l2.Nodes > 192 {
+			return true
+		}
+		t1, err := mod.StepTime(l1)
+		if err != nil {
+			return false
+		}
+		t2, err := mod.StepTime(l2)
+		if err != nil {
+			return false
+		}
+		return t2 < t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func machineCTE() machine.Machine { return machine.CTEArm() }

@@ -1,0 +1,130 @@
+package nemo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/mpisim"
+	"clustereval/internal/xrand"
+)
+
+// Property: the flux-form scheme conserves tracer mass exactly (to FP
+// rounding) for random fields and any parameters inside the combined CFL
+// stability region |u| + |v| + 4*kappa <= 1. (Outside it the scheme blows
+// up; mass is still conserved in exact arithmetic, but the huge
+// intermediate values destroy the floating-point comparison.)
+func TestMassConservationProperty(t *testing.T) {
+	f := func(seed uint64, uRaw, vRaw, kRaw uint8, stepsRaw uint8) bool {
+		fld, err := NewField(16, 12)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed)
+		for i := range fld.Data {
+			fld.Data[i] = r.Float64()
+		}
+		p := Params{
+			U:     float64(uRaw%81)/100 - 0.40, // [-0.40, 0.40]
+			V:     float64(vRaw%81)/100 - 0.40,
+			Kappa: float64(kRaw%6) / 100, // [0, 0.05]
+		}
+		steps := int(stepsRaw%20) + 1
+		m0 := fld.Mass()
+		out, err := RunSerial(fld, p, steps)
+		if err != nil {
+			return false
+		}
+		return math.Abs(out.Mass()-m0) <= 1e-9*math.Abs(m0)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pure diffusion never produces new extrema (max principle).
+func TestMaxPrincipleProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		fld, err := NewField(12, 12)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range fld.Data {
+			fld.Data[i] = r.Float64() * 10
+			if fld.Data[i] < lo {
+				lo = fld.Data[i]
+			}
+			if fld.Data[i] > hi {
+				hi = fld.Data[i]
+			}
+		}
+		p := Params{Kappa: float64(kRaw%26) / 100}
+		out, err := RunSerial(fld, p, 10)
+		if err != nil {
+			return false
+		}
+		for _, v := range out.Data {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the distributed stepper equals the serial stepper for any rank
+// count that divides the rows (and any that does not).
+func TestDistributedEquivalenceProperty(t *testing.T) {
+	fab := tofuFabric(t)
+	f := func(seed uint64, ranksRaw uint8) bool {
+		ranks := int(ranksRaw%6) + 1
+		w, err := worldOn(fab, ranks)
+		if err != nil {
+			return false
+		}
+		fld, _ := NewField(12, 13)
+		r := xrand.New(seed)
+		for i := range fld.Data {
+			fld.Data[i] = r.Float64()
+		}
+		p := Params{U: 0.5, V: -0.25, Kappa: 0.1}
+		serial, err := RunSerial(fld, p, 6)
+		if err != nil {
+			return false
+		}
+		dist, err := RunDistributed(w, fld, p, 6)
+		if err != nil {
+			return false
+		}
+		for i := range serial.Data {
+			if serial.Data[i] != dist.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// tofuFabric and worldOn are small helpers for the distributed property.
+func tofuFabric(t *testing.T) *interconnect.Fabric {
+	t.Helper()
+	f, err := interconnect.NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func worldOn(f *interconnect.Fabric, ranks int) (*mpisim.World, error) {
+	return mpisim.NewWorld(f, ranks, 4)
+}

@@ -1,0 +1,124 @@
+package openifs
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/xrand"
+)
+
+// Property: FFT followed by IFFT is the identity for every power-of-two
+// length and random input.
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, expRaw uint8) bool {
+		n := 1 << (expRaw%9 + 1) // 2 .. 512
+		r := xrand.New(seed)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+		}
+		orig := append([]complex128(nil), x...)
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := IFFT(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the FFT is linear: FFT(a*x + y) = a*FFT(x) + FFT(y).
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed uint64, aRaw uint8) bool {
+		const n = 64
+		a := complex(float64(aRaw%7)-3, 0)
+		r := xrand.New(seed)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Float64(), r.Float64())
+			y[i] = complex(r.Float64(), r.Float64())
+		}
+		combined := make([]complex128, n)
+		for i := range combined {
+			combined[i] = a*x[i] + y[i]
+		}
+		if err := FFT(combined); err != nil {
+			return false
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := FFT(y); err != nil {
+			return false
+		}
+		for i := range combined {
+			if cmplx.Abs(combined[i]-(a*x[i]+y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the spectral solver conserves the mean (k=0 mode) exactly under
+// pure advection, and never increases the L2 norm when diffusion is on.
+func TestSpectralSolverNormProperty(t *testing.T) {
+	f := func(seed uint64, stepsRaw uint8) bool {
+		const n = 64
+		r := xrand.New(seed)
+		u0 := make([]float64, n)
+		mean0 := 0.0
+		for i := range u0 {
+			u0[i] = r.Float64()*2 - 1
+			mean0 += u0[i]
+		}
+		mean0 /= n
+		s, err := NewSpectralSolver(u0, 2*math.Pi, 1.0, 0.05)
+		if err != nil {
+			return false
+		}
+		norm := func(u []float64) float64 {
+			acc := 0.0
+			for _, v := range u {
+				acc += v * v
+			}
+			return acc
+		}
+		prev := norm(u0)
+		steps := int(stepsRaw%20) + 1
+		for i := 0; i < steps; i++ {
+			s.Step(0.05)
+		}
+		u, err := s.Grid()
+		if err != nil {
+			return false
+		}
+		mean := 0.0
+		for _, v := range u {
+			mean += v
+		}
+		mean /= n
+		if math.Abs(mean-mean0) > 1e-10 {
+			return false
+		}
+		return norm(u) <= prev+1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

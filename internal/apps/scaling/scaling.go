@@ -1,0 +1,132 @@
+// Package scaling holds the strong-scaling series type shared by the five
+// application reproductions (Figs. 8-16) and the analysis helpers the paper
+// applies to them: slowdown at equal node counts, node counts needed to
+// match a reference time, and the Table IV speedup rows.
+package scaling
+
+import (
+	"fmt"
+	"sort"
+
+	"clustereval/internal/units"
+)
+
+// Point is one run of a strong-scaling study.
+type Point struct {
+	Nodes int
+	Time  units.Seconds
+}
+
+// Series is one machine's curve in a scalability figure.
+type Series struct {
+	Machine string
+	Label   string // optional sub-label (e.g. "IO enabled", "Assembly")
+	Points  []Point
+}
+
+// Sorted returns the points ordered by node count.
+func (s Series) Sorted() []Point {
+	pts := append([]Point(nil), s.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Nodes < pts[j].Nodes })
+	return pts
+}
+
+// TimeAt returns the time at exactly `nodes`, if present.
+func (s Series) TimeAt(nodes int) (units.Seconds, bool) {
+	for _, p := range s.Points {
+		if p.Nodes == nodes {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// MinNodes returns the smallest node count in the series (the memory floor
+// the paper marks with "NP" below it).
+func (s Series) MinNodes() int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min := s.Points[0].Nodes
+	for _, p := range s.Points {
+		if p.Nodes < min {
+			min = p.Nodes
+		}
+	}
+	return min
+}
+
+// Slowdown returns tA/tB at the given node count; both series must contain
+// the point.
+func Slowdown(a, b Series, nodes int) (float64, error) {
+	ta, ok := a.TimeAt(nodes)
+	if !ok {
+		return 0, fmt.Errorf("scaling: %s has no %d-node point", a.Machine, nodes)
+	}
+	tb, ok := b.TimeAt(nodes)
+	if !ok {
+		return 0, fmt.Errorf("scaling: %s has no %d-node point", b.Machine, nodes)
+	}
+	if tb <= 0 {
+		return 0, fmt.Errorf("scaling: non-positive reference time")
+	}
+	return float64(ta) / float64(tb), nil
+}
+
+// MatchingNodes returns the smallest node count in s whose time is at or
+// below target — how the paper finds "44 A64FX nodes match 12 MareNostrum 4
+// nodes". It returns 0 when no point reaches the target.
+func MatchingNodes(s Series, target units.Seconds) int {
+	for _, p := range s.Sorted() {
+		if p.Time <= target {
+			return p.Nodes
+		}
+	}
+	return 0
+}
+
+// SpeedupCell is one entry of Table IV: performance of machine A relative
+// to machine B at equal node count (time B / time A), or a marker.
+type SpeedupCell struct {
+	Nodes   int
+	Speedup float64
+	// NP marks "not possible" (memory floor); NA marks "no measurement".
+	NP, NA bool
+}
+
+// String renders the cell the way Table IV prints it.
+func (c SpeedupCell) String() string {
+	switch {
+	case c.NP:
+		return "NP"
+	case c.NA:
+		return "N/A"
+	default:
+		return fmt.Sprintf("%.2f", c.Speedup)
+	}
+}
+
+// SpeedupRow builds a Table IV row from two series over the table's node
+// counts. A node count below either machine's memory floor yields NP; one
+// that neither series measured yields N/A.
+func SpeedupRow(a, b Series, nodeCounts []int) []SpeedupCell {
+	row := make([]SpeedupCell, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		cell := SpeedupCell{Nodes: n}
+		ta, okA := a.TimeAt(n)
+		tb, okB := b.TimeAt(n)
+		switch {
+		case (len(a.Points) > 0 && n < a.MinNodes()) || (len(b.Points) > 0 && n < b.MinNodes()):
+			cell.NP = true
+		case !okA || !okB:
+			cell.NA = true
+		default:
+			cell.Speedup = float64(tb) / float64(ta)
+		}
+		row = append(row, cell)
+	}
+	return row
+}
+
+// TableIVNodeCounts are the columns of Table IV.
+func TableIVNodeCounts() []int { return []int{1, 16, 32, 64, 128, 192} }

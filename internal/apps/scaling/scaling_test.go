@@ -1,0 +1,111 @@
+package scaling
+
+import (
+	"testing"
+
+	"clustereval/internal/units"
+)
+
+func series(machine string, pts ...Point) Series {
+	return Series{Machine: machine, Points: pts}
+}
+
+func TestSortedAndTimeAt(t *testing.T) {
+	s := series("m", Point{Nodes: 8, Time: 10}, Point{Nodes: 2, Time: 40}, Point{Nodes: 4, Time: 20})
+	sorted := s.Sorted()
+	if sorted[0].Nodes != 2 || sorted[2].Nodes != 8 {
+		t.Errorf("sorted = %v", sorted)
+	}
+	// Sorted must not mutate the original.
+	if s.Points[0].Nodes != 8 {
+		t.Error("Sorted mutated the series")
+	}
+	if tt, ok := s.TimeAt(4); !ok || tt != 20 {
+		t.Errorf("TimeAt(4) = %v, %v", tt, ok)
+	}
+	if _, ok := s.TimeAt(3); ok {
+		t.Error("TimeAt(3) should miss")
+	}
+}
+
+func TestMinNodes(t *testing.T) {
+	s := series("m", Point{Nodes: 12, Time: 1}, Point{Nodes: 8, Time: 2})
+	if s.MinNodes() != 8 {
+		t.Errorf("MinNodes = %d", s.MinNodes())
+	}
+	if (Series{}).MinNodes() != 0 {
+		t.Error("empty series MinNodes should be 0")
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	a := series("cte", Point{Nodes: 12, Time: 85})
+	b := series("mn4", Point{Nodes: 12, Time: 25})
+	s, err := Slowdown(a, b, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 3.4 {
+		t.Errorf("slowdown = %v", s)
+	}
+	if _, err := Slowdown(a, b, 16); err == nil {
+		t.Error("missing point accepted")
+	}
+	zero := series("z", Point{Nodes: 12, Time: 0})
+	if _, err := Slowdown(a, zero, 12); err == nil {
+		t.Error("zero reference accepted")
+	}
+}
+
+func TestMatchingNodes(t *testing.T) {
+	s := series("cte",
+		Point{Nodes: 12, Time: 85}, Point{Nodes: 22, Time: 46},
+		Point{Nodes: 44, Time: 24}, Point{Nodes: 78, Time: 14})
+	if got := MatchingNodes(s, 25); got != 44 {
+		t.Errorf("MatchingNodes = %d, want 44", got)
+	}
+	if got := MatchingNodes(s, 5); got != 0 {
+		t.Errorf("unreachable target should give 0, got %d", got)
+	}
+	if got := MatchingNodes(s, 1000); got != 12 {
+		t.Errorf("easy target should give the smallest run, got %d", got)
+	}
+}
+
+func TestSpeedupRow(t *testing.T) {
+	a := series("cte",
+		Point{Nodes: 16, Time: units.Seconds(71.5)},
+		Point{Nodes: 32, Time: units.Seconds(36)})
+	b := series("mn4",
+		Point{Nodes: 16, Time: units.Seconds(21.45)},
+		Point{Nodes: 32, Time: units.Seconds(10.8)})
+	row := SpeedupRow(a, b, []int{1, 16, 32, 64})
+	if len(row) != 4 {
+		t.Fatalf("row length %d", len(row))
+	}
+	if !row[0].NP {
+		t.Errorf("1 node should be NP (below both floors): %+v", row[0])
+	}
+	if row[1].NP || row[1].NA || row[1].Speedup < 0.29 || row[1].Speedup > 0.31 {
+		t.Errorf("16-node cell = %+v", row[1])
+	}
+	if !row[3].NA {
+		t.Errorf("64 nodes unmeasured should be N/A: %+v", row[3])
+	}
+	if row[0].String() != "NP" || row[3].String() != "N/A" || row[1].String() != "0.30" {
+		t.Errorf("cell strings: %s %s %s", row[0], row[3], row[1])
+	}
+}
+
+func TestTableIVNodeCounts(t *testing.T) {
+	want := []int{1, 16, 32, 64, 128, 192}
+	got := TableIVNodeCounts()
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v", got)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package fpu implements the paper's FPU_µKernel experiment (Section III-A,
+// Fig. 1): six kernel variants — scalar/vector × half/single/double — run on
+// one core of each machine, reported as sustained performance and percent of
+// the theoretical peak Pv = s·i·f·o. It also reproduces the paper's two
+// sanity sweeps: no variability across the cores of a node, and none across
+// the nodes of the cluster.
+package fpu
+
+import (
+	"fmt"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/simdvec"
+	"clustereval/internal/stats"
+	"clustereval/internal/units"
+	"clustereval/internal/xrand"
+)
+
+// DefaultIterations is enough for the pipeline warm-up to be negligible,
+// like the real µKernel's long unrolled loops.
+const DefaultIterations = 20000
+
+// Bar is one bar of Fig. 1.
+type Bar struct {
+	Machine       string
+	Variant       simdvec.Variant
+	Supported     bool
+	Sustained     units.FlopsPerSecond
+	Peak          units.FlopsPerSecond
+	PercentOfPeak float64
+	Checksum      float64
+}
+
+// Figure1 runs the six µKernel variants on one core of each machine.
+func Figure1(machines []machine.Machine, iters int) ([]Bar, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("fpu: iterations must be positive")
+	}
+	var bars []Bar
+	for _, v := range simdvec.Variants() {
+		for _, m := range machines {
+			bar := Bar{Machine: m.Name, Variant: v}
+			k, err := simdvec.NewKernel(m.Node.Core, v)
+			if err != nil {
+				// Unsupported (e.g. half precision on Skylake): the figure
+				// shows an absent bar.
+				bars = append(bars, bar)
+				continue
+			}
+			res, err := k.Run(iters)
+			if err != nil {
+				return nil, fmt.Errorf("fpu: %s on %s: %w", v.Name(), m.Name, err)
+			}
+			bar.Supported = true
+			bar.Sustained = res.Sustained
+			bar.Peak = k.TheoreticalPeak()
+			bar.PercentOfPeak = 100 * k.Efficiency(res)
+			bar.Checksum = res.Checksum
+			bars = append(bars, bar)
+		}
+	}
+	return bars, nil
+}
+
+// NodeVariability runs the vector-double variant on every core of a node
+// (multi-threaded µKernel) and returns the coefficient of variation of the
+// per-core sustained rates, including each core's OS-noise jitter. The
+// paper: "we verified there is no variability of the performance within a
+// node".
+func NodeVariability(m machine.Machine, iters int, seed uint64) (float64, error) {
+	perCore, err := coreRates(m, iters, seed, 0)
+	if err != nil {
+		return 0, err
+	}
+	return stats.CoefficientOfVariation(perCore), nil
+}
+
+// ClusterVariability runs the kernel on one core of each of n nodes and
+// returns the coefficient of variation across nodes.
+func ClusterVariability(m machine.Machine, nodes, iters int, seed uint64) (float64, error) {
+	if nodes <= 0 || nodes > m.Nodes {
+		return 0, fmt.Errorf("fpu: node count %d out of range [1,%d]", nodes, m.Nodes)
+	}
+	rates := make([]float64, nodes)
+	for node := 0; node < nodes; node++ {
+		per, err := coreRates(m, iters, seed, uint64(node))
+		if err != nil {
+			return 0, err
+		}
+		rates[node] = per[0]
+	}
+	return stats.CoefficientOfVariation(rates), nil
+}
+
+// coreRates returns the jittered sustained rate of every core of one node.
+func coreRates(m machine.Machine, iters int, seed, node uint64) ([]float64, error) {
+	k, err := simdvec.NewKernel(m.Node.Core, simdvec.Variant{Vector: true, Precision: machine.Double})
+	if err != nil {
+		return nil, err
+	}
+	res, err := k.Run(iters)
+	if err != nil {
+		return nil, err
+	}
+	rates := make([]float64, m.Node.Cores())
+	for core := range rates {
+		r := xrand.New(xrand.MixN(seed, node, uint64(core)))
+		// The FPU kernel runs entirely from registers, so OS noise is the
+		// only perturbation — and it is tiny.
+		rates[core] = float64(res.Sustained) / r.SlowJitter(m.Node.OSNoise)
+	}
+	return rates, nil
+}

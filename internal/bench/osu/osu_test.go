@@ -1,0 +1,249 @@
+package osu
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/topology"
+	"clustereval/internal/units"
+)
+
+func tofu(t *testing.T, nodes int) *interconnect.Fabric {
+	t.Helper()
+	f, err := interconnect.NewTofuD(machine.CTEArm(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMeasurePairAgainstModel(t *testing.T) {
+	// The DES-backed measurement and the direct cost model must agree:
+	// the DES adds only the software overheads.
+	f := tofu(t, 24)
+	for _, size := range []units.Bytes{256, 64 * 1024, 4 << 20} {
+		des, err := MeasurePair(f, 0, 7, size, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := f.SustainedBandwidth(0, 7, size, 8)
+		// The Sendrecv loop overlaps the two directions; the reported
+		// bandwidth can exceed the one-way model slightly but must be
+		// within a small factor.
+		ratio := float64(des) / float64(direct)
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("size %v: DES %v vs model %v (ratio %.2f)", size, des, direct, ratio)
+		}
+	}
+}
+
+func TestMeasurePairErrors(t *testing.T) {
+	f := tofu(t, 12)
+	if _, err := MeasurePair(f, 0, 1, 256, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := MeasurePair(f, 0, 99, 256, 4); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestFigure4DegradedNode(t *testing.T) {
+	// Fig. 4's finding: arms0b1-11c (node 23) is slow as a receiver but
+	// fine as a sender. Use a large size where the effect dominates.
+	f := tofu(t, 192)
+	h, err := Figure4(f, units.Bytes(1<<20), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := h.DegradedReceivers(0.5)
+	if len(degraded) != 1 || degraded[0] != 23 {
+		t.Fatalf("degraded receivers = %v, want [23]", degraded)
+	}
+	if topology.TofuNodeName(degraded[0]) != "arms0b1-11c" {
+		t.Errorf("degraded node name = %s", topology.TofuNodeName(degraded[0]))
+	}
+	// Sender side healthy: within 20 % of the median sender.
+	sender := float64(h.MeanAsSender(23))
+	other := float64(h.MeanAsSender(24))
+	if math.Abs(sender-other)/other > 0.2 {
+		t.Errorf("node 23 as sender %.3g differs from healthy %.3g", sender, other)
+	}
+}
+
+func TestFigure4DiagonalBanding(t *testing.T) {
+	// The diagonal profile must correlate with hop distance: offsets whose
+	// torus distance is small show higher bandwidth.
+	f := tofu(t, 192)
+	h, err := Figure4(f, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := h.DiagonalProfile()
+	if len(prof) != 191 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	// Mean hop count per offset.
+	hops := make([]float64, 191)
+	for k := 1; k < 192; k++ {
+		sum := 0.0
+		for s := 0; s < 192; s++ {
+			sum += float64(f.Topo.Hops(s, (s+k)%192))
+		}
+		hops[k-1] = sum / 192
+	}
+	// Rank correlation proxy: the offset with the fewest hops must have
+	// higher bandwidth than the offset with the most hops.
+	minK, maxK := 0, 0
+	for k := range hops {
+		if hops[k] < hops[minK] {
+			minK = k
+		}
+		if hops[k] > hops[maxK] {
+			maxK = k
+		}
+	}
+	if prof[minK] <= prof[maxK] {
+		t.Errorf("banding absent: near offset %.3g <= far offset %.3g", prof[minK], prof[maxK])
+	}
+}
+
+func TestFigure4Errors(t *testing.T) {
+	f := tofu(t, 12)
+	if _, err := Figure4(f, 256, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestHeatmapMeans(t *testing.T) {
+	f := tofu(t, 12)
+	h, err := Figure4(f, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Nodes() != 12 {
+		t.Fatalf("nodes = %d", h.Nodes())
+	}
+	for i := 0; i < 12; i++ {
+		if h.BW[i][i] != 0 {
+			t.Errorf("diagonal entry %d not zero", i)
+		}
+		if h.MeanAsSender(i) <= 0 || h.MeanAsReceiver(i) <= 0 {
+			t.Errorf("node %d has non-positive mean bandwidth", i)
+		}
+	}
+}
+
+func TestFigure5Bimodality(t *testing.T) {
+	// Paper: bimodal distribution for 1 kB..256 kB; wide variability >1 MB.
+	f := tofu(t, 48)
+	d, err := Figure5(f, 6, 24, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sizes) != 19 {
+		t.Fatalf("%d sizes", len(d.Sizes))
+	}
+	bimodal := d.BimodalSizes(0.12)
+	foundMid := false
+	for _, s := range bimodal {
+		if s >= 1024 && s <= 256*1024 {
+			foundMid = true
+		}
+	}
+	if !foundMid {
+		t.Errorf("no bimodal size in 1kB..256kB; bimodal set: %v", bimodal)
+	}
+
+	// Spread grows with message size past 1 MB.
+	idxOf := func(size units.Bytes) int {
+		for i, s := range d.Sizes {
+			if s == size {
+				return i
+			}
+		}
+		t.Fatalf("size %v missing", size)
+		return -1
+	}
+	spreadSmall := d.SpreadAt(idxOf(256))
+	spreadLarge := d.SpreadAt(idxOf(units.Bytes(1 << 23)))
+	if spreadLarge <= spreadSmall {
+		t.Errorf("large-message spread %.2f not above small %.2f", spreadLarge, spreadSmall)
+	}
+}
+
+func TestFigure5Errors(t *testing.T) {
+	f := tofu(t, 12)
+	if _, err := Figure5(f, 10, 5, 10, 4); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := Figure5(f, -1, 5, 10, 4); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := Figure5(f, 0, 4, 0, 4); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := Figure5(f, 0, 4, 10, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestMeasureLatency(t *testing.T) {
+	f := tofu(t, 24)
+	sizes := []units.Bytes{0, 8, 1024, 64 * 1024}
+	pts, err := MeasureLatency(f, 0, 7, sizes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(sizes) {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Zero-byte latency must sit at/above the physical one-way latency and
+	// below a few microseconds.
+	floor := float64(f.Latency(0, 7))
+	if float64(pts[0].Latency) < floor {
+		t.Errorf("0B latency %v below physical floor %v", pts[0].Latency, units.Seconds(floor))
+	}
+	if pts[0].Latency > 5e-6 {
+		t.Errorf("0B latency implausibly high: %v", pts[0].Latency)
+	}
+	// Latency grows with size, modulo the small persistent per-size
+	// jitter (a real OSU run wiggles the same way at tiny sizes).
+	for i := 1; i < len(pts); i++ {
+		if float64(pts[i].Latency) < 0.95*float64(pts[i-1].Latency) {
+			t.Errorf("latency dropped at size %v: %v after %v",
+				pts[i].Size, pts[i].Latency, pts[i-1].Latency)
+		}
+	}
+	// And the large size clearly dominates the small one.
+	if pts[len(pts)-1].Latency < 2*pts[0].Latency {
+		t.Error("64 KiB latency should far exceed 0 B latency")
+	}
+}
+
+func TestMeasureLatencyErrors(t *testing.T) {
+	f := tofu(t, 12)
+	if _, err := MeasureLatency(f, 0, 1, []units.Bytes{8}, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := MeasureLatency(f, 0, 1, nil, 4); err == nil {
+		t.Error("no sizes accepted")
+	}
+	if _, err := MeasureLatency(f, 0, 99, []units.Bytes{8}, 4); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f1, f2 := tofu(t, 24), tofu(t, 24)
+	h1, _ := Figure4(f1, 256, 4)
+	h2, _ := Figure4(f2, 256, 4)
+	for s := range h1.BW {
+		for r := range h1.BW[s] {
+			if h1.BW[s][r] != h2.BW[s][r] {
+				t.Fatalf("heatmap not deterministic at (%d,%d)", s, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"clustereval/internal/bench/stream"
+	"clustereval/internal/machine"
+	"clustereval/internal/toolchain"
+)
+
+// Figure2 reproduces the paper's OpenMP-only STREAM story on the A64FX:
+// best bandwidth at 24 threads, only ~29 % of the HBM2 peak.
+func ExampleFigure2() {
+	s, err := stream.Figure2(machine.CTEArm(), toolchain.StreamOpenMPArm(), toolchain.C, 610e6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best: %.0f GB/s at %d threads (%.0f%% of peak)\n",
+		s.Best.Bandwidth.GB(), s.Best.Threads, s.PercentOfPeak)
+	// Output:
+	// best: 292 GB/s at 24 threads (29% of peak)
+}
+
+// Figure3 shows what NUMA-correct placement recovers: one MPI rank per
+// CMG reaches 84 % of peak.
+func ExampleFigure3() {
+	s, err := stream.Figure3(machine.CTEArm(), toolchain.StreamHybridArm(), toolchain.Fortran)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best: %.0f GB/s at %s (%.0f%% of peak)\n",
+		s.Best.Bandwidth.GB(), s.Best.Label(), s.PercentOfPeak)
+	// Output:
+	// best: 862 GB/s at 4x12 (84% of peak)
+}

@@ -1,0 +1,233 @@
+// Package stream implements the paper's STREAM experiments (Section III-B):
+// the four McCalpin kernels run for real over the omp runtime (validated
+// exactly as stream.c validates), and the bandwidth model regenerates
+// Fig. 2 (OpenMP-only thread sweep) and Fig. 3 (hybrid MPI+OpenMP Triad).
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/memsim"
+	"clustereval/internal/omp"
+	"clustereval/internal/toolchain"
+	"clustereval/internal/units"
+)
+
+// scalarConst is STREAM's scalar (stream.c uses 3.0).
+const scalarConst = 3.0
+
+// Arrays holds the three STREAM vectors.
+type Arrays struct {
+	A, B, C []float64
+}
+
+// NewArrays allocates and initializes the vectors exactly like stream.c:
+// a=1, b=2, c=0, then a *= 2 in the first timing pass convention (we keep
+// plain a=1 and fold the convention into Validate).
+func NewArrays(n int) (*Arrays, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stream: array size %d must be positive", n)
+	}
+	arr := &Arrays{
+		A: make([]float64, n),
+		B: make([]float64, n),
+		C: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		arr.A[i] = 1
+		arr.B[i] = 2
+		arr.C[i] = 0
+	}
+	return arr, nil
+}
+
+// RunIteration executes one full STREAM iteration — Copy, Scale, Add, Triad
+// in order — across the team, mutating the arrays like the C reference:
+//
+//	c = a; b = s*c; c = a + b; a = b + s*c
+func RunIteration(team *omp.Team, arr *Arrays) {
+	n := len(arr.A)
+	a, b, c := arr.A, arr.B, arr.C
+	team.ParallelRanges(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i]
+		}
+	})
+	team.ParallelRanges(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b[i] = scalarConst * c[i]
+		}
+	})
+	team.ParallelRanges(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+	team.ParallelRanges(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = b[i] + scalarConst*c[i]
+		}
+	})
+}
+
+// Validate checks the arrays after iters iterations, mirroring stream.c's
+// checkSTREAMresults: evolve scalar replicas of a, b, c and compare.
+func Validate(arr *Arrays, iters int) error {
+	aj, bj, cj := 1.0, 2.0, 0.0
+	for i := 0; i < iters; i++ {
+		cj = aj
+		bj = scalarConst * cj
+		cj = aj + bj
+		aj = bj + scalarConst*cj
+	}
+	const epsilon = 1e-13
+	for i, v := range arr.A {
+		if math.Abs(v-aj) > epsilon*math.Abs(aj) {
+			return fmt.Errorf("stream: a[%d] = %v, want %v", i, v, aj)
+		}
+	}
+	for i, v := range arr.B {
+		if math.Abs(v-bj) > epsilon*math.Abs(bj) {
+			return fmt.Errorf("stream: b[%d] = %v, want %v", i, v, bj)
+		}
+	}
+	for i, v := range arr.C {
+		if math.Abs(v-cj) > epsilon*math.Abs(cj) {
+			return fmt.Errorf("stream: c[%d] = %v, want %v", i, v, cj)
+		}
+	}
+	return nil
+}
+
+// Point is one measurement of the Fig. 2 thread sweep.
+type Point struct {
+	Threads   int
+	Bandwidth units.BytesPerSecond
+}
+
+// Series is one curve of Fig. 2: a (machine, language) combination swept
+// over OpenMP thread counts with spread binding.
+type Series struct {
+	Machine  string
+	Language toolchain.Language
+	Elements int
+	Points   []Point
+	// Best is the highest-bandwidth point (what the paper quotes:
+	// 292.0 GB/s at 24 threads for CTE-Arm, 201.2 at 48 for MN4).
+	Best          Point
+	PercentOfPeak float64
+}
+
+// Figure2 sweeps OpenMP thread counts 1..cores for the Triad kernel with
+// spread binding, using the Table II build for the machine.
+func Figure2(m machine.Machine, comp toolchain.Compiler, lang toolchain.Language, elements int) (Series, error) {
+	if elements < memsim.MinimumElements(m.Node) {
+		return Series{}, fmt.Errorf("stream: %d elements violates the paper's size rule (min %d)",
+			elements, memsim.MinimumElements(m.Node))
+	}
+	build, err := toolchain.Compile(comp, m, "STREAM")
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{Machine: m.Name, Language: lang, Elements: elements}
+	for threads := 1; threads <= m.Node.Cores(); threads++ {
+		team, err := omp.NewTeam(m.Node, threads, omp.Spread)
+		if err != nil {
+			return Series{}, err
+		}
+		bw, err := memsim.TeamBandwidth(team, true, build.StreamFactor(lang))
+		if err != nil {
+			return Series{}, err
+		}
+		p := Point{Threads: threads, Bandwidth: bw}
+		s.Points = append(s.Points, p)
+		if bw > s.Best.Bandwidth {
+			s.Best = p
+		}
+	}
+	s.PercentOfPeak = units.Percent(float64(s.Best.Bandwidth), float64(m.Node.MemoryPeak()))
+	return s, nil
+}
+
+// KernelSeries is the Fig. 2 curve of one specific STREAM kernel. Figure2
+// reports the Triad; the full figure plots all four kernels, whose achieved
+// bandwidths differ by a few percent in the order Copy > Scale > Triad >
+// Add.
+func KernelSeries(m machine.Machine, comp toolchain.Compiler, lang toolchain.Language, elements int, kernel memsim.Kernel) (Series, error) {
+	s, err := Figure2(m, comp, lang, elements)
+	if err != nil {
+		return Series{}, err
+	}
+	f := kernel.BandwidthFactor()
+	for i := range s.Points {
+		s.Points[i].Bandwidth = units.BytesPerSecond(float64(s.Points[i].Bandwidth) * f)
+	}
+	s.Best.Bandwidth = units.BytesPerSecond(float64(s.Best.Bandwidth) * f)
+	s.PercentOfPeak = units.Percent(float64(s.Best.Bandwidth), float64(m.Node.MemoryPeak()))
+	return s, nil
+}
+
+// HybridPoint is one configuration of the Fig. 3 hybrid sweep.
+type HybridPoint struct {
+	Ranks          int
+	ThreadsPerRank int
+	Bandwidth      units.BytesPerSecond
+}
+
+// Label renders the paper's "ranks x threads" annotation.
+func (p HybridPoint) Label() string {
+	return fmt.Sprintf("%dx%d", p.Ranks, p.ThreadsPerRank)
+}
+
+// HybridSeries is one machine/language curve of Fig. 3.
+type HybridSeries struct {
+	Machine       string
+	Language      toolchain.Language
+	Points        []HybridPoint
+	Best          HybridPoint
+	PercentOfPeak float64
+}
+
+// Figure3 runs the hybrid MPI+OpenMP Triad: at most one rank per NUMA
+// domain (CMG on CTE-Arm, socket on MN4), threads filling each rank's
+// domain, exactly the pinning the paper describes.
+func Figure3(m machine.Machine, comp toolchain.Compiler, lang toolchain.Language) (HybridSeries, error) {
+	build, err := toolchain.Compile(comp, m, "STREAM")
+	if err != nil {
+		return HybridSeries{}, err
+	}
+	s := HybridSeries{Machine: m.Name, Language: lang}
+	domains := len(m.Node.Domains)
+	coresPerDomain := m.Node.Domains[0].Cores
+	for ranks := 1; ranks <= domains; ranks++ {
+		for _, threads := range threadSteps(coresPerDomain) {
+			perDomain := make([]int, domains)
+			for r := 0; r < ranks; r++ {
+				perDomain[r] = threads
+			}
+			bw, err := memsim.StreamBandwidth(m.Node, perDomain, false, build.StreamFactor(lang))
+			if err != nil {
+				return HybridSeries{}, err
+			}
+			p := HybridPoint{Ranks: ranks, ThreadsPerRank: threads, Bandwidth: bw}
+			s.Points = append(s.Points, p)
+			if bw > s.Best.Bandwidth {
+				s.Best = p
+			}
+		}
+	}
+	s.PercentOfPeak = units.Percent(float64(s.Best.Bandwidth), float64(m.Node.MemoryPeak()))
+	return s, nil
+}
+
+// threadSteps returns the thread counts swept inside one domain: powers of
+// two plus the full domain.
+func threadSteps(cores int) []int {
+	var steps []int
+	for t := 1; t < cores; t *= 2 {
+		steps = append(steps, t)
+	}
+	return append(steps, cores)
+}

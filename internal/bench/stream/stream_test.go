@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/memsim"
+	"clustereval/internal/omp"
+	"clustereval/internal/toolchain"
+)
+
+func TestRealKernelsValidate(t *testing.T) {
+	// The actual STREAM loops, run concurrently, must pass the official
+	// validation for several iteration counts and team sizes.
+	node := machine.CTEArm().Node
+	for _, threads := range []int{1, 7, 48} {
+		team, err := omp.NewTeam(node, threads, omp.Spread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := NewArrays(10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 10
+		for i := 0; i < iters; i++ {
+			RunIteration(team, arr)
+		}
+		if err := Validate(arr, iters); err != nil {
+			t.Errorf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	team, _ := omp.NewTeam(machine.CTEArm().Node, 4, omp.Close)
+	arr, _ := NewArrays(100)
+	RunIteration(team, arr)
+	arr.A[50] += 1
+	if err := Validate(arr, 1); err == nil {
+		t.Error("corrupted array passed validation")
+	}
+}
+
+func TestNewArraysErrors(t *testing.T) {
+	if _, err := NewArrays(0); err == nil {
+		t.Error("zero-size array accepted")
+	}
+}
+
+func TestFigure2CTEArmAnchors(t *testing.T) {
+	m := machine.CTEArm()
+	// Paper: E = 610e6 elements, C version, best 292.0 GB/s at 24 threads
+	// (29 % of peak).
+	s, err := Figure2(m, toolchain.StreamOpenMPArm(), toolchain.C, 610e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Best.Threads != 24 {
+		t.Errorf("best thread count = %d, paper: 24", s.Best.Threads)
+	}
+	if math.Abs(s.Best.Bandwidth.GB()-292.0) > 0.02*292.0 {
+		t.Errorf("best bandwidth = %.1f GB/s, paper 292.0", s.Best.Bandwidth.GB())
+	}
+	if math.Abs(s.PercentOfPeak-29) > 2 {
+		t.Errorf("percent of peak = %.1f, paper 29", s.PercentOfPeak)
+	}
+	// C runs ~10 % faster than Fortran on this build.
+	sf, err := Figure2(m, toolchain.StreamOpenMPArm(), toolchain.Fortran, 610e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(s.Best.Bandwidth) / float64(sf.Best.Bandwidth)
+	if ratio < 1.05 || ratio > 1.15 {
+		t.Errorf("C/Fortran = %.3f, paper ~1.10", ratio)
+	}
+}
+
+func TestFigure2MN4Anchors(t *testing.T) {
+	m := machine.MareNostrum4()
+	s, err := Figure2(m, toolchain.StreamMN4(), toolchain.C, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Best.Threads != 48 {
+		t.Errorf("best thread count = %d, paper: 48", s.Best.Threads)
+	}
+	if math.Abs(s.Best.Bandwidth.GB()-201.2) > 0.01*201.2 {
+		t.Errorf("best = %.1f GB/s, paper 201.2", s.Best.Bandwidth.GB())
+	}
+}
+
+func TestFigure2SizeRule(t *testing.T) {
+	m := machine.CTEArm()
+	if _, err := Figure2(m, toolchain.StreamOpenMPArm(), toolchain.C, 1e6); err == nil {
+		t.Error("undersized array accepted (paper's E rule)")
+	}
+	_ = memsim.MinimumElements(m.Node)
+}
+
+func TestFigure2CurveShape(t *testing.T) {
+	m := machine.CTEArm()
+	s, err := Figure2(m, toolchain.StreamOpenMPArm(), toolchain.C, 610e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 48 {
+		t.Fatalf("%d points, want 48", len(s.Points))
+	}
+	// Rising at the start, declining after the peak.
+	if !(s.Points[5].Bandwidth > s.Points[0].Bandwidth) {
+		t.Error("curve not rising at low thread counts")
+	}
+	last := s.Points[47].Bandwidth
+	if !(last < s.Best.Bandwidth) {
+		t.Error("A64FX curve should decline after 24 threads")
+	}
+}
+
+func TestKernelSeriesOrdering(t *testing.T) {
+	m := machine.CTEArm()
+	best := map[memsim.Kernel]float64{}
+	for _, k := range []memsim.Kernel{memsim.Copy, memsim.Scale, memsim.Add, memsim.Triad} {
+		s, err := KernelSeries(m, toolchain.StreamOpenMPArm(), toolchain.C, 610e6, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best[k] = float64(s.Best.Bandwidth)
+		if s.Best.Threads != 24 {
+			t.Errorf("%v: best threads %d, want 24", k, s.Best.Threads)
+		}
+	}
+	if !(best[memsim.Copy] > best[memsim.Scale] &&
+		best[memsim.Scale] > best[memsim.Triad] &&
+		best[memsim.Triad] > best[memsim.Add]) {
+		t.Errorf("kernel ordering wrong: %v", best)
+	}
+	// Triad through KernelSeries equals Figure2 exactly.
+	f2, _ := Figure2(m, toolchain.StreamOpenMPArm(), toolchain.C, 610e6)
+	if best[memsim.Triad] != float64(f2.Best.Bandwidth) {
+		t.Error("Triad kernel series diverged from Figure2")
+	}
+}
+
+func TestFigure3CTEArmAnchors(t *testing.T) {
+	m := machine.CTEArm()
+	// Fortran hybrid: 862.6 GB/s (84 % of peak) at 4 ranks x 12 threads.
+	f, err := Figure3(m, toolchain.StreamHybridArm(), toolchain.Fortran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Best.Bandwidth.GB()-862.6) > 0.02*862.6 {
+		t.Errorf("Fortran hybrid best = %.1f GB/s, paper 862.6", f.Best.Bandwidth.GB())
+	}
+	if f.Best.Ranks != 4 || f.Best.ThreadsPerRank != 12 {
+		t.Errorf("best config = %s, want 4x12", f.Best.Label())
+	}
+	if math.Abs(f.PercentOfPeak-84) > 2 {
+		t.Errorf("percent = %.1f, paper 84", f.PercentOfPeak)
+	}
+	// The C hybrid reaches only ~421 GB/s.
+	c, err := Figure3(m, toolchain.StreamHybridArm(), toolchain.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Best.Bandwidth.GB()-421.1) > 0.03*421.1 {
+		t.Errorf("C hybrid best = %.1f GB/s, paper 421.1", c.Best.Bandwidth.GB())
+	}
+}
+
+func TestFigure3MN4(t *testing.T) {
+	m := machine.MareNostrum4()
+	s, err := Figure3(m, toolchain.StreamMN4(), toolchain.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hybrid on MN4 matches the OpenMP-only result (~201 GB/s): first
+	// touch already places pages correctly.
+	if math.Abs(s.Best.Bandwidth.GB()-201.2) > 0.02*201.2 {
+		t.Errorf("MN4 hybrid best = %.1f GB/s, want ~201", s.Best.Bandwidth.GB())
+	}
+	if s.Best.Ranks != 2 || s.Best.ThreadsPerRank != 24 {
+		t.Errorf("best config = %s, want 2x24", s.Best.Label())
+	}
+}
+
+func TestFigure3HybridVsOpenMPGap(t *testing.T) {
+	// The paper's motivation for Fig. 3: hybrid STREAM on the A64FX is ~3x
+	// the OpenMP-only result; on MN4 they are equal.
+	arm := machine.CTEArm()
+	omp2, _ := Figure2(arm, toolchain.StreamOpenMPArm(), toolchain.Fortran, 610e6)
+	hyb, _ := Figure3(arm, toolchain.StreamHybridArm(), toolchain.Fortran)
+	if r := float64(hyb.Best.Bandwidth) / float64(omp2.Best.Bandwidth); r < 2.5 || r > 4 {
+		t.Errorf("A64FX hybrid/OpenMP ratio = %.2f, want ~3.2", r)
+	}
+}
+
+func TestHybridLabel(t *testing.T) {
+	p := HybridPoint{Ranks: 4, ThreadsPerRank: 12}
+	if p.Label() != "4x12" {
+		t.Errorf("label = %s", p.Label())
+	}
+}
+
+func TestThreadSteps(t *testing.T) {
+	got := threadSteps(12)
+	want := []int{1, 2, 4, 8, 12}
+	if len(got) != len(want) {
+		t.Fatalf("steps = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", got, want)
+		}
+	}
+	got = threadSteps(24)
+	if got[len(got)-1] != 24 {
+		t.Errorf("steps must end with the full domain: %v", got)
+	}
+}

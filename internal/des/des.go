@@ -1,0 +1,251 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// Simulated processes are ordinary Go functions running in goroutines, but
+// only one process executes at a time: a process runs until it blocks on a
+// Delay, a Cond, or a Resource, then hands control back to the engine, which
+// advances the virtual clock to the next scheduled event. Events at equal
+// times fire in scheduling order, so a simulation is bit-reproducible — a
+// property every figure of the reproduction depends on.
+//
+// The engine powers the simulated MPI runtime (internal/mpisim): each rank
+// is a Proc, message matching uses Conds, and link bandwidth is modelled
+// with Delays computed by the interconnect cost model.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"clustereval/internal/units"
+)
+
+// event is a scheduled process wake-up.
+type event struct {
+	at   units.Seconds
+	seq  int64 // tie-breaker: FIFO among equal times
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now     units.Seconds
+	events  eventHeap
+	seq     int64
+	yield   chan yieldMsg
+	alive   int // processes spawned and not yet finished
+	waiting map[*Proc]string
+	failure error
+}
+
+type yieldMsg struct {
+	proc     *Proc
+	finished bool
+	panicked interface{}
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{
+		yield:   make(chan yieldMsg),
+		waiting: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// Proc is a simulated process. Its methods must only be called from within
+// the process's own body function while the simulation is running.
+type Proc struct {
+	Name      string
+	eng       *Engine
+	resume    chan struct{}
+	scheduled bool
+}
+
+// Spawn registers a new process that starts (at the current virtual time)
+// when Run is called, or immediately if the simulation is already running.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{Name: name, eng: e, resume: make(chan struct{})}
+	e.alive++
+	go func() {
+		<-p.resume // wait for first scheduling
+		defer func() {
+			if r := recover(); r != nil {
+				e.yield <- yieldMsg{proc: p, finished: true, panicked: r}
+				return
+			}
+			e.yield <- yieldMsg{proc: p, finished: true}
+		}()
+		body(p)
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// schedule enqueues a wake-up for p at time at. A process blocked in one
+// place can only be woken once, so a second schedule (e.g. a Broadcast
+// racing a Signal) is ignored.
+func (e *Engine) schedule(p *Proc, at units.Seconds) {
+	if p.scheduled {
+		return
+	}
+	p.scheduled = true
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// Run executes the simulation until no events remain. It returns an error
+// when a process panicked or when live processes remain blocked forever
+// (deadlock), naming the stuck processes.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			return fmt.Errorf("des: time went backwards: %v < %v", ev.at, e.now)
+		}
+		e.now = ev.at
+		ev.proc.scheduled = false
+		ev.proc.resume <- struct{}{}
+		msg := <-e.yield
+		if msg.panicked != nil {
+			e.failure = fmt.Errorf("des: process %q panicked: %v", msg.proc.Name, msg.panicked)
+			return e.failure
+		}
+		if msg.finished {
+			e.alive--
+		}
+	}
+	if e.alive > 0 {
+		names := make([]string, 0, len(e.waiting))
+		for p, what := range e.waiting {
+			names = append(names, fmt.Sprintf("%s (on %s)", p.Name, what))
+		}
+		sort.Strings(names)
+		e.failure = fmt.Errorf("des: deadlock: %d process(es) blocked forever: %v", e.alive, names)
+		return e.failure
+	}
+	return nil
+}
+
+// yieldAndWait hands control back to the engine and blocks until rescheduled.
+func (p *Proc) yieldAndWait() {
+	p.eng.yield <- yieldMsg{proc: p}
+	<-p.resume
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() units.Seconds { return p.eng.now }
+
+// Delay advances the process by d of virtual time. Negative or non-finite
+// delays panic: they always indicate a broken cost model.
+func (p *Proc) Delay(d units.Seconds) {
+	if d < 0 || math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
+		panic(fmt.Sprintf("des: invalid delay %v", float64(d)))
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.yieldAndWait()
+}
+
+// Cond is a waitable condition: processes Wait on it and other processes
+// wake them with Signal or Broadcast. Unlike sync.Cond there is no
+// associated lock — the engine's run-one-process-at-a-time discipline makes
+// state changes atomic.
+type Cond struct {
+	eng     *Engine
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to the engine.
+func (e *Engine) NewCond(name string) *Cond {
+	return &Cond{eng: e, name: name}
+}
+
+// Wait blocks the calling process until the condition is signalled.
+// The caller must re-check its predicate after waking (wake-ups are hints,
+// exactly as with sync.Cond).
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	c.eng.waiting[p] = c.name
+	p.yieldAndWait()
+	delete(c.eng.waiting, p)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.schedule(p, c.eng.now)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.eng.schedule(p, c.eng.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// NumWaiters returns how many processes are blocked on the condition.
+func (c *Cond) NumWaiters() int { return len(c.waiters) }
+
+// Resource is a counted resource (a semaphore) with FIFO fairness, used to
+// model entities with finite concurrency such as network injection ports.
+type Resource struct {
+	cap   int
+	inUse int
+	cond  *Cond
+}
+
+// NewResource returns a resource with the given capacity.
+func (e *Engine) NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("des: resource capacity must be positive")
+	}
+	return &Resource{cap: capacity, cond: e.NewCond("resource " + name)}
+}
+
+// Acquire blocks p until a unit of the resource is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.cap {
+		r.cond.Wait(p)
+	}
+	r.inUse++
+}
+
+// Release returns a unit of the resource and wakes one waiter.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("des: release of an idle resource")
+	}
+	r.inUse--
+	r.cond.Signal()
+}
+
+// InUse reports the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }

@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clustereval/internal/report"
+	"clustereval/internal/units"
+)
+
+func renderOK(t *testing.T, name string, render func(*bytes.Buffer) error, wants ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s: empty output", name)
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("%s: output missing %q", name, w)
+		}
+	}
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	p := Default()
+
+	t1, err := p.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, "fig1", func(b *bytes.Buffer) error { return t1.Render(b) },
+		"vector-double", "CTE-Arm", "unsupported")
+
+	plot2, series2, err := p.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series2) != 4 {
+		t.Errorf("fig2: %d series, want 4", len(series2))
+	}
+	renderOK(t, "fig2", func(b *bytes.Buffer) error { return plot2.Render(b) }, "GB/s @ 24", "GB/s @ 48")
+
+	t3, series3, err := p.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series3) != 4 {
+		t.Errorf("fig3: %d series", len(series3))
+	}
+	renderOK(t, "fig3", func(b *bytes.Buffer) error { return t3.Render(b) }, "4x12", "Fortran")
+
+	hm, raw4, err := p.Figure4(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw4.Nodes() != 192 {
+		t.Errorf("fig4 heatmap over %d nodes", raw4.Nodes())
+	}
+	renderOK(t, "fig4", func(b *bytes.Buffer) error { return hm.Render(b) }, "scale:")
+
+	t5, d5, err := p.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d5.Sizes) != 25 {
+		t.Errorf("fig5: %d sizes, want 25 (2^0..2^24)", len(d5.Sizes))
+	}
+	renderOK(t, "fig5", func(b *bytes.Buffer) error { return t5.Render(b) }, "Msg size")
+
+	plot6, runs6, err := p.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs6["CTE-Arm"]) == 0 {
+		t.Error("fig6: missing CTE-Arm runs")
+	}
+	renderOK(t, "fig6", func(b *bytes.Buffer) error { return plot6.Render(b) }, "85% of peak", "63% of peak")
+
+	t7, runs7, err := p.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs7) != 8 {
+		t.Errorf("fig7: %d runs", len(runs7))
+	}
+	renderOK(t, "fig7", func(b *bytes.Buffer) error { return t7.Render(b) }, "vanilla", "optimized")
+
+	for name, f := range map[string]func() (*report.Plot, error){
+		"fig8": p.Figure8, "fig9": p.Figure9, "fig10": p.Figure10,
+		"fig11": p.Figure11, "fig12": p.Figure12, "fig13": p.Figure13,
+		"fig14": p.Figure14, "fig15": p.Figure15, "fig16": p.Figure16,
+	} {
+		plot, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		renderOK(t, name, func(b *bytes.Buffer) error { return plot.Render(b) }, "CTE-Arm", "MareNostrum 4")
+	}
+}
+
+func TestFigure4SizeIsConfigurable(t *testing.T) {
+	p := Default()
+	_, raw, err := p.Figure4(units.Bytes(64 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Size != units.Bytes(64*1024) {
+		t.Errorf("size = %v", raw.Size)
+	}
+}

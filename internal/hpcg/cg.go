@@ -1,0 +1,146 @@
+package hpcg
+
+import (
+	"fmt"
+	"math"
+
+	"clustereval/internal/omp"
+)
+
+// MG is a geometric multigrid hierarchy over a Problem, used as the CG
+// preconditioner exactly as HPCG specifies: one pre-smooth, recursion on
+// the injected coarse grid, one post-smooth; a few SymGS sweeps on the
+// coarsest level.
+type MG struct {
+	levels []*Problem
+	// f2c maps a coarse row to its fine-grid representative (injection).
+	f2c [][]int32
+}
+
+// NewMG coarsens the problem by factors of two while every dimension stays
+// even and at least 4, up to maxLevels total levels.
+func NewMG(fine *Problem, maxLevels int) (*MG, error) {
+	if maxLevels <= 0 {
+		return nil, fmt.Errorf("hpcg: need at least one level")
+	}
+	mg := &MG{levels: []*Problem{fine}}
+	cur := fine
+	for len(mg.levels) < maxLevels {
+		nx, ny, nz := cur.NX/2, cur.NY/2, cur.NZ/2
+		if cur.NX%2 != 0 || cur.NY%2 != 0 || cur.NZ%2 != 0 || nx < 2 || ny < 2 || nz < 2 {
+			break
+		}
+		coarse, err := NewProblem(nx, ny, nz)
+		if err != nil {
+			return nil, err
+		}
+		// Injection operator: coarse point (x,y,z) -> fine point (2x,2y,2z).
+		f2c := make([]int32, coarse.NRows)
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					ci := (z*ny+y)*nx + x
+					fi := (2*z*cur.NY+2*y)*cur.NX + 2*x
+					f2c[ci] = int32(fi)
+				}
+			}
+		}
+		mg.levels = append(mg.levels, coarse)
+		mg.f2c = append(mg.f2c, f2c)
+		cur = coarse
+	}
+	return mg, nil
+}
+
+// Levels returns the number of grid levels.
+func (mg *MG) Levels() int { return len(mg.levels) }
+
+// Apply runs one V-cycle computing z ~ A^{-1} r on the finest level.
+func (mg *MG) Apply(r []float64) []float64 {
+	z := make([]float64, len(r))
+	mg.cycle(0, r, z)
+	return z
+}
+
+func (mg *MG) cycle(level int, r, z []float64) {
+	p := mg.levels[level]
+	if level == len(mg.levels)-1 {
+		// Coarsest: a handful of SymGS sweeps.
+		for s := 0; s < 4; s++ {
+			p.SymGS(r, z)
+		}
+		return
+	}
+	// Pre-smooth.
+	p.SymGS(r, z)
+	// Residual: rc = restrict(r - A z).
+	az := make([]float64, p.NRows)
+	p.SpMV(nil, z, az)
+	coarse := mg.levels[level+1]
+	rc := make([]float64, coarse.NRows)
+	for ci, fi := range mg.f2c[level] {
+		rc[ci] = r[fi] - az[fi]
+	}
+	zc := make([]float64, coarse.NRows)
+	mg.cycle(level+1, rc, zc)
+	// Prolong (injection transpose) and correct.
+	for ci, fi := range mg.f2c[level] {
+		z[fi] += zc[ci]
+	}
+	// Post-smooth.
+	p.SymGS(r, z)
+}
+
+// CGResult reports a preconditioned-CG solve.
+type CGResult struct {
+	Iterations int
+	Residuals  []float64 // ||r||_2 after each iteration, starting with iter 0
+	Converged  bool
+}
+
+// CG runs HPCG's preconditioned conjugate gradient on A*x = b, starting
+// from x = 0, for at most maxIter iterations or until the residual norm
+// falls below tol * ||b||.
+func CG(p *Problem, mg *MG, team *omp.Team, b []float64, maxIter int, tol float64) ([]float64, CGResult, error) {
+	if len(b) != p.NRows {
+		return nil, CGResult{}, fmt.Errorf("hpcg: rhs length %d, want %d", len(b), p.NRows)
+	}
+	if maxIter <= 0 {
+		return nil, CGResult{}, fmt.Errorf("hpcg: maxIter must be positive")
+	}
+	n := p.NRows
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b - A*0
+	ap := make([]float64, n)
+
+	normB := math.Sqrt(Dot(team, b, b))
+	if normB == 0 {
+		return x, CGResult{Converged: true}, nil
+	}
+
+	res := CGResult{}
+	z := mg.Apply(r)
+	pvec := append([]float64(nil), z...)
+	rtz := Dot(team, r, z)
+
+	for iter := 0; iter < maxIter; iter++ {
+		p.SpMV(team, pvec, ap)
+		alpha := rtz / Dot(team, pvec, ap)
+		WAXPBY(team, 1, x, alpha, pvec, x)
+		WAXPBY(team, 1, r, -alpha, ap, r)
+
+		norm := math.Sqrt(Dot(team, r, r))
+		res.Residuals = append(res.Residuals, norm)
+		res.Iterations = iter + 1
+		if norm <= tol*normB {
+			res.Converged = true
+			break
+		}
+		z = mg.Apply(r)
+		rtzNew := Dot(team, r, z)
+		beta := rtzNew / rtz
+		rtz = rtzNew
+		WAXPBY(team, 1, z, beta, pvec, pvec)
+	}
+	return x, res, nil
+}

@@ -1,0 +1,183 @@
+package hpcg
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/mpisim"
+)
+
+func distWorld(t *testing.T, ranks int) *mpisim.World {
+	t.Helper()
+	fab, err := interconnect.NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpisim.NewWorld(fab, ranks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDistCGMatchesSerial(t *testing.T) {
+	const nx, ny, nz = 6, 6, 12
+	prob, err := NewProblem(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, prob.NRows)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	xRef, resRef, err := SerialJacobiCG(prob, b, 200, 1e-10)
+	if err != nil || !resRef.Converged {
+		t.Fatalf("serial reference: err=%v converged=%v", err, resRef.Converged)
+	}
+
+	for _, ranks := range []int{1, 2, 3, 5} {
+		w := distWorld(t, ranks)
+		x, res, err := DistCG(w, nx, ny, nz, b, 200, 1e-10)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !res.Converged {
+			t.Fatalf("ranks=%d: did not converge", ranks)
+		}
+		if res.Iterations != resRef.Iterations {
+			t.Errorf("ranks=%d: %d iterations vs serial %d", ranks, res.Iterations, resRef.Iterations)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xRef[i]) > 1e-8 {
+				t.Fatalf("ranks=%d: solution differs at %d: %v vs %v", ranks, i, x[i], xRef[i])
+			}
+		}
+		// Residual history matches bit-for-bit semantics up to reduction
+		// association; check the final norm closely.
+		lastD := res.Residuals[len(res.Residuals)-1]
+		lastS := resRef.Residuals[len(resRef.Residuals)-1]
+		if math.Abs(lastD-lastS) > 1e-9*math.Abs(lastS)+1e-12 {
+			t.Errorf("ranks=%d: final residual %v vs serial %v", ranks, lastD, lastS)
+		}
+	}
+}
+
+func TestDistCGSolvesSystem(t *testing.T) {
+	const nx, ny, nz = 4, 4, 8
+	prob, _ := NewProblem(nx, ny, nz)
+	// Manufactured: b = A * (1..n pattern).
+	want := make([]float64, prob.NRows)
+	for i := range want {
+		want[i] = float64(i%5) + 1
+	}
+	b := make([]float64, prob.NRows)
+	prob.SpMV(nil, want, b)
+
+	w := distWorld(t, 4)
+	x, res, err := DistCG(w, nx, ny, nz, b, 300, 1e-11)
+	if err != nil || !res.Converged {
+		t.Fatalf("err=%v converged=%v", err, res.Converged)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual time accounted for the solve")
+	}
+}
+
+func TestDistCGCommunicationCosts(t *testing.T) {
+	// More ranks on more nodes => more halo/reduction traffic: virtual
+	// time must grow with the rank count for the same problem.
+	const nx, ny, nz = 4, 4, 12
+	prob, _ := NewProblem(nx, ny, nz)
+	b := make([]float64, prob.NRows)
+	for i := range b {
+		b[i] = 1
+	}
+	elapsed := func(ranks, perNode int) float64 {
+		fab, err := interconnect.NewTofuD(machine.CTEArm(), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := mpisim.NewWorld(fab, ranks, perNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := DistCG(w, nx, ny, nz, b, 100, 1e-9)
+		if err != nil || !res.Converged {
+			t.Fatalf("ranks=%d: err=%v converged=%v", ranks, err, res.Converged)
+		}
+		return float64(res.Elapsed)
+	}
+	oneRank := elapsed(1, 1)
+	sixRanksSixNodes := elapsed(6, 1)
+	if sixRanksSixNodes <= oneRank {
+		t.Errorf("inter-node CG should pay for communication: 1 rank %v vs 6 ranks %v",
+			oneRank, sixRanksSixNodes)
+	}
+}
+
+func TestDistCGValidation(t *testing.T) {
+	w := distWorld(t, 4)
+	if _, _, err := DistCG(w, 4, 4, 2, make([]float64, 32), 10, 1e-6); err == nil {
+		t.Error("too few z-planes accepted")
+	}
+	if _, _, err := DistCG(w, 4, 4, 8, make([]float64, 10), 10, 1e-6); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+	if _, _, err := DistCG(w, 4, 4, 8, make([]float64, 128), 0, 1e-6); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestDistCGZeroRHS(t *testing.T) {
+	w := distWorld(t, 3)
+	x, res, err := DistCG(w, 4, 4, 6, make([]float64, 96), 10, 1e-6)
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: err=%v converged=%v", err, res.Converged)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero rhs must give zero solution")
+		}
+	}
+}
+
+func TestSerialJacobiCGValidation(t *testing.T) {
+	p, _ := NewProblem(4, 4, 4)
+	if _, _, err := SerialJacobiCG(p, make([]float64, 3), 10, 1e-6); err == nil {
+		t.Error("wrong rhs accepted")
+	}
+	if _, _, err := SerialJacobiCG(p, make([]float64, p.NRows), 0, 1e-6); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestSlabPartition(t *testing.T) {
+	// Slabs tile [0, nz) without gaps or overlap for any rank count.
+	for _, nz := range []int{8, 12, 13} {
+		for ranks := 1; ranks <= nz; ranks++ {
+			covered := 0
+			prevEnd := 0
+			for r := 0; r < ranks; r++ {
+				s := slabOf(nz, ranks, r)
+				if s.z0 != prevEnd {
+					t.Fatalf("nz=%d ranks=%d: gap at rank %d", nz, ranks, r)
+				}
+				if s.z1 <= s.z0 {
+					t.Fatalf("nz=%d ranks=%d: empty slab at rank %d", nz, ranks, r)
+				}
+				covered += s.z1 - s.z0
+				prevEnd = s.z1
+			}
+			if covered != nz {
+				t.Fatalf("nz=%d ranks=%d: covered %d", nz, ranks, covered)
+			}
+		}
+	}
+}

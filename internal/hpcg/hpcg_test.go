@@ -1,0 +1,355 @@
+package hpcg
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/omp"
+)
+
+func TestProblemSymmetric(t *testing.T) {
+	p, err := NewProblem(6, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a dense view and check A = A^T and row structure.
+	n := p.NRows
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		for k, c := range p.cols[i] {
+			dense[i][c] = p.vals[i][k]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dense[i][i] != 26 {
+			t.Fatalf("diagonal (%d) = %v", i, dense[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if dense[i][j] != dense[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestProblemDiagonallyDominant(t *testing.T) {
+	// 26 > 26 off-diagonals of -1 only for interior nodes, where the count
+	// is exactly 26: weak dominance; boundary rows are strictly dominant.
+	// This makes A SPD, which CG requires.
+	p, _ := NewProblem(4, 4, 4)
+	for i := 0; i < p.NRows; i++ {
+		off := 0.0
+		for k, c := range p.cols[i] {
+			if int(c) != i {
+				off += math.Abs(p.vals[i][k])
+			}
+		}
+		if off > p.diag[i] {
+			t.Fatalf("row %d not diagonally dominant: %v > %v", i, off, p.diag[i])
+		}
+	}
+}
+
+func TestInteriorRowHas27Nonzeros(t *testing.T) {
+	p, _ := NewProblem(5, 5, 5)
+	center := (2*5+2)*5 + 2
+	if len(p.cols[center]) != 27 {
+		t.Errorf("interior row has %d nonzeros, want 27", len(p.cols[center]))
+	}
+	if len(p.cols[0]) != 8 {
+		t.Errorf("corner row has %d nonzeros, want 8", len(p.cols[0]))
+	}
+	if p.Nonzeros() <= 0 {
+		t.Error("nonzero count")
+	}
+}
+
+func TestNewProblemErrors(t *testing.T) {
+	if _, err := NewProblem(0, 4, 4); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestSpMVAgainstDense(t *testing.T) {
+	p, _ := NewProblem(3, 4, 2)
+	n := p.NRows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	y := make([]float64, n)
+	p.SpMV(nil, x, y)
+	// Dense reference.
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for k, c := range p.cols[i] {
+			acc += p.vals[i][k] * x[c]
+		}
+		if math.Abs(y[i]-acc) > 1e-14 {
+			t.Fatalf("SpMV row %d: %v vs %v", i, y[i], acc)
+		}
+	}
+}
+
+func TestSpMVParallelMatchesSerial(t *testing.T) {
+	team, err := omp.NewTeam(machine.CTEArm().Node, 8, omp.Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProblem(8, 8, 8)
+	x := make([]float64, p.NRows)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	ys := make([]float64, p.NRows)
+	yp := make([]float64, p.NRows)
+	p.SpMV(nil, x, ys)
+	p.SpMV(team, x, yp)
+	for i := range ys {
+		if ys[i] != yp[i] {
+			t.Fatalf("parallel SpMV differs at %d", i)
+		}
+	}
+}
+
+func TestSymGSReducesResidual(t *testing.T) {
+	p, _ := NewProblem(6, 6, 6)
+	n := p.NRows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	residNorm := func() float64 {
+		ax := make([]float64, n)
+		p.SpMV(nil, x, ax)
+		s := 0.0
+		for i := range ax {
+			d := b[i] - ax[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	r0 := residNorm()
+	p.SymGS(b, x)
+	r1 := residNorm()
+	p.SymGS(b, x)
+	r2 := residNorm()
+	if !(r1 < r0 && r2 < r1) {
+		t.Errorf("SymGS not contracting: %v -> %v -> %v", r0, r1, r2)
+	}
+}
+
+func TestMGLevels(t *testing.T) {
+	p, _ := NewProblem(16, 16, 16)
+	mg, err := NewMG(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Levels() != 4 {
+		t.Errorf("levels = %d, want 4 (16 -> 8 -> 4 -> 2... stops at 4)", mg.Levels())
+	}
+	// Odd grids cannot coarsen.
+	podd, _ := NewProblem(7, 7, 7)
+	mgo, err := NewMG(podd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgo.Levels() != 1 {
+		t.Errorf("odd grid levels = %d, want 1", mgo.Levels())
+	}
+	if _, err := NewMG(p, 0); err == nil {
+		t.Error("zero levels accepted")
+	}
+}
+
+func TestCGConverges(t *testing.T) {
+	p, _ := NewProblem(16, 16, 16)
+	mg, _ := NewMG(p, 3)
+	b := make([]float64, p.NRows)
+	for i := range b {
+		b[i] = float64(i%3) + 1
+	}
+	x, res, err := CG(p, mg, nil, b, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge in %d iterations; last residual %v",
+			res.Iterations, res.Residuals[len(res.Residuals)-1])
+	}
+	// MG-preconditioned CG on this operator converges very fast.
+	if res.Iterations > 25 {
+		t.Errorf("CG took %d iterations, preconditioner ineffective", res.Iterations)
+	}
+	// Verify the solution satisfies the system.
+	ax := make([]float64, p.NRows)
+	p.SpMV(nil, x, ax)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-7 {
+			t.Fatalf("solution wrong at %d: %v vs %v", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestCGResidualDecreases(t *testing.T) {
+	p, _ := NewProblem(8, 8, 8)
+	mg, _ := NewMG(p, 2)
+	b := make([]float64, p.NRows)
+	for i := range b {
+		b[i] = 1
+	}
+	_, res, err := CG(p, mg, nil, b, 20, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overall decrease: final residual orders of magnitude below first.
+	first := res.Residuals[0]
+	last := res.Residuals[len(res.Residuals)-1]
+	if last > 1e-6*first {
+		t.Errorf("residual barely dropped: %v -> %v", first, last)
+	}
+}
+
+func TestCGWithTeamMatches(t *testing.T) {
+	team, _ := omp.NewTeam(machine.MareNostrum4().Node, 6, omp.Close)
+	p, _ := NewProblem(8, 8, 8)
+	mg, _ := NewMG(p, 2)
+	b := make([]float64, p.NRows)
+	for i := range b {
+		b[i] = float64((i * 7) % 11)
+	}
+	xs, rs, err := CG(p, mg, nil, b, 30, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, rp, err := CG(p, mg, team, b, 30, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Iterations != rp.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", rs.Iterations, rp.Iterations)
+	}
+	for i := range xs {
+		if math.Abs(xs[i]-xp[i]) > 1e-9 {
+			t.Fatalf("solutions differ at %d", i)
+		}
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	p, _ := NewProblem(4, 4, 4)
+	mg, _ := NewMG(p, 1)
+	if _, _, err := CG(p, mg, nil, make([]float64, 3), 10, 1e-6); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+	if _, _, err := CG(p, mg, nil, make([]float64, p.NRows), 0, 1e-6); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	// Zero rhs converges immediately.
+	x, res, err := CG(p, mg, nil, make([]float64, p.NRows), 10, 1e-6)
+	if err != nil || !res.Converged {
+		t.Error("zero rhs should converge trivially")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Error("zero rhs should give zero solution")
+		}
+	}
+}
+
+func TestFig7Anchors(t *testing.T) {
+	arm, mn4 := machine.CTEArm(), machine.MareNostrum4()
+
+	// CTE-Arm optimized: 2.91 % of peak at 1 node, 2.96 % at 192 (flat).
+	r1, err := Predict(arm, Optimized, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.PercentOfPeak-2.91) > 0.1 {
+		t.Errorf("CTE 1-node = %.2f%%, paper 2.91%%", r1.PercentOfPeak)
+	}
+	r192, _ := Predict(arm, Optimized, 192)
+	if math.Abs(r192.PercentOfPeak-2.96) > 0.12 {
+		t.Errorf("CTE 192-node = %.2f%%, paper 2.96%%", r192.PercentOfPeak)
+	}
+	// Both below Fugaku's 3.62 %.
+	if r1.PercentOfPeak >= 3.62 || r192.PercentOfPeak >= 3.62 {
+		t.Error("CTE-Arm should sit below Fugaku's 3.62%")
+	}
+
+	// Table IV HPCG row: speedups 2.50 (1 node) and 3.24 (192 nodes).
+	m1, _ := Predict(mn4, Optimized, 1)
+	if s := float64(r1.Perf) / float64(m1.Perf); math.Abs(s-2.50) > 0.08*2.50 {
+		t.Errorf("1-node speedup = %.2f, paper 2.50", s)
+	}
+	m192, _ := Predict(mn4, Optimized, 192)
+	if s := float64(r192.Perf) / float64(m192.Perf); math.Abs(s-3.24) > 0.08*3.24 {
+		t.Errorf("192-node speedup = %.2f, paper 3.24", s)
+	}
+}
+
+func TestVanillaBelowOptimized(t *testing.T) {
+	for _, m := range []machine.Machine{machine.CTEArm(), machine.MareNostrum4()} {
+		v, _ := Predict(m, Vanilla, 1)
+		o, _ := Predict(m, Optimized, 1)
+		if v.Perf >= o.Perf {
+			t.Errorf("%s: vanilla %v not below optimized %v", m.Name, v.Perf, o.Perf)
+		}
+	}
+	// The vanilla gap is much larger on CTE-Arm (Fujitsu compiler cannot
+	// vectorize the reference loops).
+	va, _ := Predict(machine.CTEArm(), Vanilla, 1)
+	oa, _ := Predict(machine.CTEArm(), Optimized, 1)
+	vm, _ := Predict(machine.MareNostrum4(), Vanilla, 1)
+	om, _ := Predict(machine.MareNostrum4(), Optimized, 1)
+	if float64(va.Perf)/float64(oa.Perf) >= float64(vm.Perf)/float64(om.Perf) {
+		t.Error("vanilla/optimized gap should be wider on CTE-Arm")
+	}
+}
+
+func TestFigure7Bars(t *testing.T) {
+	runs, err := Figure7(machine.CTEArm(), machine.MareNostrum4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("%d bars, want 8", len(runs))
+	}
+	for _, r := range runs {
+		if r.Perf <= 0 || r.PercentOfPeak <= 0 || r.PercentOfPeak > 100 {
+			t.Errorf("degenerate bar %+v", r)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if _, err := Predict(machine.CTEArm(), Optimized, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Predict(machine.CTEArm(), Optimized, 1000); err == nil {
+		t.Error("oversized accepted")
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	p := PaperParameters(machine.CTEArm())
+	if p.NX != 48 || p.NY != 88 || p.NZ != 88 || p.RuntimeSecs != 300 {
+		t.Errorf("parameters = %+v", p)
+	}
+	if p.RanksPerNode != 48 {
+		t.Errorf("ranks/node = %d, want 48 (MPI-only)", p.RanksPerNode)
+	}
+	if p.EnvVars["XOS_MMM_L_PAGING_POLICY"] != "demand:demand:demand" {
+		t.Error("missing paging policy env var")
+	}
+	pm := PaperParameters(machine.MareNostrum4())
+	if len(pm.EnvVars) != 0 {
+		t.Error("MN4 needs no Fujitsu env vars")
+	}
+	if Vanilla.String() != "vanilla" || Optimized.String() != "optimized" {
+		t.Error("version names")
+	}
+}

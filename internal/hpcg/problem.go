@@ -1,0 +1,156 @@
+// Package hpcg implements the HPCG benchmark of Section IV-B: a real
+// multigrid-preconditioned conjugate-gradient solver on the standard
+// 27-point stencil (runnable and convergence-tested at laptop sizes), and a
+// bandwidth-bound performance model that regenerates Fig. 7 for the vanilla
+// and vendor-optimized versions on both clusters.
+package hpcg
+
+import (
+	"fmt"
+
+	"clustereval/internal/omp"
+)
+
+// Problem is the HPCG linear system on an nx x ny x nz grid: the 27-point
+// operator with diagonal 26 and off-diagonals -1 (boundary rows simply have
+// fewer neighbours), which is symmetric positive definite.
+type Problem struct {
+	NX, NY, NZ int
+	NRows      int
+	// CSR-like storage with fixed-width rows (<= 27 nonzeros).
+	cols [][]int32
+	vals [][]float64
+	diag []float64
+}
+
+// NewProblem builds the operator for the given local grid.
+func NewProblem(nx, ny, nz int) (*Problem, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("hpcg: invalid grid %dx%dx%d", nx, ny, nz)
+	}
+	n := nx * ny * nz
+	p := &Problem{
+		NX: nx, NY: ny, NZ: nz, NRows: n,
+		cols: make([][]int32, n),
+		vals: make([][]float64, n),
+		diag: make([]float64, n),
+	}
+	idx := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				row := int(idx(x, y, z))
+				cols := make([]int32, 0, 27)
+				vals := make([]float64, 0, 27)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							cx, cy, cz := x+dx, y+dy, z+dz
+							if cx < 0 || cx >= nx || cy < 0 || cy >= ny || cz < 0 || cz >= nz {
+								continue
+							}
+							c := idx(cx, cy, cz)
+							if int(c) == row {
+								cols = append(cols, c)
+								vals = append(vals, 26)
+								p.diag[row] = 26
+							} else {
+								cols = append(cols, c)
+								vals = append(vals, -1)
+							}
+						}
+					}
+				}
+				p.cols[row] = cols
+				p.vals[row] = vals
+			}
+		}
+	}
+	return p, nil
+}
+
+// SpMV computes y = A*x across the team (nil team runs serially).
+func (p *Problem) SpMV(team *omp.Team, x, y []float64) {
+	if len(x) != p.NRows || len(y) != p.NRows {
+		panic("hpcg: SpMV dimension mismatch")
+	}
+	body := func(i int) {
+		cols, vals := p.cols[i], p.vals[i]
+		acc := 0.0
+		for k, c := range cols {
+			acc += vals[k] * x[c]
+		}
+		y[i] = acc
+	}
+	if team == nil {
+		for i := 0; i < p.NRows; i++ {
+			body(i)
+		}
+		return
+	}
+	team.ParallelFor(p.NRows, omp.Static, 0, body)
+}
+
+// SymGS performs one symmetric Gauss-Seidel sweep (forward then backward)
+// on A*x = r, updating x in place. The dependency chain makes this kernel
+// inherently sequential — exactly why the vanilla HPCG cannot use OpenMP,
+// as the paper notes citing Ruiz et al.
+func (p *Problem) SymGS(r, x []float64) {
+	n := p.NRows
+	for i := 0; i < n; i++ {
+		p.gsRow(i, r, x)
+	}
+	for i := n - 1; i >= 0; i-- {
+		p.gsRow(i, r, x)
+	}
+}
+
+func (p *Problem) gsRow(i int, r, x []float64) {
+	cols, vals := p.cols[i], p.vals[i]
+	acc := r[i]
+	for k, c := range cols {
+		if int(c) != i {
+			acc -= vals[k] * x[c]
+		}
+	}
+	x[i] = acc / p.diag[i]
+}
+
+// Dot computes the dot product across the team.
+func Dot(team *omp.Team, a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("hpcg: Dot dimension mismatch")
+	}
+	if team == nil {
+		acc := 0.0
+		for i := range a {
+			acc += a[i] * b[i]
+		}
+		return acc
+	}
+	return team.ParallelReduce(len(a), func(i int) float64 { return a[i] * b[i] })
+}
+
+// WAXPBY computes w = alpha*x + beta*y.
+func WAXPBY(team *omp.Team, alpha float64, x []float64, beta float64, y, w []float64) {
+	body := func(i int) { w[i] = alpha*x[i] + beta*y[i] }
+	if team == nil {
+		for i := range w {
+			body(i)
+		}
+		return
+	}
+	team.ParallelFor(len(w), omp.Static, 0, body)
+}
+
+// NonzerosPerRowMax is the stencil width.
+const NonzerosPerRowMax = 27
+
+// Nonzeros returns the total stored nonzeros.
+func (p *Problem) Nonzeros() int {
+	n := 0
+	for _, c := range p.cols {
+		n += len(c)
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package hpcg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the operator is symmetric positive definite for every grid
+// shape — x^T A x > 0 for random non-zero x.
+func TestOperatorSPDProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(nx, ny, nz uint8, seed int64) bool {
+		p, err := NewProblem(int(nx%6)+2, int(ny%6)+2, int(nz%6)+2)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, p.NRows)
+		s := seed
+		nonzero := false
+		for i := range x {
+			s = s*6364136223846793005 + 1442695040888963407
+			x[i] = float64(s%17) / 8
+			if x[i] != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			x[0] = 1
+		}
+		ax := make([]float64, p.NRows)
+		p.SpMV(nil, x, ax)
+		quad := 0.0
+		for i := range x {
+			quad += x[i] * ax[i]
+		}
+		return quad > 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CG converges on every even grid and the solution satisfies the
+// system to engineering accuracy.
+func TestCGConvergesProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 12}
+	f := func(nRaw uint8, rhsSeed uint8) bool {
+		n := (int(nRaw%3) + 2) * 2 // 4, 6, 8
+		p, err := NewProblem(n, n, n)
+		if err != nil {
+			return false
+		}
+		mg, err := NewMG(p, 2)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, p.NRows)
+		for i := range b {
+			b[i] = float64((i*int(rhsSeed+1))%7) - 3
+		}
+		x, res, err := CG(p, mg, nil, b, 60, 1e-9)
+		if err != nil || !res.Converged {
+			return false
+		}
+		ax := make([]float64, p.NRows)
+		p.SpMV(nil, x, ax)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SymGS is a contraction toward the solution from any starting
+// residual on this operator.
+func TestSymGSContractionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	f := func(seed uint8) bool {
+		p, err := NewProblem(5, 5, 5)
+		if err != nil {
+			return false
+		}
+		n := p.NRows
+		b := make([]float64, n)
+		x := make([]float64, n)
+		for i := range b {
+			b[i] = float64((i+int(seed))%9) - 4
+		}
+		norm := func() float64 {
+			ax := make([]float64, n)
+			p.SpMV(nil, x, ax)
+			s := 0.0
+			for i := range ax {
+				d := b[i] - ax[i]
+				s += d * d
+			}
+			return math.Sqrt(s)
+		}
+		before := norm()
+		p.SymGS(b, x)
+		after := norm()
+		return after <= before
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

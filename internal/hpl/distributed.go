@@ -1,0 +1,184 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"clustereval/internal/mpisim"
+	"clustereval/internal/units"
+)
+
+// Distributed LU: a 1-D block-column-cyclic right-looking factorization
+// over the simulated MPI runtime — the communication skeleton of HPL
+// (panel factorization by the owning process, panel broadcast, distributed
+// row swaps and trailing update), with real data so the result can be
+// checked against the serial factorization bit for bit.
+
+// DistLUResult reports a distributed factorization.
+type DistLUResult struct {
+	Elapsed units.Seconds // virtual time of the factorization
+	Panels  int
+}
+
+// DistFactorize factorizes A (n x n) with block size nb over the world's
+// ranks, block-column-cyclic: global column block j belongs to rank
+// j mod P. It returns the assembled factors and pivots, identical to the
+// serial Factorize.
+func DistFactorize(w *mpisim.World, a *Dense, nb int) (*LU, DistLUResult, error) {
+	if a.Rows != a.Cols {
+		return nil, DistLUResult{}, fmt.Errorf("hpl: matrix must be square")
+	}
+	if nb <= 0 {
+		return nil, DistLUResult{}, fmt.Errorf("hpl: block size must be positive")
+	}
+	n := a.Rows
+	ranks := w.Size()
+	nBlocks := (n + nb - 1) / nb
+	ownerOf := func(block int) int { return block % ranks }
+
+	parts := make([]map[int][]float64, ranks) // rank -> globalCol -> column
+	pivots := make([]int, n)
+	var result DistLUResult
+	resultSet := false
+
+	err := w.Run(func(c *mpisim.Comm) {
+		r := c.Rank()
+		// Local storage: owned global columns, each a length-n vector.
+		local := map[int][]float64{}
+		for b := 0; b < nBlocks; b++ {
+			if ownerOf(b) != r {
+				continue
+			}
+			for col := b * nb; col < (b+1)*nb && col < n; col++ {
+				v := make([]float64, n)
+				for i := 0; i < n; i++ {
+					v[i] = a.At(i, col)
+				}
+				local[col] = v
+			}
+		}
+
+		start := c.Now()
+		panels := 0
+		for b := 0; b < nBlocks; b++ {
+			k := b * nb
+			kb := nb
+			if k+kb > n {
+				kb = n - k
+			}
+			owner := ownerOf(b)
+			var panel []float64 // pivots (kb) + kb columns of rows k..n
+
+			if r == owner {
+				// Panel factorization on the owned columns.
+				piv := make([]float64, kb)
+				for j := k; j < k+kb; j++ {
+					col := local[j]
+					p, maxAbs := j, math.Abs(col[j])
+					for i := j + 1; i < n; i++ {
+						if ab := math.Abs(col[i]); ab > maxAbs {
+							p, maxAbs = i, ab
+						}
+					}
+					if maxAbs == 0 {
+						panic(fmt.Sprintf("hpl: singular at column %d", j))
+					}
+					piv[j-k] = float64(p)
+					if p != j {
+						for _, v := range local {
+							v[j], v[p] = v[p], v[j]
+						}
+					}
+					d := col[j]
+					for i := j + 1; i < n; i++ {
+						col[i] /= d
+					}
+					// Update the remaining panel columns.
+					for jj := j + 1; jj < k+kb; jj++ {
+						cc := local[jj]
+						ljj := cc[j]
+						if ljj == 0 {
+							continue
+						}
+						for i := j + 1; i < n; i++ {
+							cc[i] -= col[i] * ljj
+						}
+					}
+				}
+				// Pack pivots plus the panel columns (rows k..n).
+				panel = make([]float64, 0, kb+(n-k)*kb)
+				panel = append(panel, piv...)
+				for j := k; j < k+kb; j++ {
+					panel = append(panel, local[j][k:]...)
+				}
+			}
+			bytes := units.Bytes(8 * (kb + (n-k)*kb))
+			out := c.Bcast(owner, bytes, panel)
+			panel = out.([]float64)
+			panels++
+
+			piv := panel[:kb]
+			panelCol := func(j int) []float64 { // rows k..n of panel column k+j
+				return panel[kb+j*(n-k) : kb+(j+1)*(n-k)]
+			}
+
+			if r != owner {
+				// Apply the panel's row swaps to the local columns.
+				for j := 0; j < kb; j++ {
+					p := int(piv[j])
+					if p != k+j {
+						for _, v := range local {
+							v[k+j], v[p] = v[p], v[k+j]
+						}
+					}
+				}
+			}
+
+			// Update owned columns strictly right of the panel:
+			// triangular solve for U12 then the GEMM on the trailing rows.
+			for col, v := range local {
+				if col < k+kb {
+					continue
+				}
+				for j := 0; j < kb; j++ {
+					lcol := panelCol(j)
+					u := v[k+j]
+					if u == 0 {
+						continue
+					}
+					// Subtract u * L(:, k+j) below row k+j.
+					for i := k + j + 1; i < n; i++ {
+						v[i] -= lcol[i-k] * u
+					}
+				}
+			}
+			if r == 0 {
+				for j := 0; j < kb; j++ {
+					pivots[k+j] = int(piv[j])
+				}
+			}
+		}
+		parts[r] = local
+		if r == 0 {
+			result = DistLUResult{Elapsed: c.Now() - start, Panels: panels}
+			resultSet = true
+		}
+	})
+	if err != nil {
+		return nil, DistLUResult{}, err
+	}
+	if !resultSet {
+		return nil, DistLUResult{}, fmt.Errorf("hpl: no result produced")
+	}
+
+	// Assemble the packed factors.
+	f := NewDense(n, n)
+	for _, local := range parts {
+		for col, v := range local {
+			for i := 0; i < n; i++ {
+				f.Set(i, col, v[i])
+			}
+		}
+	}
+	return &LU{N: n, F: f, Pivots: pivots}, result, nil
+}

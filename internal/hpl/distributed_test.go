@@ -1,0 +1,130 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/mpisim"
+)
+
+func luWorld(t *testing.T, ranks int) *mpisim.World {
+	t.Helper()
+	fab, err := interconnect.NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpisim.NewWorld(fab, ranks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDistFactorizeMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, nb, ranks int }{
+		{24, 8, 1},
+		{24, 8, 3},
+		{30, 7, 2}, // ragged final block
+		{32, 4, 4},
+		{19, 5, 5},
+	} {
+		a := RandomSPDish(tc.n, uint64(tc.n*31+tc.nb))
+		serial, err := Factorize(a, tc.nb, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := luWorld(t, tc.ranks)
+		dist, res, err := DistFactorize(w, a, tc.nb)
+		if err != nil {
+			t.Fatalf("n=%d nb=%d p=%d: %v", tc.n, tc.nb, tc.ranks, err)
+		}
+		if res.Panels != (tc.n+tc.nb-1)/tc.nb {
+			t.Errorf("panels = %d", res.Panels)
+		}
+		for k, p := range serial.Pivots {
+			if dist.Pivots[k] != p {
+				t.Fatalf("n=%d nb=%d p=%d: pivot %d differs: %d vs %d",
+					tc.n, tc.nb, tc.ranks, k, dist.Pivots[k], p)
+			}
+		}
+		for i := range serial.F.Data {
+			if math.Abs(serial.F.Data[i]-dist.F.Data[i]) > 1e-10 {
+				t.Fatalf("n=%d nb=%d p=%d: factor differs at %d: %v vs %v",
+					tc.n, tc.nb, tc.ranks, i, dist.F.Data[i], serial.F.Data[i])
+			}
+		}
+	}
+}
+
+func TestDistFactorizeSolves(t *testing.T) {
+	const n = 28
+	a := RandomSPDish(n, 99)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i%4) - 1.5
+	}
+	b := a.MatVec(want)
+
+	w := luWorld(t, 4)
+	lu, res, err := DistFactorize(w, a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual time accounted")
+	}
+	x, err := lu.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 16 {
+		t.Errorf("HPL residual %v", r)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestDistFactorizeCommunicationGrows(t *testing.T) {
+	// The same factorization across more nodes pays more broadcast time.
+	a := RandomSPDish(32, 5)
+	w1 := luWorld(t, 1)
+	_, r1, err := DistFactorize(w1, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := interconnect.NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := mpisim.NewWorld(fab, 4, 1) // four ranks on four nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r4, err := DistFactorize(w4, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Elapsed <= r1.Elapsed {
+		t.Errorf("inter-node factorization should pay for panel broadcasts: %v vs %v",
+			r4.Elapsed, r1.Elapsed)
+	}
+}
+
+func TestDistFactorizeValidation(t *testing.T) {
+	w := luWorld(t, 2)
+	if _, _, err := DistFactorize(w, NewDense(4, 5), 2); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := DistFactorize(w, NewDense(4, 4), 0); err == nil {
+		t.Error("zero block accepted")
+	}
+	// Singular matrices surface as an engine error (owner rank panics).
+	if _, _, err := DistFactorize(luWorld(t, 2), NewDense(6, 6), 2); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"clustereval/internal/omp"
+)
+
+// LU holds an in-place blocked LU factorization with partial pivoting:
+// P*A = L*U, with L unit-lower-triangular and U upper-triangular packed
+// into the factored matrix.
+type LU struct {
+	N      int
+	F      *Dense // packed L\U factors
+	Pivots []int  // row swapped with row k at step k
+}
+
+// Factorize computes the blocked right-looking LU factorization of A
+// (overwriting a copy) with block size nb, optionally parallelizing the
+// trailing update over the team. It fails on singular matrices.
+func Factorize(a *Dense, nb int, team *omp.Team) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("hpl: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if nb <= 0 {
+		return nil, fmt.Errorf("hpl: block size %d must be positive", nb)
+	}
+	n := a.Rows
+	f := a.Clone()
+	piv := make([]int, n)
+
+	for k := 0; k < n; k += nb {
+		kb := nb
+		if k+kb > n {
+			kb = n - k
+		}
+		// Panel factorization: unblocked LU with partial pivoting on the
+		// panel columns k..k+kb, rows k..n. Row swaps apply to the full
+		// matrix (left and right of the panel), as HPL does.
+		for j := k; j < k+kb; j++ {
+			p := j
+			maxAbs := math.Abs(f.At(j, j))
+			for i := j + 1; i < n; i++ {
+				if a := math.Abs(f.At(i, j)); a > maxAbs {
+					maxAbs, p = a, i
+				}
+			}
+			if maxAbs == 0 {
+				return nil, fmt.Errorf("hpl: matrix is singular at column %d", j)
+			}
+			piv[j] = p
+			if p != j {
+				swapRows(f, j, p)
+			}
+			d := f.At(j, j)
+			for i := j + 1; i < n; i++ {
+				lij := f.At(i, j) / d
+				f.Set(i, j, lij)
+				// Update the remaining panel columns only.
+				for c := j + 1; c < k+kb; c++ {
+					f.Set(i, c, f.At(i, c)-lij*f.At(j, c))
+				}
+			}
+		}
+
+		if k+kb >= n {
+			break
+		}
+		// Triangular solve: U12 = L11^{-1} * A12 (unit lower).
+		for j := k; j < k+kb; j++ {
+			for i := k; i < j; i++ {
+				lji := f.At(j, i)
+				if lji == 0 {
+					continue
+				}
+				for c := k + kb; c < n; c++ {
+					f.Set(j, c, f.At(j, c)-lji*f.At(i, c))
+				}
+			}
+		}
+		// Trailing update: A22 -= L21 * U12 — the DGEMM that dominates
+		// HPL's runtime.
+		m := n - (k + kb)
+		gemmUpdate(team, f, k+kb, k+kb, m, m, f, k+kb, k, kb, f, k, k+kb)
+	}
+	return &LU{N: n, F: f, Pivots: piv}, nil
+}
+
+func swapRows(m *Dense, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Solve returns x with A*x = b, using the factorization.
+func (lu *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != lu.N {
+		return nil, fmt.Errorf("hpl: rhs length %d, want %d", len(b), lu.N)
+	}
+	n := lu.N
+	x := append([]float64(nil), b...)
+	// Apply pivots.
+	for k := 0; k < n; k++ {
+		if p := lu.Pivots[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (unit lower).
+	for i := 0; i < n; i++ {
+		row := lu.F.Data[i*n : i*n+i]
+		acc := x[i]
+		for j, l := range row {
+			acc -= l * x[j]
+		}
+		x[i] = acc
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := lu.F.Data[i*n : (i+1)*n]
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			acc -= row[j] * x[j]
+		}
+		x[i] = acc / row[i]
+	}
+	return x, nil
+}
+
+// Residual computes the scaled HPL residual
+// ||Ax-b||_inf / (eps * (||A||_inf ||x||_inf + ||b||_inf) * n),
+// which the benchmark requires to be O(1) (HPL passes below 16).
+func Residual(a *Dense, x, b []float64) float64 {
+	ax := a.MatVec(x)
+	maxDiff := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	n := float64(a.Rows)
+	denom := math.SmallestNonzeroFloat64
+	if d := (a.InfNorm()*VecInfNorm(x) + VecInfNorm(b)) * n * 2.220446049250313e-16; d > denom {
+		denom = d
+	}
+	return maxDiff / denom
+}
+
+// FlopCount returns the LU+solve flop count 2n^3/3 + 2n^2 that HPL credits.
+func FlopCount(n int) float64 {
+	nf := float64(n)
+	return 2*nf*nf*nf/3 + 2*nf*nf
+}

@@ -1,0 +1,134 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+// Vendor-library DGEMM efficiencies. Both clusters run a vendor-provided
+// binary (Section IV-A): Fujitsu's SSL2 on the A64FX, Intel MKL via the
+// shipped binary on MareNostrum 4. The values reproduce the paper's single-
+// node efficiencies (the 1-node point of Fig. 6 and the 1.25 speedup of
+// Table IV).
+const (
+	dgemmEffA64FX   = 0.905
+	dgemmEffSkylake = 0.760
+)
+
+// kappaComm scales the HPL communication term per interconnect. TofuD's
+// RDMA engines and hardware barriers overlap communication far better than
+// OmniPath's onloaded PSM2 stack, which is what lets CTE-Arm hold 85 % of
+// peak at 192 nodes while MareNostrum 4 drops to 63 %.
+func kappaComm(kind machine.InterconnectKind) float64 {
+	if kind == machine.TofuD {
+		return 0.025
+	}
+	return 0.0513
+}
+
+// RanksPerNode returns the paper's process mapping: 4 ranks per node on
+// CTE-Arm (one per CMG) and 1 rank per node on MareNostrum 4 (Intel's
+// recommended configuration).
+func RanksPerNode(m machine.Machine) int {
+	if m.Network.Kind == machine.TofuD {
+		return 4
+	}
+	return 1
+}
+
+// ProblemSize returns the HPL N for a given node count following the
+// paper's rule: the problem occupies >= 80 % of the aggregate memory,
+// N = sqrt(0.80 * nodes * mem / 8), rounded down to a multiple of the
+// block size 240.
+func ProblemSize(m machine.Machine, nodes int) int {
+	const nb = 240
+	n := int(math.Sqrt(0.80 * float64(nodes) * m.Node.MemoryBytes / 8))
+	return n - n%nb
+}
+
+// PQ returns the most square process grid P x Q = ranks with P <= Q,
+// the paper's grid rule.
+func PQ(ranks int) (p, q int) {
+	p = int(math.Sqrt(float64(ranks)))
+	for ranks%p != 0 {
+		p--
+	}
+	return p, ranks / p
+}
+
+// Run is one point of Fig. 6.
+type Run struct {
+	Nodes         int
+	N             int
+	P, Q          int
+	Time          units.Seconds
+	Perf          units.FlopsPerSecond
+	Peak          units.FlopsPerSecond
+	PercentOfPeak float64
+}
+
+// Predict models one HPL execution on `nodes` nodes of m.
+//
+// The model is the standard HPL decomposition: the O(2N³/3) trailing-update
+// DGEMM at the vendor library's efficiency, plus a communication term for
+// panel broadcasts and row swaps proportional to N²·(3+log₂(2·nodes))
+// divided by the node injection bandwidth.
+func Predict(m machine.Machine, nodes int) (Run, error) {
+	if nodes <= 0 || nodes > m.Nodes {
+		return Run{}, fmt.Errorf("hpl: node count %d out of [1, %d]", nodes, m.Nodes)
+	}
+	n := ProblemSize(m, nodes)
+	ranks := nodes * RanksPerNode(m)
+	p, q := PQ(ranks)
+
+	eff := dgemmEffSkylake
+	if m.Network.Kind == machine.TofuD {
+		eff = dgemmEffA64FX
+	}
+	nf := float64(n)
+	flops := 2 * nf * nf * nf / 3
+	computeRate := float64(nodes) * float64(m.Node.DoublePeak()) * eff
+	tCompute := flops / computeRate
+
+	kappa := kappaComm(m.Network.Kind)
+	inj := float64(m.Network.InjectionBW())
+	tComm := kappa * (8 * nf * nf / inj) * (3 + math.Log2(2*float64(nodes)))
+
+	t := units.Seconds(tCompute + tComm)
+	perf := units.FlopsPerSecond(flops / float64(t))
+	peak := m.ClusterPeak(nodes)
+	return Run{
+		Nodes: nodes, N: n, P: p, Q: q,
+		Time: t, Perf: perf, Peak: peak,
+		PercentOfPeak: units.Percent(float64(perf), float64(peak)),
+	}, nil
+}
+
+// Figure6 sweeps node counts (powers of two plus the 192-node full system,
+// as the paper plots) for one machine.
+func Figure6(m machine.Machine, maxNodes int) ([]Run, error) {
+	if maxNodes <= 0 || maxNodes > m.Nodes {
+		return nil, fmt.Errorf("hpl: maxNodes %d out of range", maxNodes)
+	}
+	var runs []Run
+	for _, n := range NodeSweep(maxNodes) {
+		r, err := Predict(m, n)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+// NodeSweep returns 1, 2, 4, ... up to max, always including max.
+func NodeSweep(max int) []int {
+	var out []int
+	for n := 1; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, max)
+}

@@ -1,0 +1,126 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/machine"
+)
+
+// Property: for random well-conditioned systems of any small size and any
+// block size, the factorization passes the HPL residual criterion and
+// solves reconstruct the right-hand side.
+func TestFactorizeSolveProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed uint64, nRaw, nbRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		nb := int(nbRaw%16) + 1
+		a := RandomSPDish(n, seed)
+		lu, err := Factorize(a, nb, nil)
+		if err != nil {
+			// Random matrices are almost surely nonsingular; treat a
+			// singularity report as a failure.
+			return false
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = float64(i%5) - 2
+		}
+		b := a.MatVec(x0)
+		x, err := lu.Solve(b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 16
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: row permutation invariance — P*A = L*U reconstructs A's rows.
+func TestReconstructionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		a := RandomSPDish(n, seed)
+		lu, err := Factorize(a, 4, nil)
+		if err != nil {
+			return false
+		}
+		// Build P*A by replaying the pivots on a copy.
+		pa := a.Clone()
+		for k := 0; k < n; k++ {
+			if p := lu.Pivots[k]; p != k {
+				swapRows(pa, k, p)
+			}
+		}
+		// Multiply L*U.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc := 0.0
+				kmax := i
+				if j < i {
+					kmax = j
+				}
+				for k := 0; k <= kmax; k++ {
+					l := lu.F.At(i, k)
+					if k == i {
+						l = 1
+					}
+					if k <= j {
+						acc += l * lu.F.At(k, j)
+					}
+				}
+				if math.Abs(acc-pa.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the HPL problem-size rule keeps memory use in (75%, 100%] of
+// the aggregate for every node count on both machines.
+func TestProblemSizeProperty(t *testing.T) {
+	f := func(nodesRaw uint8) bool {
+		nodes := int(nodesRaw%192) + 1
+		for _, m := range machines() {
+			n := ProblemSize(m, nodes)
+			if n <= 0 || n%240 != 0 {
+				return false
+			}
+			bytes := 8 * float64(n) * float64(n)
+			total := float64(nodes) * m.Node.MemoryBytes
+			if bytes > total || bytes < 0.70*total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PQ always factors exactly with P <= Q.
+func TestPQProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		ranks := int(raw%4096) + 1
+		p, q := PQ(ranks)
+		return p*q == ranks && p <= q && p >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// machines lists the two presets for property sweeps.
+func machines() []machine.Machine {
+	return []machine.Machine{machine.CTEArm(), machine.MareNostrum4()}
+}

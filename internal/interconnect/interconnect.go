@@ -1,0 +1,211 @@
+// Package interconnect turns a topology plus the link parameters of Table I
+// into a per-message cost model. The model is the classic α-β (latency +
+// size/bandwidth) form, extended with the behaviours the paper's network
+// experiments surface:
+//
+//   - per-hop latency, so hop distance on the TofuD torus produces the
+//     diagonal banding of Fig. 4;
+//   - an eager/rendezvous protocol switch plus a buffer-placement lottery
+//     for mid-size messages, producing the bimodal bandwidth distribution
+//     of Fig. 5 (1 kB – 256 kB);
+//   - contention jitter growing with message size, producing the high
+//     variability above 1 MB;
+//   - injected receiver-side degradation for the faulty node arms0b1-11c.
+package interconnect
+
+import (
+	"fmt"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/topology"
+	"clustereval/internal/units"
+	"clustereval/internal/xrand"
+)
+
+// Fabric is a configured interconnect cost model.
+type Fabric struct {
+	Topo topology.Topology
+	Net  machine.Network
+
+	// EagerThreshold is the message size above which the rendezvous
+	// protocol (an extra control round trip) is used.
+	EagerThreshold units.Bytes
+
+	// MidSizeLow..MidSizeHigh bound the region where the transport's buffer
+	// lottery makes bandwidth bimodal (Fig. 5).
+	MidSizeLow, MidSizeHigh units.Bytes
+	// SlowPathFactor is the bandwidth retained by the slow lottery outcome.
+	SlowPathFactor float64
+	// SlowPathProb is the probability of drawing the slow path.
+	SlowPathProb float64
+
+	// NoiseSmall and NoiseLarge are the relative jitter amplitudes for
+	// small and >1 MiB messages; between them the amplitude interpolates.
+	NoiseSmall, NoiseLarge float64
+
+	// DegradedRecv maps node index to the bandwidth factor it achieves as a
+	// receiver (1.0 = healthy). The paper's arms0b1-11c keeps full sender
+	// bandwidth but very low receiver bandwidth.
+	DegradedRecv map[int]float64
+
+	// IntraNode models communication between ranks on the same node.
+	IntraNodeBW      units.BytesPerSecond
+	IntraNodeLatency units.Seconds
+
+	// Seed anchors all deterministic noise.
+	Seed uint64
+}
+
+// NewTofuD builds the CTE-Arm fabric for the given node count, including the
+// degraded receiver arms0b1-11c (node 23) when the cluster is large enough.
+func NewTofuD(m machine.Machine, nodes int) (*Fabric, error) {
+	topo, err := topology.NewTofuD(nodes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		Topo:             topo,
+		Net:              m.Network,
+		EagerThreshold:   units.Bytes(32 * units.KiB),
+		MidSizeLow:       units.Bytes(1 * units.KiB),
+		MidSizeHigh:      units.Bytes(256 * units.KiB),
+		SlowPathFactor:   0.40,
+		SlowPathProb:     0.35,
+		NoiseSmall:       0.01,
+		NoiseLarge:       0.50,
+		DegradedRecv:     map[int]float64{},
+		IntraNodeBW:      units.BytesPerSecond(20 * units.Giga),
+		IntraNodeLatency: units.Seconds(0.25e-6),
+		Seed:             0x7f0a64f,
+	}
+	if nodes > 23 {
+		f.DegradedRecv[23] = 0.22 // arms0b1-11c
+	}
+	return f, nil
+}
+
+// NewOmniPath builds the MareNostrum 4 fabric (two-level fat tree, 24 nodes
+// per leaf switch).
+func NewOmniPath(m machine.Machine, nodes int) (*Fabric, error) {
+	topo, err := topology.NewFatTree(nodes, 24)
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{
+		Topo:             topo,
+		Net:              m.Network,
+		EagerThreshold:   units.Bytes(16 * units.KiB),
+		MidSizeLow:       units.Bytes(1 * units.KiB),
+		MidSizeHigh:      units.Bytes(128 * units.KiB),
+		SlowPathFactor:   0.75,
+		SlowPathProb:     0.20,
+		NoiseSmall:       0.01,
+		NoiseLarge:       0.25,
+		DegradedRecv:     map[int]float64{},
+		IntraNodeBW:      units.BytesPerSecond(24 * units.Giga),
+		IntraNodeLatency: units.Seconds(0.30e-6),
+		Seed:             0x5ce8160,
+	}, nil
+}
+
+// Latency returns the end-to-end zero-byte latency between two nodes.
+func (f *Fabric) Latency(src, dst int) units.Seconds {
+	if src == dst {
+		return f.IntraNodeLatency
+	}
+	hops := f.Topo.Hops(src, dst)
+	return f.Net.BaseLatency + units.Seconds(float64(hops))*f.Net.PerHopLatency
+}
+
+// MessageTime returns the one-way time for a message of size bytes from
+// node src to node dst. trial distinguishes repetitions of the same
+// transfer so noise decorrelates across iterations while remaining
+// deterministic. Negative sizes panic.
+func (f *Fabric) MessageTime(src, dst int, size units.Bytes, trial uint64) units.Seconds {
+	if size < 0 {
+		panic(fmt.Sprintf("interconnect: negative message size %v", float64(size)))
+	}
+	if src == dst {
+		return f.IntraNodeLatency + units.TimeFor(size, f.IntraNodeBW)
+	}
+
+	lat := f.Latency(src, dst)
+	bw := float64(f.Net.LinkPeak)
+
+	// Buffer lottery for mid-size messages: the slow outcome pays an
+	// extra internal copy (one more latency) and reduced bandwidth,
+	// which is what splits Fig. 5 into two modes between 1 kB and 256 kB.
+	stream := xrand.MixN(f.Seed, uint64(src), uint64(dst), uint64(size), trial)
+	extraLat := units.Seconds(0)
+	if size >= f.MidSizeLow && size <= f.MidSizeHigh {
+		if p := float64(stream%1000) / 1000.0; p < f.SlowPathProb {
+			bw *= f.SlowPathFactor
+			extraLat = lat
+		}
+	}
+
+	t := lat + extraLat + units.TimeFor(size, units.BytesPerSecond(bw))
+
+	// Rendezvous adds a control round trip before the payload moves.
+	if size > f.EagerThreshold {
+		t += 2 * lat
+	}
+
+	// Receiver-side degradation (arms0b1-11c): the sick node processes
+	// every incoming message slowly — latency and transfer alike — while
+	// its sender path stays healthy, exactly the asymmetry Fig. 4 shows.
+	if fac, ok := f.DegradedRecv[dst]; ok && fac > 0 {
+		t = t / units.Seconds(fac)
+	}
+
+	// Contention jitter grows with size and only ever slows a message.
+	// Most of it is *persistent* per (pair, size): a congested route stays
+	// congested for the whole measurement loop, so repeating the transfer
+	// does not average it away (this is what keeps the >1 MB region of
+	// Fig. 5 wide). A smaller transient component varies per iteration.
+	eps := f.noiseAmplitude(size)
+	persistent := xrand.New(xrand.MixN(f.Seed, uint64(src), uint64(dst), uint64(size)) ^ 0xc0de)
+	transient := xrand.New(stream ^ 0xfeed)
+	j := persistent.SlowJitter(0.7*eps) * transient.SlowJitter(0.3*eps)
+	return t * units.Seconds(j)
+}
+
+// noiseAmplitude interpolates the jitter amplitude between the small- and
+// large-message regimes on a log-ish ramp anchored at 64 KiB and 1 MiB.
+func (f *Fabric) noiseAmplitude(size units.Bytes) float64 {
+	const lo, hi = 64 * 1024, 1024 * 1024
+	s := float64(size)
+	switch {
+	case s <= lo:
+		return f.NoiseSmall
+	case s >= hi:
+		return f.NoiseLarge
+	default:
+		frac := (s - lo) / (hi - lo)
+		return f.NoiseSmall + frac*(f.NoiseLarge-f.NoiseSmall)
+	}
+}
+
+// Bandwidth returns the effective bandwidth observed for one message,
+// size / MessageTime.
+func (f *Fabric) Bandwidth(src, dst int, size units.Bytes, trial uint64) units.BytesPerSecond {
+	t := f.MessageTime(src, dst, size, trial)
+	if t <= 0 {
+		return 0
+	}
+	return units.BytesPerSecond(float64(size) / float64(t))
+}
+
+// SustainedBandwidth averages the effective bandwidth over n back-to-back
+// messages, mirroring the paper's OSU-style loop (N iterations between two
+// timestamps).
+func (f *Fabric) SustainedBandwidth(src, dst int, size units.Bytes, n int) units.BytesPerSecond {
+	if n <= 0 {
+		panic("interconnect: need at least one iteration")
+	}
+	var total units.Seconds
+	for i := 0; i < n; i++ {
+		total += f.MessageTime(src, dst, size, uint64(i))
+	}
+	return units.BytesPerSecond(float64(size) * float64(n) / float64(total))
+}

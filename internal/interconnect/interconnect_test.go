@@ -1,0 +1,317 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+func tofu(t *testing.T, nodes int) *Fabric {
+	t.Helper()
+	f, err := NewTofuD(machine.CTEArm(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func opa(t *testing.T, nodes int) *Fabric {
+	t.Helper()
+	f, err := NewOmniPath(machine.MareNostrum4(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLatencyGrowsWithHops(t *testing.T) {
+	f := tofu(t, 192)
+	// Find a 1-hop and a far pair.
+	near, far := -1, -1
+	for j := 1; j < 192; j++ {
+		h := f.Topo.Hops(0, j)
+		if h == 1 && near < 0 {
+			near = j
+		}
+		if h == f.Topo.Diameter() && far < 0 {
+			far = j
+		}
+	}
+	if near < 0 || far < 0 {
+		t.Fatal("could not find near/far pairs")
+	}
+	if !(f.Latency(0, far) > f.Latency(0, near)) {
+		t.Errorf("latency near=%v far=%v", f.Latency(0, near), f.Latency(0, far))
+	}
+	if f.Latency(3, 3) != f.IntraNodeLatency {
+		t.Error("self latency should be intra-node")
+	}
+}
+
+func TestMessageTimePositiveAndMonotoneInSize(t *testing.T) {
+	f := tofu(t, 24)
+	// Average over trials to wash out jitter; check monotonicity in size.
+	avg := func(size units.Bytes) float64 {
+		var total units.Seconds
+		const n = 64
+		for i := 0; i < n; i++ {
+			total += f.MessageTime(0, 5, size, uint64(i))
+		}
+		return float64(total) / n
+	}
+	prev := 0.0
+	for _, size := range []units.Bytes{1, 64, 1024, 32 * 1024, 1 << 20, 8 << 20} {
+		cur := avg(size)
+		if cur <= 0 {
+			t.Fatalf("non-positive message time for %v", size)
+		}
+		if cur < prev {
+			t.Errorf("mean time decreased from %v at size %v", prev, size)
+		}
+		prev = cur
+	}
+}
+
+func TestBandwidthApproachesLinkPeak(t *testing.T) {
+	// Large messages approach link peak, but per-pair persistent
+	// congestion keeps some pairs well below it (Fig. 5's wide >1 MB
+	// band). The best pair must get close; no pair may exceed the peak.
+	f := tofu(t, 24)
+	peak := float64(f.Net.LinkPeak)
+	best := 0.0
+	for dst := 1; dst < 24; dst++ {
+		bw := float64(f.SustainedBandwidth(0, dst, units.Bytes(16*units.MiB), 32))
+		if bw > peak*1.0001 {
+			t.Errorf("pair 0->%d exceeds link peak: %v", dst, units.BytesPerSecond(bw))
+		}
+		if _, degraded := f.DegradedRecv[dst]; !degraded && bw < 0.3*peak {
+			t.Errorf("pair 0->%d implausibly slow: %v", dst, units.BytesPerSecond(bw))
+		}
+		if bw > best {
+			best = bw
+		}
+	}
+	if best < 0.8*peak {
+		t.Errorf("best large-message bandwidth = %v, want near peak %v",
+			units.BytesPerSecond(best), f.Net.LinkPeak)
+	}
+}
+
+func TestSmallMessageLatencyBound(t *testing.T) {
+	f := tofu(t, 192)
+	// 256 B across the torus: bandwidth must be far below peak and depend
+	// on distance (this is what draws Fig. 4's diagonals).
+	var bwNear, bwFar units.BytesPerSecond
+	for j := 1; j < 192; j++ {
+		h := f.Topo.Hops(0, j)
+		if h == 1 && bwNear == 0 {
+			bwNear = f.SustainedBandwidth(0, j, 256, 100)
+		}
+		if h == f.Topo.Diameter() && bwFar == 0 {
+			bwFar = f.SustainedBandwidth(0, j, 256, 100)
+		}
+	}
+	if bwNear < bwFar {
+		t.Errorf("near pair slower than far pair: %v vs %v", bwNear, bwFar)
+	}
+	if bwNear > 0.2*f.Net.LinkPeak {
+		t.Errorf("256B bandwidth %v suspiciously close to peak", bwNear)
+	}
+}
+
+func TestDegradedReceiver(t *testing.T) {
+	f := tofu(t, 192)
+	const bad = 23 // arms0b1-11c
+	size := units.Bytes(4 * units.MiB)
+	asRecv := f.SustainedBandwidth(0, bad, size, 16)
+	asSend := f.SustainedBandwidth(bad, 0, size, 16)
+	if float64(asRecv) > 0.4*float64(asSend) {
+		t.Errorf("degraded node: recv %v should be far below send %v", asRecv, asSend)
+	}
+	// Sender side is unaffected: compare against a healthy pair.
+	healthy := f.SustainedBandwidth(0, 24, size, 16)
+	if math.Abs(float64(asSend)-float64(healthy))/float64(healthy) > 0.25 {
+		t.Errorf("degraded node as sender %v differs too much from healthy %v", asSend, healthy)
+	}
+}
+
+func TestSmallClusterHasNoDegradedNode(t *testing.T) {
+	f := tofu(t, 12)
+	if len(f.DegradedRecv) != 0 {
+		t.Error("12-node fabric should not include node 23 degradation")
+	}
+}
+
+func TestBimodalMidSizes(t *testing.T) {
+	f := tofu(t, 192)
+	// At 16 KiB, different (pair, trial) draws should fall into two bands.
+	size := units.Bytes(16 * units.KiB)
+	fast, slow := 0, 0
+	for src := 0; src < 24; src++ {
+		for dst := 24; dst < 48; dst++ {
+			bw := float64(f.Bandwidth(src, dst, size, 0))
+			if bw > 0.75*float64(f.Net.LinkPeak)*float64(size)/float64(size) {
+				// classification below via ratio to median instead
+				_ = bw
+			}
+		}
+	}
+	// Classify by comparing against the healthy α-β expectation.
+	for src := 0; src < 48; src++ {
+		for trial := uint64(0); trial < 4; trial++ {
+			dst := (src + 53) % 192
+			expect := float64(size) / (float64(f.Latency(src, dst)) + float64(size)/float64(f.Net.LinkPeak))
+			got := float64(f.Bandwidth(src, dst, size, trial))
+			if got > 0.8*expect {
+				fast++
+			} else {
+				slow++
+			}
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Errorf("mid-size distribution not bimodal: fast=%d slow=%d", fast, slow)
+	}
+	frac := float64(slow) / float64(fast+slow)
+	if frac < 0.15 || frac > 0.60 {
+		t.Errorf("slow-path fraction = %.2f, want near %.2f", frac, f.SlowPathProb)
+	}
+}
+
+func TestLargeMessagesMoreVariable(t *testing.T) {
+	f := tofu(t, 24)
+	// Across repeated transfers of one pair (transient noise)...
+	cvTrials := func(size units.Bytes) float64 {
+		var xs []float64
+		for i := uint64(0); i < 200; i++ {
+			xs = append(xs, float64(f.MessageTime(0, 7, size, i)))
+		}
+		return cv(xs)
+	}
+	small := cvTrials(256)
+	large := cvTrials(units.Bytes(4 * units.MiB))
+	if large < 3*small {
+		t.Errorf("per-trial variability: small cv=%v, large cv=%v", small, large)
+	}
+	// ...and across pairs (persistent congestion), which is what Fig. 5
+	// actually plots, the large-message spread must be much wider still.
+	cvPairs := func(size units.Bytes) float64 {
+		var xs []float64
+		for dst := 1; dst < 24; dst++ {
+			xs = append(xs, float64(f.SustainedBandwidth(0, dst, size, 16)))
+		}
+		return cv(xs)
+	}
+	if cvPairs(units.Bytes(4*units.MiB)) < 2*large {
+		t.Error("persistent per-pair congestion should dominate transient noise")
+	}
+}
+
+func cv(xs []float64) float64 {
+	mean, ss := 0.0, 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss/float64(len(xs)-1)) / mean
+}
+
+func TestRendezvousStep(t *testing.T) {
+	f := tofu(t, 24)
+	f.NoiseSmall, f.NoiseLarge = 0, 0 // make the protocol step visible
+	below := f.MessageTime(0, 5, f.EagerThreshold, 0)
+	above := f.MessageTime(0, 5, f.EagerThreshold+1, 1)
+	extra := float64(above - below)
+	if extra < 1.5*float64(f.Latency(0, 5)) {
+		t.Errorf("rendezvous switch should add ~2 latencies, added %v", units.Seconds(extra))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f1 := tofu(t, 48)
+	f2 := tofu(t, 48)
+	for trial := uint64(0); trial < 10; trial++ {
+		a := f1.MessageTime(1, 40, 12345, trial)
+		b := f2.MessageTime(1, 40, 12345, trial)
+		if a != b {
+			t.Fatalf("non-deterministic message time at trial %d", trial)
+		}
+	}
+}
+
+func TestIntraNode(t *testing.T) {
+	f := opa(t, 96)
+	inter := f.MessageTime(0, 1, units.Bytes(1*units.MiB), 0)
+	intra := f.MessageTime(0, 0, units.Bytes(1*units.MiB), 0)
+	if intra >= inter {
+		t.Errorf("intra-node %v should beat inter-node %v", intra, inter)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	f := opa(t, 96)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size accepted")
+		}
+	}()
+	f.MessageTime(0, 1, -1, 0)
+}
+
+func TestSustainedBandwidthPanicsOnZeroIters(t *testing.T) {
+	f := opa(t, 96)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero iterations accepted")
+		}
+	}()
+	f.SustainedBandwidth(0, 1, 100, 0)
+}
+
+// Property: message time is always at least the latency floor plus the ideal
+// transfer time scaled by the worst-case noise clamp.
+func TestMessageTimeLowerBoundProperty(t *testing.T) {
+	f := tofu(t, 48)
+	q := func(srcRaw, dstRaw uint8, sizeRaw uint32, trial uint16) bool {
+		src := int(srcRaw) % 48
+		dst := int(dstRaw) % 48
+		size := units.Bytes(sizeRaw % (1 << 22))
+		got := float64(f.MessageTime(src, dst, size, uint64(trial)))
+		var floor float64
+		if src == dst {
+			floor = float64(f.IntraNodeLatency)
+		} else {
+			floor = float64(f.Latency(src, dst))
+		}
+		// Noise is one-sided: time never drops below the ideal floor.
+		return got >= floor-1e-15
+	}
+	if err := quick.Check(q, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOmniPathUniformity(t *testing.T) {
+	f := opa(t, 96)
+	// Fat-tree distances are uniform across leaves: the spread of 256 B
+	// bandwidth across pairs must be far smaller than on the torus.
+	var min, max units.BytesPerSecond
+	for dst := 24; dst < 96; dst += 7 {
+		bw := f.SustainedBandwidth(0, dst, 256, 50)
+		if min == 0 || bw < min {
+			min = bw
+		}
+		if bw > max {
+			max = bw
+		}
+	}
+	if float64(max)/float64(min) > 1.15 {
+		t.Errorf("cross-leaf OPA bandwidth spread too wide: %v..%v", min, max)
+	}
+}

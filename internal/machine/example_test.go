@@ -1,0 +1,31 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"clustereval/internal/machine"
+)
+
+// The two machine presets encode Table I of the paper; every headline
+// quantity is derived from micro-architectural inputs.
+func Example() {
+	arm := machine.CTEArm()
+	mn4 := machine.MareNostrum4()
+	fmt.Printf("%s: %d nodes, %.2f GFlop/s per node, %s memory BW\n",
+		arm.Name, arm.Nodes, arm.Node.DoublePeak().Giga(), arm.Node.MemoryPeak())
+	fmt.Printf("%s: %d nodes, %.2f GFlop/s per node, %s memory BW\n",
+		mn4.Name, mn4.Nodes, mn4.Node.DoublePeak().Giga(), mn4.Node.MemoryPeak())
+	// Output:
+	// CTE-Arm: 192 nodes, 3379.20 GFlop/s per node, 1024 GB/s memory BW
+	// MareNostrum 4: 3456 nodes, 3225.60 GFlop/s per node, 256 GB/s memory BW
+}
+
+// VectorPeak evaluates the paper's formula Pv = s*i*f*o.
+func ExampleCore_VectorPeak() {
+	core := machine.CTEArm().Node.Core
+	fmt.Println("SVE double:", core.VectorPeak(machine.ISASVE, machine.Double))
+	fmt.Println("SVE half:  ", core.VectorPeak(machine.ISASVE, machine.Half))
+	// Output:
+	// SVE double: 70.4 GFlop/s
+	// SVE half:   281.6 GFlop/s
+}

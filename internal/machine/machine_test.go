@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/units"
+)
+
+func TestTableI(t *testing.T) {
+	// Every derived quantity must reproduce Table I of the paper.
+	arm := CTEArm()
+	mn4 := MareNostrum4()
+
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"CTE-Arm freq GHz", arm.Node.Core.FrequencyHz / 1e9, 2.20},
+		{"MN4 freq GHz", mn4.Node.Core.FrequencyHz / 1e9, 2.10},
+		{"CTE-Arm sockets", float64(arm.Node.Sockets), 1},
+		{"MN4 sockets", float64(mn4.Node.Sockets), 2},
+		{"CTE-Arm cores/node", float64(arm.Node.Cores()), 48},
+		{"MN4 cores/node", float64(mn4.Node.Cores()), 48},
+		{"CTE-Arm DP peak/core GF", arm.Node.Core.DoublePeak().Giga(), 70.40},
+		{"MN4 DP peak/core GF", mn4.Node.Core.DoublePeak().Giga(), 67.20},
+		{"CTE-Arm DP peak/node GF", arm.Node.DoublePeak().Giga(), 3379.20},
+		{"MN4 DP peak/node GF", mn4.Node.DoublePeak().Giga(), 3225.60},
+		{"CTE-Arm memory GB", arm.Node.MemoryBytes / units.Giga, 32},
+		{"MN4 memory GB", mn4.Node.MemoryBytes / units.Giga, 96},
+		{"CTE-Arm mem channels", float64(len(arm.Node.Domains) * arm.Node.Domains[0].Channels), 4},
+		{"MN4 mem channels/socket", float64(mn4.Node.Domains[0].Channels), 6},
+		{"CTE-Arm peak mem BW GB/s", arm.Node.MemoryPeak().GB(), 1024},
+		{"MN4 peak mem BW GB/s", mn4.Node.MemoryPeak().GB(), 256},
+		{"CTE-Arm nodes", float64(arm.Nodes), 192},
+		{"MN4 nodes", float64(mn4.Nodes), 3456},
+		{"CTE-Arm net BW GB/s", arm.Network.LinkPeak.GB(), 6.80},
+		{"MN4 net BW GB/s", mn4.Network.LinkPeak.GB(), 12.00},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9*math.Abs(c.want)+1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	if arm.Network.Kind != TofuD {
+		t.Errorf("CTE-Arm interconnect = %v", arm.Network.Kind)
+	}
+	if mn4.Network.Kind != OmniPath {
+		t.Errorf("MN4 interconnect = %v", mn4.Network.Kind)
+	}
+}
+
+func TestCacheSizes(t *testing.T) {
+	arm := CTEArm()
+	if got := arm.Node.Core.Caches[0].SizeBytes; got != 64*units.KiB {
+		t.Errorf("A64FX L1 = %v", got)
+	}
+	// Table I reports "32 MB" L2 per node (8 MB per CMG x 4 CMGs).
+	l2PerNode := arm.Node.Core.Caches[1].SizeBytes * float64(len(arm.Node.Domains))
+	if l2PerNode != 32*units.MiB {
+		t.Errorf("A64FX L2/node = %v, want 32 MiB", l2PerNode)
+	}
+	mn4 := MareNostrum4()
+	if got := mn4.Node.Core.Caches[0].SizeBytes; got != 32*units.KiB {
+		t.Errorf("SKL L1 = %v", got)
+	}
+	if got := mn4.Node.Core.Caches[2].SizeBytes; got != 33*units.MiB {
+		t.Errorf("SKL L3 = %v", got)
+	}
+}
+
+func TestVectorPeaks(t *testing.T) {
+	arm := CTEArm().Node.Core
+	mn4 := MareNostrum4().Node.Core
+
+	cases := []struct {
+		name string
+		got  units.FlopsPerSecond
+		want float64 // GFlop/s
+	}{
+		{"A64FX SVE double", arm.VectorPeak(ISASVE, Double), 70.4},
+		{"A64FX SVE single", arm.VectorPeak(ISASVE, Single), 140.8},
+		{"A64FX SVE half", arm.VectorPeak(ISASVE, Half), 281.6},
+		{"A64FX NEON double", arm.VectorPeak(ISANEON, Double), 17.6},
+		{"A64FX NEON single", arm.VectorPeak(ISANEON, Single), 35.2},
+		{"SKL AVX512 double", mn4.VectorPeak(ISAAVX512, Double), 67.2},
+		{"SKL AVX512 single", mn4.VectorPeak(ISAAVX512, Single), 134.4},
+		{"SKL AVX512 half", mn4.VectorPeak(ISAAVX512, Half), 0}, // no FP16
+	}
+	for _, c := range cases {
+		if math.Abs(c.got.Giga()-c.want) > 1e-9 {
+			t.Errorf("%s = %v GF, want %v", c.name, c.got.Giga(), c.want)
+		}
+	}
+}
+
+func TestScalarPeaks(t *testing.T) {
+	arm := CTEArm().Node.Core
+	if got := arm.ScalarPeak().Giga(); math.Abs(got-8.8) > 1e-9 {
+		t.Errorf("A64FX scalar peak = %v GF, want 8.8", got)
+	}
+	mn4 := MareNostrum4().Node.Core
+	if got := mn4.ScalarPeak().Giga(); math.Abs(got-8.4) > 1e-9 {
+		t.Errorf("SKL scalar peak = %v GF, want 8.4", got)
+	}
+}
+
+func TestBestVector(t *testing.T) {
+	arm := CTEArm().Node.Core
+	if v := arm.BestVector(Double); v == nil || v.ISA != ISASVE {
+		t.Errorf("A64FX best double unit = %+v, want SVE", v)
+	}
+	if v := arm.BestVector(Half); v == nil || v.ISA != ISASVE {
+		t.Errorf("A64FX best half unit = %+v, want SVE", v)
+	}
+	mn4 := MareNostrum4().Node.Core
+	if v := mn4.BestVector(Half); v != nil {
+		t.Errorf("SKL should have no half-precision unit, got %+v", v)
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	arm := CTEArm().Node
+	cases := []struct{ core, dom int }{
+		{0, 0}, {11, 0}, {12, 1}, {23, 1}, {24, 2}, {36, 3}, {47, 3},
+	}
+	for _, c := range cases {
+		if got := arm.DomainOf(c.core); got != c.dom {
+			t.Errorf("DomainOf(%d) = %d, want %d", c.core, got, c.dom)
+		}
+	}
+	mn4 := MareNostrum4().Node
+	if mn4.DomainOf(0) != 0 || mn4.DomainOf(23) != 0 || mn4.DomainOf(24) != 1 {
+		t.Error("MN4 socket mapping wrong")
+	}
+}
+
+func TestDomainOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DomainOf(-1) did not panic")
+		}
+	}()
+	CTEArm().Node.DomainOf(-1)
+}
+
+func TestValidatePresets(t *testing.T) {
+	for _, m := range []Machine{CTEArm(), MareNostrum4()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	m := CTEArm()
+	m.Nodes = 0
+	if m.Validate() == nil {
+		t.Error("zero nodes accepted")
+	}
+
+	m = CTEArm()
+	m.Node.Domains[0].Cores = 13 // domains no longer cover node cores
+	if m.Validate() == nil {
+		t.Error("inconsistent domain cores accepted")
+	}
+
+	m = CTEArm()
+	m.Network.LinkPeak = 0
+	if m.Validate() == nil {
+		t.Error("zero link bandwidth accepted")
+	}
+
+	m = CTEArm()
+	m.Node.Core.FrequencyHz = 0
+	if m.Validate() == nil {
+		t.Error("zero frequency accepted")
+	}
+
+	m = CTEArm()
+	m.Node.Domains[0].PeakBW = 0
+	if m.Validate() == nil {
+		t.Error("zero domain bandwidth accepted")
+	}
+}
+
+func TestClusterPeak(t *testing.T) {
+	arm := CTEArm()
+	// 192 nodes x 3379.2 GF = 648.8 TF.
+	got := arm.ClusterPeak(192).Tera()
+	if math.Abs(got-648.8064) > 1e-6 {
+		t.Errorf("CTE-Arm 192-node peak = %v TF", got)
+	}
+}
+
+func TestPrecisionBits(t *testing.T) {
+	if Half.Bits() != 16 || Single.Bits() != 32 || Double.Bits() != 64 {
+		t.Error("precision bit widths wrong")
+	}
+	if Half.String() != "half" || Single.String() != "single" || Double.String() != "double" {
+		t.Error("precision names wrong")
+	}
+}
+
+// Property: vector peak scales linearly with lane count across precisions
+// whenever both precisions are supported.
+func TestVectorPeakScalingProperty(t *testing.T) {
+	f := func(widthRaw, issueRaw uint8) bool {
+		width := (int(widthRaw%4) + 1) * 128 // 128..512
+		issue := int(issueRaw%4) + 1
+		c := Core{
+			FrequencyHz: 2e9,
+			Vector: []VectorUnit{{
+				ISA: ISASVE, WidthBits: width, IssuePerCyc: issue,
+				FMA: true, SupportsHalf: true,
+			}},
+		}
+		d := float64(c.VectorPeak(ISASVE, Double))
+		s := float64(c.VectorPeak(ISASVE, Single))
+		h := float64(c.VectorPeak(ISASVE, Half))
+		return math.Abs(s-2*d) < 1e-6 && math.Abs(h-4*d) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/omp"
+	"clustereval/internal/units"
+)
+
+func gb(bw units.BytesPerSecond) float64 { return bw.GB() }
+
+func TestKernelAccounting(t *testing.T) {
+	if Copy.BytesPerElement() != 16 || Scale.BytesPerElement() != 16 {
+		t.Error("copy/scale bytes")
+	}
+	if Add.BytesPerElement() != 24 || Triad.BytesPerElement() != 24 {
+		t.Error("add/triad bytes")
+	}
+	if Copy.FlopsPerElement() != 0 || Scale.FlopsPerElement() != 1 ||
+		Add.FlopsPerElement() != 1 || Triad.FlopsPerElement() != 2 {
+		t.Error("flops per element")
+	}
+	names := map[Kernel]string{Copy: "Copy", Scale: "Scale", Add: "Add", Triad: "Triad"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("kernel %d name %q", k, k.String())
+		}
+	}
+}
+
+// Fig. 2 anchors: the paper's OpenMP-only STREAM results.
+func TestFig2AnchorsA64FX(t *testing.T) {
+	node := machine.CTEArm().Node
+	// Best result: 292.0 GB/s with 24 threads (spread), C version.
+	team, _ := omp.NewTeam(node, 24, omp.Spread)
+	bw, err := TeamBandwidth(team, true, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gb(bw)-292.0) > 0.02*292.0 {
+		t.Errorf("A64FX OpenMP 24T = %.1f GB/s, paper 292.0", gb(bw))
+	}
+	// That is ~29%% of the 1024 GB/s peak.
+	pct := 100 * float64(bw) / float64(node.MemoryPeak())
+	if pct < 27 || pct < 0 || pct > 31 {
+		t.Errorf("percent of peak = %.1f, paper 29", pct)
+	}
+}
+
+func TestFig2BestThreadCounts(t *testing.T) {
+	// A64FX peaks at 24 threads; MN4 peaks at 48 (paper Section III-B).
+	bestArm, bestMN4 := 0, 0
+	var maxArm, maxMN4 units.BytesPerSecond
+	for n := 1; n <= 48; n++ {
+		teamA, _ := omp.NewTeam(machine.CTEArm().Node, n, omp.Spread)
+		bwA, err := TeamBandwidth(teamA, true, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bwA > maxArm {
+			maxArm, bestArm = bwA, n
+		}
+		teamM, _ := omp.NewTeam(machine.MareNostrum4().Node, n, omp.Spread)
+		bwM, err := TeamBandwidth(teamM, true, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bwM > maxMN4 {
+			maxMN4, bestMN4 = bwM, n
+		}
+	}
+	if bestArm != 24 {
+		t.Errorf("A64FX best thread count = %d, paper: 24", bestArm)
+	}
+	if bestMN4 != 48 {
+		t.Errorf("MN4 best thread count = %d, paper: 48", bestMN4)
+	}
+	if math.Abs(gb(maxMN4)-201.2) > 0.01*201.2 {
+		t.Errorf("MN4 best = %.1f GB/s, paper 201.2", gb(maxMN4))
+	}
+}
+
+// Fig. 3 anchors: hybrid MPI+OpenMP Triad.
+func TestFig3AnchorsHybrid(t *testing.T) {
+	node := machine.CTEArm().Node
+	// 4 ranks x 12 threads, one rank per CMG, all threads local.
+	perDomain := []int{12, 12, 12, 12}
+	fortran, err := StreamBandwidth(node, perDomain, false, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gb(fortran)-862.6) > 0.02*862.6 {
+		t.Errorf("A64FX hybrid Fortran = %.1f GB/s, paper 862.6", gb(fortran))
+	}
+	pct := 100 * float64(fortran) / float64(node.MemoryPeak())
+	if pct < 82 || pct > 86 {
+		t.Errorf("percent of peak = %.1f, paper 84", pct)
+	}
+	// The C version reaches only ~421 GB/s (factor 0.49, unexplained in
+	// the paper).
+	cver, err := StreamBandwidth(node, perDomain, false, 0.49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gb(cver)-421.1) > 0.03*421.1 {
+		t.Errorf("A64FX hybrid C = %.1f GB/s, paper 421.1", gb(cver))
+	}
+}
+
+func TestHybridBeatsSharedOnA64FX(t *testing.T) {
+	node := machine.CTEArm().Node
+	full := []int{12, 12, 12, 12}
+	hybrid, _ := StreamBandwidth(node, full, false, 1.0)
+	shared, _ := StreamBandwidth(node, full, true, 1.0)
+	if float64(hybrid) < 2.5*float64(shared) {
+		t.Errorf("hybrid %v should be ~3x shared %v on A64FX", hybrid, shared)
+	}
+}
+
+func TestSharedEqualsLocalOnMN4(t *testing.T) {
+	// First-touch works on MN4: shared-process and per-domain placements
+	// give identical bandwidth.
+	node := machine.MareNostrum4().Node
+	per := []int{24, 24}
+	a, _ := StreamBandwidth(node, per, true, 1.0)
+	b, _ := StreamBandwidth(node, per, false, 1.0)
+	if a != b {
+		t.Errorf("MN4 shared %v != local %v", a, b)
+	}
+}
+
+func TestMonotoneUntilSaturation(t *testing.T) {
+	node := machine.MareNostrum4().Node
+	prev := units.BytesPerSecond(0)
+	for n := 1; n <= 48; n++ {
+		team, _ := omp.NewTeam(node, n, omp.Spread)
+		bw, err := TeamBandwidth(team, true, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bw < prev {
+			t.Errorf("MN4 bandwidth decreased at %d threads", n)
+		}
+		prev = bw
+	}
+}
+
+func TestNeverExceedsPeak(t *testing.T) {
+	for _, m := range []machine.Machine{machine.CTEArm(), machine.MareNostrum4()} {
+		for n := 1; n <= m.Node.Cores(); n++ {
+			for _, shared := range []bool{true, false} {
+				team, _ := omp.NewTeam(m.Node, n, omp.Spread)
+				bw, err := TeamBandwidth(team, shared, 1.0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if float64(bw) > float64(m.Node.MemoryPeak()) {
+					t.Errorf("%s %d threads shared=%v: %v exceeds peak %v",
+						m.Name, n, shared, bw, m.Node.MemoryPeak())
+				}
+			}
+		}
+	}
+}
+
+func TestLanguageFactorScales(t *testing.T) {
+	node := machine.CTEArm().Node
+	per := []int{6, 6, 6, 6}
+	a, _ := StreamBandwidth(node, per, true, 1.0)
+	b, _ := StreamBandwidth(node, per, true, 0.91)
+	ratio := float64(b) / float64(a)
+	if math.Abs(ratio-0.91) > 1e-9 {
+		t.Errorf("language factor not multiplicative: %v", ratio)
+	}
+}
+
+func TestStreamBandwidthErrors(t *testing.T) {
+	node := machine.CTEArm().Node
+	if _, err := StreamBandwidth(node, []int{1, 1}, true, 1.0); err == nil {
+		t.Error("wrong domain arity accepted")
+	}
+	if _, err := StreamBandwidth(node, []int{0, 0, 0, 0}, true, 1.0); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := StreamBandwidth(node, []int{-1, 1, 0, 0}, true, 1.0); err == nil {
+		t.Error("negative threads accepted")
+	}
+	if _, err := StreamBandwidth(node, []int{13, 0, 0, 0}, true, 1.0); err == nil {
+		t.Error("over-capacity domain accepted")
+	}
+	if _, err := StreamBandwidth(node, []int{1, 0, 0, 0}, true, 0); err == nil {
+		t.Error("zero language factor accepted")
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	// 1e9 Triad elements at 24 GB/s: 24e9 bytes / 24e9 B/s = 1 s.
+	got := StreamTime(Triad, 1e9, units.BytesPerSecond(24*units.Giga))
+	if math.Abs(float64(got)-1) > 1e-9 {
+		t.Errorf("StreamTime = %v", got)
+	}
+}
+
+func TestMinimumElements(t *testing.T) {
+	// The paper's rule: E >= max(1e7, 4*S/8). For the A64FX, S = 32 MiB of
+	// L2 -> 4*32Mi/8 = 16.8M elements.
+	arm := machine.CTEArm().Node
+	got := MinimumElements(arm)
+	want := int(4 * 32 * 1024 * 1024 / 8)
+	if got != want {
+		t.Errorf("A64FX minimum = %d, want %d", got, want)
+	}
+	// MN4: L3 33 MiB x 2 sockets -> 4*66Mi/8 = 34.6M.
+	mn4 := machine.MareNostrum4().Node
+	got = MinimumElements(mn4)
+	want = int(4 * 2 * 33 * 1024 * 1024 / 8)
+	if got != want {
+		t.Errorf("MN4 minimum = %d, want %d", got, want)
+	}
+	// The paper's run sizes satisfy the rule.
+	if 610e6 < float64(MinimumElements(arm)) {
+		t.Error("paper's CTE-Arm size 610M violates rule")
+	}
+	if 400e6 < float64(MinimumElements(mn4)) {
+		t.Error("paper's MN4 size 400M violates rule")
+	}
+}
+
+func TestSaturatingEdgeCases(t *testing.T) {
+	if saturating(0, 1, 100, 0) != 0 {
+		t.Error("zero threads should give zero bandwidth")
+	}
+	// Huge oversubscription cannot push bandwidth below half the plateau.
+	bw := saturating(48, units.BytesPerSecond(50*units.Giga), units.BytesPerSecond(100*units.Giga), 0.5)
+	if float64(bw) < 0.49*100*units.Giga {
+		t.Errorf("decline floor violated: %v", bw)
+	}
+}

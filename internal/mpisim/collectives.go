@@ -1,0 +1,313 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"clustereval/internal/units"
+)
+
+// Collective tags live in a reserved negative range so user point-to-point
+// traffic (tags >= 0) can never match collective traffic.
+const (
+	tagBarrier = -100 - iota
+	tagBcast
+	tagReduce
+	tagAllreduce
+	tagAllgather
+	tagAlltoall
+	tagGather
+	tagScan
+	tagReduceScatter
+)
+
+// Op is a reduction operator over float64 vectors.
+type Op func(dst, src []float64)
+
+// cloned returns a private copy of xs. Reduction collectives mutate their
+// accumulator in place after sending it, and a simulated message may be
+// received (in virtual time) after that mutation — so every send must ship
+// a snapshot, exactly as a real MPI implementation copies or fences the
+// user buffer.
+func cloned(xs []float64) []float64 { return append([]float64(nil), xs...) }
+
+// OpSum accumulates src into dst element-wise.
+func OpSum(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// OpMax keeps the element-wise maximum in dst.
+func OpMax(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// OpMin keeps the element-wise minimum in dst.
+func OpMin(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it. It uses the dissemination
+// algorithm: ceil(log2 p) rounds of paired messages.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	const probe = units.Bytes(8)
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		req := c.Isend(dst, tagBarrier, probe, nil)
+		c.Recv(src, tagBarrier)
+		c.Wait(req)
+	}
+}
+
+// Bcast broadcasts payload (of the given size) from root using a binomial
+// tree and returns the payload on every rank.
+func (c *Comm) Bcast(root int, bytes units.Bytes, payload interface{}) interface{} {
+	p := c.Size()
+	if p == 1 {
+		return payload
+	}
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpisim: Bcast root %d out of range", root))
+	}
+	// Rotate so the root is virtual rank 0. In the binomial tree, a
+	// non-root virtual rank receives from its parent (vrank minus its
+	// lowest set bit) and then serves the subtrees below that bit.
+	vrank := (c.rank - root + p) % p
+	if vrank != 0 {
+		parent := vrank - (vrank & -vrank)
+		msg := c.Recv((parent+root)%p, tagBcast)
+		payload = msg.Payload
+		bytes = msg.Bytes
+	}
+	mask := 1
+	for mask < p {
+		mask <<= 1
+	}
+	mask >>= 1
+	limit := vrank & (-vrank)
+	if vrank == 0 {
+		limit = mask << 1
+	}
+	for m := mask; m >= 1; m >>= 1 {
+		if m >= limit {
+			continue
+		}
+		child := vrank + m
+		if child < p {
+			c.Send((child+root)%p, tagBcast, bytes, payload)
+		}
+	}
+	return payload
+}
+
+// Reduce combines each rank's vector with op onto root. Every rank must pass
+// a vector of equal length; the reduced vector is returned on root (other
+// ranks get nil). bytesPer is the modelled wire size per element.
+func (c *Comm) Reduce(root int, data []float64, op Op, bytesPer units.Bytes) []float64 {
+	p := c.Size()
+	acc := append([]float64(nil), data...)
+	if p == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + p) % p
+	size := units.Bytes(float64(bytesPer) * float64(len(data)))
+	// Binomial tree reduction toward virtual rank 0.
+	for m := 1; m < p; m <<= 1 {
+		if vrank&m != 0 {
+			c.Send((vrank-m+root)%p, tagReduce, size, cloned(acc))
+			return nil
+		}
+		partner := vrank + m
+		if partner < p {
+			msg := c.Recv((partner+root)%p, tagReduce)
+			op(acc, msg.Payload.([]float64))
+		}
+	}
+	return acc
+}
+
+// Allreduce combines every rank's vector with op and returns the result on
+// all ranks, via recursive doubling with a pre-fold for non-power-of-two
+// rank counts (the Rabenseifner small-vector scheme).
+func (c *Comm) Allreduce(data []float64, op Op, bytesPer units.Bytes) []float64 {
+	p := c.Size()
+	acc := append([]float64(nil), data...)
+	if p == 1 {
+		return acc
+	}
+	size := units.Bytes(float64(bytesPer) * float64(len(data)))
+
+	// Largest power of two <= p.
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+
+	// Fold the remainder: ranks [pof2, p) send to [0, rem) and sit out.
+	newRank := -1
+	switch {
+	case c.rank >= pof2:
+		c.Send(c.rank-pof2, tagAllreduce, size, cloned(acc))
+	case c.rank < rem:
+		msg := c.Recv(c.rank+pof2, tagAllreduce)
+		op(acc, msg.Payload.([]float64))
+		newRank = c.rank
+	default:
+		newRank = c.rank
+	}
+
+	if newRank >= 0 {
+		for m := 1; m < pof2; m <<= 1 {
+			partner := newRank ^ m
+			msg := c.Sendrecv(partner, tagAllreduce, size, cloned(acc), partner, tagAllreduce)
+			op(acc, msg.Payload.([]float64))
+		}
+	}
+
+	// Unfold: ranks [0, rem) return results to [pof2, p).
+	if c.rank < rem {
+		c.Send(c.rank+pof2, tagAllreduce, size, cloned(acc))
+	} else if c.rank >= pof2 {
+		msg := c.Recv(c.rank-pof2, tagAllreduce)
+		acc = msg.Payload.([]float64)
+	}
+	return acc
+}
+
+// AllreduceScalar reduces a single float64 with op on all ranks.
+func (c *Comm) AllreduceScalar(x float64, op Op) float64 {
+	return c.Allreduce([]float64{x}, op, 8)[0]
+}
+
+// Allgather collects each rank's vector onto every rank, concatenated in
+// rank order, using the ring algorithm (p-1 steps of neighbour exchange).
+func (c *Comm) Allgather(data []float64, bytesPer units.Bytes) [][]float64 {
+	p := c.Size()
+	out := make([][]float64, p)
+	out[c.rank] = append([]float64(nil), data...)
+	if p == 1 {
+		return out
+	}
+	size := units.Bytes(float64(bytesPer) * float64(len(data)))
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	// In step s we forward the block that originated at rank - s.
+	for s := 0; s < p-1; s++ {
+		blk := (c.rank - s + p) % p
+		msg := c.Sendrecv(right, tagAllgather, size, out[blk], left, tagAllgather)
+		from := (c.rank - s - 1 + p) % p
+		out[from] = msg.Payload.([]float64)
+	}
+	return out
+}
+
+// Alltoall exchanges blocks[i] with every rank i (blocks has one entry per
+// rank) using pairwise exchange, and returns the received blocks in rank
+// order. The wire size of each block is bytesPer * len(block).
+func (c *Comm) Alltoall(blocks [][]float64, bytesPer units.Bytes) [][]float64 {
+	p := c.Size()
+	if len(blocks) != p {
+		panic(fmt.Sprintf("mpisim: Alltoall needs %d blocks, got %d", p, len(blocks)))
+	}
+	out := make([][]float64, p)
+	out[c.rank] = blocks[c.rank]
+	for step := 1; step < p; step++ {
+		// Rotation schedule: in step s, send the block destined for
+		// rank+s while receiving from rank-s. Works for any p.
+		sendTo := (c.rank + step) % p
+		recvFrom := (c.rank - step + p) % p
+		sendBlk := blocks[sendTo]
+		size := units.Bytes(float64(bytesPer) * float64(len(sendBlk)))
+		msg := c.Sendrecv(sendTo, tagAlltoall, size, sendBlk, recvFrom, tagAlltoall)
+		out[recvFrom] = msg.Payload.([]float64)
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(data_0, ..., data_r), via the binomial up-chain (each rank receives
+// from rank - 2^k partners below it).
+func (c *Comm) Scan(data []float64, op Op, bytesPer units.Bytes) []float64 {
+	p := c.Size()
+	acc := append([]float64(nil), data...)
+	if p == 1 {
+		return acc
+	}
+	size := units.Bytes(float64(bytesPer) * float64(len(data)))
+	// Hillis-Steele: at step 2^k, rank r sends its running value to r+2^k
+	// and receives from r-2^k. The received value covers exactly the
+	// prefix below the sender, so the result is the inclusive prefix.
+	for d := 1; d < p; d <<= 1 {
+		var req *Request
+		if c.rank+d < p {
+			req = c.Isend(c.rank+d, tagScan, size, cloned(acc))
+		}
+		if c.rank-d >= 0 {
+			msg := c.Recv(c.rank-d, tagScan)
+			op(acc, msg.Payload.([]float64))
+		}
+		if req != nil {
+			c.Wait(req)
+		}
+	}
+	return acc
+}
+
+// ReduceScatter reduces blocks (one per rank, all the same length) with op
+// and scatters the results: rank r receives the reduction of every rank's
+// blocks[r]. Implemented as reduce-to-root plus scatter via point-to-point,
+// the simple algorithm small vectors use.
+func (c *Comm) ReduceScatter(blocks [][]float64, op Op, bytesPer units.Bytes) []float64 {
+	p := c.Size()
+	if len(blocks) != p {
+		panic(fmt.Sprintf("mpisim: ReduceScatter needs %d blocks, got %d", p, len(blocks)))
+	}
+	// Flatten, reduce onto rank 0, then scatter the slices.
+	flat := make([]float64, 0, p*len(blocks[0]))
+	for _, blk := range blocks {
+		flat = append(flat, blk...)
+	}
+	blockLen := len(blocks[0])
+	reduced := c.Reduce(0, flat, op, bytesPer)
+	size := units.Bytes(float64(bytesPer) * float64(blockLen))
+	if c.rank == 0 {
+		for r := 1; r < p; r++ {
+			c.Send(r, tagReduceScatter, size, cloned(reduced[r*blockLen:(r+1)*blockLen]))
+		}
+		return reduced[:blockLen]
+	}
+	msg := c.Recv(0, tagReduceScatter)
+	return msg.Payload.([]float64)
+}
+
+// Gather collects each rank's vector onto root in rank order; non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, data []float64, bytesPer units.Bytes) [][]float64 {
+	p := c.Size()
+	size := units.Bytes(float64(bytesPer) * float64(len(data)))
+	if c.rank != root {
+		c.Send(root, tagGather, size, append([]float64(nil), data...))
+		return nil
+	}
+	out := make([][]float64, p)
+	out[root] = append([]float64(nil), data...)
+	for i := 0; i < p-1; i++ {
+		msg := c.Recv(AnySource, tagGather)
+		out[msg.Source] = msg.Payload.([]float64)
+	}
+	return out
+}

@@ -1,0 +1,571 @@
+package mpisim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/trace"
+	"clustereval/internal/units"
+)
+
+func newTofuWorld(t *testing.T, ranks, ranksPerNode int) *World {
+	t.Helper()
+	nodes := (ranks + ranksPerNode - 1) / ranksPerNode
+	// Round up to a valid TofuD size.
+	fabNodes := ((nodes + 11) / 12) * 12
+	if fabNodes < 12 {
+		fabNodes = 12
+	}
+	f, err := interconnect.NewTofuD(machine.CTEArm(), fabNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(f, ranks, ranksPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPingPong(t *testing.T) {
+	w := newTofuWorld(t, 2, 1)
+	var rtt units.Seconds
+	err := w.Run(func(c *Comm) {
+		const iters = 10
+		if c.Rank() == 0 {
+			start := c.Now()
+			for i := 0; i < iters; i++ {
+				c.Send(1, 0, 1024, nil)
+				c.Recv(1, 1)
+			}
+			rtt = (c.Now() - start) / iters
+		} else {
+			for i := 0; i < iters; i++ {
+				c.Recv(0, 0)
+				c.Send(0, 1, 1024, nil)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Fatal("non-positive round trip")
+	}
+	// RTT must be at least twice the one-way latency between the nodes.
+	minRTT := 2 * w.fabric.Latency(0, 1)
+	if rtt < minRTT {
+		t.Errorf("rtt %v below physical floor %v", rtt, minRTT)
+	}
+}
+
+func TestPayloadDelivery(t *testing.T) {
+	w := newTofuWorld(t, 2, 2)
+	got := 0.0
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, 64, []float64{3.5})
+		} else {
+			msg := c.Recv(0, 7)
+			got = msg.Payload.([]float64)[0]
+			if msg.Source != 0 || msg.Tag != 7 || msg.Bytes != 64 {
+				t.Errorf("metadata wrong: %+v", msg)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.5 {
+		t.Errorf("payload = %v", got)
+	}
+}
+
+func TestNonOvertaking(t *testing.T) {
+	w := newTofuWorld(t, 2, 1)
+	var order []int
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				c.Send(1, 0, units.Bytes(1024*(5-i)), []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				msg := c.Recv(0, 0)
+				order = append(order, int(msg.Payload.([]float64)[0]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("messages overtook: %v", order)
+		}
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	w := newTofuWorld(t, 3, 3)
+	var sources []int
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < 2; i++ {
+				msg := c.Recv(AnySource, AnyTag)
+				sources = append(sources, msg.Source)
+			}
+		default:
+			c.Compute(units.Seconds(float64(c.Rank()) * 1e-6))
+			c.Send(0, c.Rank()*10, 64, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 || sources[0] == sources[1] {
+		t.Errorf("sources = %v", sources)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	w := newTofuWorld(t, 2, 2)
+	var first int
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, 64, []float64{1})
+			c.Send(1, 2, 64, []float64{2})
+		} else {
+			// Receive tag 2 first even though tag 1 arrived earlier.
+			msg := c.Recv(0, 2)
+			first = int(msg.Payload.([]float64)[0])
+			c.Recv(0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Errorf("tag matching broken: got payload %d", first)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	w := newTofuWorld(t, 2, 2)
+	err := w.Run(func(c *Comm) {
+		c.Recv(1-c.Rank(), 0) // both wait, nobody sends
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := newTofuWorld(t, 7, 4)
+	after := make([]units.Seconds, 7)
+	slowest := units.Seconds(7e-6)
+	err := w.Run(func(c *Comm) {
+		c.Compute(units.Seconds(float64(c.Rank()+1) * 1e-6))
+		c.Barrier()
+		after[c.Rank()] = c.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ts := range after {
+		if ts < slowest {
+			t.Errorf("rank %d left barrier at %v, before slowest entry %v", r, ts, slowest)
+		}
+	}
+}
+
+func TestBcastValues(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		w := newTofuWorld(t, p, 4)
+		got := make([]float64, p)
+		err := w.Run(func(c *Comm) {
+			var payload interface{}
+			if c.Rank() == 2%p {
+				payload = []float64{42}
+			}
+			out := c.Bcast(2%p, 1024, payload)
+			got[c.Rank()] = out.([]float64)[0]
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for r, v := range got {
+			if v != 42 {
+				t.Errorf("p=%d rank %d got %v", p, r, v)
+			}
+		}
+	}
+}
+
+func TestBcastBackToBack(t *testing.T) {
+	// Two consecutive broadcasts from different roots must not cross-match.
+	w := newTofuWorld(t, 6, 3)
+	bad := int32(0)
+	err := w.Run(func(c *Comm) {
+		var p1, p2 interface{}
+		if c.Rank() == 0 {
+			p1 = []float64{1}
+		}
+		if c.Rank() == 3 {
+			p2 = []float64{2}
+		}
+		a := c.Bcast(0, 512, p1)
+		b := c.Bcast(3, 512, p2)
+		if a.([]float64)[0] != 1 || b.([]float64)[0] != 2 {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Errorf("%d ranks saw crossed broadcast payloads", bad)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 6, 9, 16} {
+		w := newTofuWorld(t, p, 4)
+		var result []float64
+		err := w.Run(func(c *Comm) {
+			data := []float64{float64(c.Rank() + 1), 1}
+			out := c.Reduce(0, data, OpSum, 8)
+			if c.Rank() == 0 {
+				result = out
+			} else if out != nil {
+				t.Errorf("non-root rank %d got non-nil reduce result", c.Rank())
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		wantSum := float64(p*(p+1)) / 2
+		if result[0] != wantSum || result[1] != float64(p) {
+			t.Errorf("p=%d: reduce = %v, want [%v %v]", p, result, wantSum, p)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 12} {
+		w := newTofuWorld(t, p, 4)
+		results := make([][]float64, p)
+		err := w.Run(func(c *Comm) {
+			data := []float64{float64(c.Rank()), 1}
+			results[c.Rank()] = c.Allreduce(data, OpSum, 8)
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		wantSum := float64(p*(p-1)) / 2
+		for r, res := range results {
+			if res[0] != wantSum || res[1] != float64(p) {
+				t.Errorf("p=%d rank %d: allreduce = %v, want [%v %v]", p, r, res, wantSum, p)
+			}
+		}
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := newTofuWorld(t, 5, 4)
+	results := make([]float64, 5)
+	err := w.Run(func(c *Comm) {
+		results[c.Rank()] = c.AllreduceScalar(float64((c.Rank()*3)%5), OpMax)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range results {
+		if v != 4 {
+			t.Errorf("rank %d max = %v, want 4", r, v)
+		}
+	}
+}
+
+func TestOpMin(t *testing.T) {
+	dst := []float64{3, 1, 5}
+	OpMin(dst, []float64{2, 4, 4})
+	if dst[0] != 2 || dst[1] != 1 || dst[2] != 4 {
+		t.Errorf("OpMin = %v", dst)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		w := newTofuWorld(t, p, 4)
+		results := make([][][]float64, p)
+		err := w.Run(func(c *Comm) {
+			results[c.Rank()] = c.Allgather([]float64{float64(c.Rank() * 10)}, 8)
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for r := 0; r < p; r++ {
+			for src := 0; src < p; src++ {
+				if results[r][src][0] != float64(src*10) {
+					t.Errorf("p=%d rank %d block %d = %v", p, r, src, results[r][src])
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5, 8} {
+		w := newTofuWorld(t, p, 4)
+		results := make([][][]float64, p)
+		err := w.Run(func(c *Comm) {
+			blocks := make([][]float64, p)
+			for i := range blocks {
+				blocks[i] = []float64{float64(c.Rank()*100 + i)}
+			}
+			results[c.Rank()] = c.Alltoall(blocks, 8)
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for r := 0; r < p; r++ {
+			for src := 0; src < p; src++ {
+				want := float64(src*100 + r)
+				if results[r][src][0] != want {
+					t.Errorf("p=%d: rank %d block from %d = %v, want %v",
+						p, r, src, results[r][src][0], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := newTofuWorld(t, 6, 3)
+	var rows [][]float64
+	err := w.Run(func(c *Comm) {
+		out := c.Gather(2, []float64{float64(c.Rank())}, 8)
+		if c.Rank() == 2 {
+			rows = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if row[0] != float64(i) {
+			t.Errorf("gather row %d = %v", i, row)
+		}
+	}
+}
+
+func TestIsendOverlap(t *testing.T) {
+	// A rank that Isends a large message and computes meanwhile should
+	// finish sooner than one that blocks in Send.
+	elapsed := func(blocking bool) units.Seconds {
+		w := newTofuWorld(t, 2, 1)
+		err := w.Run(func(c *Comm) {
+			size := units.Bytes(8 * units.MiB)
+			work := units.Seconds(5e-3)
+			if c.Rank() == 0 {
+				if blocking {
+					c.Send(1, 0, size, nil)
+					c.Compute(work)
+				} else {
+					req := c.Isend(1, 0, size, nil)
+					c.Compute(work)
+					c.Wait(req)
+				}
+			} else {
+				c.Recv(0, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	b, nb := elapsed(true), elapsed(false)
+	if nb >= b {
+		t.Errorf("overlap gained nothing: blocking %v, isend %v", b, nb)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	w := newTofuWorld(t, 3, 1)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for dst := 1; dst <= 2; dst++ {
+				reqs = append(reqs, c.Isend(dst, 0, units.Bytes(1*units.MiB), nil))
+			}
+			c.WaitAll(reqs)
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicElapsed(t *testing.T) {
+	run := func() units.Seconds {
+		w := newTofuWorld(t, 8, 4)
+		if err := w.Run(func(c *Comm) {
+			x := c.AllreduceScalar(float64(c.Rank()), OpSum)
+			c.Compute(units.Seconds(x * 1e-9))
+			c.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic elapsed: %v vs %v", a, b)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	f, err := interconnect.NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(f, 0, 1); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewWorld(f, 10, 0); err == nil {
+		t.Error("zero ranks/node accepted")
+	}
+	if _, err := NewWorld(f, 1000, 1); err == nil {
+		t.Error("overflowing placement accepted")
+	}
+	if _, err := NewWorldPlaced(f, nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := NewWorldPlaced(f, []int{0, 99}); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+}
+
+func TestRanksShareNodes(t *testing.T) {
+	w := newTofuWorld(t, 4, 2)
+	if w.NodeOf(0) != 0 || w.NodeOf(1) != 0 || w.NodeOf(2) != 1 || w.NodeOf(3) != 1 {
+		t.Errorf("placement: %v %v %v %v", w.NodeOf(0), w.NodeOf(1), w.NodeOf(2), w.NodeOf(3))
+	}
+	// Intra-node traffic must be cheaper than inter-node.
+	var intra, inter units.Seconds
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			start := c.Now()
+			c.Send(1, 0, units.Bytes(1*units.MiB), nil)
+			intra = c.Now() - start
+			start = c.Now()
+			c.Send(2, 0, units.Bytes(1*units.MiB), nil)
+			inter = c.Now() - start
+		case 1:
+			c.Recv(0, 0)
+		case 2:
+			c.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra >= inter {
+		t.Errorf("intra-node %v should beat inter-node %v", intra, inter)
+	}
+}
+
+func TestTracingPOPMetrics(t *testing.T) {
+	w := newTofuWorld(t, 4, 2)
+	rec, err := trace.NewRecorder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AttachRecorder(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Imbalanced program: rank r computes (r+1) units, then all barrier.
+	err = w.Run(func(c *Comm) {
+		c.Compute(units.Seconds(float64(c.Rank()+1) * 1e-3))
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rec.Profile().Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean compute = 2.5ms, max = 4ms: LB = 0.625 (barrier comm is tiny).
+	if math.Abs(m.LoadBalance-0.625) > 0.01 {
+		t.Errorf("load balance = %.3f, want ~0.625", m.LoadBalance)
+	}
+	if m.CommunicationEff < 0.95 || m.CommunicationEff > 1 {
+		t.Errorf("comm efficiency = %.3f, want ~1 (tiny barrier)", m.CommunicationEff)
+	}
+	if m.ParallelEfficiency >= m.LoadBalance+1e-9 {
+		t.Error("parallel efficiency must not exceed load balance")
+	}
+
+	// A recorder that is too small must be rejected.
+	small, _ := trace.NewRecorder(2)
+	if err := w.AttachRecorder(small); err == nil {
+		t.Error("undersized recorder accepted")
+	}
+}
+
+func TestTracingCommBoundProgram(t *testing.T) {
+	w := newTofuWorld(t, 2, 1)
+	rec, _ := trace.NewRecorder(2)
+	if err := w.AttachRecorder(rec); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Run(func(c *Comm) {
+		c.Compute(1e-6)
+		peer := 1 - c.Rank()
+		for i := 0; i < 10; i++ {
+			c.Sendrecv(peer, 0, units.Bytes(4*units.MiB), nil, peer, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rec.Profile().Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CommunicationEff > 0.2 {
+		t.Errorf("comm efficiency = %.3f; this program is communication-bound", m.CommunicationEff)
+	}
+}
+
+func TestAllreduceAssociativityTolerance(t *testing.T) {
+	// The reduction result must match a serial sum to FP tolerance for
+	// every rank count (the invariant DESIGN.md lists).
+	for _, p := range []int{3, 6, 10} {
+		w := newTofuWorld(t, p, 4)
+		var got float64
+		err := w.Run(func(c *Comm) {
+			v := math.Sqrt(float64(c.Rank() + 1))
+			got = c.AllreduceScalar(v, OpSum)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for i := 1; i <= p; i++ {
+			want += math.Sqrt(float64(i))
+		}
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("p=%d: allreduce sum = %v, serial = %v", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package omp is a small OpenMP-like fork-join runtime. It serves two roles
+// in the reproduction:
+//
+//   - Real execution: ParallelFor and ParallelReduce actually run loop
+//     bodies concurrently on goroutines with the OpenMP scheduling policies
+//     (static/dynamic/guided), so numerical kernels built on the package
+//     (STREAM, stencils) compute real results under real concurrency.
+//
+//   - Placement modelling: a Team carries a thread→core binding (spread or
+//     close, the policies the paper uses) over a machine.Node, which the
+//     memory model consumes to decide how many threads stream from each
+//     NUMA domain.
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clustereval/internal/machine"
+)
+
+// Schedule selects the loop-iteration scheduling policy.
+type Schedule int
+
+// OpenMP scheduling policies.
+const (
+	Static Schedule = iota
+	Dynamic
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "guided"
+	}
+}
+
+// Binding selects the thread→core placement policy (OMP_PROC_BIND).
+type Binding int
+
+// Thread binding policies. The paper's STREAM runs use spread.
+const (
+	Spread Binding = iota
+	Close
+)
+
+func (b Binding) String() string {
+	if b == Spread {
+		return "spread"
+	}
+	return "close"
+}
+
+// Team is a set of threads bound onto the cores of one node.
+type Team struct {
+	node    machine.Node
+	threads int
+	binding Binding
+}
+
+// NewTeam creates a team of n threads on the node with the given binding.
+// It returns an error when n exceeds the node's cores (the paper never
+// oversubscribes) or is not positive.
+func NewTeam(node machine.Node, n int, binding Binding) (*Team, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("omp: team size %d must be positive", n)
+	}
+	if n > node.Cores() {
+		return nil, fmt.Errorf("omp: team size %d exceeds %d cores", n, node.Cores())
+	}
+	return &Team{node: node, threads: n, binding: binding}, nil
+}
+
+// Threads returns the team size.
+func (t *Team) Threads() int { return t.threads }
+
+// Binding returns the team's binding policy.
+func (t *Team) Binding() Binding { return t.binding }
+
+// Node returns the node the team runs on.
+func (t *Team) Node() machine.Node { return t.node }
+
+// CoreOf returns the core index thread tid is bound to.
+//
+// Close packs threads onto consecutive cores (0, 1, 2, ...). Spread places
+// them at maximal distance, like OMP_PROC_BIND=spread: thread i sits at
+// floor(i * cores / threads).
+func (t *Team) CoreOf(tid int) int {
+	if tid < 0 || tid >= t.threads {
+		panic(fmt.Sprintf("omp: thread %d out of team [0,%d)", tid, t.threads))
+	}
+	if t.binding == Close {
+		return tid
+	}
+	return tid * t.node.Cores() / t.threads
+}
+
+// ThreadsPerDomain returns how many team threads are bound to each memory
+// domain of the node.
+func (t *Team) ThreadsPerDomain() []int {
+	counts := make([]int, len(t.node.Domains))
+	for tid := 0; tid < t.threads; tid++ {
+		counts[t.node.DomainOf(t.CoreOf(tid))]++
+	}
+	return counts
+}
+
+// ParallelFor executes body(i) for every i in [0, n) across the team using
+// the given schedule. It blocks until all iterations complete. chunk is the
+// chunk size for Dynamic (and the minimum chunk for Guided); pass 0 for the
+// default.
+func (t *Team) ParallelFor(n int, sched Schedule, chunk int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := t.threads
+	if workers > n {
+		workers = n
+	}
+	switch sched {
+	case Static:
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo, hi := staticRange(n, workers, w)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	case Dynamic:
+		if chunk <= 0 {
+			chunk = 1
+		}
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						body(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	case Guided:
+		if chunk <= 0 {
+			chunk = 1
+		}
+		var mu sync.Mutex
+		remainingLo := 0
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					lo := remainingLo
+					if lo >= n {
+						mu.Unlock()
+						return
+					}
+					size := (n - lo + workers - 1) / workers
+					if size < chunk {
+						size = chunk
+					}
+					hi := lo + size
+					if hi > n {
+						hi = n
+					}
+					remainingLo = hi
+					mu.Unlock()
+					for i := lo; i < hi; i++ {
+						body(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	default:
+		panic(fmt.Sprintf("omp: unknown schedule %d", sched))
+	}
+}
+
+// staticRange returns the half-open iteration range of worker w under the
+// balanced static schedule (the first n%workers workers get one extra).
+func staticRange(n, workers, w int) (lo, hi int) {
+	base := n / workers
+	extra := n % workers
+	lo = w*base + min(w, extra)
+	hi = lo + base
+	if w < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ParallelReduce computes the sum of body(i) over [0, n) across the team
+// with a per-thread partial accumulator (no atomics in the hot path), as an
+// OpenMP reduction(+) would.
+func (t *Team) ParallelReduce(n int, body func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := t.threads
+	if workers > n {
+		workers = n
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := staticRange(n, workers, w)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += body(i)
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// ParallelRanges calls body(w, lo, hi) once per worker with that worker's
+// static range — the fast path for slice kernels that want per-thread loops
+// without per-iteration closure overhead (how the STREAM kernels run).
+func (t *Team) ParallelRanges(n int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := t.threads
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := staticRange(n, workers, w)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,241 @@
+package omp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/machine"
+)
+
+func team(t *testing.T, n int, b Binding) *Team {
+	t.Helper()
+	tm, err := NewTeam(machine.CTEArm().Node, n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestNewTeamValidation(t *testing.T) {
+	node := machine.CTEArm().Node
+	if _, err := NewTeam(node, 0, Spread); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewTeam(node, 49, Spread); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := NewTeam(node, 48, Close); err != nil {
+		t.Errorf("full node rejected: %v", err)
+	}
+}
+
+func TestCloseBinding(t *testing.T) {
+	tm := team(t, 12, Close)
+	for tid := 0; tid < 12; tid++ {
+		if got := tm.CoreOf(tid); got != tid {
+			t.Errorf("close CoreOf(%d) = %d", tid, got)
+		}
+	}
+	// All 12 threads land on CMG0.
+	per := tm.ThreadsPerDomain()
+	if per[0] != 12 || per[1] != 0 {
+		t.Errorf("close 12 threads per domain = %v", per)
+	}
+}
+
+func TestSpreadBinding(t *testing.T) {
+	// 4 threads spread over 48 cores: cores 0, 12, 24, 36 — one per CMG.
+	tm := team(t, 4, Spread)
+	wantCores := []int{0, 12, 24, 36}
+	for tid, want := range wantCores {
+		if got := tm.CoreOf(tid); got != want {
+			t.Errorf("spread CoreOf(%d) = %d, want %d", tid, got, want)
+		}
+	}
+	per := tm.ThreadsPerDomain()
+	for d, k := range per {
+		if k != 1 {
+			t.Errorf("domain %d has %d threads, want 1", d, k)
+		}
+	}
+}
+
+func TestSpreadBalanced(t *testing.T) {
+	// 24 threads spread on A64FX: 6 per CMG (this is the paper's best
+	// OpenMP STREAM configuration).
+	tm := team(t, 24, Spread)
+	for d, k := range tm.ThreadsPerDomain() {
+		if k != 6 {
+			t.Errorf("domain %d has %d threads, want 6", d, k)
+		}
+	}
+	// MN4: 24 spread threads = 12 per socket.
+	tm2, err := NewTeam(machine.MareNostrum4().Node, 24, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, k := range tm2.ThreadsPerDomain() {
+		if k != 12 {
+			t.Errorf("MN4 socket %d has %d threads, want 12", d, k)
+		}
+	}
+}
+
+func TestCoreOfPanics(t *testing.T) {
+	tm := team(t, 4, Spread)
+	for _, tid := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CoreOf(%d) did not panic", tid)
+				}
+			}()
+			tm.CoreOf(tid)
+		}()
+	}
+}
+
+func TestParallelForCoversAllIterations(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		tm := team(t, 8, Spread)
+		const n = 1000
+		var hits [n]int32
+		tm.ParallelFor(n, sched, 4, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("%v: iteration %d executed %d times", sched, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	tm := team(t, 4, Close)
+	ran := false
+	tm.ParallelFor(0, Static, 0, func(i int) { ran = true })
+	tm.ParallelFor(-5, Dynamic, 0, func(i int) { ran = true })
+	if ran {
+		t.Error("body ran for empty loop")
+	}
+}
+
+func TestParallelForFewerIterationsThanThreads(t *testing.T) {
+	tm := team(t, 16, Spread)
+	var count int32
+	tm.ParallelFor(3, Static, 0, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestStaticRangeBalanced(t *testing.T) {
+	// 10 iterations over 4 workers: 3,3,2,2.
+	sizes := []int{}
+	covered := 0
+	for w := 0; w < 4; w++ {
+		lo, hi := staticRange(10, 4, w)
+		if lo != covered {
+			t.Errorf("worker %d starts at %d, want %d", w, lo, covered)
+		}
+		sizes = append(sizes, hi-lo)
+		covered = hi
+	}
+	if covered != 10 {
+		t.Errorf("covered %d of 10", covered)
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestParallelReduce(t *testing.T) {
+	tm := team(t, 7, Close)
+	const n = 10000
+	got := tm.ParallelReduce(n, func(i int) float64 { return float64(i) })
+	want := float64(n*(n-1)) / 2
+	if got != want {
+		t.Errorf("reduce = %v, want %v", got, want)
+	}
+	if got := tm.ParallelReduce(0, func(i int) float64 { return 1 }); got != 0 {
+		t.Errorf("empty reduce = %v", got)
+	}
+}
+
+func TestParallelReduceNumericallyStable(t *testing.T) {
+	tm := team(t, 5, Close)
+	const n = 5000
+	got := tm.ParallelReduce(n, func(i int) float64 { return 1.0 / float64(i+1) })
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += 1.0 / float64(i+1)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("harmonic sum = %v, serial %v", got, want)
+	}
+}
+
+func TestParallelRanges(t *testing.T) {
+	tm := team(t, 6, Spread)
+	const n = 100
+	var total int64
+	seen := make([]int32, n)
+	tm.ParallelRanges(n, func(w, lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if total != n {
+		t.Errorf("ranges covered %d of %d", total, n)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("iteration %d covered %d times", i, s)
+		}
+	}
+}
+
+// Property: ThreadsPerDomain sums to the team size and never exceeds each
+// domain's core count, for every size and binding.
+func TestThreadsPerDomainProperty(t *testing.T) {
+	node := machine.CTEArm().Node
+	f := func(nRaw uint8, bRaw bool) bool {
+		n := int(nRaw)%node.Cores() + 1
+		binding := Spread
+		if bRaw {
+			binding = Close
+		}
+		tm, err := NewTeam(node, n, binding)
+		if err != nil {
+			return false
+		}
+		per := tm.ThreadsPerDomain()
+		sum := 0
+		for d, k := range per {
+			if k < 0 || k > node.Domains[d].Cores {
+				return false
+			}
+			sum += k
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleBindingStrings(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Error("schedule names")
+	}
+	if Spread.String() != "spread" || Close.String() != "close" {
+		t.Error("binding names")
+	}
+}

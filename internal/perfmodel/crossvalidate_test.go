@@ -1,0 +1,123 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/mpisim"
+	"clustereval/internal/units"
+)
+
+// The closed-form collective costs exist so paper-scale runs need not spawn
+// 9216 DES processes. These tests cross-validate them against the actual
+// simulated-MPI collectives on small worlds: the closed form must track the
+// DES measurement within a factor of two across sizes and rank counts
+// (the algorithms match; the closed form ignores pipelining, software
+// overheads and jitter).
+
+func desWorld(t *testing.T, ranks int) (*mpisim.World, CommCost) {
+	t.Helper()
+	fab, err := interconnect.NewTofuD(machine.CTEArm(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpisim.NewWorld(fab, ranks, 1) // one rank per node
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := make([]int, ranks)
+	for i := range alloc {
+		alloc[i] = i
+	}
+	return w, NewCommCost(fab, alloc)
+}
+
+func within(t *testing.T, name string, measured, predicted units.Seconds, factor float64) {
+	t.Helper()
+	lo, hi := float64(predicted)/factor, float64(predicted)*factor
+	if float64(measured) < lo || float64(measured) > hi {
+		t.Errorf("%s: DES %v vs closed form %v (outside %gx band)",
+			name, measured, predicted, factor)
+	}
+}
+
+func TestAllreduceCostCrossValidation(t *testing.T) {
+	for _, ranks := range []int{4, 8, 16} {
+		for _, bytesPer := range []units.Bytes{8, 4096} {
+			w, cost := desWorld(t, ranks)
+			n := int(bytesPer / 8)
+			err := w.Run(func(c *mpisim.Comm) {
+				data := make([]float64, n)
+				c.Allreduce(data, mpisim.OpSum, 8)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			within(t, "allreduce", w.Elapsed(), cost.Allreduce(ranks, bytesPer), 2.6)
+		}
+	}
+}
+
+func TestBcastCostCrossValidation(t *testing.T) {
+	for _, ranks := range []int{4, 8, 16} {
+		w, cost := desWorld(t, ranks)
+		payload := make([]float64, 512)
+		err := w.Run(func(c *mpisim.Comm) {
+			var p interface{}
+			if c.Rank() == 0 {
+				p = payload
+			}
+			c.Bcast(0, 4096, p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "bcast", w.Elapsed(), cost.Bcast(ranks, 4096), 2.6)
+	}
+}
+
+func TestBarrierCostCrossValidation(t *testing.T) {
+	for _, ranks := range []int{4, 8, 16} {
+		w, cost := desWorld(t, ranks)
+		err := w.Run(func(c *mpisim.Comm) { c.Barrier() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "barrier", w.Elapsed(), cost.Barrier(ranks), 2.6)
+	}
+}
+
+func TestAlltoallCostCrossValidation(t *testing.T) {
+	for _, ranks := range []int{4, 8} {
+		w, cost := desWorld(t, ranks)
+		err := w.Run(func(c *mpisim.Comm) {
+			blocks := make([][]float64, c.Size())
+			for i := range blocks {
+				blocks[i] = make([]float64, 128)
+			}
+			c.Alltoall(blocks, 8)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "alltoall", w.Elapsed(), cost.Alltoall(ranks, 1024), 2.6)
+	}
+}
+
+func TestPtToPtCostCrossValidation(t *testing.T) {
+	for _, size := range []units.Bytes{256, 64 * 1024, 1 << 20} {
+		w, cost := desWorld(t, 2)
+		err := w.Run(func(c *mpisim.Comm) {
+			if c.Rank() == 0 {
+				c.Send(1, 0, size, nil)
+			} else {
+				c.Recv(0, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "pt2pt", w.Elapsed(), cost.PtToPt(size), 2.6)
+	}
+}

@@ -1,0 +1,256 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/toolchain"
+	"clustereval/internal/units"
+)
+
+func execArm(t *testing.T) *Exec {
+	t.Helper()
+	e, err := NewExec(machine.CTEArm(), toolchain.GNUArmSVE(), "WRF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func execMN4(t *testing.T) *Exec {
+	t.Helper()
+	e, err := NewExec(machine.MareNostrum4(), toolchain.IntelMN4(), "WRF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewExecPropagatesCompileFailure(t *testing.T) {
+	_, err := NewExec(machine.CTEArm(), toolchain.FujitsuArm("1.2.26b"), "Alya")
+	if err == nil {
+		t.Error("Fujitsu Alya build should fail")
+	}
+}
+
+func TestComputeBoundTime(t *testing.T) {
+	e := execMN4(t)
+	// Pure compute: 1 GFlop of app-loop work on one core.
+	w := Work{Flops: 1e9, Kind: toolchain.AppLoop}
+	got := float64(e.Time(w, 1))
+	want := 1e9 / float64(e.CoreFlops(toolchain.AppLoop))
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("compute time = %v, want %v", got, want)
+	}
+}
+
+func TestMemoryBoundTime(t *testing.T) {
+	e := execArm(t)
+	// Pure streaming: 1 GB over a full node.
+	w := Work{Bytes: 1e9, Kind: toolchain.RegularLoop}
+	got := float64(e.Time(w, 48))
+	want := 1e9 / float64(e.NodeStreamBW())
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("memory time = %v, want %v", got, want)
+	}
+}
+
+func TestRooflineTakesMax(t *testing.T) {
+	e := execMN4(t)
+	w := Work{Flops: 1e9, Bytes: 1e9, Kind: toolchain.AppLoop}
+	combined := e.Time(w, 4)
+	onlyC := e.Time(Work{Flops: 1e9, Kind: toolchain.AppLoop}, 4)
+	onlyM := e.Time(Work{Bytes: 1e9, Kind: toolchain.AppLoop}, 4)
+	if float64(combined) < math.Max(float64(onlyC), float64(onlyM))-1e-15 {
+		t.Error("roofline lower bound violated")
+	}
+}
+
+func TestScalarFallbackGap(t *testing.T) {
+	// The paper's core finding: compute-bound app loops run 3-5x slower on
+	// CTE-Arm (GNU scalar fallback + weak OoO) than on MN4 (Intel AVX-512).
+	arm, mn4 := execArm(t), execMN4(t)
+	w := Work{Flops: 1e12, Kind: toolchain.AppLoop}
+	tArm := float64(arm.Time(w, 48))
+	tMN4 := float64(mn4.Time(w, 48))
+	ratio := tArm / tMN4
+	if ratio < 3 || ratio > 20 {
+		t.Errorf("app-loop node ratio = %.2f, want in [3, 20]", ratio)
+	}
+}
+
+func TestMemoryBoundFavorsA64FX(t *testing.T) {
+	// HBM vs DDR4: memory-bound phases must run ~3-4x faster per node on
+	// CTE-Arm (the paper's Alya Solver observation).
+	arm, mn4 := execArm(t), execMN4(t)
+	w := Work{Bytes: 1e12, Kind: toolchain.AppLoop}
+	tArm := float64(arm.Time(w, 48))
+	tMN4 := float64(mn4.Time(w, 48))
+	if r := tMN4 / tArm; r < 3 || r > 5.5 {
+		t.Errorf("memory-bound ratio MN4/CTE = %.2f, want ~4.3", r)
+	}
+}
+
+func TestMemoryBoundPredicate(t *testing.T) {
+	e := execArm(t)
+	if e.MemoryBound(Work{Flops: 1e12, Bytes: 1, Kind: toolchain.AppLoop}, 48) {
+		t.Error("flop-heavy work classified memory-bound")
+	}
+	if !e.MemoryBound(Work{Flops: 1, Bytes: 1e12, Kind: toolchain.AppLoop}, 48) {
+		t.Error("byte-heavy work classified compute-bound")
+	}
+}
+
+func TestTimePanics(t *testing.T) {
+	e := execArm(t)
+	for _, f := range []func(){
+		func() { e.Time(Work{Flops: 1}, 0) },
+		func() { e.Time(Work{Flops: -1}, 1) },
+		func() { e.Time(Work{Bytes: -1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCoresClampedToNode(t *testing.T) {
+	e := execArm(t)
+	w := Work{Flops: 1e9, Kind: toolchain.AppLoop}
+	if e.Time(w, 48) != e.Time(w, 1000) {
+		t.Error("core count should clamp at node size")
+	}
+}
+
+func commCost(t *testing.T, nodes int) CommCost {
+	t.Helper()
+	f, err := interconnect.NewTofuD(machine.CTEArm(), 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := make([]int, nodes)
+	for i := range alloc {
+		alloc[i] = i
+	}
+	return NewCommCost(f, alloc)
+}
+
+func TestCommCostAlphaReasonable(t *testing.T) {
+	c := commCost(t, 48)
+	// α must be within the fabric's physical latency range.
+	if c.Alpha < units.Seconds(0.49e-6) || c.Alpha > units.Seconds(2e-6) {
+		t.Errorf("alpha = %v out of TofuD range", c.Alpha)
+	}
+	// β is 1/6.8GB/s.
+	if math.Abs(c.Beta-1/(6.8e9)) > 1e-15 {
+		t.Errorf("beta = %v", c.Beta)
+	}
+}
+
+func TestCommCostGrowsWithAllocation(t *testing.T) {
+	small := commCost(t, 12)
+	large := commCost(t, 192)
+	if large.Alpha <= small.Alpha {
+		t.Errorf("larger allocation should have larger mean latency: %v vs %v",
+			small.Alpha, large.Alpha)
+	}
+}
+
+func TestCollectiveShapes(t *testing.T) {
+	c := CommCost{Alpha: 1e-6, Beta: 1e-9}
+	// Allreduce scales with log2(p).
+	if got := c.Allreduce(8, 8); math.Abs(float64(got)/float64(c.PtToPt(8))-3) > 1e-9 {
+		t.Errorf("allreduce(8) = %v, want 3 rounds", got)
+	}
+	if c.Allreduce(1, 8) != 0 {
+		t.Error("allreduce of one rank should be free")
+	}
+	// Non-power-of-two takes ceil.
+	if got := c.Allreduce(9, 8); math.Abs(float64(got)/float64(c.PtToPt(8))-4) > 1e-9 {
+		t.Errorf("allreduce(9) = %v, want 4 rounds", got)
+	}
+	// Alltoall and allgather scale with p-1.
+	if got := c.Alltoall(16, 100); math.Abs(float64(got)/float64(c.PtToPt(100))-15) > 1e-9 {
+		t.Errorf("alltoall(16) = %v", got)
+	}
+	if got := c.Allgather(4, 100); math.Abs(float64(got)/float64(c.PtToPt(100))-3) > 1e-9 {
+		t.Errorf("allgather(4) = %v", got)
+	}
+	if c.Alltoall(1, 100) != 0 || c.Allgather(1, 100) != 0 {
+		t.Error("single-rank collectives should be free")
+	}
+	// Halo exchange is linear in face count.
+	if got := c.HaloExchange(6, 100); math.Abs(float64(got)-6*float64(c.PtToPt(100))) > 1e-18 {
+		t.Errorf("halo = %v", got)
+	}
+	if c.HaloExchange(0, 100) != 0 {
+		t.Error("no neighbours should be free")
+	}
+	if got := c.Barrier(32); math.Abs(float64(got)-5*float64(c.PtToPt(8))) > 1e-18 {
+		t.Errorf("barrier = %v", got)
+	}
+}
+
+func TestNewCommCostPanicsOnEmpty(t *testing.T) {
+	f, _ := interconnect.NewTofuD(machine.CTEArm(), 192)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty allocation accepted")
+		}
+	}()
+	NewCommCost(f, nil)
+}
+
+func TestImbalance(t *testing.T) {
+	if Imbalance(1, 0.5) != 1 {
+		t.Error("single part has no imbalance")
+	}
+	if Imbalance(100, 0) != 1 {
+		t.Error("zero sigma has no imbalance")
+	}
+	i16 := Imbalance(16, 0.1)
+	i256 := Imbalance(256, 0.1)
+	if !(i256 > i16 && i16 > 1) {
+		t.Errorf("imbalance not growing: %v %v", i16, i256)
+	}
+	// Against the closed form.
+	want := 1 + 0.1*math.Sqrt(2*math.Log(16))
+	if math.Abs(i16-want) > 1e-12 {
+		t.Errorf("imbalance(16, 0.1) = %v, want %v", i16, want)
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	if Amdahl(0, 16) != 16 {
+		t.Error("fully parallel should scale linearly")
+	}
+	if Amdahl(1, 16) != 1 {
+		t.Error("fully serial should not scale")
+	}
+	got := Amdahl(0.1, 10)
+	want := 1 / (0.1 + 0.9/10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("amdahl = %v, want %v", got, want)
+	}
+	for _, f := range []func(){
+		func() { Amdahl(-0.1, 4) },
+		func() { Amdahl(1.1, 4) },
+		func() { Amdahl(0.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,353 @@
+// Package report renders evaluation results for the terminal and for
+// post-processing: aligned text tables, logarithmic ASCII scatter plots
+// (the scalability figures), ASCII heatmaps (Fig. 4) and CSV output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, wd := range widths {
+			total += wd + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (naive quoting: cells
+// containing commas or quotes are double-quoted).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named curve of a plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a log-log ASCII scatter plot, the shape of the paper's
+// scalability figures.
+type Plot struct {
+	Title, XLabel, YLabel string
+	Width, Height         int
+	LogX, LogY            bool
+	Series                []Series
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'o', 'x', '+', '*', '#', '@'}
+
+// Render draws the plot to w. It fails on empty or degenerate data.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	var xs, ys []float64
+	for _, s := range p.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has mismatched lengths", s.Name)
+		}
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	tx, err := newAxis(xs, p.LogX)
+	if err != nil {
+		return fmt.Errorf("report: x axis: %w", err)
+	}
+	ty, err := newAxis(ys, p.LogY)
+	if err != nil {
+		return fmt.Errorf("report: y axis: %w", err)
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int(tx.frac(s.X[i]) * float64(width-1))
+			cy := height - 1 - int(ty.frac(s.Y[i])*float64(height-1))
+			grid[cy][cx] = m
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[indexOf(p.Series, s.Name)%len(markers)], s.Name)
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", ty.max, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", ty.min, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-10.3g%*s\n", p.YLabel, tx.min, width-10, fmt.Sprintf("%.3g %s", tx.max, p.XLabel))
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+func indexOf(series []Series, name string) int {
+	for i, s := range series {
+		if s.Name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// CSV writes the plot's raw data in long form: series,x,y — the format
+// external plotting tools ingest directly.
+func (p *Plot) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range p.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.X {
+			name := s.Name
+			if strings.ContainsAny(name, ",\"\n") {
+				name = `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+			}
+			fmt.Fprintf(&b, "%s,%g,%g\n", name, s.X[i], s.Y[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// axis maps data values onto [0, 1], optionally logarithmically.
+type axis struct {
+	min, max float64
+	log      bool
+}
+
+func newAxis(vals []float64, logScale bool) (axis, error) {
+	a := axis{min: math.Inf(1), max: math.Inf(-1), log: logScale}
+	for _, v := range vals {
+		if logScale && v <= 0 {
+			return axis{}, fmt.Errorf("non-positive value %v on log axis", v)
+		}
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	if a.min == a.max {
+		// Widen a degenerate range so frac is well defined.
+		if a.min == 0 {
+			a.max = 1
+		} else {
+			a.min, a.max = a.min*0.9, a.max*1.1
+		}
+	}
+	return a, nil
+}
+
+func (a axis) frac(v float64) float64 {
+	lo, hi, x := a.min, a.max, v
+	if a.log {
+		lo, hi, x = math.Log(lo), math.Log(hi), math.Log(v)
+	}
+	f := (x - lo) / (hi - lo)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Heatmap renders a 2D matrix with a density character ramp (Fig. 4).
+type Heatmap struct {
+	Title string
+	// Values[row][col]; zero cells render as blanks.
+	Values [][]float64
+	// Downsample collapses blocks of cells to keep the output terminal-sized.
+	Downsample int
+}
+
+// CSV writes the heatmap as row,col,value triples (zero cells skipped).
+func (h *Heatmap) CSV(w io.Writer) error {
+	if len(h.Values) == 0 {
+		return fmt.Errorf("report: empty heatmap")
+	}
+	var b strings.Builder
+	b.WriteString("row,col,value\n")
+	for r, row := range h.Values {
+		for c, v := range row {
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%d,%d,%g\n", r, c, v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ramp is the density palette from light to dark.
+const ramp = " .:-=+*#%@"
+
+// Render writes the heatmap to w.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) == 0 {
+		return fmt.Errorf("report: empty heatmap")
+	}
+	ds := h.Downsample
+	if ds <= 0 {
+		ds = 1
+	}
+	rows := (len(h.Values) + ds - 1) / ds
+	cols := (len(h.Values[0]) + ds - 1) / ds
+
+	// Block-average.
+	avg := make([][]float64, rows)
+	min, max := math.Inf(1), math.Inf(-1)
+	for r := 0; r < rows; r++ {
+		avg[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			sum, cnt := 0.0, 0
+			for i := r * ds; i < (r+1)*ds && i < len(h.Values); i++ {
+				for j := c * ds; j < (c+1)*ds && j < len(h.Values[i]); j++ {
+					if h.Values[i][j] != 0 {
+						sum += h.Values[i][j]
+						cnt++
+					}
+				}
+			}
+			if cnt > 0 {
+				avg[r][c] = sum / float64(cnt)
+				if avg[r][c] < min {
+					min = avg[r][c]
+				}
+				if avg[r][c] > max {
+					max = avg[r][c]
+				}
+			}
+		}
+	}
+	if min > max {
+		return fmt.Errorf("report: heatmap has no nonzero cells")
+	}
+
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := avg[r][c]
+			if v == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			frac := 0.0
+			if max > min {
+				frac = (v - min) / (max - min)
+			}
+			idx := int(frac * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: %s  (low %.3g .. high %.3g)\n", ramp, min, max)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,205 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("bb", "22", "extra")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "name", "alpha", "extra", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: "value" and "1" start at the same offset.
+	lines := strings.Split(out, "\n")
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(`with,comma`, `with"quote`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header line wrong: %s", out)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := &Plot{
+		Title: "scaling", XLabel: "nodes", YLabel: "time",
+		LogX: true, LogY: true,
+		Series: []Series{
+			{Name: "CTE-Arm", X: []float64{1, 2, 4, 8}, Y: []float64{100, 52, 27, 14}},
+			{Name: "MN4", X: []float64{1, 2, 4, 8}, Y: []float64{30, 16, 8.5, 4.5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scaling") || !strings.Contains(out, "CTE-Arm") {
+		t.Errorf("plot missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("plot missing point markers:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	if err := (&Plot{}).Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty plot accepted")
+	}
+	p := &Plot{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := p.Render(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	p = &Plot{LogY: true, Series: []Series{{Name: "neg", X: []float64{1}, Y: []float64{-1}}}}
+	if err := p.Render(&bytes.Buffer{}); err == nil {
+		t.Error("negative value on log axis accepted")
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	if err := p.Render(&bytes.Buffer{}); err != nil {
+		t.Errorf("flat series should render: %v", err)
+	}
+}
+
+func TestPlotCSV(t *testing.T) {
+	p := &Plot{Series: []Series{
+		{Name: "a,b", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "plain", X: []float64{3}, Y: []float64{30}},
+	}}
+	var buf bytes.Buffer
+	if err := p.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Errorf("header: %s", out)
+	}
+	if !strings.Contains(out, `"a,b",1,10`) {
+		t.Errorf("quoted series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "plain,3,30") {
+		t.Errorf("plain series missing:\n%s", out)
+	}
+	bad := &Plot{Series: []Series{{Name: "x", X: []float64{1}, Y: nil}}}
+	if err := bad.CSV(&buf); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	h := &Heatmap{Values: [][]float64{{0, 1.5}, {2, 0}}}
+	var buf bytes.Buffer
+	if err := h.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0,1,1.5") || !strings.Contains(out, "1,0,2") {
+		t.Errorf("heatmap csv:\n%s", out)
+	}
+	if strings.Contains(out, "0,0,0") {
+		t.Error("zero cells should be skipped")
+	}
+	if err := (&Heatmap{}).CSV(&buf); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	vals := make([][]float64, 8)
+	for i := range vals {
+		vals[i] = make([]float64, 8)
+		for j := range vals[i] {
+			if i != j {
+				vals[i][j] = float64(i + j)
+			}
+		}
+	}
+	h := &Heatmap{Title: "pairs", Values: vals}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pairs") || !strings.Contains(out, "scale:") {
+		t.Errorf("heatmap output:\n%s", out)
+	}
+	// High values render darker than low ones: '@' must appear.
+	if !strings.Contains(out, "@") {
+		t.Errorf("no dark cells:\n%s", out)
+	}
+}
+
+func TestHeatmapDownsample(t *testing.T) {
+	vals := make([][]float64, 100)
+	for i := range vals {
+		vals[i] = make([]float64, 100)
+		for j := range vals[i] {
+			vals[i][j] = 1
+		}
+	}
+	h := &Heatmap{Values: vals, Downsample: 4}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// 100/4 = 25 rows plus the scale line.
+	if len(lines) != 26 {
+		t.Errorf("downsampled to %d lines, want 26", len(lines))
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if err := (&Heatmap{}).Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+	h := &Heatmap{Values: [][]float64{{0, 0}, {0, 0}}}
+	if err := h.Render(&bytes.Buffer{}); err == nil {
+		t.Error("all-zero heatmap accepted")
+	}
+}
+
+func TestAxisFracClamps(t *testing.T) {
+	a, err := newAxis([]float64{1, 10}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.frac(-5) != 0 || a.frac(100) != 1 {
+		t.Error("frac should clamp out-of-range values")
+	}
+	if f := a.frac(5.5); f < 0.49 || f > 0.51 {
+		t.Errorf("frac(5.5) = %v", f)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sched models the cluster's batch scheduler. The paper notes that
+// CTE-Arm's scheduler "is aware of the network topology and can allocate
+// nodes for user jobs to exploit proximity and reduce the latency of
+// messages" — this package implements that policy (greedy hop-distance
+// clustering) alongside a random baseline, so experiments can quantify what
+// topology-aware placement buys.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"clustereval/internal/topology"
+	"clustereval/internal/xrand"
+)
+
+// Policy selects the node-allocation strategy.
+type Policy int
+
+// Allocation policies.
+const (
+	// TopologyAware grows allocations around a seed node by hop distance.
+	TopologyAware Policy = iota
+	// Random scatters the job across free nodes uniformly.
+	Random
+	// LinearFirstFit takes the lowest-indexed free nodes.
+	LinearFirstFit
+)
+
+func (p Policy) String() string {
+	switch p {
+	case TopologyAware:
+		return "topology-aware"
+	case Random:
+		return "random"
+	default:
+		return "linear-first-fit"
+	}
+}
+
+// Scheduler tracks node occupancy of one cluster and hands out allocations.
+type Scheduler struct {
+	topo   topology.Topology
+	policy Policy
+	busy   []bool
+	nBusy  int
+	rng    *xrand.Rand
+}
+
+// New creates a scheduler over the topology with the given policy; seed
+// drives the Random policy deterministically.
+func New(topo topology.Topology, policy Policy, seed uint64) *Scheduler {
+	return &Scheduler{
+		topo:   topo,
+		policy: policy,
+		busy:   make([]bool, topo.Nodes()),
+		rng:    xrand.New(seed),
+	}
+}
+
+// FreeNodes returns how many nodes are currently unallocated.
+func (s *Scheduler) FreeNodes() int { return len(s.busy) - s.nBusy }
+
+// Allocate reserves n nodes and returns their indices (sorted). It fails
+// when the cluster does not have n free nodes.
+func (s *Scheduler) Allocate(n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: job size %d must be positive", n)
+	}
+	if n > s.FreeNodes() {
+		return nil, fmt.Errorf("sched: job needs %d nodes, only %d free", n, s.FreeNodes())
+	}
+	var alloc []int
+	switch s.policy {
+	case LinearFirstFit:
+		alloc = s.allocateLinear(n)
+	case Random:
+		alloc = s.allocateRandom(n)
+	default:
+		alloc = s.allocateTopology(n)
+	}
+	for _, node := range alloc {
+		s.busy[node] = true
+	}
+	s.nBusy += n
+	sort.Ints(alloc)
+	return alloc, nil
+}
+
+func (s *Scheduler) allocateLinear(n int) []int {
+	alloc := make([]int, 0, n)
+	for i := 0; i < len(s.busy) && len(alloc) < n; i++ {
+		if !s.busy[i] {
+			alloc = append(alloc, i)
+		}
+	}
+	return alloc
+}
+
+func (s *Scheduler) allocateRandom(n int) []int {
+	free := make([]int, 0, s.FreeNodes())
+	for i, b := range s.busy {
+		if !b {
+			free = append(free, i)
+		}
+	}
+	perm := s.rng.Perm(len(free))
+	alloc := make([]int, n)
+	for i := 0; i < n; i++ {
+		alloc[i] = free[perm[i]]
+	}
+	return alloc
+}
+
+// allocateTopology grows the job around the free node whose neighbourhood
+// is densest: it tries each free node as a seed (sampled for big clusters),
+// collects the n nearest free nodes by hop distance, and keeps the seed
+// with the smallest total distance.
+func (s *Scheduler) allocateTopology(n int) []int {
+	free := make([]int, 0, s.FreeNodes())
+	for i, b := range s.busy {
+		if !b {
+			free = append(free, i)
+		}
+	}
+	seedStride := 1
+	if len(free) > 48 {
+		seedStride = len(free) / 48
+	}
+	bestCost := -1.0
+	var best []int
+	for si := 0; si < len(free); si += seedStride {
+		seed := free[si]
+		cand, cost := s.nearestFrom(seed, free, n)
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	return best
+}
+
+// nearestFrom returns the n free nodes closest to seed and the summed hop
+// distance of the selection. Ties break on node index for determinism.
+func (s *Scheduler) nearestFrom(seed int, free []int, n int) ([]int, float64) {
+	type nd struct{ node, hops int }
+	ds := make([]nd, len(free))
+	for i, f := range free {
+		ds[i] = nd{node: f, hops: s.topo.Hops(seed, f)}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].hops != ds[j].hops {
+			return ds[i].hops < ds[j].hops
+		}
+		return ds[i].node < ds[j].node
+	})
+	alloc := make([]int, n)
+	cost := 0.0
+	for i := 0; i < n; i++ {
+		alloc[i] = ds[i].node
+		cost += float64(ds[i].hops)
+	}
+	return alloc, cost
+}
+
+// Release frees an allocation. It fails on nodes that are not allocated,
+// leaving occupancy unchanged in that case.
+func (s *Scheduler) Release(nodes []int) error {
+	for _, node := range nodes {
+		if node < 0 || node >= len(s.busy) {
+			return fmt.Errorf("sched: release of invalid node %d", node)
+		}
+		if !s.busy[node] {
+			return fmt.Errorf("sched: release of free node %d", node)
+		}
+	}
+	for _, node := range nodes {
+		s.busy[node] = false
+	}
+	s.nBusy -= len(nodes)
+	return nil
+}
+
+// AvgPairwiseHops measures the quality of an allocation: the mean hop
+// distance over all node pairs (0 for single-node jobs).
+func AvgPairwiseHops(topo topology.Topology, alloc []int) float64 {
+	if len(alloc) < 2 {
+		return 0
+	}
+	sum, count := 0.0, 0
+	for i := range alloc {
+		for j := i + 1; j < len(alloc); j++ {
+			sum += float64(topo.Hops(alloc[i], alloc[j]))
+			count++
+		}
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,90 @@
+package simdvec
+
+import "math"
+
+// F16 is an IEEE 754 binary16 value. The A64FX executes half precision at
+// full rate in SVE (the paper's FPU µKernel includes half-precision
+// variants); Go has no native float16, so this softfloat implementation
+// provides correctly rounded conversions.
+type F16 uint16
+
+// F16FromFloat32 converts with round-to-nearest-even, the IEEE default.
+func F16FromFloat32(f float32) F16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// Overflow or special: Inf/NaN.
+		if int32(bits>>23&0xff) == 0xff {
+			if mant != 0 {
+				return F16(sign | 0x7e00) // NaN (quiet)
+			}
+			return F16(sign | 0x7c00) // Inf
+		}
+		return F16(sign | 0x7c00) // overflow to Inf
+	case exp <= 0:
+		// Subnormal or underflow to zero.
+		if exp < -10 {
+			return F16(sign)
+		}
+		// Add the implicit leading 1, then shift into subnormal position
+		// with round-to-nearest-even: add (half-1) plus the bit that will
+		// become the LSB, so ties round toward even.
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + (half - 1) + (mant>>shift)&1) >> shift
+		return F16(sign | uint16(rounded))
+	default:
+		// Normal range: round the 23-bit mantissa to 10 bits.
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 {
+			// Mantissa overflowed into the exponent.
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return F16(sign | 0x7c00)
+			}
+		}
+		return F16(sign | uint16(exp)<<10 | uint16(rounded>>13))
+	}
+}
+
+// Float32 converts back to float32 exactly (binary16 ⊂ binary32).
+func (h F16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Normalize the subnormal.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// fmaF16 computes round16(a*b + c): the product and sum are evaluated in
+// float32 (exact for binary16 inputs) and rounded once, matching hardware
+// fused multiply-add semantics for half precision.
+func fmaF16(a, b, c F16) F16 {
+	return F16FromFloat32(a.Float32()*b.Float32() + c.Float32())
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustereval/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("bad extremes: %+v", s)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !almost(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if !almost(s.Median, 4.5, 1e-12) {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{5, 5, 5}); cv != 0 {
+		t.Errorf("constant sample cv = %v", cv)
+	}
+	cv := CoefficientOfVariation([]float64{9, 10, 11})
+	if !almost(cv, 1.0/10.0, 1e-12) {
+		t.Errorf("cv = %v, want 0.1", cv)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 2.5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d, want 6", h.Total())
+	}
+	if h.Counts[0] != 3 { // 0.5, 1, and clamped -3
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9 and clamped 42
+		t.Errorf("bin 4 = %d, want 2", h.Counts[4])
+	}
+	if !almost(h.BinCenter(0), 1, 1e-12) || !almost(h.BinCenter(4), 9, 1e-12) {
+		t.Error("bin centers wrong")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+		func() { NewHistogram(7, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramModesBimodal(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	r := xrand.New(1)
+	for i := 0; i < 5000; i++ {
+		h.Add(2.5 + 0.5*r.NormFloat64())
+		h.Add(7.5 + 0.5*r.NormFloat64())
+	}
+	modes := h.Modes(0.3)
+	if len(modes) != 2 {
+		t.Fatalf("modes = %v, want two", modes)
+	}
+	if !almost(h.BinCenter(modes[0]), 2.5, 1.0) || !almost(h.BinCenter(modes[1]), 7.5, 1.0) {
+		t.Errorf("mode centers: %v %v", h.BinCenter(modes[0]), h.BinCenter(modes[1]))
+	}
+}
+
+func TestHistogramModesEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if m := h.Modes(0.5); m != nil {
+		t.Errorf("empty histogram modes = %v", m)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x+1
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Slope, 2, 1e-12) || !almost(f.Intercept, 1, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	f, err := FitLine([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Slope, 0, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Errorf("constant-y fit = %+v", f)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !almost(g, 4, 1e-12) {
+		t.Errorf("geomean = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{1, -2}); g != 0 {
+		t.Errorf("geomean with negative = %v, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean empty = %v, want 0", g)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-12 && s.Median <= s.Max+1e-12 &&
+			s.Min <= s.Mean+1e-12 && s.Mean <= s.Max+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

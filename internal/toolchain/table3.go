@@ -1,0 +1,114 @@
+package toolchain
+
+// AppBuildConfig is one row-group of Table III: how an application was built
+// on one machine.
+type AppBuildConfig struct {
+	App          string
+	Machine      string
+	Compiler     Compiler
+	MPIFlavor    string
+	Dependencies []string
+}
+
+// AppBuilds returns the full content of Table III: the build configuration
+// of each application on each machine, exactly as the paper reports them.
+func AppBuilds() []AppBuildConfig {
+	return []AppBuildConfig{
+		{
+			App: "Alya", Machine: "CTE-Arm",
+			Compiler: GNUArmSVE("-ffree-line-length-512", "-DNDIMEPAR",
+				"-DVECTOR_SIZE=16", "-DMETIS"),
+			MPIFlavor:    "Fujitsu/1.1.18",
+			Dependencies: []string{"metis/4.0"},
+		},
+		{
+			App: "Alya", Machine: "MareNostrum 4",
+			Compiler: Compiler{
+				Vendor: GNU, Version: "8.4.2",
+				Flags: []string{"-O3", "-march=skylake-avx512", "-ffree-line-length-none",
+					"-fimplicit-none", "-DNDIMEPAR", "-DVECTOR_SIZE=16", "-DMETIS"},
+			},
+			MPIFlavor:    "OpenMPI/4.0.2",
+			Dependencies: []string{"metis/4.0"},
+		},
+		{
+			App: "NEMO", Machine: "CTE-Arm",
+			Compiler: GNUArmSVE("-fdefault-real-8", "-funroll-all-loops",
+				"-fcray-pointer", "-ffree-line-length-none"),
+			MPIFlavor:    "Fujitsu/1.2.26b",
+			Dependencies: []string{"HDF5/1.12.0", "NetCDF-C/4.7.4", "NetCDF-F/4.5.3"},
+		},
+		{
+			App: "NEMO", Machine: "MareNostrum 4",
+			Compiler: Compiler{
+				Vendor: Intel, Version: "2017.4",
+				Flags: []string{"-O3", "-g", "-i4", "-r8", "-xCORE-AVX512",
+					"-mtune=skylake", "-fp-model", "strict", "-fno-alias", "-traceback"},
+			},
+			MPIFlavor:    "Intel/2018.4",
+			Dependencies: []string{"HDF5/1.8.19", "NetCDF-C/4.2", "NetCDF-F/4.2"},
+		},
+		{
+			App: "Gromacs", Machine: "CTE-Arm",
+			Compiler:     GNU11Arm(),
+			MPIFlavor:    "Fujitsu/1.2.26b",
+			Dependencies: []string{"fftw3/3.3.9-sve", "Fujitsu SSL2/1.2.26b"},
+		},
+		{
+			App: "Gromacs", Machine: "MareNostrum 4",
+			Compiler: Compiler{
+				Vendor: Intel, Version: "2018.4",
+				Flags: []string{"-O3", "-qopenmp", "-xCORE-AVX512", "-qopt-zmm-usage=high"},
+			},
+			MPIFlavor:    "Intel/2018.4",
+			Dependencies: []string{"fftw/3.3.8", "MKL/2018.4"},
+		},
+		{
+			App: "OpenIFS", Machine: "CTE-Arm",
+			Compiler: GNUArmSVE("-O2", "-fconvert=big-endian", "-fopenmp",
+				"-ffree-line-length-none", "-fdefault-real-8", "-fdefault-double-8"),
+			MPIFlavor: "Fujitsu/1.2.26b",
+			Dependencies: []string{"HDF5/1.12.0", "NetCDF-C/4.7.4", "NetCDF-F/4.5.3",
+				"eccodes/2.18.0", "BLAS/Internal", "LAPACK/Internal"},
+		},
+		{
+			App: "OpenIFS", Machine: "MareNostrum 4",
+			Compiler: Compiler{
+				Vendor: Intel, Version: "2018.4",
+				Flags: []string{"-O0", "-m64", "-O2", "-fpe0", "-fp-model", "precise",
+					"-fp-speculation=safe", "-convert", "big_endian", "-r8"},
+			},
+			MPIFlavor: "Intel/2018.4",
+			Dependencies: []string{"HDF5/1.8.19", "NetCDF-C/4.4.1.1", "NetCDF-F/4.4.1.1",
+				"eccodes/2.18.0", "MKL/2018.4"},
+		},
+		{
+			App: "WRF", Machine: "CTE-Arm",
+			Compiler: GNUArmSVE("-w", "-O3", "-c", "-O2", "-ftree-vectorize",
+				"-funroll-loops", "-fconvert=big-endian", "-frecord-marker=4"),
+			MPIFlavor:    "Fujitsu/1.2.26b",
+			Dependencies: []string{"NETCDF/4.2", "HDF5/1.8.19"},
+		},
+		{
+			App: "WRF", Machine: "MareNostrum 4",
+			Compiler: Compiler{
+				Vendor: Intel, Version: "2017.4",
+				Flags: []string{"-w", "-O3", "-ip", "-fp-model", "precise",
+					"-convert", "big_endian"},
+			},
+			MPIFlavor:    "Intel/2017.4",
+			Dependencies: []string{"NETCDF/4.4.1.1", "HDF5/1.8.19"},
+		},
+	}
+}
+
+// AppBuildFor returns the Table III configuration for (app, machine), or
+// false when the paper has no such row.
+func AppBuildFor(app, machineName string) (AppBuildConfig, bool) {
+	for _, b := range AppBuilds() {
+		if b.App == app && b.Machine == machineName {
+			return b, true
+		}
+	}
+	return AppBuildConfig{}, false
+}

@@ -1,0 +1,240 @@
+package toolchain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"clustereval/internal/machine"
+)
+
+func TestTableII(t *testing.T) {
+	// The four STREAM build rows of Table II.
+	omp := StreamOpenMPArm()
+	if omp.Vendor != Fujitsu || omp.Version != "1.2.26b" {
+		t.Errorf("CTE-Arm OpenMP compiler = %s", omp)
+	}
+	for _, f := range []string{"-Kfast,parallel", "-KSVE", "-Kopenmp", "-Kzfill=100", "-mcmodel=large"} {
+		if !omp.HasFlag(f) {
+			t.Errorf("CTE-Arm OpenMP build missing flag %s", f)
+		}
+	}
+
+	hyb := StreamHybridArm()
+	if hyb.HasFlag("-mcmodel=large") {
+		t.Error("hybrid build should not carry -mcmodel=large")
+	}
+	if !hyb.HasFlag("-Kzfill=100") {
+		t.Error("hybrid build lost its tuning flags")
+	}
+	// The hybrid derivation must not mutate the OpenMP flag list.
+	if !StreamOpenMPArm().HasFlag("-mcmodel=large") {
+		t.Error("StreamHybridArm mutated the base build")
+	}
+
+	mn4 := StreamMN4()
+	if mn4.Vendor != Intel || mn4.Version != "19.1.1.217" {
+		t.Errorf("MN4 compiler = %s", mn4)
+	}
+	for _, f := range []string{"-O3", "-xHost", "-qopenmp"} {
+		if !mn4.HasFlag(f) {
+			t.Errorf("MN4 build missing flag %s", f)
+		}
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	builds := AppBuilds()
+	if len(builds) != 10 {
+		t.Fatalf("Table III has %d rows, want 10 (5 apps x 2 machines)", len(builds))
+	}
+	apps := map[string]int{}
+	for _, b := range builds {
+		apps[b.App]++
+	}
+	for _, app := range []string{"Alya", "NEMO", "Gromacs", "OpenIFS", "WRF"} {
+		if apps[app] != 2 {
+			t.Errorf("app %s has %d rows, want 2", app, apps[app])
+		}
+	}
+
+	// Spot checks against the paper's table.
+	alya, ok := AppBuildFor("Alya", "CTE-Arm")
+	if !ok || alya.Compiler.Version != "8.3.1-sve" || alya.MPIFlavor != "Fujitsu/1.1.18" {
+		t.Errorf("Alya CTE-Arm row = %+v", alya)
+	}
+	gmx, ok := AppBuildFor("Gromacs", "CTE-Arm")
+	if !ok || gmx.Compiler.Version != "11.0.0" {
+		t.Errorf("Gromacs CTE-Arm compiler = %s (paper: GNU 11.0.0 because 8.3.1-sve is too old)", gmx.Compiler)
+	}
+	nemoMN4, ok := AppBuildFor("NEMO", "MareNostrum 4")
+	if !ok || nemoMN4.Compiler.Vendor != Intel || !nemoMN4.Compiler.HasFlag("-xCORE-AVX512") {
+		t.Errorf("NEMO MN4 row = %+v", nemoMN4)
+	}
+	if _, ok := AppBuildFor("HPL", "CTE-Arm"); ok {
+		t.Error("AppBuildFor invented a row")
+	}
+
+	// Every CTE-Arm application row uses GNU + Fujitsu MPI: the paper notes
+	// only the Fujitsu MPI supports Tofu.
+	for _, b := range builds {
+		if b.Machine != "CTE-Arm" {
+			continue
+		}
+		if b.Compiler.Vendor != GNU {
+			t.Errorf("%s on CTE-Arm built with %s, paper fell back to GNU for all apps", b.App, b.Compiler.Vendor)
+		}
+		if !strings.HasPrefix(b.MPIFlavor, "Fujitsu/") {
+			t.Errorf("%s on CTE-Arm uses MPI %s, want Fujitsu", b.App, b.MPIFlavor)
+		}
+	}
+}
+
+func TestFujitsuCompileFailures(t *testing.T) {
+	arm := machine.CTEArm()
+	fj := FujitsuArm("1.2.26b")
+	for app, wantStage := range map[string]string{
+		"Alya": "compile", "NEMO": "compile", "Gromacs": "cmake", "OpenIFS": "runtime",
+	} {
+		_, err := Compile(fj, arm, app)
+		if err == nil {
+			t.Errorf("Fujitsu compiler built %s; the paper reports failure", app)
+			continue
+		}
+		var ce *CompileError
+		if !errors.As(err, &ce) {
+			t.Errorf("error type = %T", err)
+			continue
+		}
+		if ce.Stage != wantStage {
+			t.Errorf("%s failure stage = %s, want %s", app, ce.Stage, wantStage)
+		}
+	}
+	// WRF is not in the Fujitsu failure list (the paper only reports GNU
+	// numbers for it, but no Fujitsu failure either) — HPL/HPCG also build.
+	if _, err := Compile(fj, arm, "HPCG"); err != nil {
+		t.Errorf("Fujitsu should build HPCG: %v", err)
+	}
+}
+
+func TestIntelTargetsX86Only(t *testing.T) {
+	_, err := Compile(IntelMN4(), machine.CTEArm(), "NEMO")
+	if err == nil {
+		t.Error("Intel compiler accepted Armv8 target")
+	}
+}
+
+func TestGNUOnArmScalarFallback(t *testing.T) {
+	arm := machine.CTEArm()
+	b, err := Compile(GNUArmSVE(), arm, "Alya")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.VectorISA(AppLoop); got != machine.ISAScalar {
+		t.Errorf("GNU-on-Arm app loops use %s, paper says SVE is not leveraged (scalar)", got)
+	}
+	if got := b.VectorISA(RegularLoop); got != machine.ISASVE {
+		t.Errorf("GNU-on-Arm regular loops use %s, want SVE", got)
+	}
+	if got := b.VectorISA(IrregularCode); got != machine.ISAScalar {
+		t.Errorf("irregular code ISA = %s", got)
+	}
+}
+
+func TestIntelOnMN4Vectorizes(t *testing.T) {
+	mn4 := machine.MareNostrum4()
+	b, err := Compile(IntelMN4(), mn4, "NEMO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.VectorISA(AppLoop); got != machine.ISAAVX512 {
+		t.Errorf("Intel app loops use %s, want AVX512", got)
+	}
+}
+
+func TestSustainedFlopsRatio(t *testing.T) {
+	// The composed model must yield the paper's application-level gap: on
+	// compute-bound app loops, one A64FX core (GNU, scalar fallback) is
+	// roughly 3-5x slower than one Skylake core (Intel, AVX-512).
+	arm := machine.CTEArm()
+	mn4 := machine.MareNostrum4()
+	bArm, err := Compile(GNUArmSVE(), arm, "Alya")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bMN4, err := Compile(IntelMN4(), mn4, "Alya")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fArm := SustainedFlops(bArm, arm, AppLoop)
+	fMN4 := SustainedFlops(bMN4, mn4, AppLoop)
+	ratio := fMN4 / fArm
+	if ratio < 3 || ratio > 20 {
+		t.Errorf("per-core app-loop ratio MN4/CTE = %.2f, want within [3, 20]", ratio)
+	}
+	// On hand-tuned code the A64FX must win (Fig. 1: higher peak).
+	fArmAsm := SustainedFlops(bArm, arm, HandTunedAsm)
+	fMN4Asm := SustainedFlops(bMN4, mn4, HandTunedAsm)
+	if fArmAsm <= fMN4Asm {
+		t.Errorf("hand-tuned: CTE %v <= MN4 %v, but A64FX has the higher peak", fArmAsm, fMN4Asm)
+	}
+}
+
+func TestStreamLanguageFactors(t *testing.T) {
+	arm := machine.CTEArm()
+	// Fujitsu hybrid: Fortran must be ~2x the C bandwidth (Fig. 3).
+	bF, err := Compile(StreamHybridArm(), arm, "STREAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := bF.StreamFactor(Fortran) / bF.StreamFactor(C)
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Errorf("Fujitsu Fortran/C stream factor = %.2f, want ~2.05", ratio)
+	}
+	// Fujitsu OpenMP-only build (-mcmodel=large): C ~10 % faster than
+	// Fortran (Fig. 2).
+	bO, err := Compile(StreamOpenMPArm(), arm, "STREAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rO := bO.StreamFactor(C) / bO.StreamFactor(Fortran)
+	if rO < 1.05 || rO > 1.15 {
+		t.Errorf("Fujitsu OpenMP C/Fortran stream factor = %.2f, want ~1.10", rO)
+	}
+	// GNU on Arm shows the same mild C advantage.
+	bG, err := Compile(GNUArmSVE(), arm, "STREAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := bG.StreamFactor(C) / bG.StreamFactor(Fortran)
+	if r2 < 1.05 || r2 > 1.15 {
+		t.Errorf("GNU C/Fortran stream factor = %.2f, want ~1.10", r2)
+	}
+}
+
+func TestStreamFactorDefault(t *testing.T) {
+	b := &Build{langStream: map[Language]float64{}}
+	if b.StreamFactor(C) != 1.0 {
+		t.Error("missing language should default to 1.0")
+	}
+}
+
+func TestCompileUnknownVendor(t *testing.T) {
+	_, err := Compile(Compiler{Vendor: "Cray"}, machine.MareNostrum4(), "X")
+	if err == nil {
+		t.Error("unknown vendor accepted")
+	}
+}
+
+func TestCompileErrorMessage(t *testing.T) {
+	_, err := Compile(FujitsuArm("1.2.26b"), machine.CTEArm(), "Gromacs")
+	if err == nil || !strings.Contains(err.Error(), "cmake") {
+		t.Errorf("error = %v, want cmake stage mentioned", err)
+	}
+}
+
+func TestLanguageString(t *testing.T) {
+	if C.String() != "C" || Fortran.String() != "Fortran" {
+		t.Error("language names wrong")
+	}
+}

@@ -1,0 +1,219 @@
+// Package topology models cluster interconnect topologies at the level the
+// paper's network experiments require: the hop distance between any pair of
+// nodes. CTE-Arm's TofuD is a six-dimensional torus — hop distance varies
+// with node placement, which produces the diagonal banding of Fig. 4 — while
+// MareNostrum 4's OmniPath is a two-level fat tree where distance is the
+// nearly uniform 2-or-4 links.
+package topology
+
+import (
+	"fmt"
+)
+
+// Topology exposes what the message cost model needs from a network graph.
+type Topology interface {
+	// Name identifies the topology kind.
+	Name() string
+	// Nodes returns the number of endpoints.
+	Nodes() int
+	// Hops returns the number of links a minimal route between a and b
+	// traverses; 0 iff a == b.
+	Hops(a, b int) int
+	// Diameter returns the maximum Hops over all pairs.
+	Diameter() int
+}
+
+// Torus is an N-dimensional torus/mesh. Dimensions with wrap=true are rings
+// (distance min(d, size-d)); the others are lines.
+type Torus struct {
+	dims []int
+	wrap []bool
+	name string
+}
+
+// NewTorus builds a torus with the given per-dimension sizes and wrap flags.
+func NewTorus(name string, dims []int, wrap []bool) (*Torus, error) {
+	if len(dims) == 0 || len(dims) != len(wrap) {
+		return nil, fmt.Errorf("topology: need matching non-empty dims/wrap, got %d/%d", len(dims), len(wrap))
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("topology: dimension %d has size %d", i, d)
+		}
+	}
+	return &Torus{name: name, dims: append([]int(nil), dims...), wrap: append([]bool(nil), wrap...)}, nil
+}
+
+// NewTofuD builds the TofuD topology for the given node count. TofuD is a
+// (X, Y, Z, a, b, c) network whose inner unit is a 2x3x2 group of 12 nodes
+// (a and c are meshes of 2, b is a ring of 3); the outer X, Y, Z dimensions
+// are rings. nodes must therefore be a multiple of 12.
+func NewTofuD(nodes int) (*Torus, error) {
+	if nodes <= 0 || nodes%12 != 0 {
+		return nil, fmt.Errorf("topology: TofuD needs a positive multiple of 12 nodes, got %d", nodes)
+	}
+	x, y, z := balancedTriple(nodes / 12)
+	dims := []int{x, y, z, 2, 3, 2}
+	wrap := []bool{true, true, true, false, true, false}
+	return NewTorus("TofuD", dims, wrap)
+}
+
+// balancedTriple factors m into x >= y >= z minimizing the largest factor
+// (ties broken by minimizing x+y+z). m is small (<= a few hundred), so a
+// brute-force scan is fine.
+func balancedTriple(m int) (int, int, int) {
+	bx, by, bz := m, 1, 1
+	for z := 1; z*z*z <= m; z++ {
+		if m%z != 0 {
+			continue
+		}
+		mz := m / z
+		for y := z; y*y <= mz; y++ {
+			if mz%y != 0 {
+				continue
+			}
+			x := mz / y
+			if x < bx || (x == bx && x+y+z < bx+by+bz) {
+				bx, by, bz = x, y, z
+			}
+		}
+	}
+	return bx, by, bz
+}
+
+// Name implements Topology.
+func (t *Torus) Name() string { return t.name }
+
+// Nodes implements Topology.
+func (t *Torus) Nodes() int {
+	n := 1
+	for _, d := range t.dims {
+		n *= d
+	}
+	return n
+}
+
+// Dims returns a copy of the per-dimension sizes.
+func (t *Torus) Dims() []int { return append([]int(nil), t.dims...) }
+
+// Coords returns the coordinates of node i (row-major, first dimension
+// slowest). It panics on an out-of-range index.
+func (t *Torus) Coords(i int) []int {
+	if i < 0 || i >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", i, t.Nodes()))
+	}
+	c := make([]int, len(t.dims))
+	for d := len(t.dims) - 1; d >= 0; d-- {
+		c[d] = i % t.dims[d]
+		i /= t.dims[d]
+	}
+	return c
+}
+
+// Index is the inverse of Coords.
+func (t *Torus) Index(coords []int) int {
+	if len(coords) != len(t.dims) {
+		panic("topology: coordinate arity mismatch")
+	}
+	i := 0
+	for d, c := range coords {
+		if c < 0 || c >= t.dims[d] {
+			panic(fmt.Sprintf("topology: coordinate %d out of range for dimension %d", c, d))
+		}
+		i = i*t.dims[d] + c
+	}
+	return i
+}
+
+// Hops implements Topology with dimension-order minimal routing.
+func (t *Torus) Hops(a, b int) int {
+	ca, cb := t.Coords(a), t.Coords(b)
+	h := 0
+	for d := range t.dims {
+		diff := ca[d] - cb[d]
+		if diff < 0 {
+			diff = -diff
+		}
+		if t.wrap[d] {
+			if alt := t.dims[d] - diff; alt < diff {
+				diff = alt
+			}
+		}
+		h += diff
+	}
+	return h
+}
+
+// Diameter implements Topology.
+func (t *Torus) Diameter() int {
+	d := 0
+	for i, size := range t.dims {
+		if t.wrap[i] {
+			d += size / 2
+		} else {
+			d += size - 1
+		}
+	}
+	return d
+}
+
+// TofuNodeName renders the CTE-Arm node naming scheme: node i of the cluster
+// sits in rack i/48, board (i/12)%4, slot i%12, named "arms<rack>b<board>-<slot>c".
+// The degraded node the paper identifies, arms0b1-11c, is index 23.
+func TofuNodeName(i int) string {
+	return fmt.Sprintf("arms%db%d-%dc", i/48, (i/12)%4, i%12)
+}
+
+// FatTree is a two-level fat tree: leafSize nodes per edge switch, a core
+// layer assumed non-blocking. Hop counts are 2 within a leaf and 4 across.
+type FatTree struct {
+	nodes    int
+	leafSize int
+}
+
+// NewFatTree builds a two-level fat tree.
+func NewFatTree(nodes, leafSize int) (*FatTree, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("topology: fat tree needs nodes > 0, got %d", nodes)
+	}
+	if leafSize <= 0 {
+		return nil, fmt.Errorf("topology: fat tree needs leafSize > 0, got %d", leafSize)
+	}
+	return &FatTree{nodes: nodes, leafSize: leafSize}, nil
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string { return "fat-tree" }
+
+// Nodes implements Topology.
+func (f *FatTree) Nodes() int { return f.nodes }
+
+// Leaf returns the edge-switch index of node i.
+func (f *FatTree) Leaf(i int) int {
+	if i < 0 || i >= f.nodes {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", i, f.nodes))
+	}
+	return i / f.leafSize
+}
+
+// Hops implements Topology.
+func (f *FatTree) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if f.Leaf(a) == f.Leaf(b) {
+		return 2
+	}
+	return 4
+}
+
+// Diameter implements Topology.
+func (f *FatTree) Diameter() int {
+	if f.nodes == 1 {
+		return 0
+	}
+	if f.nodes <= f.leafSize {
+		return 2
+	}
+	return 4
+}

@@ -1,0 +1,189 @@
+// Package trace records per-rank execution timelines of simulated MPI
+// programs and computes the POP (Performance Optimisation and Productivity
+// Centre of Excellence) efficiency metrics the paper's group applies to
+// parallel codes:
+//
+//	parallel efficiency = load balance x communication efficiency
+//
+// where load balance is mean(compute)/max(compute) across ranks and
+// communication efficiency is max(compute)/max(runtime). The metrics come
+// straight from per-rank accounting of compute versus communication time,
+// which internal/mpisim records when a Recorder is attached.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"clustereval/internal/units"
+)
+
+// Kind classifies a timeline span.
+type Kind int
+
+// Span kinds.
+const (
+	Compute Kind = iota
+	Comm
+)
+
+func (k Kind) String() string {
+	if k == Compute {
+		return "compute"
+	}
+	return "comm"
+}
+
+// Span is one contiguous activity of one rank.
+type Span struct {
+	Rank       int
+	Kind       Kind
+	Start, End units.Seconds
+}
+
+// Duration returns the span length.
+func (s Span) Duration() units.Seconds { return s.End - s.Start }
+
+// Recorder accumulates spans. The zero value is not usable; construct with
+// NewRecorder.
+type Recorder struct {
+	ranks int
+	spans []Span
+}
+
+// NewRecorder creates a recorder for the given rank count.
+func NewRecorder(ranks int) (*Recorder, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("trace: rank count %d must be positive", ranks)
+	}
+	return &Recorder{ranks: ranks}, nil
+}
+
+// Ranks returns the number of ranks the recorder covers.
+func (r *Recorder) Ranks() int { return r.ranks }
+
+// Record appends one span. Spans may arrive out of order; negative-length
+// or out-of-range spans are rejected.
+func (r *Recorder) Record(rank int, kind Kind, start, end units.Seconds) error {
+	if rank < 0 || rank >= r.ranks {
+		return fmt.Errorf("trace: rank %d out of [0,%d)", rank, r.ranks)
+	}
+	if end < start {
+		return fmt.Errorf("trace: span ends (%v) before it starts (%v)", end, start)
+	}
+	r.spans = append(r.spans, Span{Rank: rank, Kind: kind, Start: start, End: end})
+	return nil
+}
+
+// Spans returns a copy of all recorded spans, ordered by start time.
+func (r *Recorder) Spans() []Span {
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Profile is the per-rank accounting.
+type Profile struct {
+	ComputeTime []units.Seconds // per rank
+	CommTime    []units.Seconds // per rank
+	Runtime     units.Seconds   // max end over all spans
+}
+
+// Profile aggregates the recorded spans.
+func (r *Recorder) Profile() Profile {
+	p := Profile{
+		ComputeTime: make([]units.Seconds, r.ranks),
+		CommTime:    make([]units.Seconds, r.ranks),
+	}
+	for _, s := range r.spans {
+		switch s.Kind {
+		case Compute:
+			p.ComputeTime[s.Rank] += s.Duration()
+		case Comm:
+			p.CommTime[s.Rank] += s.Duration()
+		}
+		if s.End > p.Runtime {
+			p.Runtime = s.End
+		}
+	}
+	return p
+}
+
+// Metrics are the POP multiplicative efficiencies, all in [0, 1].
+type Metrics struct {
+	LoadBalance        float64 // mean(compute) / max(compute)
+	CommunicationEff   float64 // max(compute) / runtime
+	ParallelEfficiency float64 // product of the above
+}
+
+// Metrics computes the POP efficiencies from the profile. It returns an
+// error when nothing was recorded.
+func (p Profile) Metrics() (Metrics, error) {
+	if p.Runtime <= 0 {
+		return Metrics{}, fmt.Errorf("trace: empty profile")
+	}
+	var sum, max float64
+	for _, c := range p.ComputeTime {
+		sum += float64(c)
+		if float64(c) > max {
+			max = float64(c)
+		}
+	}
+	if max == 0 {
+		return Metrics{}, fmt.Errorf("trace: no compute time recorded")
+	}
+	mean := sum / float64(len(p.ComputeTime))
+	m := Metrics{
+		LoadBalance:      mean / max,
+		CommunicationEff: max / float64(p.Runtime),
+	}
+	m.ParallelEfficiency = m.LoadBalance * m.CommunicationEff
+	return m, nil
+}
+
+// Gantt renders an ASCII timeline: one row per rank, '#' for compute and
+// '.' for communication, over `width` columns of the full runtime.
+func (r *Recorder) Gantt(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 72
+	}
+	p := r.Profile()
+	if p.Runtime <= 0 {
+		return fmt.Errorf("trace: nothing to render")
+	}
+	rows := make([][]byte, r.ranks)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range r.spans {
+		lo := int(float64(s.Start) / float64(p.Runtime) * float64(width))
+		hi := int(float64(s.End) / float64(p.Runtime) * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		glyph := byte('#')
+		if s.Kind == Comm {
+			glyph = '.'
+		}
+		for c := lo; c <= hi; c++ {
+			// Compute wins ties so short comm spans do not mask work.
+			if rows[s.Rank][c] == ' ' || glyph == '#' {
+				rows[s.Rank][c] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (%v total; '#'=compute '.'=comm):\n", p.Runtime)
+	for rank, row := range rows {
+		fmt.Fprintf(&b, "rank %3d |%s|\n", rank, string(row))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"clustereval/internal/units"
+)
+
+func TestRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	r, err := NewRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(2, Compute, 0, 1); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := r.Record(0, Compute, 2, 1); err == nil {
+		t.Error("negative-length span accepted")
+	}
+	if r.Ranks() != 2 {
+		t.Error("ranks")
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	r, _ := NewRecorder(2)
+	mustRecord(t, r, 1, Comm, 5, 6)
+	mustRecord(t, r, 0, Compute, 0, 2)
+	mustRecord(t, r, 0, Comm, 2, 3)
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("spans not sorted")
+		}
+	}
+	if spans[0].Duration() != 2 {
+		t.Errorf("duration = %v", spans[0].Duration())
+	}
+}
+
+func mustRecord(t *testing.T, r *Recorder, rank int, k Kind, s, e units.Seconds) {
+	t.Helper()
+	if err := r.Record(rank, k, s, e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOPMetricsPerfectRun(t *testing.T) {
+	// Two ranks, equal compute, no comm: all efficiencies = 1.
+	r, _ := NewRecorder(2)
+	mustRecord(t, r, 0, Compute, 0, 10)
+	mustRecord(t, r, 1, Compute, 0, 10)
+	m, err := r.Profile().Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LoadBalance != 1 || m.CommunicationEff != 1 || m.ParallelEfficiency != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestPOPMetricsImbalance(t *testing.T) {
+	// Rank 0 computes 10s, rank 1 computes 5s; both finish at 10.
+	r, _ := NewRecorder(2)
+	mustRecord(t, r, 0, Compute, 0, 10)
+	mustRecord(t, r, 1, Compute, 0, 5)
+	mustRecord(t, r, 1, Comm, 5, 10)
+	m, err := r.Profile().Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean = 7.5, max = 10 -> LB 0.75; runtime 10 = max compute -> CommE 1.
+	if math.Abs(m.LoadBalance-0.75) > 1e-12 {
+		t.Errorf("LB = %v, want 0.75", m.LoadBalance)
+	}
+	if math.Abs(m.CommunicationEff-1) > 1e-12 {
+		t.Errorf("CommE = %v, want 1", m.CommunicationEff)
+	}
+	if math.Abs(m.ParallelEfficiency-0.75) > 1e-12 {
+		t.Errorf("PE = %v", m.ParallelEfficiency)
+	}
+}
+
+func TestPOPMetricsCommBound(t *testing.T) {
+	// Balanced compute but half the runtime is communication.
+	r, _ := NewRecorder(2)
+	for rank := 0; rank < 2; rank++ {
+		mustRecord(t, r, rank, Compute, 0, 5)
+		mustRecord(t, r, rank, Comm, 5, 10)
+	}
+	m, err := r.Profile().Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.LoadBalance-1) > 1e-12 || math.Abs(m.CommunicationEff-0.5) > 1e-12 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMetricsErrors(t *testing.T) {
+	r, _ := NewRecorder(2)
+	if _, err := r.Profile().Metrics(); err == nil {
+		t.Error("empty profile accepted")
+	}
+	mustRecord(t, r, 0, Comm, 0, 5)
+	if _, err := r.Profile().Metrics(); err == nil {
+		t.Error("comm-only profile accepted")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r, _ := NewRecorder(2)
+	mustRecord(t, r, 0, Compute, 0, 8)
+	mustRecord(t, r, 0, Comm, 8, 10)
+	mustRecord(t, r, 1, Compute, 0, 4)
+	mustRecord(t, r, 1, Comm, 4, 10)
+	var buf bytes.Buffer
+	if err := r.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Errorf("gantt rows missing:\n%s", out)
+	}
+	// Rank 1's row has more '.' than rank 0's.
+	lines := strings.Split(out, "\n")
+	dots := func(s string) int { return strings.Count(s, ".") }
+	if dots(lines[2]) <= dots(lines[1]) {
+		t.Errorf("comm share not visible:\n%s", out)
+	}
+
+	empty, _ := NewRecorder(1)
+	if err := empty.Gantt(&buf, 40); err == nil {
+		t.Error("empty gantt accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Comm.String() != "comm" {
+		t.Error("kind names")
+	}
+}

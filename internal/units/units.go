@@ -1,0 +1,138 @@
+// Package units provides the physical quantities used throughout the
+// cluster-evaluation framework: byte sizes, bandwidths, floating-point rates
+// and virtual durations. All simulation time is carried as float64 seconds
+// (type Seconds) because the discrete-event engine needs exact arithmetic on
+// arbitrarily small increments, which time.Duration's integer nanoseconds
+// would truncate.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binary byte sizes.
+const (
+	KiB float64 = 1 << 10
+	MiB float64 = 1 << 20
+	GiB float64 = 1 << 30
+	TiB float64 = 1 << 40
+)
+
+// Decimal (SI) multipliers, used for FLOP rates and vendor bandwidth specs.
+const (
+	Kilo float64 = 1e3
+	Mega float64 = 1e6
+	Giga float64 = 1e9
+	Tera float64 = 1e12
+	Peta float64 = 1e15
+)
+
+// Seconds is a span of virtual time.
+type Seconds float64
+
+// Add returns s + t.
+func (s Seconds) Add(t Seconds) Seconds { return s + t }
+
+// Micro returns the duration expressed in microseconds.
+func (s Seconds) Micro() float64 { return float64(s) * 1e6 }
+
+// String renders the duration with an auto-selected SI prefix.
+func (s Seconds) String() string {
+	v := float64(s)
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0 s"
+	case av < 1e-6:
+		return fmt.Sprintf("%.3g ns", v*1e9)
+	case av < 1e-3:
+		return fmt.Sprintf("%.3g us", v*1e6)
+	case av < 1:
+		return fmt.Sprintf("%.3g ms", v*1e3)
+	default:
+		return fmt.Sprintf("%.4g s", v)
+	}
+}
+
+// Bytes is a data volume in bytes.
+type Bytes float64
+
+// String renders the volume with a binary prefix.
+func (b Bytes) String() string {
+	v := float64(b)
+	av := math.Abs(v)
+	switch {
+	case av < KiB:
+		return fmt.Sprintf("%.0f B", v)
+	case av < MiB:
+		return fmt.Sprintf("%.3g KiB", v/KiB)
+	case av < GiB:
+		return fmt.Sprintf("%.3g MiB", v/MiB)
+	default:
+		return fmt.Sprintf("%.3g GiB", v/GiB)
+	}
+}
+
+// BytesPerSecond is a bandwidth. Vendor peaks in this package use the
+// decimal convention (1 GB/s = 1e9 B/s) to match the paper's Table I.
+type BytesPerSecond float64
+
+// GB returns the bandwidth in decimal gigabytes per second.
+func (b BytesPerSecond) GB() float64 { return float64(b) / Giga }
+
+// String renders the bandwidth in GB/s.
+func (b BytesPerSecond) String() string {
+	return fmt.Sprintf("%.4g GB/s", b.GB())
+}
+
+// FlopsPerSecond is a floating-point throughput.
+type FlopsPerSecond float64
+
+// Giga returns the rate in GFlop/s.
+func (f FlopsPerSecond) Giga() float64 { return float64(f) / Giga }
+
+// Tera returns the rate in TFlop/s.
+func (f FlopsPerSecond) Tera() float64 { return float64(f) / Tera }
+
+// String renders the rate with an auto-selected prefix.
+func (f FlopsPerSecond) String() string {
+	v := float64(f)
+	switch {
+	case v >= Peta:
+		return fmt.Sprintf("%.4g PFlop/s", v/Peta)
+	case v >= Tera:
+		return fmt.Sprintf("%.4g TFlop/s", v/Tera)
+	case v >= Giga:
+		return fmt.Sprintf("%.4g GFlop/s", v/Giga)
+	case v >= Mega:
+		return fmt.Sprintf("%.4g MFlop/s", v/Mega)
+	default:
+		return fmt.Sprintf("%.4g Flop/s", v)
+	}
+}
+
+// TimeFor returns how long moving n bytes takes at bandwidth b.
+// A non-positive bandwidth yields +Inf (a cut link), never a division panic.
+func TimeFor(n Bytes, b BytesPerSecond) Seconds {
+	if b <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(n) / float64(b))
+}
+
+// ComputeTime returns how long f floating-point operations take at rate r.
+func ComputeTime(flops float64, r FlopsPerSecond) Seconds {
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(flops / float64(r))
+}
+
+// Percent formats v as a percentage of total, guarding against zero totals.
+func Percent(v, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * v / total
+}

@@ -1,0 +1,132 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0 s"},
+		{1.5e-9, "1.5 ns"},
+		{2e-6, "2 us"},
+		{3.25e-3, "3.25 ms"},
+		{12.5, "12.5 s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2 KiB"},
+		{Bytes(3 * MiB), "3 MiB"},
+		{Bytes(1.5 * GiB), "1.5 GiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthGB(t *testing.T) {
+	b := BytesPerSecond(6.8 * Giga)
+	if got := b.GB(); math.Abs(got-6.8) > 1e-12 {
+		t.Errorf("GB() = %v, want 6.8", got)
+	}
+	if s := b.String(); !strings.Contains(s, "GB/s") {
+		t.Errorf("String() = %q, want GB/s suffix", s)
+	}
+}
+
+func TestFlopsString(t *testing.T) {
+	cases := []struct {
+		in   FlopsPerSecond
+		want string
+	}{
+		{FlopsPerSecond(70.4 * Giga), "70.4 GFlop/s"},
+		{FlopsPerSecond(2.76 * Peta), "2.76 PFlop/s"},
+		{FlopsPerSecond(1.2 * Tera), "1.2 TFlop/s"},
+		{FlopsPerSecond(5 * Mega), "5 MFlop/s"},
+		{123, "123 Flop/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("FlopsPerSecond.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTimeFor(t *testing.T) {
+	got := TimeFor(Bytes(1*Giga), BytesPerSecond(1*Giga))
+	if math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("TimeFor(1GB, 1GB/s) = %v, want 1s", got)
+	}
+	if !math.IsInf(float64(TimeFor(10, 0)), 1) {
+		t.Error("TimeFor with zero bandwidth should be +Inf")
+	}
+	if !math.IsInf(float64(TimeFor(10, -5)), 1) {
+		t.Error("TimeFor with negative bandwidth should be +Inf")
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	got := ComputeTime(70.4*Giga, FlopsPerSecond(70.4*Giga))
+	if math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("ComputeTime = %v, want 1s", got)
+	}
+	if !math.IsInf(float64(ComputeTime(1, 0)), 1) {
+		t.Error("ComputeTime with zero rate should be +Inf")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(29.2, 100); got != 29.2 {
+		t.Errorf("Percent = %v", got)
+	}
+	if got := Percent(5, 0); got != 0 {
+		t.Errorf("Percent with zero total = %v, want 0", got)
+	}
+}
+
+// Property: TimeFor is linear in the byte count and inverse in bandwidth.
+func TestTimeForLinearity(t *testing.T) {
+	f := func(nRaw, bRaw uint32) bool {
+		n := Bytes(float64(nRaw%1e6) + 1)
+		b := BytesPerSecond(float64(bRaw%1e6) + 1)
+		t1 := float64(TimeFor(n, b))
+		t2 := float64(TimeFor(2*n, b))
+		t3 := float64(TimeFor(n, 2*b))
+		return math.Abs(t2-2*t1) < 1e-9*t1+1e-15 && math.Abs(t3-t1/2) < 1e-9*t1+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Seconds.Add is commutative and Micro is consistent.
+func TestSecondsProperties(t *testing.T) {
+	f := func(a, b float32) bool {
+		x, y := Seconds(a), Seconds(b)
+		if x.Add(y) != y.Add(x) {
+			return false
+		}
+		return math.Abs(x.Micro()-float64(x)*1e6) < 1e-6*math.Abs(float64(x))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

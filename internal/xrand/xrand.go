@@ -1,0 +1,155 @@
+// Package xrand implements small, fast, deterministic pseudo-random number
+// generators used across the simulator. Determinism is a hard requirement:
+// every figure in the reproduction must be bit-identical across runs, so the
+// simulator never touches math/rand's global state or the OS entropy pool.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny stateless-feeling mixer used to seed streams and to
+//     hash coordinates into noise.
+//   - Xoshiro256** ("Rand"): the workhorse generator with a Split method so
+//     each simulated rank/node can own an independent, reproducible stream.
+package xrand
+
+import "math"
+
+// splitmix64 advances the state and returns the next mixed output.
+// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through the SplitMix64 finalizer. It is used to derive
+// per-entity noise from stable identifiers (node index, message size, ...)
+// without any shared state.
+func Mix64(x uint64) uint64 {
+	s := x
+	return splitmix64(&s)
+}
+
+// MixN hashes a sequence of values into a single 64-bit output, so callers
+// can build stable stream identities such as MixN(seed, node, pairIndex).
+func MixN(vs ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vs {
+		h = Mix64(h ^ v)
+	}
+	return h
+}
+
+// Rand is a xoshiro256** generator. The zero value is NOT valid; construct
+// with New (a zero state would be a fixed point of the transition function).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, following the
+// reference initialization recommended by the xoshiro authors.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of (and
+// deterministic with respect to) the parent's current state.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill here;
+	// simple modulo bias is < 2^-40 for the n values used by the simulator.
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate using the Box-Muller
+// transform (polar form avoided to keep the call count deterministic).
+func (r *Rand) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Jitter returns a multiplicative noise factor 1 + eps*N(0,1), clamped to
+// [1-3eps, 1+3eps] so extreme tails cannot flip the sign of a duration.
+// It is the standard way the simulator models run-to-run variability.
+func (r *Rand) Jitter(eps float64) float64 {
+	j := 1 + eps*r.NormFloat64()
+	lo, hi := 1-3*eps, 1+3*eps
+	if j < lo {
+		return lo
+	}
+	if j > hi {
+		return hi
+	}
+	return j
+}
+
+// SlowJitter returns a one-sided multiplicative noise factor
+// 1 + eps*|N(0,1)|, clamped to [1, 1+3eps]. It models contention and system
+// noise, which can only ever slow an operation down — two-sided noise would
+// let effective bandwidth exceed the physical link peak.
+func (r *Rand) SlowJitter(eps float64) float64 {
+	n := r.NormFloat64()
+	if n < 0 {
+		n = -n
+	}
+	j := 1 + eps*n
+	if hi := 1 + 3*eps; j > hi {
+		return hi
+	}
+	return j
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
