@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ablation paper export examples clean
+.PHONY: all build vet test race bench ablation paper export serve examples clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/omp/ ./internal/simdvec/ ./internal/bench/stream/
+	$(GO) test -race ./...
 
 # The full benchmark harness: one benchmark per table and figure.
 bench:
@@ -36,6 +36,11 @@ paper:
 # Export all tables and figures as CSV into ./paperdata.
 export:
 	$(GO) run ./cmd/clustereval -out paperdata
+
+# Run the evaluation service on :8080 (see README "Running the
+# evaluation service" for the job API).
+serve:
+	$(GO) run ./cmd/clusterd
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -11,22 +11,22 @@ import (
 	"clustereval/internal/apps/alya"
 	"clustereval/internal/apps/scaling"
 	"clustereval/internal/figures"
-	"clustereval/internal/machine"
 	"clustereval/internal/report"
 )
 
 func main() {
 	app := flag.String("app", "", "application: alya | nemo | gromacs | openifs | wrf (empty = all)")
+	seed := flag.Uint64("seed", 0, "noise seed for the interconnect models (0 = paper default); identical seeds reproduce identical numbers")
 	flag.Parse()
 
-	if err := run(*app); err != nil {
+	if err := run(*app, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "appbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string) error {
-	p := figures.Default()
+func run(app string, seed uint64) error {
+	p := figures.WithSeed(seed)
 	type figFn struct {
 		name string
 		fn   func() (*report.Plot, error)
@@ -61,7 +61,7 @@ func run(app string) error {
 			fmt.Println()
 		}
 		if name == "alya" {
-			if err := alyaHighlights(); err != nil {
+			if err := alyaHighlights(p); err != nil {
 				return err
 			}
 		}
@@ -70,8 +70,8 @@ func run(app string) error {
 }
 
 // alyaHighlights prints the equivalence points the paper calls out.
-func alyaHighlights() error {
-	arm, mn4 := machine.CTEArm(), machine.MareNostrum4()
+func alyaHighlights(p figures.Pair) error {
+	arm, mn4 := p.Arm, p.Ref
 	cte, ref, err := alya.Figure8(arm, mn4)
 	if err != nil {
 		return err

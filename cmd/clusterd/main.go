@@ -1,0 +1,95 @@
+// Command clusterd serves the paper's evaluation suite over HTTP: clients
+// POST simulation specs (machine preset, benchmark or application, ranks,
+// seed) to /v1/jobs, a bounded worker pool replays the corresponding model,
+// and identical specs are answered from a content-addressed result cache.
+// Metrics are exposed in Prometheus text format on /v1/metrics.
+//
+// Usage:
+//
+//	clusterd [-addr :8080] [-workers 0] [-queue 256] [-cache 1024] [-job-timeout 2m]
+//
+// A zero -workers means one worker per CPU (GOMAXPROCS). SIGINT/SIGTERM
+// trigger a graceful drain: the listener stops, queued jobs finish, then
+// the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clustereval/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 256, "job queue depth")
+		cache      = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		JobTimeout: *jobTimeout,
+	}
+	if err := run(ctx, *addr, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and HTTP server, blocks until ctx is cancelled,
+// then drains gracefully. onReady, when non-nil, receives the bound
+// address once the listener is up (tests use it to learn the port).
+func run(ctx context.Context, addr string, cfg service.Config, onReady func(net.Addr)) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Handler: service.NewServer(svc)}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clusterd listening on %s (%d workers, queue %d, cache %d)\n",
+		ln.Addr(), svc.Workers(), cfg.QueueDepth, cfg.CacheSize)
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		// Listener failed outright; still tear the pool down.
+		_ = svc.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("clusterd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("clusterd: bye")
+	return nil
+}

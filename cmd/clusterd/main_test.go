@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"clustereval/internal/service"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, submits a
+// real job through the full stack, then cancels the context and verifies a
+// clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2}, func(a net.Addr) { addrCh <- a })
+	}()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("listener never came up")
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"kind":"hpl","machine":"cte-arm","nodes":8}`)
+	resp, err = http.Post(base+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, view.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.JobView
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if v.State.Terminal() {
+			if v.State != service.StateDone || v.Result == nil || v.Result.HPL == nil {
+				t.Fatalf("job ended %s (%s)", v.State, v.Error)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Error("daemon did not drain after cancel")
+	}
+}
+
+func TestRunBadAddress(t *testing.T) {
+	err := run(context.Background(), "256.0.0.1:99999", service.Config{Workers: 1}, nil)
+	if err == nil {
+		t.Error("run accepted an unlistenable address")
+	}
+}

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// -update regenerates the golden files from current output.
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // capture runs f with os.Stdout redirected and returns what it printed.
 func capture(t *testing.T, f func() error) string {
@@ -46,6 +51,28 @@ func TestRunTable4CSV(t *testing.T) {
 	out := capture(t, func() error { return run(4, 0, true) })
 	if !strings.Contains(out, "Applications,1,16,32,64,128,192") {
 		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+// TestRunTable4CSVGolden pins the exact Table IV CSV byte-for-byte. The
+// table aggregates HPL, HPCG and all five application models, so any
+// accidental drift anywhere in the simulation stack shows up here as a
+// one-line diff. Refresh intentionally with: go test ./cmd/clustereval -update
+func TestRunTable4CSVGolden(t *testing.T) {
+	out := capture(t, func() error { return run(4, 0, true) })
+	golden := filepath.Join("testdata", "table4.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("table 4 CSV drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+			golden, out, want)
 	}
 }
 

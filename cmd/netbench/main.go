@@ -12,7 +12,6 @@ import (
 	"clustereval/internal/bench/osu"
 	"clustereval/internal/figures"
 	"clustereval/internal/interconnect"
-	"clustereval/internal/machine"
 	"clustereval/internal/topology"
 	"clustereval/internal/units"
 )
@@ -20,16 +19,17 @@ import (
 func main() {
 	size := flag.Int("size", 256, "message size in bytes for the heatmap")
 	des := flag.Bool("des", false, "also measure one pair through the DES-backed MPI runtime")
+	seed := flag.Uint64("seed", 0, "noise seed for the fabric (0 = paper default); identical seeds reproduce identical numbers")
 	flag.Parse()
 
-	if err := run(units.Bytes(*size), *des); err != nil {
+	if err := run(units.Bytes(*size), *des, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "netbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(size units.Bytes, des bool) error {
-	p := figures.Default()
+func run(size units.Bytes, des bool, seed uint64) error {
+	p := figures.WithSeed(seed)
 	hm, raw, err := p.Figure4(size)
 	if err != nil {
 		return err
@@ -56,7 +56,7 @@ func run(size units.Bytes, des bool) error {
 	}
 
 	if des {
-		fab, err := interconnect.NewTofuD(machine.CTEArm(), 192)
+		fab, err := interconnect.NewTofuD(p.Arm, 192)
 		if err != nil {
 			return err
 		}

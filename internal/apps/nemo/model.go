@@ -80,12 +80,7 @@ func NewModel(m machine.Machine, cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	var fab *interconnect.Fabric
-	if m.Network.Kind == machine.TofuD {
-		fab, err = interconnect.NewTofuD(m, m.Nodes)
-	} else {
-		fab, err = interconnect.NewOmniPath(m, m.Nodes)
-	}
+	fab, err := interconnect.New(m, m.Nodes)
 	if err != nil {
 		return nil, err
 	}

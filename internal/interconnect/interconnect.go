@@ -56,6 +56,27 @@ type Fabric struct {
 	Seed uint64
 }
 
+// New builds the fabric matching the machine's interconnect kind — the
+// TofuD torus for CTE-Arm, the OmniPath fat tree otherwise. It is the
+// constructor the application models and the evaluation service use, so a
+// machine descriptor fully determines its network model.
+func New(m machine.Machine, nodes int) (*Fabric, error) {
+	if m.Network.Kind == machine.TofuD {
+		return NewTofuD(m, nodes)
+	}
+	return NewOmniPath(m, nodes)
+}
+
+// fabricSeed picks the noise seed for a fabric: the machine's requested
+// Network.Seed when set (CLI -seed flags and service job specs plumb it
+// there), otherwise the built-in default that reproduces the paper.
+func fabricSeed(m machine.Machine, def uint64) uint64 {
+	if m.Network.Seed != 0 {
+		return m.Network.Seed
+	}
+	return def
+}
+
 // NewTofuD builds the CTE-Arm fabric for the given node count, including the
 // degraded receiver arms0b1-11c (node 23) when the cluster is large enough.
 func NewTofuD(m machine.Machine, nodes int) (*Fabric, error) {
@@ -76,7 +97,7 @@ func NewTofuD(m machine.Machine, nodes int) (*Fabric, error) {
 		DegradedRecv:     map[int]float64{},
 		IntraNodeBW:      units.BytesPerSecond(20 * units.Giga),
 		IntraNodeLatency: units.Seconds(0.25e-6),
-		Seed:             0x7f0a64f,
+		Seed:             fabricSeed(m, 0x7f0a64f),
 	}
 	if nodes > 23 {
 		f.DegradedRecv[23] = 0.22 // arms0b1-11c
@@ -104,7 +125,7 @@ func NewOmniPath(m machine.Machine, nodes int) (*Fabric, error) {
 		DegradedRecv:     map[int]float64{},
 		IntraNodeBW:      units.BytesPerSecond(24 * units.Giga),
 		IntraNodeLatency: units.Seconds(0.30e-6),
-		Seed:             0x5ce8160,
+		Seed:             fabricSeed(m, 0x5ce8160),
 	}, nil
 }
 

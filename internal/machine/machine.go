@@ -244,6 +244,11 @@ type Network struct {
 	// node (TofuD exposes 6 TNIs; OmniPath nodes have a single port).
 	// Aggregate injection bandwidth is InjectionLinks * LinkPeak.
 	InjectionLinks int
+	// Seed, when nonzero, overrides the fabric's built-in deterministic
+	// noise seed. It is how callers (CLI -seed flags, service job specs)
+	// request an alternative — but still fully reproducible — realisation
+	// of the network's contention and buffer-lottery noise.
+	Seed uint64
 }
 
 // InjectionBW returns the aggregate per-node injection bandwidth.

@@ -1,0 +1,76 @@
+package machine
+
+import "strings"
+
+// presetEntry binds the canonical preset name to its constructor. Presets
+// are constructed on demand so callers can mutate the returned Machine
+// (e.g. set Network.Seed) without affecting other callers.
+type presetEntry struct {
+	name    string
+	aliases []string
+	build   func() Machine
+}
+
+// presets is the registry of the machines the evaluation knows how to
+// model. The canonical names are the lower-case slugs the service API and
+// the CLIs accept.
+var presets = []presetEntry{
+	{
+		name:    "cte-arm",
+		aliases: []string{"ctearm", "cte_arm", "a64fx", "CTE-Arm"},
+		build:   CTEArm,
+	},
+	{
+		name:    "mn4",
+		aliases: []string{"marenostrum4", "marenostrum-4", "marenostrum 4", "skylake", "MareNostrum 4"},
+		build:   MareNostrum4,
+	},
+}
+
+// normalizePreset folds a user-supplied machine name to lookup form.
+func normalizePreset(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Preset returns the machine registered under name (canonical slug, full
+// Table I name, or a common alias, case-insensitively). The boolean is
+// false when no preset matches.
+func Preset(name string) (Machine, bool) {
+	slug, ok := PresetSlug(name)
+	if !ok {
+		return Machine{}, false
+	}
+	for _, p := range presets {
+		if p.name == slug {
+			return p.build(), true
+		}
+	}
+	return Machine{}, false
+}
+
+// PresetSlug resolves name (slug, alias, or Table I name) to the preset's
+// canonical slug. The boolean is false when no preset matches.
+func PresetSlug(name string) (string, bool) {
+	want := normalizePreset(name)
+	for _, p := range presets {
+		if p.name == want {
+			return p.name, true
+		}
+		for _, a := range p.aliases {
+			if normalizePreset(a) == want {
+				return p.name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// PresetNames returns the canonical slugs of all registered presets, in
+// registry order.
+func PresetNames() []string {
+	names := make([]string, len(presets))
+	for i, p := range presets {
+		names[i] = p.name
+	}
+	return names
+}

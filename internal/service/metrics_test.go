@@ -1,0 +1,52 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A counter.")
+	c.Add(3)
+	r.GaugeFunc("test_depth", "A gauge.", func() float64 { return 1.5 })
+	hv := r.HistogramVec("test_seconds", "A histogram.", "kind", []float64{0.1, 1})
+	hv.With("stream").Observe(0.05)
+	hv.With("stream").Observe(0.5)
+	hv.With("stream").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP test_total A counter.",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 1.5",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{kind="stream",le="0.1"} 1`,
+		`test_seconds_bucket{kind="stream",le="1"} 2`,
+		`test_seconds_bucket{kind="stream",le="+Inf"} 3`,
+		`test_seconds_sum{kind="stream"} 5.55`,
+		`test_seconds_count{kind="stream"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	r.Counter("dup_total", "second")
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"clustereval/internal/machine"
+)
+
+// Server translates HTTP onto a Service. It is an http.Handler; cmd/clusterd
+// mounts it on a listener, tests mount it on httptest.
+type Server struct {
+	svc   *Service
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wires the REST routes around svc.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleSubmit accepts a JobSpec, answering 200 for cache hits, 202 for
+// queued jobs, 400 for invalid specs and 503 when the queue is full or the
+// daemon is draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
+		return
+	}
+	view, err := s.svc.Submit(spec)
+	switch {
+	case err == nil:
+		code := http.StatusAccepted
+		if view.State == StateDone { // served from cache
+			code = http.StatusOK
+		}
+		writeJSON(w, code, view)
+	case errors.As(err, new(*ValidationError)):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.svc.Jobs()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleMachines lists the machine presets jobs can target, with enough
+// shape (cores, nodes, fabric) for a client to build sensible specs.
+func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
+	type machineInfo struct {
+		Name         string  `json:"name"`
+		Preset       string  `json:"preset"`
+		CPU          string  `json:"cpu"`
+		CoresPerNode int     `json:"cores_per_node"`
+		Nodes        int     `json:"nodes"`
+		Network      string  `json:"network"`
+		DPPeakGFlops float64 `json:"dp_peak_gflops_per_node"`
+		MemBWGBps    float64 `json:"mem_bw_gbps_per_node"`
+		LinkGBps     float64 `json:"link_peak_gbps"`
+	}
+	out := []machineInfo{}
+	for _, name := range machine.PresetNames() {
+		m, _ := machine.Preset(name)
+		out = append(out, machineInfo{
+			Name:         m.Name,
+			Preset:       name,
+			CPU:          m.CPUName,
+			CoresPerNode: m.Node.Cores(),
+			Nodes:        m.Nodes,
+			Network:      string(m.Network.Kind),
+			DPPeakGFlops: float64(m.Node.DoublePeak()) / 1e9,
+			MemBWGBps:    float64(m.Node.MemoryPeak()) / 1e9,
+			LinkGBps:     float64(m.Network.LinkPeak) / 1e9,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"machines": out,
+		"kinds":    Kinds(),
+	})
+}
+
+// handleHealthz reports liveness plus a little operational colour.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.svc.Workers(),
+		"queue_depth":    s.svc.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.svc.Registry().WriteText(w)
+}

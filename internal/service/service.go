@@ -1,0 +1,448 @@
+// Package service implements clusterd's evaluation engine: a bounded job
+// queue feeding a worker pool that replays the paper's simulations on
+// demand, a content-addressed LRU cache over their (deterministic)
+// results, and a Prometheus-text-format metrics registry. The HTTP layer
+// in server.go is a thin translation onto this engine; cmd/clusterd wires
+// it to a listener and signals.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+// The job lifecycle: queued -> running -> done | failed | cancelled.
+// Cache hits are born done.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned when the bounded queue cannot accept the
+	// job; clients should back off and retry.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed is returned once the service has begun draining.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; 0 means 256.
+	QueueDepth int
+	// CacheSize bounds the result cache entry count; 0 means 1024,
+	// negative disables caching.
+	CacheSize int
+	// JobTimeout bounds one job's execution; 0 means 2 minutes.
+	JobTimeout time.Duration
+	// MaxJobs bounds the finished-job history kept for GET /v1/jobs;
+	// 0 means 4096. Queued and running jobs are never evicted.
+	MaxJobs int
+	// runner overrides job execution in tests.
+	runner func(context.Context, JobSpec) (*Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.runner == nil {
+		c.runner = Run
+	}
+	return c
+}
+
+// Job is one submitted simulation with its lifecycle state. All mutable
+// fields are guarded by mu; View snapshots them for the HTTP layer.
+type Job struct {
+	ID   string
+	Spec JobSpec // normalised
+	Key  string  // canonical spec hash (cache key)
+
+	mu         sync.Mutex
+	state      JobState
+	cached     bool
+	result     *Result
+	errMsg     string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	cancelFn   context.CancelFunc // set while running
+	cancelWant bool               // cancel requested before the job started
+}
+
+// JobView is an immutable snapshot of a job, shaped for JSON.
+type JobView struct {
+	ID              string    `json:"id"`
+	State           JobState  `json:"state"`
+	Spec            JobSpec   `json:"spec"`
+	SpecHash        string    `json:"spec_hash"`
+	Cached          bool      `json:"cached"`
+	Error           string    `json:"error,omitempty"`
+	Result          *Result   `json:"result,omitempty"`
+	SubmittedAt     time.Time `json:"submitted_at"`
+	StartedAt       time.Time `json:"started_at,omitzero"`
+	FinishedAt      time.Time `json:"finished_at,omitzero"`
+	DurationSeconds float64   `json:"duration_seconds,omitempty"`
+}
+
+// View snapshots the job under its lock.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.ID, State: j.state, Spec: j.Spec, SpecHash: j.Key,
+		Cached: j.cached, Error: j.errMsg, Result: j.result,
+		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		v.DurationSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return v
+}
+
+// Service is the running evaluation engine.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+	queue chan *Job
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // submission order, for history eviction and listing
+	nextID uint64
+
+	wg        sync.WaitGroup
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	reg           *Registry
+	submitted     *Counter
+	completed     *Counter
+	failed        *Counter
+	cancelled     *Counter
+	cacheHits     *Counter
+	cacheMisses   *Counter
+	queueRejected *Counter
+	durations     *HistogramVec
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheSize),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      map[string]*Job{},
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		reg:       NewRegistry(),
+	}
+	s.submitted = s.reg.Counter("clusterd_jobs_submitted_total", "Jobs accepted for execution or served from cache.")
+	s.completed = s.reg.Counter("clusterd_jobs_completed_total", "Jobs that finished successfully (cache hits included).")
+	s.failed = s.reg.Counter("clusterd_jobs_failed_total", "Jobs that errored or timed out.")
+	s.cancelled = s.reg.Counter("clusterd_jobs_cancelled_total", "Jobs cancelled by the client or during drain.")
+	s.cacheHits = s.reg.Counter("clusterd_cache_hits_total", "Submissions answered from the result cache.")
+	s.cacheMisses = s.reg.Counter("clusterd_cache_misses_total", "Submissions that required a simulation run.")
+	s.queueRejected = s.reg.Counter("clusterd_queue_rejected_total", "Submissions rejected because the queue was full.")
+	s.reg.GaugeFunc("clusterd_queue_depth", "Jobs currently waiting in the queue.",
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("clusterd_cache_entries", "Results currently held by the LRU cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	s.reg.GaugeFunc("clusterd_cache_hit_ratio", "Lifetime cache hits / (hits + misses); 0 before any lookup.",
+		func() float64 {
+			h, m := float64(s.cacheHits.Value()), float64(s.cacheMisses.Value())
+			if h+m == 0 {
+				return 0
+			}
+			return h / (h + m)
+		})
+	s.durations = s.reg.HistogramVec("clusterd_job_duration_seconds",
+		"Wall-clock execution time of completed jobs by kind (cache hits excluded).", "kind",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60})
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the metrics registry (the /v1/metrics handler renders
+// it; tests can add collectors).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// QueueDepth returns the number of queued-but-not-running jobs.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// Submit validates, canonicalises and either answers spec from the result
+// cache or enqueues it. The returned view reflects the job's state at
+// return time: StateDone for cache hits, StateQueued otherwise.
+func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	norm, key, err := Canonicalize(spec)
+	if err != nil {
+		return JobView{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, ErrClosed
+	}
+	s.submitted.Inc()
+
+	now := time.Now()
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("j%06d", s.nextID),
+		Spec:      norm,
+		Key:       key,
+		submitted: now,
+	}
+
+	if res, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		s.completed.Inc()
+		job.state = StateDone
+		job.cached = true
+		job.result = res
+		job.started = now
+		job.finished = now
+		s.registerLocked(job)
+		return job.View(), nil
+	}
+	s.cacheMisses.Inc()
+
+	job.state = StateQueued
+	select {
+	case s.queue <- job:
+		s.registerLocked(job)
+		return job.View(), nil
+	default:
+		s.queueRejected.Inc()
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// registerLocked records the job and prunes the oldest finished jobs
+// beyond the history bound. Caller holds s.mu.
+func (s *Service) registerLocked(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (s *Service) Get(id string) (JobView, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return job.View(), nil
+}
+
+// Jobs returns snapshots of all retained jobs in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	return views
+}
+
+// Cancel requests cancellation of a queued or running job. Cancelling a
+// terminal job is a no-op (its view is returned unchanged).
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+
+	job.mu.Lock()
+	switch job.state {
+	case StateQueued:
+		job.cancelWant = true
+		job.state = StateCancelled
+		job.finished = time.Now()
+		job.errMsg = "cancelled while queued"
+		s.cancelled.Inc()
+	case StateRunning:
+		job.cancelWant = true
+		if job.cancelFn != nil {
+			job.cancelFn()
+		}
+	}
+	job.mu.Unlock()
+	return job.View(), nil
+}
+
+// worker drains the queue until it is closed, running one job at a time.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.execute(job)
+	}
+}
+
+// execute runs one job with a per-job timeout, records its outcome and
+// populates the cache.
+func (s *Service) execute(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting
+		job.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancelFn = cancel
+	job.mu.Unlock()
+	defer cancel()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.cfg.runner(ctx, job.Spec)
+		ch <- outcome{res, err}
+	}()
+
+	var out outcome
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		// The runner goroutine keeps computing in the background and its
+		// result is discarded; model runs are bounded so this is cheap.
+		out = outcome{nil, ctx.Err()}
+	}
+
+	now := time.Now()
+	job.mu.Lock()
+	job.finished = now
+	job.cancelFn = nil
+	elapsed := now.Sub(job.started)
+	switch {
+	case out.err == nil:
+		job.state = StateDone
+		job.result = out.res
+		s.cache.Put(job.Key, out.res)
+		s.completed.Inc()
+		s.durations.With(job.Spec.Kind).Observe(elapsed.Seconds())
+	case errors.Is(out.err, context.DeadlineExceeded) && !job.cancelWant:
+		job.state = StateFailed
+		job.errMsg = fmt.Sprintf("job timed out after %v", s.cfg.JobTimeout)
+		s.failed.Inc()
+	case errors.Is(out.err, context.Canceled) || job.cancelWant:
+		job.state = StateCancelled
+		job.errMsg = "cancelled while running"
+		s.cancelled.Inc()
+	default:
+		job.state = StateFailed
+		job.errMsg = out.err.Error()
+		s.failed.Inc()
+	}
+	job.mu.Unlock()
+}
+
+// Close drains the service: no new submissions are accepted, queued jobs
+// are still executed, and Close returns when the pool is idle. If ctx
+// expires first, in-flight and remaining queued jobs are cancelled and
+// Close waits for the (now fast) drain before returning ctx's error.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	if !already {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll() // flip every per-job context; workers finish promptly
+		<-done
+		return ctx.Err()
+	}
+}

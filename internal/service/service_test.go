@@ -1,0 +1,412 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRunner replaces the real simulation with an instant result so the
+// queueing machinery can be exercised in microseconds.
+func fastRunner(_ context.Context, spec JobSpec) (*Result, error) {
+	return &Result{Kind: spec.Kind, Machine: spec.Machine, Summary: "fake"}, nil
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, s *Service, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+func closeNow(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestSubmitRunAndCacheHit(t *testing.T) {
+	calls := 0
+	var mu sync.Mutex
+	s := New(Config{Workers: 2, runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return fastRunner(ctx, spec)
+	}})
+	defer closeNow(t, s)
+
+	spec := JobSpec{Kind: "hpl", Nodes: 4}
+	v1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Cached {
+		t.Error("first submission reported cached")
+	}
+	done := waitTerminal(t, s, v1.ID)
+	if done.State != StateDone || done.Result == nil {
+		t.Fatalf("first job state %s, result %v", done.State, done.Result)
+	}
+
+	v2, err := s.Submit(JobSpec{Kind: "HPL", Machine: "a64fx", Nodes: 4}) // alias spelling
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached || v2.State != StateDone || v2.Result == nil {
+		t.Errorf("aliased resubmission missed the cache: %+v", v2)
+	}
+	if v2.SpecHash != v1.SpecHash {
+		t.Errorf("spec hashes differ: %s vs %s", v1.SpecHash, v2.SpecHash)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("runner called %d times, want 1", calls)
+	}
+	if got := s.cacheHits.Value(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{Workers: 1, runner: fastRunner})
+	defer closeNow(t, s)
+
+	_, err := s.Submit(JobSpec{Kind: "nope"})
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Errorf("Submit(bad kind) error = %v, want *ValidationError", err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1, CacheSize: -1,
+		runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			<-release
+			return fastRunner(ctx, spec)
+		}})
+	defer closeNow(t, s)
+	defer close(release)
+
+	// Worker grabs the first job and blocks; the second fills the queue;
+	// the third must be rejected. Distinct seeds keep the cache out of it.
+	if _, err := s.Submit(JobSpec{Kind: "fpu", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick up job 1 so job 2 reliably sits in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(JobSpec{Kind: "fpu", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(JobSpec{Kind: "fpu", Seed: 3})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("third submit error = %v, want ErrQueueFull", err)
+	}
+	if got := s.queueRejected.Value(); got != 1 {
+		t.Errorf("queue rejections = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 4, CacheSize: -1,
+		runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			<-release
+			return fastRunner(ctx, spec)
+		}})
+	defer closeNow(t, s)
+
+	if _, err := s.Submit(JobSpec{Kind: "fpu", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(JobSpec{Kind: "fpu", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateCancelled {
+		t.Errorf("cancelled queued job state = %s", v.State)
+	}
+	close(release)
+	// The worker must skip the cancelled job, not run it.
+	if final := waitTerminal(t, s, queued.ID); final.State != StateCancelled || final.Result != nil {
+		t.Errorf("cancelled job reached %s with result %v", final.State, final.Result)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	s := New(Config{Workers: 1, CacheSize: -1,
+		runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "fpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, s, v.ID); final.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", final.State)
+	}
+	if got := s.cancelled.Value(); got != 1 {
+		t.Errorf("cancelled counter = %d, want 1", got)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: -1, JobTimeout: 20 * time.Millisecond,
+		runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "fpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID)
+	if final.State != StateFailed {
+		t.Errorf("state = %s, want failed", final.State)
+	}
+	if final.Error == "" {
+		t.Error("timed-out job has no error message")
+	}
+}
+
+func TestRunnerError(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: -1,
+		runner: func(context.Context, JobSpec) (*Result, error) {
+			return nil, errors.New("model exploded")
+		}})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "fpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID)
+	if final.State != StateFailed || final.Error != "model exploded" {
+		t.Errorf("state %s, error %q", final.State, final.Error)
+	}
+	if got := s.failed.Value(); got != 1 {
+		t.Errorf("failed counter = %d, want 1", got)
+	}
+}
+
+// TestConcurrentSubmitters is the race-detector workout: many goroutines
+// submitting, polling and listing at once, against a mix of fresh and
+// cache-hitting specs.
+func TestConcurrentSubmitters(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 1024, runner: fastRunner})
+
+	const submitters = 8
+	const perSubmitter = 25
+	var wg sync.WaitGroup
+	ids := make(chan string, submitters*perSubmitter)
+	wg.Add(submitters)
+	for g := 0; g < submitters; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				// Half the specs repeat across goroutines (cache hits), half
+				// are unique (fresh runs).
+				seed := uint64(i % 5)
+				if i%2 == 1 {
+					seed = uint64(g*1000 + i)
+				}
+				v, err := s.Submit(JobSpec{Kind: "hpcg", Seed: seed})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- v.ID
+				if i%7 == 0 {
+					s.Jobs()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(ids)
+
+	for id := range ids {
+		if v := waitTerminal(t, s, id); v.State != StateDone {
+			t.Errorf("job %s: state %s (%s)", id, v.State, v.Error)
+		}
+	}
+	total := s.completed.Value()
+	if want := uint64(submitters * perSubmitter); total != want {
+		t.Errorf("completed = %d, want %d", total, want)
+	}
+	// With every job drained, a repeated spec is now a guaranteed hit.
+	v, err := s.Submit(JobSpec{Kind: "hpcg", Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Cached {
+		t.Error("post-drain resubmission missed the cache")
+	}
+	closeNow(t, s)
+
+	if _, err := s.Submit(JobSpec{Kind: "fpu"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close error = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 16, CacheSize: -1,
+		runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			time.Sleep(2 * time.Millisecond)
+			return fastRunner(ctx, spec)
+		}})
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		v, err := s.Submit(JobSpec{Kind: "fpu", Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	closeNow(t, s)
+	for _, id := range ids {
+		v, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone {
+			t.Errorf("job %s not drained: %s", id, v.State)
+		}
+	}
+	// Close is idempotent.
+	if err := s.Close(context.Background()); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestCloseDeadlineCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: -1,
+		runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			<-ctx.Done() // runs until cancelled
+			return nil, ctx.Err()
+		}})
+	v, err := s.Submit(JobSpec{Kind: "fpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Close error = %v, want DeadlineExceeded", err)
+	}
+	final, err := s.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.State.Terminal() {
+		t.Errorf("straggler left in state %s after forced drain", final.State)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 64, CacheSize: -1, MaxJobs: 5, runner: fastRunner})
+	defer closeNow(t, s)
+
+	var last string
+	for i := 0; i < 12; i++ {
+		v, err := s.Submit(JobSpec{Kind: "fpu", Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = v.ID
+		waitTerminal(t, s, v.ID)
+	}
+	jobs := s.Jobs()
+	if len(jobs) > 5 {
+		t.Errorf("history holds %d jobs, want <= 5", len(jobs))
+	}
+	if _, err := s.Get(last); err != nil {
+		t.Errorf("most recent job evicted: %v", err)
+	}
+	if _, err := s.Get("j000001"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oldest job still present, err = %v", err)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := New(Config{Workers: 1, runner: fastRunner})
+	defer closeNow(t, s)
+	if _, err := s.Get("jffffff"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(unknown) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Cancel("jffffff"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Cancel(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+// sanity check that IDs are unique and ordered under concurrency.
+func TestIDsAreUnique(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 256, CacheSize: -1, runner: fastRunner})
+	defer closeNow(t, s)
+
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				v, err := s.Submit(JobSpec{Kind: "fpu", Seed: uint64(g*100 + i + 1)})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				if seen[v.ID] {
+					t.Errorf("duplicate job ID %s", v.ID)
+				}
+				seen[v.ID] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(seen) != 80 {
+		t.Errorf("saw %d distinct IDs, want 80", len(seen))
+	}
+}

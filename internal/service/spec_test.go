@@ -1,0 +1,122 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   JobSpec
+		want JobSpec
+	}{
+		{
+			name: "stream fills machine and language",
+			in:   JobSpec{Kind: "stream"},
+			want: JobSpec{Kind: "stream", Machine: "cte-arm", Language: "c"},
+		},
+		{
+			name: "aliases fold to canonical slug",
+			in:   JobSpec{Kind: "Stream", Machine: "A64FX", Language: "C"},
+			want: JobSpec{Kind: "stream", Machine: "cte-arm", Language: "c"},
+		},
+		{
+			name: "net fills size, iters and endpoints",
+			in:   JobSpec{Kind: "net", Machine: "mn4"},
+			want: JobSpec{Kind: "net", Machine: "mn4", SizeBytes: 256, Iters: 100, DstNode: 1},
+		},
+		{
+			name: "hpcg fills version and nodes",
+			in:   JobSpec{Kind: "hpcg", Machine: "marenostrum4"},
+			want: JobSpec{Kind: "hpcg", Machine: "mn4", Version: "optimized", Nodes: 1},
+		},
+		{
+			name: "fpu fills iters",
+			in:   JobSpec{Kind: "fpu"},
+			want: JobSpec{Kind: "fpu", Machine: "cte-arm", Iters: 20000},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.in.Normalize()
+			if err != nil {
+				t.Fatalf("Normalize(%+v): %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Errorf("Normalize(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   JobSpec
+		frag string // expected error fragment
+	}{
+		{"unknown kind", JobSpec{Kind: "dgemm"}, "unknown kind"},
+		{"unknown machine", JobSpec{Kind: "stream", Machine: "fugaku"}, "unknown machine"},
+		{"unknown app", JobSpec{Kind: "app", App: "lammps"}, "unknown app"},
+		{"unknown language", JobSpec{Kind: "stream", Language: "rust"}, "unknown language"},
+		{"unknown hpcg version", JobSpec{Kind: "hpcg", Version: "turbo"}, "unknown hpcg version"},
+		{"stray field", JobSpec{Kind: "hpl", SizeBytes: 64}, "not used by kind"},
+		{"stray endpoints", JobSpec{Kind: "stream", DstNode: 3}, "not used by kind"},
+		{"ranks beyond node", JobSpec{Kind: "stream", Ranks: 500}, "out of"},
+		{"nodes beyond machine", JobSpec{Kind: "hpl", Nodes: 1 << 20}, "out of"},
+		{"net endpoint beyond machine", JobSpec{Kind: "net", DstNode: 1 << 20}, "out of"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.in.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize(%+v) succeeded, want error", tc.in)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Errorf("error %T is not a *ValidationError", err)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeCollapsesAliases is the cache-safety property: any two
+// spellings of the same simulation must produce the same content address.
+func TestCanonicalizeCollapsesAliases(t *testing.T) {
+	a := JobSpec{Kind: "STREAM", Machine: "a64fx"}
+	b := JobSpec{Kind: "stream", Machine: "CTE-Arm", Language: "c"}
+	_, ka, err := Canonicalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kb, err := Canonicalize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("aliased specs hash differently: %s vs %s", ka, kb)
+	}
+
+	c := JobSpec{Kind: "stream", Machine: "mn4"}
+	_, kc, err := Canonicalize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc == ka {
+		t.Error("different machines share a content address")
+	}
+
+	d := JobSpec{Kind: "stream", Machine: "a64fx", Seed: 7}
+	_, kd, err := Canonicalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd == ka {
+		t.Error("different seeds share a content address")
+	}
+}
