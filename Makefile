@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ablation paper export serve examples clean
+.PHONY: all build vet test race cover bench ablation paper export serve examples clean
 
 all: build vet test
 
@@ -20,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage profile plus per-package floors on the packages the fault
+# injection work leans on (internal/service, internal/mpisim).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+	./scripts/cover_floor.sh
 
 # The full benchmark harness: one benchmark per table and figure.
 bench:
@@ -42,7 +49,10 @@ export:
 serve:
 	$(GO) run ./cmd/clusterd
 
+# Build every example, then smoke-run each one — examples are user-facing
+# code and must keep compiling and finishing cleanly.
 examples:
+	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/custom-machine
 	$(GO) run ./examples/topology-explorer
@@ -50,4 +60,4 @@ examples:
 	$(GO) run ./examples/pop-analysis
 
 clean:
-	rm -rf paperdata test_output.txt bench_output.txt
+	rm -rf paperdata test_output.txt bench_output.txt coverage.out

@@ -7,10 +7,18 @@
 // Usage:
 //
 //	clusterd [-addr :8080] [-workers 0] [-queue 256] [-cache 1024] [-job-timeout 2m]
+//	         [-retries 2] [-retry-backoff 50ms]
 //
 // A zero -workers means one worker per CPU (GOMAXPROCS). SIGINT/SIGTERM
 // trigger a graceful drain: the listener stops, queued jobs finish, then
 // the process exits.
+//
+// Specs may carry a "faults" block (see internal/faultsim) injecting
+// stragglers, degraded links or node failures into the simulated cluster.
+// Jobs failing with a retryable fault error are re-executed up to -retries
+// times with exponential backoff starting at -retry-backoff before being
+// reported degraded; /v1/healthz exposes queue saturation and the recent
+// failure rate so operators can see the service degrade rather than flap.
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 		queue      = flag.Int("queue", 256, "job queue depth")
 		cache      = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout")
+		retries    = flag.Int("retries", 2, "max re-executions of a job failing with a retryable fault (negative disables)")
+		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt (negative means none)")
 	)
 	flag.Parse()
 
@@ -42,10 +52,12 @@ func main() {
 	defer stop()
 
 	cfg := service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		JobTimeout: *jobTimeout,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		JobTimeout:   *jobTimeout,
+		MaxRetries:   *retries,
+		RetryBackoff: *backoff,
 	}
 	if err := run(ctx, *addr, cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)

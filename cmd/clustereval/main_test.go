@@ -118,3 +118,37 @@ func TestRunRejectsBadSelectors(t *testing.T) {
 		t.Error("figure 99 accepted")
 	}
 }
+
+// TestExportGoldenCSVs pins the exported CSVs of the paper's headline
+// benchmark figures byte-for-byte: Fig. 2 (STREAM Triad sweep), Fig. 5
+// (network bandwidth distribution), Fig. 6 (HPL scalability) and Fig. 7
+// (HPCG). Together with table4.golden this covers the memory, network and
+// compute layers of the simulation, so any unintended drift anywhere below
+// shows up as a CSV diff. Refresh intentionally with:
+//
+//	go test ./cmd/clustereval -run TestExportGoldenCSVs -update
+func TestExportGoldenCSVs(t *testing.T) {
+	dir := t.TempDir()
+	capture(t, func() error { return exportAll(dir) })
+
+	for _, name := range []string{"fig2.csv", "fig5.csv", "fig6.csv", "fig7.csv"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", name+".golden")
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from %s\n--- got ---\n%s--- want ---\n%s",
+				name, golden, got, want)
+		}
+	}
+}

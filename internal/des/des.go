@@ -130,7 +130,13 @@ func (e *Engine) Run() error {
 		ev.proc.resume <- struct{}{}
 		msg := <-e.yield
 		if msg.panicked != nil {
-			e.failure = fmt.Errorf("des: process %q panicked: %v", msg.proc.Name, msg.panicked)
+			// A process aborting with an error value (e.g. a typed
+			// fault-injection failure) stays unwrappable via errors.As.
+			if perr, ok := msg.panicked.(error); ok {
+				e.failure = fmt.Errorf("des: process %q panicked: %w", msg.proc.Name, perr)
+			} else {
+				e.failure = fmt.Errorf("des: process %q panicked: %v", msg.proc.Name, msg.panicked)
+			}
 			return e.failure
 		}
 		if msg.finished {

@@ -1,0 +1,335 @@
+// Package faultsim is the deterministic fault-injection subsystem of the
+// simulator. A Spec describes a perturbation of a cluster — straggler nodes
+// (OS noise / slow compute), degraded links (reduced bandwidth, added
+// latency) and hard node failures at a scheduled sim-time — and compiles
+// into an immutable Model the cost layers consult:
+//
+//   - internal/interconnect applies link bandwidth factors and extra
+//     latency per (src, dst) node pair;
+//   - internal/mpisim scales Compute spans by the per-node slowdown and
+//     aborts a run with a typed *NodeFailedError when an operation touches
+//     a failed node.
+//
+// Everything is seed-driven and reproducible: a Spec plus an attempt number
+// fully determines the Model, so a clusterd retry can deterministically
+// re-draw the stochastic faults (FailProb, OSNoise) while explicit faults
+// stay fixed — exactly the behaviour of resubmitting a job on a production
+// system where the same sick node is still sick but transient noise has
+// moved on.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"clustereval/internal/units"
+	"clustereval/internal/xrand"
+)
+
+// NodeFault perturbs one node.
+type NodeFault struct {
+	// Node is the cluster node index.
+	Node int `json:"node"`
+	// Slowdown multiplies every Compute span of ranks on this node.
+	// 0 means unset (no slowdown); values below 1 are invalid — system
+	// noise only ever slows a node down.
+	Slowdown float64 `json:"slowdown,omitempty"`
+	// Failed marks the node dead from sim-time zero.
+	Failed bool `json:"failed,omitempty"`
+	// FailAtSeconds schedules a hard failure at the given sim-time (> 0).
+	// Mutually exclusive with Failed.
+	FailAtSeconds float64 `json:"fail_at_seconds,omitempty"`
+}
+
+// LinkFault perturbs the directed link (pair path) src -> dst.
+type LinkFault struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// BandwidthFactor is the fraction of bandwidth the link retains,
+	// in (0, 1]. 0 means unset (full bandwidth).
+	BandwidthFactor float64 `json:"bandwidth_factor,omitempty"`
+	// ExtraLatencySeconds is added to every message on the link.
+	ExtraLatencySeconds float64 `json:"extra_latency_seconds,omitempty"`
+}
+
+// Spec is the serializable description of a fault scenario. The zero value
+// injects nothing: compiling it yields a nil Model and every result is
+// bit-identical to an unperturbed run.
+type Spec struct {
+	// Seed anchors the stochastic faults (FailProb, OSNoise). It is
+	// ignored — and canonicalized away — when neither is set.
+	Seed uint64 `json:"seed,omitempty"`
+	// FailProb fails each node independently from sim-time zero with this
+	// probability, drawn deterministically from (Seed, attempt, node).
+	FailProb float64 `json:"fail_prob,omitempty"`
+	// OSNoise gives each node a deterministic slowdown 1 + OSNoise*|N(0,1)|
+	// (clamped to 1 + 3*OSNoise), modelling per-node system noise.
+	OSNoise float64 `json:"os_noise,omitempty"`
+	// Nodes and Links are explicit, attempt-independent faults.
+	Nodes []NodeFault `json:"nodes,omitempty"`
+	Links []LinkFault `json:"links,omitempty"`
+}
+
+// zeroNode reports whether the entry perturbs nothing.
+func zeroNode(nf NodeFault) bool {
+	return !nf.Failed && nf.FailAtSeconds == 0 && (nf.Slowdown == 0 || nf.Slowdown == 1)
+}
+
+// zeroLink reports whether the entry perturbs nothing.
+func zeroLink(lf LinkFault) bool {
+	return (lf.BandwidthFactor == 0 || lf.BandwidthFactor == 1) && lf.ExtraLatencySeconds == 0
+}
+
+// Zero reports whether the spec injects no faults at all.
+func (s *Spec) Zero() bool {
+	if s == nil {
+		return true
+	}
+	if s.FailProb != 0 || s.OSNoise != 0 {
+		return false
+	}
+	for _, nf := range s.Nodes {
+		if !zeroNode(nf) {
+			return false
+		}
+	}
+	for _, lf := range s.Links {
+		if !zeroLink(lf) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the spec against a cluster of the given node count.
+func (s *Spec) Validate(nodes int) error {
+	if s == nil {
+		return nil
+	}
+	if nodes <= 0 {
+		return fmt.Errorf("faultsim: non-positive node count %d", nodes)
+	}
+	if s.FailProb < 0 || s.FailProb >= 1 {
+		return fmt.Errorf("faultsim: fail_prob %v outside [0, 1)", s.FailProb)
+	}
+	if s.OSNoise < 0 || s.OSNoise > 1 {
+		return fmt.Errorf("faultsim: os_noise %v outside [0, 1]", s.OSNoise)
+	}
+	seenNode := map[int]bool{}
+	for _, nf := range s.Nodes {
+		if nf.Node < 0 || nf.Node >= nodes {
+			return fmt.Errorf("faultsim: node %d out of [0, %d)", nf.Node, nodes)
+		}
+		if seenNode[nf.Node] {
+			return fmt.Errorf("faultsim: duplicate node fault for node %d", nf.Node)
+		}
+		seenNode[nf.Node] = true
+		if nf.Slowdown != 0 && nf.Slowdown < 1 {
+			return fmt.Errorf("faultsim: node %d slowdown %v below 1", nf.Node, nf.Slowdown)
+		}
+		if nf.FailAtSeconds < 0 {
+			return fmt.Errorf("faultsim: node %d fail_at_seconds %v negative", nf.Node, nf.FailAtSeconds)
+		}
+		if nf.Failed && nf.FailAtSeconds > 0 {
+			return fmt.Errorf("faultsim: node %d sets both failed and fail_at_seconds", nf.Node)
+		}
+	}
+	seenLink := map[[2]int]bool{}
+	for _, lf := range s.Links {
+		if lf.Src < 0 || lf.Src >= nodes || lf.Dst < 0 || lf.Dst >= nodes {
+			return fmt.Errorf("faultsim: link %d->%d out of [0, %d)", lf.Src, lf.Dst, nodes)
+		}
+		if lf.Src == lf.Dst {
+			return fmt.Errorf("faultsim: link fault %d->%d is not a link (src == dst)", lf.Src, lf.Dst)
+		}
+		k := [2]int{lf.Src, lf.Dst}
+		if seenLink[k] {
+			return fmt.Errorf("faultsim: duplicate link fault for %d->%d", lf.Src, lf.Dst)
+		}
+		seenLink[k] = true
+		if lf.BandwidthFactor < 0 || lf.BandwidthFactor > 1 {
+			return fmt.Errorf("faultsim: link %d->%d bandwidth_factor %v outside (0, 1]", lf.Src, lf.Dst, lf.BandwidthFactor)
+		}
+		if lf.ExtraLatencySeconds < 0 {
+			return fmt.Errorf("faultsim: link %d->%d extra_latency_seconds %v negative", lf.Src, lf.Dst, lf.ExtraLatencySeconds)
+		}
+	}
+	return nil
+}
+
+// Canonical returns the canonical form of a validated spec: entries with no
+// effect dropped, the rest sorted (nodes by index, links by src then dst),
+// unused knobs zeroed, and nil for a spec that injects nothing. Two specs
+// describing the same perturbation canonicalize to the same value, the
+// property clusterd's content-addressed cache keys rely on.
+func (s *Spec) Canonical() *Spec {
+	if s.Zero() {
+		return nil
+	}
+	c := &Spec{FailProb: s.FailProb, OSNoise: s.OSNoise}
+	// The seed only feeds the stochastic knobs; drop it when they are off
+	// so otherwise-identical specs share a cache entry.
+	if s.FailProb != 0 || s.OSNoise != 0 {
+		c.Seed = s.Seed
+	}
+	for _, nf := range s.Nodes {
+		if zeroNode(nf) {
+			continue
+		}
+		c.Nodes = append(c.Nodes, nf)
+	}
+	for _, lf := range s.Links {
+		if zeroLink(lf) {
+			continue
+		}
+		c.Links = append(c.Links, lf)
+	}
+	sort.Slice(c.Nodes, func(i, j int) bool { return c.Nodes[i].Node < c.Nodes[j].Node })
+	sort.Slice(c.Links, func(i, j int) bool {
+		if c.Links[i].Src != c.Links[j].Src {
+			return c.Links[i].Src < c.Links[j].Src
+		}
+		return c.Links[i].Dst < c.Links[j].Dst
+	})
+	return c
+}
+
+// LinkEffect is a compiled perturbation of one directed link.
+type LinkEffect struct {
+	BandwidthFactor float64
+	ExtraLatency    units.Seconds
+}
+
+// Model is a compiled fault scenario: constant-time lookups for the cost
+// layers. A nil *Model means no faults and must behave exactly like the
+// absence of the subsystem.
+type Model struct {
+	slow   map[int]float64
+	failAt map[int]units.Seconds
+	links  map[[2]int]LinkEffect
+}
+
+// Compile resolves the spec against a cluster of the given node count into
+// a Model. The attempt number salts the stochastic draws (FailProb,
+// OSNoise) so a retry sees a fresh — but still deterministic — fault
+// realisation; explicit Nodes/Links entries are attempt-independent.
+// A nil or effect-free spec compiles to a nil Model.
+func (s *Spec) Compile(nodes, attempt int) (*Model, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if err := s.Validate(nodes); err != nil {
+		return nil, err
+	}
+	if attempt < 0 {
+		return nil, fmt.Errorf("faultsim: negative attempt %d", attempt)
+	}
+	m := &Model{
+		slow:   map[int]float64{},
+		failAt: map[int]units.Seconds{},
+		links:  map[[2]int]LinkEffect{},
+	}
+	for _, nf := range s.Nodes {
+		if nf.Slowdown != 0 {
+			m.slow[nf.Node] = nf.Slowdown
+		}
+		if nf.Failed {
+			m.failAt[nf.Node] = 0
+		} else if nf.FailAtSeconds > 0 {
+			m.failAt[nf.Node] = units.Seconds(nf.FailAtSeconds)
+		}
+	}
+	for _, lf := range s.Links {
+		m.links[[2]int{lf.Src, lf.Dst}] = LinkEffect{
+			BandwidthFactor: lf.BandwidthFactor,
+			ExtraLatency:    units.Seconds(lf.ExtraLatencySeconds),
+		}
+	}
+	if s.FailProb > 0 || s.OSNoise > 0 {
+		const salt = 0xfa0175ed
+		for n := 0; n < nodes; n++ {
+			r := xrand.New(xrand.MixN(salt, s.Seed, uint64(attempt), uint64(n)))
+			if s.FailProb > 0 && r.Float64() < s.FailProb {
+				if _, explicit := m.failAt[n]; !explicit {
+					m.failAt[n] = 0
+				}
+			}
+			if s.OSNoise > 0 {
+				j := r.SlowJitter(s.OSNoise)
+				if prev, ok := m.slow[n]; ok {
+					m.slow[n] = prev * j
+				} else {
+					m.slow[n] = j
+				}
+			}
+		}
+	}
+	if len(m.slow) == 0 && len(m.failAt) == 0 && len(m.links) == 0 {
+		return nil, nil
+	}
+	return m, nil
+}
+
+// Slowdown returns the compute slowdown factor of a node (1 when healthy).
+func (m *Model) Slowdown(node int) float64 {
+	if m == nil {
+		return 1
+	}
+	if f, ok := m.slow[node]; ok {
+		return f
+	}
+	return 1
+}
+
+// FailTime returns the sim-time at which the node fails, and whether it
+// fails at all.
+func (m *Model) FailTime(node int) (units.Seconds, bool) {
+	if m == nil {
+		return 0, false
+	}
+	at, ok := m.failAt[node]
+	return at, ok
+}
+
+// Link returns the perturbation of the directed link src -> dst, if any.
+func (m *Model) Link(src, dst int) (LinkEffect, bool) {
+	if m == nil {
+		return LinkEffect{}, false
+	}
+	e, ok := m.links[[2]int{src, dst}]
+	return e, ok
+}
+
+// FailedNodes returns the sorted indices of every node that fails at some
+// sim-time under this model.
+func (m *Model) FailedNodes() []int {
+	if m == nil {
+		return nil
+	}
+	out := make([]int, 0, len(m.failAt))
+	for n := range m.failAt {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeFailedError reports an MPI operation touching a failed node. It
+// propagates out of mpisim.World.Run and is the retryable class of fault
+// errors clusterd's retry policy acts on.
+type NodeFailedError struct {
+	Node int
+	At   units.Seconds
+}
+
+func (e *NodeFailedError) Error() string {
+	return fmt.Sprintf("faultsim: node %d failed at t=%.9gs", e.Node, float64(e.At))
+}
+
+// Retryable reports whether err is a fault-injection failure that a retry
+// with a fresh fault realisation might avoid.
+func Retryable(err error) bool {
+	var nf *NodeFailedError
+	return errors.As(err, &nf)
+}

@@ -1,0 +1,309 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"clustereval/internal/units"
+)
+
+func TestZero(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		want bool
+	}{
+		{"nil", nil, true},
+		{"empty", &Spec{}, true},
+		{"seed only", &Spec{Seed: 7}, true},
+		{"no-op node", &Spec{Nodes: []NodeFault{{Node: 3}}}, true},
+		{"slowdown exactly 1", &Spec{Nodes: []NodeFault{{Node: 3, Slowdown: 1}}}, true},
+		{"no-op link", &Spec{Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 1}}}, true},
+		{"fail prob", &Spec{FailProb: 0.1}, false},
+		{"os noise", &Spec{OSNoise: 0.05}, false},
+		{"straggler", &Spec{Nodes: []NodeFault{{Node: 0, Slowdown: 2}}}, false},
+		{"failed node", &Spec{Nodes: []NodeFault{{Node: 0, Failed: true}}}, false},
+		{"scheduled failure", &Spec{Nodes: []NodeFault{{Node: 0, FailAtSeconds: 1}}}, false},
+		{"degraded link", &Spec{Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.5}}}, false},
+		{"laggy link", &Spec{Links: []LinkFault{{Src: 0, Dst: 1, ExtraLatencySeconds: 1e-6}}}, false},
+	}
+	for _, c := range cases {
+		if got := c.spec.Zero(); got != c.want {
+			t.Errorf("%s: Zero() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"fail_prob negative", Spec{FailProb: -0.1}},
+		{"fail_prob one", Spec{FailProb: 1}},
+		{"os_noise negative", Spec{OSNoise: -0.1}},
+		{"os_noise above one", Spec{OSNoise: 1.5}},
+		{"node out of range", Spec{Nodes: []NodeFault{{Node: 8}}}},
+		{"node negative", Spec{Nodes: []NodeFault{{Node: -1}}}},
+		{"duplicate node", Spec{Nodes: []NodeFault{{Node: 1, Slowdown: 2}, {Node: 1, Failed: true}}}},
+		{"slowdown below 1", Spec{Nodes: []NodeFault{{Node: 1, Slowdown: 0.5}}}},
+		{"failed and fail_at", Spec{Nodes: []NodeFault{{Node: 1, Failed: true, FailAtSeconds: 2}}}},
+		{"fail_at negative", Spec{Nodes: []NodeFault{{Node: 1, FailAtSeconds: -1}}}},
+		{"link out of range", Spec{Links: []LinkFault{{Src: 0, Dst: 99, BandwidthFactor: 0.5}}}},
+		{"self link", Spec{Links: []LinkFault{{Src: 2, Dst: 2, BandwidthFactor: 0.5}}}},
+		{"duplicate link", Spec{Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.5}, {Src: 0, Dst: 1, ExtraLatencySeconds: 1}}}},
+		{"bandwidth factor negative", Spec{Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: -0.5}}}},
+		{"bandwidth factor above 1", Spec{Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 1.5}}}},
+		{"extra latency negative", Spec{Links: []LinkFault{{Src: 0, Dst: 1, ExtraLatencySeconds: -1}}}},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(8); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.spec)
+		}
+	}
+	ok := Spec{
+		Seed: 42, FailProb: 0.2, OSNoise: 0.1,
+		Nodes: []NodeFault{{Node: 3, Slowdown: 2}, {Node: 5, Failed: true}},
+		Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.5, ExtraLatencySeconds: 1e-6}},
+	}
+	if err := ok.Validate(8); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (&Spec{}).Validate(0); err == nil {
+		t.Error("Validate accepted non-positive node count")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if got := (&Spec{Seed: 9}).Canonical(); got != nil {
+		t.Errorf("effect-free spec canonicalized to %+v, want nil", got)
+	}
+
+	// Ordering, no-op dropping, and seed folding.
+	s := &Spec{
+		Seed: 99, // no stochastic knobs: must be dropped
+		Nodes: []NodeFault{
+			{Node: 5, Slowdown: 2},
+			{Node: 2}, // no-op
+			{Node: 1, Failed: true},
+		},
+		Links: []LinkFault{
+			{Src: 3, Dst: 0, BandwidthFactor: 0.5},
+			{Src: 0, Dst: 2, BandwidthFactor: 1}, // no-op
+			{Src: 0, Dst: 1, ExtraLatencySeconds: 1e-6},
+		},
+	}
+	got := s.Canonical()
+	want := &Spec{
+		Nodes: []NodeFault{{Node: 1, Failed: true}, {Node: 5, Slowdown: 2}},
+		Links: []LinkFault{{Src: 0, Dst: 1, ExtraLatencySeconds: 1e-6}, {Src: 3, Dst: 0, BandwidthFactor: 0.5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Canonical() = %+v, want %+v", got, want)
+	}
+
+	// Seed survives when a stochastic knob is on.
+	s2 := &Spec{Seed: 99, OSNoise: 0.1}
+	if got := s2.Canonical(); got == nil || got.Seed != 99 {
+		t.Errorf("Canonical() dropped the seed of a stochastic spec: %+v", got)
+	}
+
+	// Canonicalization is idempotent.
+	if again := got.Canonical(); !reflect.DeepEqual(again, got) {
+		t.Errorf("Canonical not idempotent: %+v vs %+v", again, got)
+	}
+}
+
+func TestCompileNilAndZero(t *testing.T) {
+	var nilSpec *Spec
+	if m, err := nilSpec.Compile(8, 0); err != nil || m != nil {
+		t.Errorf("nil spec: Compile = (%v, %v), want (nil, nil)", m, err)
+	}
+	if m, err := (&Spec{Seed: 3}).Compile(8, 0); err != nil || m != nil {
+		t.Errorf("effect-free spec: Compile = (%v, %v), want (nil, nil)", m, err)
+	}
+	if _, err := (&Spec{}).Compile(8, -1); err == nil {
+		t.Error("Compile accepted a negative attempt")
+	}
+}
+
+func TestCompileExplicitFaults(t *testing.T) {
+	s := &Spec{
+		Nodes: []NodeFault{
+			{Node: 1, Slowdown: 3},
+			{Node: 2, Failed: true},
+			{Node: 4, FailAtSeconds: 1.5},
+		},
+		Links: []LinkFault{{Src: 0, Dst: 3, BandwidthFactor: 0.25, ExtraLatencySeconds: 2e-6}},
+	}
+	m, err := s.Compile(8, 0)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := m.Slowdown(1); got != 3 {
+		t.Errorf("Slowdown(1) = %v, want 3", got)
+	}
+	if got := m.Slowdown(0); got != 1 {
+		t.Errorf("Slowdown(0) = %v, want 1 (healthy default)", got)
+	}
+	if at, ok := m.FailTime(2); !ok || at != 0 {
+		t.Errorf("FailTime(2) = (%v, %v), want (0, true)", at, ok)
+	}
+	if at, ok := m.FailTime(4); !ok || at != units.Seconds(1.5) {
+		t.Errorf("FailTime(4) = (%v, %v), want (1.5, true)", at, ok)
+	}
+	if _, ok := m.FailTime(0); ok {
+		t.Error("FailTime(0) reported a failure on a healthy node")
+	}
+	le, ok := m.Link(0, 3)
+	if !ok || le.BandwidthFactor != 0.25 || le.ExtraLatency != units.Seconds(2e-6) {
+		t.Errorf("Link(0,3) = (%+v, %v)", le, ok)
+	}
+	if _, ok := m.Link(3, 0); ok {
+		t.Error("Link(3,0): link faults must be directed")
+	}
+	if got, want := m.FailedNodes(), []int{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FailedNodes() = %v, want %v", got, want)
+	}
+
+	// Explicit faults are attempt-independent.
+	m2, err := s.Compile(8, 5)
+	if err != nil {
+		t.Fatalf("Compile attempt 5: %v", err)
+	}
+	if m.Slowdown(1) != m2.Slowdown(1) || !reflect.DeepEqual(m.FailedNodes(), m2.FailedNodes()) {
+		t.Error("explicit faults changed across attempts")
+	}
+}
+
+func TestCompileStochasticDeterminism(t *testing.T) {
+	s := &Spec{Seed: 1234, FailProb: 0.3, OSNoise: 0.2}
+	const nodes = 64
+
+	a, err := s.Compile(nodes, 0)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	b, err := s.Compile(nodes, 0)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for n := 0; n < nodes; n++ {
+		if a.Slowdown(n) != b.Slowdown(n) {
+			t.Fatalf("node %d: slowdown differs across identical compiles", n)
+		}
+		_, fa := a.FailTime(n)
+		_, fb := b.FailTime(n)
+		if fa != fb {
+			t.Fatalf("node %d: failure differs across identical compiles", n)
+		}
+	}
+
+	// A different attempt re-draws: expect at least one node to differ.
+	c, err := s.Compile(nodes, 1)
+	if err != nil {
+		t.Fatalf("Compile attempt 1: %v", err)
+	}
+	differs := false
+	for n := 0; n < nodes; n++ {
+		_, fa := a.FailTime(n)
+		_, fc := c.FailTime(n)
+		if a.Slowdown(n) != c.Slowdown(n) || fa != fc {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("attempt salt had no effect on 64 stochastic draws")
+	}
+
+	// OSNoise slowdowns respect the clamp [1, 1+3*eps].
+	for n := 0; n < nodes; n++ {
+		sl := a.Slowdown(n)
+		if sl < 1 || sl > 1+3*s.OSNoise+1e-12 {
+			t.Errorf("node %d: slowdown %v outside [1, %v]", n, sl, 1+3*s.OSNoise)
+		}
+	}
+}
+
+func TestCompileStochasticOnExplicit(t *testing.T) {
+	// OSNoise multiplies onto an explicit slowdown rather than replacing it.
+	s := &Spec{Seed: 7, OSNoise: 0.1, Nodes: []NodeFault{{Node: 0, Slowdown: 4}}}
+	m, err := s.Compile(4, 0)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if sl := m.Slowdown(0); sl < 4 {
+		t.Errorf("Slowdown(0) = %v, want >= 4 (noise on top of explicit straggler)", sl)
+	}
+	// An explicitly failed node stays failed whatever FailProb draws.
+	s2 := &Spec{Seed: 7, FailProb: 0.5, Nodes: []NodeFault{{Node: 1, FailAtSeconds: 2}}}
+	m2, err := s2.Compile(4, 3)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if at, ok := m2.FailTime(1); !ok || at != units.Seconds(2) {
+		t.Errorf("FailTime(1) = (%v, %v), want (2, true): explicit schedule must win", at, ok)
+	}
+}
+
+func TestNilModelLookups(t *testing.T) {
+	var m *Model
+	if m.Slowdown(3) != 1 {
+		t.Error("nil model Slowdown != 1")
+	}
+	if _, ok := m.FailTime(3); ok {
+		t.Error("nil model reported a failure")
+	}
+	if _, ok := m.Link(0, 1); ok {
+		t.Error("nil model reported a link effect")
+	}
+	if m.FailedNodes() != nil {
+		t.Error("nil model reported failed nodes")
+	}
+}
+
+func TestNodeFailedError(t *testing.T) {
+	base := &NodeFailedError{Node: 23, At: units.Seconds(1.5)}
+	wrapped := fmt.Errorf("sim run: %w", base)
+
+	if !Retryable(wrapped) {
+		t.Error("wrapped NodeFailedError not Retryable")
+	}
+	if Retryable(errors.New("disk on fire")) {
+		t.Error("ordinary error reported Retryable")
+	}
+	if Retryable(nil) {
+		t.Error("nil error reported Retryable")
+	}
+	var nf *NodeFailedError
+	if !errors.As(wrapped, &nf) || nf.Node != 23 {
+		t.Errorf("errors.As lost the node: %+v", nf)
+	}
+	want := "faultsim: node 23 failed at t=1.5s"
+	if got := base.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := &Spec{
+		Seed: 11, FailProb: 0.1, OSNoise: 0.05,
+		Nodes: []NodeFault{{Node: 2, Slowdown: 1.5}, {Node: 3, Failed: true}},
+		Links: []LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.5, ExtraLatencySeconds: 1e-6}},
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Spec
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(&back, s) {
+		t.Errorf("round trip changed the spec: %+v vs %+v", &back, s)
+	}
+}

@@ -1,0 +1,132 @@
+package interconnect
+
+import (
+	"testing"
+
+	"clustereval/internal/faultsim"
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+func compiled(t *testing.T, spec *faultsim.Spec, nodes int) *faultsim.Model {
+	t.Helper()
+	m, err := spec.Compile(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFabricInheritsMachineFaults(t *testing.T) {
+	m := machine.CTEArm()
+	m.Faults = compiled(t, &faultsim.Spec{
+		Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.5}},
+	}, 12)
+	tofu, err := NewTofuD(m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tofu.Faults != m.Faults {
+		t.Error("NewTofuD dropped the machine's fault model")
+	}
+
+	mn4 := machine.MareNostrum4()
+	mn4.Faults = m.Faults
+	opa, err := NewOmniPath(mn4, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opa.Faults != mn4.Faults {
+		t.Error("NewOmniPath dropped the machine's fault model")
+	}
+}
+
+// TestNilFaultModelBitIdentical anchors the subsystem's core contract: a
+// fabric carrying a nil fault model prices every message bit-for-bit like
+// one that has never heard of fault injection.
+func TestNilFaultModelBitIdentical(t *testing.T) {
+	base, err := NewTofuD(machine.CTEArm(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.CTEArm()
+	m.Faults = nil
+	faulted, err := NewTofuD(m, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []units.Bytes{1, 1 << 10, 64 << 10, 1 << 20} {
+		for trial := uint64(0); trial < 3; trial++ {
+			for src := 0; src < 8; src++ {
+				for dst := 0; dst < 8; dst++ {
+					a := base.MessageTime(src, dst, size, trial)
+					b := faulted.MessageTime(src, dst, size, trial)
+					if a != b {
+						t.Fatalf("size %v trial %d %d->%d: %v != %v", size, trial, src, dst, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLinkFaultBandwidth(t *testing.T) {
+	m := machine.CTEArm()
+	m.Faults = compiled(t, &faultsim.Spec{
+		Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.1}},
+	}, 12)
+	f, err := NewTofuD(m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet the stochastic effects so the comparison is exact.
+	f.SlowPathProb = 0
+	f.NoiseSmall = 0
+	f.NoiseLarge = 0
+
+	clean, err := NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.SlowPathProb = 0
+	clean.NoiseSmall = 0
+	clean.NoiseLarge = 0
+
+	const size = units.Bytes(4 << 20)
+	slow := f.MessageTime(0, 1, size, 0)
+	fast := clean.MessageTime(0, 1, size, 0)
+	if float64(slow) < 5*float64(fast) {
+		t.Errorf("10x degraded link: %v vs clean %v, want clearly slower", slow, fast)
+	}
+	// The reverse direction is untouched.
+	if got, want := f.MessageTime(1, 0, size, 0), clean.MessageTime(1, 0, size, 0); got != want {
+		t.Errorf("reverse direction changed: %v != %v", got, want)
+	}
+}
+
+func TestLinkFaultExtraLatency(t *testing.T) {
+	const extra = 1e-3
+	m := machine.CTEArm()
+	m.Faults = compiled(t, &faultsim.Spec{
+		Links: []faultsim.LinkFault{{Src: 2, Dst: 5, ExtraLatencySeconds: extra}},
+	}, 12)
+	f, err := NewTofuD(m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewTofuD(machine.CTEArm(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Latency(2, 5) - clean.Latency(2, 5)
+	if got != units.Seconds(extra) {
+		t.Errorf("extra latency = %v, want %v", got, units.Seconds(extra))
+	}
+	if f.Latency(5, 2) != clean.Latency(5, 2) {
+		t.Error("reverse direction latency changed")
+	}
+	// Intra-node latency never consults link faults.
+	if f.Latency(2, 2) != clean.Latency(2, 2) {
+		t.Error("intra-node latency changed")
+	}
+}

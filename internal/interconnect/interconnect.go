@@ -16,6 +16,7 @@ package interconnect
 import (
 	"fmt"
 
+	"clustereval/internal/faultsim"
 	"clustereval/internal/machine"
 	"clustereval/internal/topology"
 	"clustereval/internal/units"
@@ -54,6 +55,12 @@ type Fabric struct {
 
 	// Seed anchors all deterministic noise.
 	Seed uint64
+
+	// Faults, when non-nil, is the injected fault scenario inherited from
+	// the machine descriptor: per-link bandwidth degradation and extra
+	// latency apply here, and mpisim worlds built on this fabric pick up
+	// the per-node compute slowdowns and hard failures.
+	Faults *faultsim.Model
 }
 
 // New builds the fabric matching the machine's interconnect kind — the
@@ -98,6 +105,7 @@ func NewTofuD(m machine.Machine, nodes int) (*Fabric, error) {
 		IntraNodeBW:      units.BytesPerSecond(20 * units.Giga),
 		IntraNodeLatency: units.Seconds(0.25e-6),
 		Seed:             fabricSeed(m, 0x7f0a64f),
+		Faults:           m.Faults,
 	}
 	if nodes > 23 {
 		f.DegradedRecv[23] = 0.22 // arms0b1-11c
@@ -126,16 +134,22 @@ func NewOmniPath(m machine.Machine, nodes int) (*Fabric, error) {
 		IntraNodeBW:      units.BytesPerSecond(24 * units.Giga),
 		IntraNodeLatency: units.Seconds(0.30e-6),
 		Seed:             fabricSeed(m, 0x5ce8160),
+		Faults:           m.Faults,
 	}, nil
 }
 
-// Latency returns the end-to-end zero-byte latency between two nodes.
+// Latency returns the end-to-end zero-byte latency between two nodes,
+// including any injected per-link extra latency.
 func (f *Fabric) Latency(src, dst int) units.Seconds {
 	if src == dst {
 		return f.IntraNodeLatency
 	}
 	hops := f.Topo.Hops(src, dst)
-	return f.Net.BaseLatency + units.Seconds(float64(hops))*f.Net.PerHopLatency
+	lat := f.Net.BaseLatency + units.Seconds(float64(hops))*f.Net.PerHopLatency
+	if le, ok := f.Faults.Link(src, dst); ok {
+		lat += le.ExtraLatency
+	}
+	return lat
 }
 
 // MessageTime returns the one-way time for a message of size bytes from
@@ -150,8 +164,11 @@ func (f *Fabric) MessageTime(src, dst int, size units.Bytes, trial uint64) units
 		return f.IntraNodeLatency + units.TimeFor(size, f.IntraNodeBW)
 	}
 
-	lat := f.Latency(src, dst)
+	lat := f.Latency(src, dst) // includes injected per-link extra latency
 	bw := float64(f.Net.LinkPeak)
+	if le, ok := f.Faults.Link(src, dst); ok && le.BandwidthFactor > 0 {
+		bw *= le.BandwidthFactor
+	}
 
 	// Buffer lottery for mid-size messages: the slow outcome pays an
 	// extra internal copy (one more latency) and reduced bandwidth,

@@ -9,6 +9,7 @@ package machine
 import (
 	"fmt"
 
+	"clustereval/internal/faultsim"
 	"clustereval/internal/units"
 )
 
@@ -266,6 +267,11 @@ type Machine struct {
 	Node       Node
 	Nodes      int
 	Network    Network
+	// Faults, when non-nil, is a compiled fault-injection scenario
+	// (internal/faultsim) that every fabric and simulated MPI world built
+	// from this descriptor inherits — the same plumbing style as
+	// Network.Seed. nil means the pristine cluster of the paper.
+	Faults *faultsim.Model
 	// MPIBufferPerRank is the per-rank memory the MPI runtime claims
 	// (eager buffers, registration caches). The Fujitsu MPI is notoriously
 	// hungry here; with 48 ranks per node it eats a large slice of the

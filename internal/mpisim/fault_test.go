@@ -1,0 +1,227 @@
+package mpisim
+
+import (
+	"errors"
+	"testing"
+
+	"clustereval/internal/faultsim"
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+// faultedTofuWorld builds a TofuD world whose fabric carries the compiled
+// fault model (nil spec = pristine cluster).
+func faultedTofuWorld(t *testing.T, ranks, ranksPerNode int, spec *faultsim.Spec) *World {
+	t.Helper()
+	nodes := (ranks + ranksPerNode - 1) / ranksPerNode
+	fabNodes := ((nodes + 11) / 12) * 12
+	if fabNodes < 12 {
+		fabNodes = 12
+	}
+	m := machine.CTEArm()
+	model, err := spec.Compile(fabNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Faults = model
+	f, err := interconnect.NewTofuD(m, fabNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(f, ranks, ranksPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestComputeSlowdown(t *testing.T) {
+	const span = units.Seconds(1e-3)
+	elapsed := func(spec *faultsim.Spec) units.Seconds {
+		w := faultedTofuWorld(t, 1, 1, spec)
+		if err := w.Run(func(c *Comm) { c.Compute(span) }); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+
+	base := elapsed(nil)
+	slow := elapsed(&faultsim.Spec{Nodes: []faultsim.NodeFault{{Node: 0, Slowdown: 3}}})
+	if got, want := float64(slow), 3*float64(base); got < want*0.999 || got > want*1.001 {
+		t.Errorf("3x straggler: elapsed %v, want %v", slow, want)
+	}
+}
+
+// TestZeroFaultBitIdentical is the metamorphic anchor: a fault spec with
+// zero magnitude (slowdown exactly 1) must leave every timing bit-for-bit
+// identical to the pristine run — not merely close.
+func TestZeroFaultBitIdentical(t *testing.T) {
+	run := func(spec *faultsim.Spec) units.Seconds {
+		w := faultedTofuWorld(t, 8, 2, spec)
+		if err := w.Run(func(c *Comm) {
+			c.Compute(units.Seconds(1e-6))
+			c.Allreduce([]float64{float64(c.Rank())}, OpSum, 8)
+			c.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	base := run(nil)
+	noop := run(&faultsim.Spec{
+		Seed:  99, // must be ignored: no stochastic knobs set
+		Nodes: []faultsim.NodeFault{{Node: 0, Slowdown: 1}, {Node: 1, Slowdown: 1}},
+		Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 1}},
+	})
+	if base != noop {
+		t.Errorf("zero-magnitude faults changed elapsed: %v != %v", noop, base)
+	}
+}
+
+func TestFailedNodeAborts(t *testing.T) {
+	w := faultedTofuWorld(t, 4, 1, &faultsim.Spec{
+		Nodes: []faultsim.NodeFault{{Node: 2, Failed: true}},
+	})
+	err := w.Run(func(c *Comm) {
+		c.Allreduce([]float64{1}, OpSum, 8)
+	})
+	if err == nil {
+		t.Fatal("collective over a dead node succeeded")
+	}
+	var nf *faultsim.NodeFailedError
+	if !errors.As(err, &nf) {
+		t.Fatalf("error %v does not wrap *NodeFailedError", err)
+	}
+	if nf.Node != 2 {
+		t.Errorf("failed node = %d, want 2", nf.Node)
+	}
+	if !faultsim.Retryable(err) {
+		t.Error("node failure not classified Retryable")
+	}
+}
+
+func TestScheduledFailure(t *testing.T) {
+	spec := &faultsim.Spec{Nodes: []faultsim.NodeFault{{Node: 0, FailAtSeconds: 0.5}}}
+
+	// A run finishing before the scheduled failure is untouched.
+	w := faultedTofuWorld(t, 2, 1, spec)
+	if err := w.Run(func(c *Comm) {
+		c.Compute(units.Seconds(1e-3))
+		c.Barrier()
+	}); err != nil {
+		t.Fatalf("run ending before the failure errored: %v", err)
+	}
+
+	// Computing past the failure time, the next operation on node 0 dies.
+	w = faultedTofuWorld(t, 2, 1, spec)
+	err := w.Run(func(c *Comm) {
+		c.Compute(units.Seconds(1)) // sails past t=0.5
+		c.Barrier()                 // rank 0 is on the dead node now
+	})
+	var nf *faultsim.NodeFailedError
+	if !errors.As(err, &nf) || nf.Node != 0 {
+		t.Fatalf("expected node 0 failure after t=0.5, got %v", err)
+	}
+	if nf.At != units.Seconds(0.5) {
+		t.Errorf("failure time = %v, want 0.5", nf.At)
+	}
+}
+
+func TestSendToDeadNodeAborts(t *testing.T) {
+	w := faultedTofuWorld(t, 2, 1, &faultsim.Spec{
+		Nodes: []faultsim.NodeFault{{Node: 1, Failed: true}},
+	})
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, 1024, nil)
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	var nf *faultsim.NodeFailedError
+	if !errors.As(err, &nf) || nf.Node != 1 {
+		t.Fatalf("expected node 1 failure, got %v", err)
+	}
+}
+
+func TestLinkDegradationSlowsTransfer(t *testing.T) {
+	// 1 MiB across a 10x-degraded 0->1 link must take measurably longer;
+	// the reverse direction is untouched (link faults are directed).
+	const size = units.Bytes(1 << 20)
+	elapsed := func(spec *faultsim.Spec, src, dst int) units.Seconds {
+		w := faultedTofuWorld(t, 2, 1, spec)
+		if err := w.Run(func(c *Comm) {
+			if c.Rank() == src {
+				c.Send(dst, 0, size, nil)
+			} else {
+				c.Recv(src, 0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	spec := &faultsim.Spec{Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.1}}}
+
+	base := elapsed(nil, 0, 1)
+	degraded := elapsed(spec, 0, 1)
+	if float64(degraded) < 2*float64(base) {
+		t.Errorf("10x link degradation: elapsed %v vs base %v, want clearly slower", degraded, base)
+	}
+	// Reverse direction unaffected: bit-identical to the pristine run.
+	if got, want := elapsed(spec, 1, 0), elapsed(nil, 1, 0); got != want {
+		t.Errorf("reverse direction changed: %v != %v", got, want)
+	}
+}
+
+func TestLinkExtraLatency(t *testing.T) {
+	const extra = 5e-3 // huge against the µs-scale base latency
+	elapsed := func(spec *faultsim.Spec) units.Seconds {
+		w := faultedTofuWorld(t, 2, 1, spec)
+		if err := w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Send(1, 0, 8, nil)
+			} else {
+				c.Recv(0, 0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	base := elapsed(nil)
+	laggy := elapsed(&faultsim.Spec{Links: []faultsim.LinkFault{{Src: 0, Dst: 1, ExtraLatencySeconds: extra}}})
+	if float64(laggy-base) < extra {
+		t.Errorf("extra latency not applied: %v - %v < %v", laggy, base, extra)
+	}
+}
+
+func TestStochasticFaultsDeterministic(t *testing.T) {
+	spec := &faultsim.Spec{Seed: 77, OSNoise: 0.2}
+	run := func() units.Seconds {
+		w := faultedTofuWorld(t, 8, 2, spec)
+		if err := w.Run(func(c *Comm) {
+			c.Compute(units.Seconds(1e-4))
+			c.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, different elapsed: %v != %v", a, b)
+	}
+	// OS noise can only slow the job down.
+	basew := faultedTofuWorld(t, 8, 2, nil)
+	if err := basew.Run(func(c *Comm) {
+		c.Compute(units.Seconds(1e-4))
+		c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a < basew.Elapsed() {
+		t.Errorf("OS noise sped the job up: %v < %v", a, basew.Elapsed())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"clustereval/internal/des"
+	"clustereval/internal/faultsim"
 	"clustereval/internal/interconnect"
 	"clustereval/internal/trace"
 	"clustereval/internal/units"
@@ -60,6 +61,10 @@ type World struct {
 
 	elapsed  units.Seconds
 	recorder *trace.Recorder
+	// faults is the fabric's injected fault scenario (nil = none): Compute
+	// spans scale by the per-node slowdown, and any operation touching a
+	// failed node aborts the run with a typed *faultsim.NodeFailedError.
+	faults *faultsim.Model
 	// injection, when non-nil, holds one DES resource per node whose
 	// capacity is the node's injection-link count: concurrent blocking
 	// sends from ranks of one node then serialize once the links are
@@ -131,6 +136,7 @@ func NewWorldPlaced(fabric *interconnect.Fabric, rankNode []int) (*World, error)
 		newMail:  make([]*des.Cond, len(rankNode)),
 		trial:    make([]uint64, len(rankNode)),
 		overhead: units.Seconds(0.15e-6), // local send/recv software overhead
+		faults:   fabric.Faults,
 	}
 	for r := range w.newMail {
 		w.newMail[r] = w.eng.NewCond(fmt.Sprintf("mailbox[%d]", r))
@@ -148,7 +154,9 @@ func (w *World) NodeOf(r int) int { return w.rankNode[r] }
 func (w *World) Elapsed() units.Seconds { return w.elapsed }
 
 // Run executes program once per rank and drives the simulation to
-// completion. It returns the engine's error (deadlock, panic) if any.
+// completion. It returns the engine's error (deadlock, panic) if any; when
+// fault injection fails a node mid-run, the error wraps a
+// *faultsim.NodeFailedError recoverable with errors.As.
 func (w *World) Run(program func(c *Comm)) error {
 	start := w.eng.Now()
 	for r := 0; r < w.ranks; r++ {
@@ -222,8 +230,24 @@ func (c *Comm) record(kind trace.Kind, start units.Seconds) {
 	}
 }
 
+// failIfDown aborts the run with a typed *faultsim.NodeFailedError when the
+// given node has failed by the current sim-time. The panic is recovered by
+// the DES engine and surfaces as World.Run's error; failure is observed
+// lazily, at the next operation touching the dead node, like a real MPI job
+// discovering a peer is gone only when it communicates.
+func (c *Comm) failIfDown(node int) {
+	if at, ok := c.w.faults.FailTime(node); ok && c.Now() >= at {
+		panic(&faultsim.NodeFailedError{Node: node, At: at})
+	}
+}
+
 // Compute advances this rank's clock by d, modelling local computation.
+// Injected per-node slowdown (OS noise, straggler nodes) scales the span.
 func (c *Comm) Compute(d units.Seconds) {
+	c.failIfDown(c.Node())
+	if f := c.w.faults.Slowdown(c.Node()); f != 1 {
+		d = units.Seconds(float64(d) * f)
+	}
 	start := c.Now()
 	c.proc.Delay(d)
 	c.record(trace.Compute, start)
@@ -294,6 +318,8 @@ func (c *Comm) transitTime(dst int, bytes units.Bytes) units.Seconds {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpisim: rank %d sends to invalid rank %d", c.rank, dst))
 	}
+	c.failIfDown(c.Node())
+	c.failIfDown(c.w.rankNode[c.global(dst)])
 	g := c.GlobalRank()
 	c.w.trial[g]++
 	return c.w.fabric.MessageTime(c.Node(), c.w.rankNode[c.global(dst)], bytes, c.w.trial[g])
@@ -319,6 +345,7 @@ func (c *Comm) deliver(dst, tag int, bytes units.Bytes, payload interface{}, rea
 func (c *Comm) Recv(src, tag int) Message {
 	w := c.w
 	self := c.GlobalRank()
+	c.failIfDown(c.Node())
 	start := c.Now()
 	defer func() { c.record(trace.Comm, start) }()
 	for {
@@ -331,6 +358,7 @@ func (c *Comm) Recv(src, tag int) Message {
 			if d := p.readyAt - c.Now(); d > 0 {
 				// The matching message is still in flight; wait for it.
 				c.proc.Delay(d)
+				c.failIfDown(c.Node()) // the node may have died while waiting
 			}
 			w.mailbox[self] = append(w.mailbox[self][:i], w.mailbox[self][i+1:]...)
 			c.proc.Delay(w.overhead)

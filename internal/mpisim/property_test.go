@@ -1,0 +1,199 @@
+package mpisim
+
+import (
+	"testing"
+
+	"clustereval/internal/faultsim"
+	"clustereval/internal/interconnect"
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+// quietFabric builds a TofuD fabric with every stochastic effect disabled —
+// no buffer lottery, no contention jitter — so message time is a pure
+// function of (hops, size) and the metamorphic properties below hold
+// exactly rather than statistically. The injected fault model, if any,
+// stays on.
+func quietFabric(t *testing.T, nodes int, spec *faultsim.Spec) *interconnect.Fabric {
+	t.Helper()
+	m := machine.CTEArm()
+	model, err := spec.Compile(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Faults = model
+	f, err := interconnect.NewTofuD(m, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SlowPathProb = 0
+	f.NoiseSmall = 0
+	f.NoiseLarge = 0
+	f.DegradedRecv = map[int]float64{}
+	return f
+}
+
+// collective is one collective under property test, parameterised by the
+// per-element payload size.
+type collective struct {
+	name string
+	run  func(c *Comm, bytesPer units.Bytes)
+}
+
+func collectives() []collective {
+	return []collective{
+		{"allreduce", func(c *Comm, b units.Bytes) {
+			c.Allreduce([]float64{float64(c.Rank())}, OpSum, b)
+		}},
+		{"bcast", func(c *Comm, b units.Bytes) {
+			c.Bcast(0, b, nil)
+		}},
+		{"alltoall", func(c *Comm, b units.Bytes) {
+			blocks := make([][]float64, c.Size())
+			for i := range blocks {
+				blocks[i] = []float64{float64(c.Rank()*100 + i)}
+			}
+			c.Alltoall(blocks, b)
+		}},
+	}
+}
+
+// elapsedFor runs one collective at one payload size on a fresh quiet world
+// and returns the simulated elapsed time.
+func elapsedFor(t *testing.T, col collective, bytesPer units.Bytes, spec *faultsim.Spec) units.Seconds {
+	t.Helper()
+	f := quietFabric(t, 12, spec)
+	w, err := NewWorld(f, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *Comm) { col.run(c, bytesPer) }); err != nil {
+		t.Fatal(err)
+	}
+	return w.Elapsed()
+}
+
+// TestCollectiveMonotonicInSize: on a quiet fabric, growing the payload can
+// never make a collective finish earlier — with or without an injected link
+// degradation.
+func TestCollectiveMonotonicInSize(t *testing.T) {
+	sizes := []units.Bytes{64, 1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	specs := map[string]*faultsim.Spec{
+		"pristine": nil,
+		"degraded-link": {Links: []faultsim.LinkFault{
+			{Src: 0, Dst: 1, BandwidthFactor: 0.25, ExtraLatencySeconds: 2e-6},
+			{Src: 3, Dst: 7, BandwidthFactor: 0.5},
+		}},
+	}
+	for specName, spec := range specs {
+		for _, col := range collectives() {
+			prev := units.Seconds(-1)
+			prevSize := units.Bytes(0)
+			for _, size := range sizes {
+				e := elapsedFor(t, col, size, spec)
+				if e < prev {
+					t.Errorf("%s/%s: elapsed dropped from %v (%v) to %v (%v)",
+						specName, col.name, prev, prevSize, e, size)
+				}
+				prev, prevSize = e, size
+			}
+		}
+	}
+}
+
+// TestCollectiveFaultMetamorphic: a zero-magnitude fault spec must leave
+// every collective's elapsed time bit-for-bit identical to the pristine
+// run, while a real degradation can only slow it down.
+func TestCollectiveFaultMetamorphic(t *testing.T) {
+	noop := &faultsim.Spec{
+		Seed:  123, // ignored without stochastic knobs
+		Nodes: []faultsim.NodeFault{{Node: 2, Slowdown: 1}},
+		Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 1}},
+	}
+	hurt := &faultsim.Spec{
+		Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.1}},
+	}
+	const size = units.Bytes(64 << 10)
+	for _, col := range collectives() {
+		base := elapsedFor(t, col, size, nil)
+		if got := elapsedFor(t, col, size, noop); got != base {
+			t.Errorf("%s: zero-magnitude faults changed elapsed %v -> %v", col.name, base, got)
+		}
+		if got := elapsedFor(t, col, size, hurt); got < base {
+			t.Errorf("%s: degrading a link sped the collective up: %v < %v", col.name, got, base)
+		}
+	}
+}
+
+// TestCollectiveRankPermutationResults: the numeric outcome of a collective
+// is a property of the data, not the placement — permuting which node hosts
+// which rank must not change any result value.
+func TestCollectiveRankPermutationResults(t *testing.T) {
+	placements := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{5, 0, 9, 2},
+		{1, 1, 4, 4}, // two ranks per node
+	}
+	for _, placement := range placements {
+		f := quietFabric(t, 12, nil)
+		w, err := NewWorldPlaced(f, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]float64, len(placement))
+		blocks := make([][][]float64, len(placement))
+		if err := w.Run(func(c *Comm) {
+			sums[c.Rank()] = c.Allreduce([]float64{float64(c.Rank() + 1)}, OpSum, 8)[0]
+			in := make([][]float64, c.Size())
+			for i := range in {
+				in[i] = []float64{float64(c.Rank()*100 + i)}
+			}
+			blocks[c.Rank()] = c.Alltoall(in, 8)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wantSum := float64(len(placement) * (len(placement) + 1) / 2)
+		for r, got := range sums {
+			if got != wantSum {
+				t.Errorf("placement %v rank %d: allreduce sum %v, want %v", placement, r, got, wantSum)
+			}
+		}
+		for r, bs := range blocks {
+			for src, b := range bs {
+				if want := float64(src*100 + r); b[0] != want {
+					t.Errorf("placement %v rank %d: alltoall block from %d = %v, want %v",
+						placement, r, src, b[0], want)
+				}
+			}
+		}
+	}
+}
+
+// TestCollectiveRankPermutationElapsed: swapping two symmetric groups of
+// ranks across their nodes cannot change the elapsed time on a quiet fabric
+// — hop distance is symmetric, and with the noise off it is all that
+// differentiates a placement.
+func TestCollectiveRankPermutationElapsed(t *testing.T) {
+	const size = units.Bytes(32 << 10)
+	run := func(placement []int, col collective) units.Seconds {
+		f := quietFabric(t, 12, nil)
+		w, err := NewWorldPlaced(f, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(c *Comm) { col.run(c, size) }); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	for _, col := range collectives() {
+		// Two ranks per node on nodes {4, 6}; mirroring the groups is a
+		// fabric automorphism, so timing must agree exactly.
+		a := run([]int{4, 4, 6, 6}, col)
+		b := run([]int{6, 6, 4, 4}, col)
+		if a != b {
+			t.Errorf("%s: mirrored placement changed elapsed: %v != %v", col.name, a, b)
+		}
+	}
+}

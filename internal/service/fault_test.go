@@ -1,0 +1,387 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clustereval/internal/faultsim"
+)
+
+func TestNormalizeFaultSpec(t *testing.T) {
+	// Canonicalization folds a no-op fault spec to nil, so it shares the
+	// cache key of the unfaulted job.
+	noop := JobSpec{Kind: "net", Faults: &faultsim.Spec{
+		Seed:  9,
+		Nodes: []faultsim.NodeFault{{Node: 0, Slowdown: 1}},
+	}}
+	n, err := noop.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Faults != nil {
+		t.Errorf("no-op fault spec survived normalization: %+v", n.Faults)
+	}
+	_, keyNoop, err := Canonicalize(noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, keyPlain, err := Canonicalize(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyNoop != keyPlain {
+		t.Error("no-op fault spec split the cache key")
+	}
+
+	// A real fault spec changes the key and survives (sorted).
+	faulted := JobSpec{Kind: "net", Faults: &faultsim.Spec{
+		Nodes: []faultsim.NodeFault{{Node: 5, Slowdown: 2}, {Node: 1, Slowdown: 3}},
+	}}
+	nf, keyFaulted, err := Canonicalize(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyFaulted == keyPlain {
+		t.Error("faulted spec collided with the unfaulted cache key")
+	}
+	if nf.Faults.Nodes[0].Node != 1 || nf.Faults.Nodes[1].Node != 5 {
+		t.Errorf("fault nodes not sorted: %+v", nf.Faults.Nodes)
+	}
+
+	// Two orderings of the same faults collapse onto one key.
+	swapped := JobSpec{Kind: "net", Faults: &faultsim.Spec{
+		Nodes: []faultsim.NodeFault{{Node: 1, Slowdown: 3}, {Node: 5, Slowdown: 2}},
+	}}
+	if _, keySwapped, _ := Canonicalize(swapped); keySwapped != keyFaulted {
+		t.Error("fault entry order leaked into the cache key")
+	}
+}
+
+func TestNormalizeFaultSpecRejects(t *testing.T) {
+	cases := []JobSpec{
+		// Kinds without a fabric cannot take faults.
+		{Kind: "hpl", Faults: &faultsim.Spec{FailProb: 0.1}},
+		{Kind: "stream", Faults: &faultsim.Spec{OSNoise: 0.1}},
+		{Kind: "fpu", Faults: &faultsim.Spec{Nodes: []faultsim.NodeFault{{Node: 0, Failed: true}}}},
+		// Invalid fault content on a faultable kind.
+		{Kind: "net", Faults: &faultsim.Spec{FailProb: 1.5}},
+		{Kind: "net", Faults: &faultsim.Spec{Nodes: []faultsim.NodeFault{{Node: 99999, Failed: true}}}},
+		{Kind: "app", App: "alya", Faults: &faultsim.Spec{Nodes: []faultsim.NodeFault{{Node: 0, Slowdown: 0.5}}}},
+	}
+	for _, spec := range cases {
+		if _, err := spec.Normalize(); err == nil {
+			t.Errorf("Normalize accepted %+v", spec)
+		} else if !errors.As(err, new(*ValidationError)) {
+			t.Errorf("%+v: error %v is not a ValidationError", spec, err)
+		}
+	}
+	// A zero-effect spec is tolerated even on a non-faultable kind (it is
+	// indistinguishable from absent).
+	ok := JobSpec{Kind: "hpl", Faults: &faultsim.Spec{}}
+	if _, err := ok.Normalize(); err != nil {
+		t.Errorf("zero fault spec rejected on hpl: %v", err)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFault(t *testing.T) {
+	var mu sync.Mutex
+	var attempts []int
+	s := New(Config{
+		Workers: 1, MaxRetries: 3, RetryBackoff: time.Microsecond,
+		runnerAttempt: func(_ context.Context, spec JobSpec, attempt int) (*Result, error) {
+			mu.Lock()
+			attempts = append(attempts, attempt)
+			mu.Unlock()
+			if attempt < 2 {
+				return nil, &faultsim.NodeFailedError{Node: 7}
+			}
+			return &Result{Kind: spec.Kind, Summary: "recovered"}, nil
+		},
+	})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitTerminal(t, s, v.ID)
+	if v.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", v.State, v.Error)
+	}
+	if v.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", v.Attempts)
+	}
+	if v.Degraded {
+		t.Error("successful retry marked degraded")
+	}
+	mu.Lock()
+	got := append([]int(nil), attempts...)
+	mu.Unlock()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("attempt sequence = %v, want [0 1 2]", got)
+	}
+	if n := s.retries.Value(); n != 2 {
+		t.Errorf("retries counter = %d, want 2", n)
+	}
+	// The recovered result is cached like any success.
+	v2, err := s.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached {
+		t.Error("recovered result not served from cache")
+	}
+}
+
+func TestRetriesExhaustedDegraded(t *testing.T) {
+	s := New(Config{
+		Workers: 1, MaxRetries: 2, RetryBackoff: time.Microsecond,
+		runnerAttempt: func(_ context.Context, _ JobSpec, _ int) (*Result, error) {
+			return nil, &faultsim.NodeFailedError{Node: 3}
+		},
+	})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitTerminal(t, s, v.ID)
+	if v.State != StateFailed {
+		t.Fatalf("state = %s, want failed", v.State)
+	}
+	if !v.Degraded {
+		t.Error("exhausted fault retries not marked degraded")
+	}
+	if v.Attempts != 3 { // initial + 2 retries
+		t.Errorf("attempts = %d, want 3", v.Attempts)
+	}
+	if !strings.HasPrefix(v.Error, "degraded:") || !strings.Contains(v.Error, "node 3") {
+		t.Errorf("error = %q, want degraded: ... node 3 ...", v.Error)
+	}
+	if n := s.degraded.Value(); n != 1 {
+		t.Errorf("degraded counter = %d, want 1", n)
+	}
+
+	// A failed fault run must never be cached: resubmission re-executes.
+	before := s.cacheHits.Value()
+	v2, err := s.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 = waitTerminal(t, s, v2.ID)
+	if v2.Cached || s.cacheHits.Value() != before {
+		t.Error("failed degraded run was served from cache")
+	}
+	if v2.State != StateFailed {
+		t.Errorf("resubmission state = %s, want failed", v2.State)
+	}
+}
+
+func TestNonFaultErrorsNotRetried(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	s := New(Config{
+		Workers: 1, MaxRetries: 3, RetryBackoff: time.Microsecond,
+		runnerAttempt: func(_ context.Context, _ JobSpec, _ int) (*Result, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return nil, errors.New("model exploded")
+		},
+	})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitTerminal(t, s, v.ID)
+	if v.State != StateFailed || v.Degraded {
+		t.Errorf("state = %s degraded=%v, want plain failure", v.State, v.Degraded)
+	}
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 1 {
+		t.Errorf("non-fault error retried: %d calls", got)
+	}
+	if n := s.retries.Value(); n != 0 {
+		t.Errorf("retries counter = %d, want 0", n)
+	}
+}
+
+func TestRetryDelayDeterministic(t *testing.T) {
+	key := strings.Repeat("ab12", 16)
+	a := retryDelay(50*time.Millisecond, key, 0)
+	b := retryDelay(50*time.Millisecond, key, 0)
+	if a != b {
+		t.Errorf("retryDelay not deterministic: %v != %v", a, b)
+	}
+	// Jitter stays within [0.75, 1.25) of the doubled base.
+	for attempt := 0; attempt < 4; attempt++ {
+		base := 50 * time.Millisecond << uint(attempt)
+		d := retryDelay(50*time.Millisecond, key, attempt)
+		if d < time.Duration(float64(base)*0.75) || d >= time.Duration(float64(base)*1.25) {
+			t.Errorf("attempt %d: delay %v outside jitter band of %v", attempt, d, base)
+		}
+	}
+	if retryDelay(0, key, 1) != 0 {
+		t.Error("zero base must mean no delay")
+	}
+}
+
+func TestEndToEndFaultedNetJob(t *testing.T) {
+	// No runner stub: the real simulation pipeline, a dead destination
+	// node, the real retry policy. Explicit failures persist across
+	// attempts, so the job must come back degraded — quickly, not hanging.
+	s := New(Config{Workers: 1, MaxRetries: 1, RetryBackoff: time.Microsecond})
+	defer closeNow(t, s)
+
+	v, err := s.Submit(JobSpec{Kind: "net", Faults: &faultsim.Spec{
+		Nodes: []faultsim.NodeFault{{Node: 1, Failed: true}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitTerminal(t, s, v.ID)
+	if v.State != StateFailed || !v.Degraded {
+		t.Fatalf("state = %s degraded=%v (%s), want degraded failure", v.State, v.Degraded, v.Error)
+	}
+	if !strings.Contains(v.Error, "node 1") {
+		t.Errorf("error %q does not name the dead node", v.Error)
+	}
+
+	// The same spec without the dead node runs clean.
+	ok, err := s.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok = waitTerminal(t, s, ok.ID); ok.State != StateDone {
+		t.Errorf("unfaulted spec failed: %s (%s)", ok.State, ok.Error)
+	}
+}
+
+func TestEndToEndFaultedJobDeterministic(t *testing.T) {
+	// A slowed link changes the measured bandwidth deterministically: two
+	// fresh services agree bit-for-bit, and both disagree with pristine.
+	run := func(spec JobSpec) *Result {
+		s := New(Config{Workers: 1, CacheSize: -1})
+		defer closeNow(t, s)
+		v, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = waitTerminal(t, s, v.ID)
+		if v.State != StateDone {
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		return v.Result
+	}
+	faulted := JobSpec{Kind: "net", SizeBytes: 1 << 20, Faults: &faultsim.Spec{
+		Links: []faultsim.LinkFault{{Src: 0, Dst: 1, BandwidthFactor: 0.25}},
+	}}
+	a := run(faulted)
+	b := run(faulted)
+	if a.Net.BandwidthGBps != b.Net.BandwidthGBps {
+		t.Errorf("faulted run not deterministic: %v != %v", a.Net.BandwidthGBps, b.Net.BandwidthGBps)
+	}
+	clean := run(JobSpec{Kind: "net", SizeBytes: 1 << 20})
+	if a.Net.BandwidthGBps >= clean.Net.BandwidthGBps {
+		t.Errorf("degraded link did not lower bandwidth: %v >= %v",
+			a.Net.BandwidthGBps, clean.Net.BandwidthGBps)
+	}
+}
+
+func TestHealthzDegradedMode(t *testing.T) {
+	ts, svc := newTestServer(t, Config{
+		Workers: 1, MaxRetries: 0, RetryBackoff: -1,
+		runnerAttempt: func(_ context.Context, _ JobSpec, _ int) (*Result, error) {
+			return nil, &faultsim.NodeFailedError{Node: 0}
+		},
+	})
+
+	health := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status %d, want 200 even when degraded", resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("healthz not JSON: %v", err)
+		}
+		return m
+	}
+
+	h := health()
+	if h["status"] != "ok" {
+		t.Errorf("fresh service status = %v, want ok", h["status"])
+	}
+	for _, key := range []string{"queue_saturation", "recent_failure_rate", "recent_samples", "queue_capacity"} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("healthz missing %q", key)
+		}
+	}
+
+	// Fail enough jobs to trip the recent-failure-rate threshold. Distinct
+	// specs dodge the cache; each fails instantly.
+	for i := 0; i < healthMinSamples; i++ {
+		v, err := svc.Submit(JobSpec{Kind: "net", SizeBytes: int64(1024 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, svc, v.ID)
+	}
+	h = health()
+	if h["status"] != "degraded" {
+		t.Errorf("status after %d failures = %v, want degraded (rate %v over %v samples)",
+			healthMinSamples, h["status"], h["recent_failure_rate"], h["recent_samples"])
+	}
+	if rate := h["recent_failure_rate"].(float64); rate != 1.0 {
+		t.Errorf("recent_failure_rate = %v, want 1", rate)
+	}
+}
+
+func TestFaultMetricsExposed(t *testing.T) {
+	ts, svc := newTestServer(t, Config{
+		Workers: 1, MaxRetries: 1, RetryBackoff: time.Microsecond,
+		runnerAttempt: func(_ context.Context, _ JobSpec, _ int) (*Result, error) {
+			return nil, &faultsim.NodeFailedError{Node: 2}
+		},
+	})
+	v, err := svc.Submit(JobSpec{Kind: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, svc, v.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"clusterd_job_retries_total 1",
+		"clusterd_jobs_degraded_total 1",
+		"clusterd_queue_saturation",
+		"clusterd_recent_failure_rate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

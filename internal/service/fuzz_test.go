@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"clustereval/internal/faultsim"
+)
+
+// seedSpecs is the corpus of interesting JSON specs the fuzzers start
+// from; testdata/fuzz holds additional committed inputs.
+func seedSpecs() []string {
+	return []string{
+		`{}`,
+		`{"kind":"stream"}`,
+		`{"kind":"hpl","nodes":192,"machine":"cte-arm"}`,
+		`{"kind":"net","size_bytes":65536,"iters":100,"src_node":0,"dst_node":23}`,
+		`{"kind":"app","app":"wrf","machine":"mn4"}`,
+		`{"kind":"hpcg","version":"vanilla","nodes":1}`,
+		`{"kind":"NET","machine":"CTE-ARM"}`,
+		`{"kind":"net","faults":{"seed":7,"fail_prob":0.1,"os_noise":0.05}}`,
+		`{"kind":"net","faults":{"nodes":[{"node":3,"slowdown":2},{"node":1,"failed":true}]}}`,
+		`{"kind":"net","faults":{"links":[{"src":0,"dst":1,"bandwidth_factor":0.5,"extra_latency_seconds":1e-6}]}}`,
+		`{"kind":"app","app":"alya","faults":{"nodes":[{"node":0,"fail_at_seconds":1.5}]}}`,
+		`{"kind":"net","faults":{"nodes":[{"node":3,"slowdown":1}],"links":[{"src":0,"dst":1,"bandwidth_factor":1}]}}`,
+		`{"kind":"hpl","faults":{"fail_prob":0.2}}`,
+		`{"kind":"net","faults":{"nodes":[{"node":-1}]}}`,
+		`{"kind":"net","seed":18446744073709551615}`,
+	}
+}
+
+// FuzzNormalize feeds arbitrary JSON through JobSpec.Normalize: whatever
+// the bytes, it must never panic, and a spec it accepts must normalize
+// idempotently (Normalize of the output is the output).
+func FuzzNormalize(f *testing.F) {
+	for _, s := range seedSpecs() {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // not a spec; nothing to check
+		}
+		n, err := spec.Normalize()
+		if err != nil {
+			return // rejected is fine — panicking is not
+		}
+		again, err := n.Normalize()
+		if err != nil {
+			t.Fatalf("normalized spec rejected on re-normalize: %v (spec %+v)", err, n)
+		}
+		if !reflect.DeepEqual(again, n) {
+			t.Fatalf("Normalize not idempotent: %+v -> %+v", n, again)
+		}
+	})
+}
+
+// FuzzCanonicalize checks the cache-key contract on arbitrary inputs: the
+// canonical form is a fixed point, and its key is stable.
+func FuzzCanonicalize(f *testing.F) {
+	for _, s := range seedSpecs() {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		n, key, err := Canonicalize(spec)
+		if err != nil {
+			return
+		}
+		if len(key) != 64 {
+			t.Fatalf("key %q is not a sha256 hex digest", key)
+		}
+		n2, key2, err := Canonicalize(n)
+		if err != nil {
+			t.Fatalf("canonical spec rejected: %v (spec %+v)", err, n)
+		}
+		if key2 != key {
+			t.Fatalf("canonicalization unstable: key %s -> %s (spec %+v)", key, key2, n)
+		}
+		if !reflect.DeepEqual(n2, n) {
+			t.Fatalf("canonical spec not a fixed point: %+v -> %+v", n, n2)
+		}
+	})
+}
+
+// FuzzFaultSpec drives the fault-spec parser and compiler with arbitrary
+// JSON: no panics, Canonical is idempotent, and every spec Validate
+// accepts must compile.
+func FuzzFaultSpec(f *testing.F) {
+	for _, s := range []string{
+		`{}`,
+		`{"seed":7}`,
+		`{"fail_prob":0.1,"os_noise":0.05,"seed":42}`,
+		`{"nodes":[{"node":3,"slowdown":2},{"node":1,"failed":true},{"node":2,"fail_at_seconds":1.5}]}`,
+		`{"links":[{"src":0,"dst":1,"bandwidth_factor":0.5},{"src":1,"dst":0,"extra_latency_seconds":1e-6}]}`,
+		`{"nodes":[{"node":0,"slowdown":1}],"links":[{"src":0,"dst":1,"bandwidth_factor":1}]}`,
+		`{"nodes":[{"node":0,"failed":true,"fail_at_seconds":2}]}`,
+		`{"fail_prob":-1}`,
+		`{"os_noise":2}`,
+		`{"nodes":[{"node":63,"slowdown":1e308}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec faultsim.Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		const nodes = 64
+		if err := spec.Validate(nodes); err != nil {
+			return
+		}
+		c := spec.Canonical()
+		if c != nil {
+			if err := c.Validate(nodes); err != nil {
+				t.Fatalf("canonical form invalid: %v (spec %+v)", err, c)
+			}
+			if again := c.Canonical(); !reflect.DeepEqual(again, c) {
+				t.Fatalf("Canonical not idempotent: %+v -> %+v", c, again)
+			}
+		}
+		for attempt := 0; attempt < 2; attempt++ {
+			m, err := spec.Compile(nodes, attempt)
+			if err != nil {
+				t.Fatalf("validated spec failed to compile: %v (spec %+v)", err, spec)
+			}
+			// Model lookups must stay in their documented ranges.
+			for n := 0; n < nodes; n++ {
+				if sl := m.Slowdown(n); sl < 1 {
+					t.Fatalf("node %d slowdown %v below 1", n, sl)
+				}
+				if at, ok := m.FailTime(n); ok && at < 0 {
+					t.Fatalf("node %d negative fail time %v", n, at)
+				}
+			}
+		}
+		if spec.Zero() {
+			// A zero-effect spec may keep its explicit magnitude-1 entries
+			// in the model, but the model must be effect-free, and the
+			// canonical form must compile away entirely.
+			m, _ := spec.Compile(nodes, 0)
+			for n := 0; n < nodes; n++ {
+				if m.Slowdown(n) != 1 {
+					t.Fatalf("zero spec slowed node %d: %+v", n, spec)
+				}
+			}
+			if failed := m.FailedNodes(); len(failed) > 0 {
+				t.Fatalf("zero spec failed nodes %v: %+v", failed, spec)
+			}
+			if cm, _ := spec.Canonical().Compile(nodes, 0); cm != nil {
+				t.Fatalf("canonical zero spec compiled to non-nil model: %+v", spec)
+			}
+		}
+	})
+}

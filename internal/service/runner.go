@@ -121,6 +121,17 @@ type AppResult struct {
 // honoured between model phases; the individual model calls are seconds at
 // worst, so cancellation latency is bounded by the longest single phase.
 func Run(ctx context.Context, spec JobSpec) (*Result, error) {
+	return RunAttempt(ctx, spec, 0)
+}
+
+// RunAttempt is Run with an explicit 0-based attempt number: the attempt
+// salts the *stochastic* part of the spec's fault scenario (FailProb and
+// OSNoise draws), so a retry of a transiently failed job re-rolls the dice
+// while explicitly injected faults — a named dead node, a pinned slow link
+// — persist across attempts, exactly like real hardware. With a nil or
+// effect-free fault spec every attempt is the same pure function of the
+// spec that Run documents.
+func RunAttempt(ctx context.Context, spec JobSpec, attempt int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -129,6 +140,22 @@ func Run(ctx context.Context, spec JobSpec) (*Result, error) {
 		return nil, err
 	}
 	pair := figures.WithSeed(spec.Seed)
+
+	if spec.Faults != nil {
+		model, err := spec.Faults.Compile(m.Nodes, attempt)
+		if err != nil {
+			return nil, invalidf("fault spec: %v", err)
+		}
+		m.Faults = model
+		// The pair's copy of the machine is what runNet and runApp resolve,
+		// so the compiled scenario has to ride on it too.
+		switch m.Name {
+		case pair.Arm.Name:
+			pair.Arm.Faults = model
+		case pair.Ref.Name:
+			pair.Ref.Faults = model
+		}
+	}
 
 	switch spec.Kind {
 	case KindStream:

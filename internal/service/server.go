@@ -132,13 +132,36 @@ func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleHealthz reports liveness plus a little operational colour.
+// Degradation thresholds for /healthz: the daemon reports "degraded" when
+// the queue is nearly full or, once enough outcomes accumulated to be
+// meaningful, when at least half of the recent jobs failed.
+const (
+	healthSaturationLimit  = 0.9
+	healthFailureRateLimit = 0.5
+	healthMinSamples       = 8
+)
+
+// handleHealthz reports liveness plus the degradation signals: queue
+// saturation and the recent failure rate. The status code stays 200 even
+// when degraded — the daemon is alive and still making progress; "status"
+// carries the judgement so orchestrators can alert without flapping
+// restarts.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	sat := s.svc.QueueSaturation()
+	rate, samples := s.svc.RecentFailureRate()
+	status := "ok"
+	if sat >= healthSaturationLimit || (samples >= healthMinSamples && rate >= healthFailureRateLimit) {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"workers":        s.svc.Workers(),
-		"queue_depth":    s.svc.QueueDepth(),
+		"status":              status,
+		"uptime_seconds":      time.Since(s.start).Seconds(),
+		"workers":             s.svc.Workers(),
+		"queue_depth":         s.svc.QueueDepth(),
+		"queue_capacity":      s.svc.QueueCapacity(),
+		"queue_saturation":    sat,
+		"recent_failure_rate": rate,
+		"recent_samples":      samples,
 	})
 }
 

@@ -11,8 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"clustereval/internal/faultsim"
+	"clustereval/internal/xrand"
 )
 
 // JobState is the lifecycle phase of a submitted job.
@@ -58,8 +62,19 @@ type Config struct {
 	// MaxJobs bounds the finished-job history kept for GET /v1/jobs;
 	// 0 means 4096. Queued and running jobs are never evicted.
 	MaxJobs int
+	// MaxRetries bounds the extra attempts a job failing with a retryable
+	// fault error (faultsim.Retryable) gets before it is declared
+	// degraded; 0 means 2, negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff between
+	// attempts (doubled per retry, scaled by a deterministic jitter drawn
+	// from the job's spec hash); 0 means 50ms, negative means no delay.
+	RetryBackoff time.Duration
 	// runner overrides job execution in tests.
 	runner func(context.Context, JobSpec) (*Result, error)
+	// runnerAttempt overrides job execution in tests that exercise the
+	// retry policy; it additionally receives the 0-based attempt number.
+	runnerAttempt func(context.Context, JobSpec, int) (*Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -78,8 +93,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
-	if c.runner == nil {
-		c.runner = Run
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RetryBackoff < 0 {
+		c.RetryBackoff = 0
+	}
+	if c.runnerAttempt == nil {
+		if c.runner != nil {
+			fn := c.runner
+			c.runnerAttempt = func(ctx context.Context, spec JobSpec, _ int) (*Result, error) {
+				return fn(ctx, spec)
+			}
+		} else {
+			c.runnerAttempt = RunAttempt
+		}
 	}
 	return c
 }
@@ -96,6 +130,8 @@ type Job struct {
 	cached     bool
 	result     *Result
 	errMsg     string
+	attempts   int  // execution attempts consumed (0 for cache hits)
+	degraded   bool // failed with a fault error after exhausting retries
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -110,6 +146,8 @@ type JobView struct {
 	Spec            JobSpec   `json:"spec"`
 	SpecHash        string    `json:"spec_hash"`
 	Cached          bool      `json:"cached"`
+	Attempts        int       `json:"attempts,omitempty"`
+	Degraded        bool      `json:"degraded,omitempty"`
 	Error           string    `json:"error,omitempty"`
 	Result          *Result   `json:"result,omitempty"`
 	SubmittedAt     time.Time `json:"submitted_at"`
@@ -124,7 +162,8 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID: j.ID, State: j.state, Spec: j.Spec, SpecHash: j.Key,
-		Cached: j.cached, Error: j.errMsg, Result: j.result,
+		Cached: j.cached, Attempts: j.attempts, Degraded: j.degraded,
+		Error: j.errMsg, Result: j.result,
 		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
@@ -157,7 +196,51 @@ type Service struct {
 	cacheHits     *Counter
 	cacheMisses   *Counter
 	queueRejected *Counter
+	retries       *Counter
+	degraded      *Counter
 	durations     *HistogramVec
+	recent        *outcomeWindow
+}
+
+// outcomeWindow is a fixed-size ring of recent job outcomes backing the
+// /healthz failure-rate signal and the clusterd_recent_failure_rate gauge.
+type outcomeWindow struct {
+	mu     sync.Mutex
+	buf    []bool // true = failed
+	next   int
+	filled int
+}
+
+func newOutcomeWindow(size int) *outcomeWindow {
+	return &outcomeWindow{buf: make([]bool, size)}
+}
+
+// record appends one outcome, evicting the oldest once the window is full.
+func (w *outcomeWindow) record(failed bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = failed
+	w.next = (w.next + 1) % len(w.buf)
+	if w.filled < len(w.buf) {
+		w.filled++
+	}
+}
+
+// rate returns the fraction of failures among the recorded outcomes and
+// how many outcomes back it (0, 0 before any job finishes).
+func (w *outcomeWindow) rate() (float64, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled == 0 {
+		return 0, 0
+	}
+	fails := 0
+	for i := 0; i < w.filled; i++ {
+		if w.buf[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(w.filled), w.filled
 }
 
 // New builds the service and starts its worker pool.
@@ -172,6 +255,7 @@ func New(cfg Config) *Service {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		reg:       NewRegistry(),
+		recent:    newOutcomeWindow(128),
 	}
 	s.submitted = s.reg.Counter("clusterd_jobs_submitted_total", "Jobs accepted for execution or served from cache.")
 	s.completed = s.reg.Counter("clusterd_jobs_completed_total", "Jobs that finished successfully (cache hits included).")
@@ -180,6 +264,8 @@ func New(cfg Config) *Service {
 	s.cacheHits = s.reg.Counter("clusterd_cache_hits_total", "Submissions answered from the result cache.")
 	s.cacheMisses = s.reg.Counter("clusterd_cache_misses_total", "Submissions that required a simulation run.")
 	s.queueRejected = s.reg.Counter("clusterd_queue_rejected_total", "Submissions rejected because the queue was full.")
+	s.retries = s.reg.Counter("clusterd_job_retries_total", "Re-executions of jobs that failed with a retryable fault error.")
+	s.degraded = s.reg.Counter("clusterd_jobs_degraded_total", "Jobs that exhausted their retries against an injected fault and failed degraded.")
 	s.reg.GaugeFunc("clusterd_queue_depth", "Jobs currently waiting in the queue.",
 		func() float64 { return float64(len(s.queue)) })
 	s.reg.GaugeFunc("clusterd_cache_entries", "Results currently held by the LRU cache.",
@@ -192,6 +278,10 @@ func New(cfg Config) *Service {
 			}
 			return h / (h + m)
 		})
+	s.reg.GaugeFunc("clusterd_queue_saturation", "Queued jobs / queue capacity, 0..1.",
+		s.QueueSaturation)
+	s.reg.GaugeFunc("clusterd_recent_failure_rate", "Failed fraction of the most recent executed jobs (window of 128).",
+		func() float64 { r, _ := s.recent.rate(); return r })
 	s.durations = s.reg.HistogramVec("clusterd_job_duration_seconds",
 		"Wall-clock execution time of completed jobs by kind (cache hits excluded).", "kind",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60})
@@ -209,6 +299,18 @@ func (s *Service) Registry() *Registry { return s.reg }
 
 // QueueDepth returns the number of queued-but-not-running jobs.
 func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// QueueCapacity returns the bounded queue's size.
+func (s *Service) QueueCapacity() int { return cap(s.queue) }
+
+// QueueSaturation returns queue depth over capacity, in [0, 1].
+func (s *Service) QueueSaturation() float64 {
+	return float64(len(s.queue)) / float64(cap(s.queue))
+}
+
+// RecentFailureRate returns the failed fraction of the most recently
+// executed jobs and the number of outcomes the window holds.
+func (s *Service) RecentFailureRate() (float64, int) { return s.recent.rate() }
 
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }
@@ -370,13 +472,37 @@ func (s *Service) execute(job *Job) {
 	defer cancel()
 
 	type outcome struct {
-		res *Result
-		err error
+		res      *Result
+		err      error
+		attempts int
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := s.cfg.runner(ctx, job.Spec)
-		ch <- outcome{res, err}
+		// Retry loop: a job failing with a retryable fault error
+		// (faultsim.Retryable) is re-executed up to MaxRetries times with
+		// exponential backoff and deterministic jitter. Each attempt
+		// re-draws the stochastic faults from (seed, attempt), so a
+		// transient fault can clear while a hard-coded dead node fails
+		// every attempt and surfaces as a degraded result.
+		attempt := 0
+		for {
+			res, err := s.cfg.runnerAttempt(ctx, job.Spec, attempt)
+			if err == nil || ctx.Err() != nil ||
+				!faultsim.Retryable(err) || attempt >= s.cfg.MaxRetries {
+				ch <- outcome{res, err, attempt + 1}
+				return
+			}
+			s.retries.Inc()
+			timer := time.NewTimer(retryDelay(s.cfg.RetryBackoff, job.Key, attempt))
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				ch <- outcome{nil, ctx.Err(), attempt + 1}
+				return
+			}
+			attempt++
+		}
 	}()
 
 	var out outcome
@@ -385,13 +511,14 @@ func (s *Service) execute(job *Job) {
 	case <-ctx.Done():
 		// The runner goroutine keeps computing in the background and its
 		// result is discarded; model runs are bounded so this is cheap.
-		out = outcome{nil, ctx.Err()}
+		out = outcome{nil, ctx.Err(), 0}
 	}
 
 	now := time.Now()
 	job.mu.Lock()
 	job.finished = now
 	job.cancelFn = nil
+	job.attempts = out.attempts
 	elapsed := now.Sub(job.started)
 	switch {
 	case out.err == nil:
@@ -400,20 +527,51 @@ func (s *Service) execute(job *Job) {
 		s.cache.Put(job.Key, out.res)
 		s.completed.Inc()
 		s.durations.With(job.Spec.Kind).Observe(elapsed.Seconds())
+		s.recent.record(false)
 	case errors.Is(out.err, context.DeadlineExceeded) && !job.cancelWant:
 		job.state = StateFailed
 		job.errMsg = fmt.Sprintf("job timed out after %v", s.cfg.JobTimeout)
 		s.failed.Inc()
+		s.recent.record(true)
 	case errors.Is(out.err, context.Canceled) || job.cancelWant:
 		job.state = StateCancelled
 		job.errMsg = "cancelled while running"
 		s.cancelled.Inc()
+	case faultsim.Retryable(out.err):
+		// Fault errors are never cached, so a later resubmission (against
+		// a hopefully-recovered cluster spec) re-runs the simulation.
+		job.state = StateFailed
+		job.degraded = true
+		job.errMsg = fmt.Sprintf("degraded: %v (after %d attempt(s))", out.err, out.attempts)
+		s.failed.Inc()
+		s.degraded.Inc()
+		s.recent.record(true)
 	default:
 		job.state = StateFailed
 		job.errMsg = out.err.Error()
 		s.failed.Inc()
+		s.recent.record(true)
 	}
 	job.mu.Unlock()
+}
+
+// retryDelay computes the backoff before retry `attempt` (0-based): the
+// base doubled per attempt, scaled by a deterministic jitter in [0.75, 1.25)
+// drawn from the job's spec hash — reproducible, yet decorrelated across
+// jobs so synchronized retries of a hot spec fan out.
+func retryDelay(base time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(attempt)
+	h := uint64(0)
+	if len(key) >= 16 {
+		if v, err := strconv.ParseUint(key[:16], 16, 64); err == nil {
+			h = v
+		}
+	}
+	jitter := 0.75 + float64(xrand.MixN(h, uint64(attempt))%1024)/2048.0
+	return time.Duration(float64(d) * jitter)
 }
 
 // Close drains the service: no new submissions are accepted, queued jobs

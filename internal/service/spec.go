@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"clustereval/internal/faultsim"
 	"clustereval/internal/machine"
 )
 
@@ -63,6 +64,12 @@ type JobSpec struct {
 	// Seed reseeds the deterministic interconnect noise (0 = paper
 	// default). Identical spec+seed always produce identical results.
 	Seed uint64 `json:"seed,omitempty"`
+	// Faults injects a deterministic fault scenario (straggler nodes,
+	// degraded links, hard node failures) into the simulated cluster for
+	// kinds that run through the interconnect ("net", "app"). A spec whose
+	// faults have no effect canonicalizes to nil, so it shares a cache
+	// entry with the unfaulted job.
+	Faults *faultsim.Spec `json:"faults,omitempty"`
 }
 
 // ValidationError marks a spec the service refuses to run; the HTTP layer
@@ -79,15 +86,15 @@ func invalidf(format string, args ...any) error {
 // in unused fields are rejected rather than ignored: silently dropping
 // them would let two different-looking specs collide on one cache entry.
 var fieldUse = map[string]struct {
-	app, language, version, nodes, ranks, size, iters, endpoints bool
+	app, language, version, nodes, ranks, size, iters, endpoints, faults bool
 }{
 	KindStream:       {language: true, ranks: true},
 	KindHybridStream: {language: true},
 	KindFPU:          {iters: true},
-	KindNet:          {size: true, iters: true, endpoints: true},
+	KindNet:          {size: true, iters: true, endpoints: true, faults: true},
 	KindHPL:          {nodes: true},
 	KindHPCG:         {nodes: true, version: true},
-	KindApp:          {app: true, nodes: true},
+	KindApp:          {app: true, nodes: true, faults: true},
 }
 
 // Defaults applied during normalisation.
@@ -143,6 +150,17 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if !use.endpoints && (n.SrcNode != 0 || n.DstNode != 0) {
 		return JobSpec{}, invalidf("fields src_node/dst_node not used by kind %q", n.Kind)
 	}
+	if !use.faults && !n.Faults.Zero() {
+		return JobSpec{}, invalidf("field faults not used by kind %q", n.Kind)
+	}
+	if use.faults && n.Faults != nil {
+		if err := n.Faults.Validate(m.Nodes); err != nil {
+			return JobSpec{}, invalidf("invalid fault spec on %s: %v", m.Name, err)
+		}
+	}
+	// Canonicalize the fault spec: entries sorted, no-op entries dropped,
+	// and an effect-free spec folded to nil so it cannot split the cache.
+	n.Faults = n.Faults.Canonical()
 
 	// Per-kind validation and defaults.
 	switch n.Kind {

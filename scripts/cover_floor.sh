@@ -1,0 +1,31 @@
+#!/bin/sh
+# Enforce per-package statement-coverage floors on the packages the fault
+# injection and degraded-mode machinery lean on hardest. Run via
+# `make cover` or the CI coverage job.
+set -eu
+
+fail=0
+check() {
+    pkg=$1
+    min=$2
+    line=$(go test -cover "$pkg" | tail -n 1)
+    pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9][0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "cover_floor: no coverage reported for $pkg:" >&2
+        printf '%s\n' "$line" >&2
+        fail=1
+        return
+    fi
+    ok=$(awk -v p="$pct" -v m="$min" 'BEGIN { print (p >= m) ? 1 : 0 }')
+    if [ "$ok" = 1 ]; then
+        echo "cover_floor: $pkg ${pct}% >= ${min}% OK"
+    else
+        echo "cover_floor: $pkg ${pct}% below floor ${min}%" >&2
+        fail=1
+    fi
+}
+
+check ./internal/service 85
+check ./internal/mpisim 90
+
+exit "$fail"
