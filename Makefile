@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench ablation paper export serve examples clean
+.PHONY: all build vet test race cover bench ablation paper export serve examples crashtest clean
 
 all: build vet test
 
@@ -48,6 +48,11 @@ export:
 # evaluation service" for the job API).
 serve:
 	$(GO) run ./cmd/clusterd
+
+# Durability acceptance: SIGKILL clusterd mid-workload, restart against
+# the same journal, assert every job recovers to a consistent state.
+crashtest:
+	$(GO) run ./scripts/crashtest
 
 # Build every example, then smoke-run each one — examples are user-facing
 # code and must keep compiling and finishing cleanly.

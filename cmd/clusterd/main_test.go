@@ -6,12 +6,23 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"clustereval/internal/service"
 )
+
+// testOptions returns a validated default option set bound to addr.
+func testOptions(t *testing.T, addr string) options {
+	t.Helper()
+	o, err := parseFlags([]string{"-addr", addr, "-workers", "2"})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	return o
+}
 
 // TestRunServesAndDrains boots the daemon on an ephemeral port, submits a
 // real job through the full stack, then cancels the context and verifies a
@@ -23,7 +34,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	addrCh := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2}, func(a net.Addr) { addrCh <- a })
+		errCh <- run(ctx, testOptions(t, "127.0.0.1:0"), func(a net.Addr) { addrCh <- a })
 	}()
 
 	var base string
@@ -93,9 +104,141 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestRunDurableRecoversAcrossRestarts drives the full daemon twice over
+// one journal: the first incarnation completes a job and drains cleanly,
+// the second must rehydrate it with its result intact.
+func TestRunDurableRecoversAcrossRestarts(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "wal")
+
+	boot := func() (string, context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		addrCh := make(chan net.Addr, 1)
+		errCh := make(chan error, 1)
+		opts := testOptions(t, "127.0.0.1:0")
+		opts.journal = journalPath
+		go func() { errCh <- run(ctx, opts, func(a net.Addr) { addrCh <- a }) }()
+		select {
+		case a := <-addrCh:
+			return "http://" + a.String(), cancel, errCh
+		case err := <-errCh:
+			cancel()
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			cancel()
+			t.Fatal("listener never came up")
+		}
+		return "", nil, nil
+	}
+
+	base, cancel, errCh := boot()
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"hpl","nodes":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		r, err := http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.JobView
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if v.State.Terminal() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("first incarnation drain: %v", err)
+	}
+
+	base, cancel, errCh = boot()
+	defer cancel()
+	r, err := http.Get(base + "/v1/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec service.JobView
+	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if rec.State != service.StateDone || rec.Result == nil || !rec.Recovered {
+		t.Errorf("recovered job = state %s, recovered %v, result %v", rec.State, rec.Recovered, rec.Result)
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Errorf("second incarnation drain: %v", err)
+	}
+}
+
 func TestRunBadAddress(t *testing.T) {
-	err := run(context.Background(), "256.0.0.1:99999", service.Config{Workers: 1}, nil)
+	err := run(context.Background(), testOptions(t, "256.0.0.1:99999"), nil)
 	if err == nil {
 		t.Error("run accepted an unlistenable address")
+	}
+}
+
+// TestFlagValidation pins the startup validation: every misconfiguration
+// must be refused with a clear message instead of silently misbehaving.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"negative retries", []string{"-retries", "-1"}, "-retries"},
+		{"negative backoff", []string{"-retry-backoff", "-5ms"}, "-retry-backoff"},
+		{"zero drain timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout"},
+		{"negative drain timeout", []string{"-drain-timeout", "-1s"}, "-drain-timeout"},
+		{"zero shed threshold", []string{"-shed-threshold", "0"}, "-shed-threshold"},
+		{"shed threshold above one", []string{"-shed-threshold", "1.5"}, "-shed-threshold"},
+		{"zero breaker threshold", []string{"-breaker-threshold", "0"}, "-breaker-threshold"},
+		{"breaker threshold above one", []string{"-breaker-threshold", "2"}, "-breaker-threshold"},
+		{"zero breaker samples", []string{"-breaker-min-samples", "0"}, "-breaker-min-samples"},
+		{"zero breaker cooldown", []string{"-breaker-cooldown", "0s"}, "-breaker-cooldown"},
+		{"zero queue", []string{"-queue", "0"}, "-queue"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers"},
+		{"zero job timeout", []string{"-job-timeout", "0s"}, "-job-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted invalid flags", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlagDisableTranslation pins the CLI's 0-disables convention onto
+// the library's negative-disables one.
+func TestFlagDisableTranslation(t *testing.T) {
+	o, err := parseFlags([]string{"-retries", "0", "-retry-backoff", "0s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.config()
+	if cfg.MaxRetries >= 0 {
+		t.Errorf("retries 0 should map to negative MaxRetries, got %d", cfg.MaxRetries)
+	}
+	if cfg.RetryBackoff >= 0 {
+		t.Errorf("backoff 0 should map to negative RetryBackoff, got %v", cfg.RetryBackoff)
 	}
 }

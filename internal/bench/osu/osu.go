@@ -10,6 +10,7 @@
 package osu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,13 @@ const DefaultIterations = 16
 // MeasurePair runs the real Sendrecv loop between two nodes through the
 // simulated MPI runtime and returns the observed bandwidth.
 func MeasurePair(f *interconnect.Fabric, sender, receiver int, size units.Bytes, iters int) (units.BytesPerSecond, error) {
+	return MeasurePairContext(context.Background(), f, sender, receiver, size, iters)
+}
+
+// MeasurePairContext is MeasurePair under a context: a deadline or
+// cancellation aborts the simulated run between DES events, which is how
+// clusterd's per-job deadlines cut a network measurement short mid-run.
+func MeasurePairContext(ctx context.Context, f *interconnect.Fabric, sender, receiver int, size units.Bytes, iters int) (units.BytesPerSecond, error) {
 	if iters <= 0 {
 		return 0, fmt.Errorf("osu: iterations must be positive")
 	}
@@ -34,7 +42,7 @@ func MeasurePair(f *interconnect.Fabric, sender, receiver int, size units.Bytes,
 		return 0, err
 	}
 	var bw units.BytesPerSecond
-	err = w.Run(func(c *mpisim.Comm) {
+	err = w.RunContext(ctx, func(c *mpisim.Comm) {
 		peer := 1 - c.Rank()
 		start := c.Now()
 		for i := 0; i < iters; i++ {

@@ -1,6 +1,8 @@
 package osu
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -245,5 +247,18 @@ func TestDeterminism(t *testing.T) {
 				t.Fatalf("heatmap not deterministic at (%d,%d)", s, r)
 			}
 		}
+	}
+}
+
+func TestMeasurePairContextCancelled(t *testing.T) {
+	f := tofu(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasurePairContext(ctx, f, 0, 1, 256, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasurePairContext(cancelled) = %v, want context.Canceled", err)
+	}
+	// The context-free entry point must still work unchanged.
+	if _, err := MeasurePair(f, 0, 1, 256, 8); err != nil {
+		t.Errorf("MeasurePair: %v", err)
 	}
 }

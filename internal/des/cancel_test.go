@@ -1,0 +1,71 @@
+package des
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	e := New()
+	ran := false
+	e.Spawn("a", func(p *Proc) {
+		ran = true
+		p.Delay(1)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("process body ran despite pre-cancelled context")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v on an aborted run", e.Now())
+	}
+}
+
+// TestRunContextAbortsMidRun cancels from inside the simulation: the
+// engine must stop within one event step, leaving the virtual clock at
+// the abort point rather than simulating the remaining thousand seconds.
+func TestRunContextAbortsMidRun(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.Spawn("long", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Delay(1)
+		}
+	})
+	e.Spawn("canceller", func(p *Proc) {
+		p.Delay(5)
+		cancel()
+	})
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if e.Now() < 5 || e.Now() > 7 {
+		t.Errorf("aborted at t=%v, want just past the cancel at t=5", e.Now())
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	build := func() *Engine {
+		e := New()
+		e.Spawn("a", func(p *Proc) { p.Delay(2); p.Delay(3) })
+		return e
+	}
+	e1, e2 := build(), build()
+	if err := e1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Now() != e2.Now() {
+		t.Errorf("Run ends at %v, RunContext at %v", e1.Now(), e2.Now())
+	}
+}

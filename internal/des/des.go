@@ -14,6 +14,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -119,8 +120,20 @@ func (e *Engine) schedule(p *Proc, at units.Seconds) {
 // Run executes the simulation until no events remain. It returns an error
 // when a process panicked or when live processes remain blocked forever
 // (deadlock), naming the stuck processes.
-func (e *Engine) Run() error {
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked between event steps, so a deadline or cancel aborts the
+// simulation mid-run — within one event — rather than only at its end.
+// An aborted run returns an error wrapping ctx.Err(); the virtual clock
+// stops at the abort point. As with a process panic, goroutines of still
+// -blocked processes are abandoned (they hold no external resources).
+func (e *Engine) RunContext(ctx context.Context) error {
 	for len(e.events) > 0 {
+		if err := ctx.Err(); err != nil {
+			e.failure = fmt.Errorf("des: run aborted at t=%v: %w", float64(e.now), err)
+			return e.failure
+		}
 		ev := heap.Pop(&e.events).(event)
 		if ev.at < e.now {
 			return fmt.Errorf("des: time went backwards: %v < %v", ev.at, e.now)

@@ -1,0 +1,263 @@
+// Package journal implements clusterd's write-ahead job journal: an
+// append-only log of job lifecycle records, one CRC-framed JSON record
+// per line, fsynced before the corresponding state change is
+// acknowledged to a client.
+//
+// The framing is deliberately boring — `crc32c(json) SP json LF` — so a
+// journal survives being inspected (and repaired) with a text editor.
+// Decoding is tolerant of exactly the damage a crash can inflict: a torn
+// final record (the write the machine died in the middle of) is dropped
+// and truncated away on the next open. Damage anywhere *before* intact
+// records cannot be produced by a crash of this writer, only by external
+// corruption, so it is refused with ErrCorrupt rather than silently
+// skipped — recovery must never invent a job history.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Type tags one lifecycle record.
+type Type string
+
+// The record vocabulary. One job emits submitted → started →
+// (done|failed|cancelled); started repeats per retry attempt. A shutdown
+// record carries no job: it marks a clean drain, letting recovery
+// distinguish "the daemon chose to stop" from "the daemon died".
+const (
+	TypeSubmitted Type = "submitted"
+	TypeStarted   Type = "started"
+	TypeDone      Type = "done"
+	TypeFailed    Type = "failed"
+	TypeCancelled Type = "cancelled"
+	TypeShutdown  Type = "shutdown"
+)
+
+// known vocabulary for decode-time validation.
+var knownTypes = map[Type]bool{
+	TypeSubmitted: true, TypeStarted: true, TypeDone: true,
+	TypeFailed: true, TypeCancelled: true, TypeShutdown: true,
+}
+
+// Record is one journal entry. Spec and Result are raw JSON so this
+// package stays independent of the service's types; the service owns
+// their schemas.
+type Record struct {
+	Type  Type      `json:"type"`
+	JobID string    `json:"job,omitempty"`
+	At    time.Time `json:"at,omitzero"`
+	// Spec and Key accompany a submitted record.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	Key  string          `json:"key,omitempty"`
+	// Attempt is the 0-based attempt number on a started record and the
+	// total attempts consumed on a terminal record.
+	Attempt int `json:"attempt,omitempty"`
+	// Cached marks a done record answered from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Degraded marks a failed record that exhausted its fault retries.
+	Degraded bool            `json:"degraded,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// validate rejects records no writer of this package produces.
+func (r Record) validate() error {
+	if !knownTypes[r.Type] {
+		return fmt.Errorf("journal: unknown record type %q", r.Type)
+	}
+	if r.Type != TypeShutdown && r.JobID == "" {
+		return fmt.Errorf("journal: %s record without a job id", r.Type)
+	}
+	return nil
+}
+
+// ErrCorrupt reports a damaged record that is followed by further intact
+// records — damage a crash of this writer cannot produce.
+var ErrCorrupt = errors.New("journal: corrupt record before end of journal")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encode frames one record: 8 hex digits of CRC-32C over the JSON body,
+// a space, the body, a newline.
+func encode(r Record) ([]byte, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	line := make([]byte, 0, len(body)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(body, castagnoli))
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine parses one framed line (without its newline).
+func decodeLine(line []byte) (Record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, fmt.Errorf("journal: malformed frame (%d bytes)", len(line))
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return Record{}, fmt.Errorf("journal: malformed checksum: %w", err)
+	}
+	body := line[9:]
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return Record{}, fmt.Errorf("journal: checksum mismatch: frame says %08x, body hashes to %08x", want, got)
+	}
+	var r Record
+	if err := json.Unmarshal(body, &r); err != nil {
+		return Record{}, fmt.Errorf("journal: undecodable record body: %w", err)
+	}
+	if err := r.validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Decode parses a journal image and returns the records of its longest
+// valid prefix plus the byte length of that prefix. A damaged or
+// unterminated *tail* — the signature of a crash mid-append — is
+// reported via torn=true and is not an error; Open truncates it away. A
+// damaged record with intact records after it means external corruption
+// and yields ErrCorrupt: the prefix before the damage is still returned,
+// but the journal must not be silently reused.
+func Decode(data []byte) (recs []Record, goodLen int, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: the newline is written (and fsynced) with
+			// its record, so an unterminated record was never acknowledged.
+			return recs, off, true, nil
+		}
+		rec, derr := decodeLine(data[off : off+nl])
+		if derr != nil {
+			if intactRecordAfter(data[off+nl+1:]) {
+				return recs, off, false, fmt.Errorf("%w at byte %d: %v", ErrCorrupt, off, derr)
+			}
+			return recs, off, true, nil
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, off, false, nil
+}
+
+// intactRecordAfter reports whether any complete, valid record follows.
+func intactRecordAfter(data []byte) bool {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return false
+		}
+		if _, err := decodeLine(data[:nl]); err == nil {
+			return true
+		}
+		data = data[nl+1:]
+	}
+	return false
+}
+
+// Journal is an open write-ahead journal. Append is safe for concurrent
+// use; each record is fsynced before Append returns, so an acknowledged
+// record survives any subsequent crash.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	appended uint64
+}
+
+// Open opens (creating if absent) the journal at path and replays its
+// records. A torn final record is truncated away; mid-file corruption is
+// refused with ErrCorrupt. The returned journal is positioned for
+// appending.
+func Open(path string) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	recs, good, torn, err := Decode(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	if torn || good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Appended returns the number of records written through this handle.
+func (j *Journal) Appended() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Append writes the records and fsyncs once. Either every record is
+// committed or (on error) the caller must treat the journal as failed;
+// partial writes surface as a torn tail on the next Open.
+func (j *Journal) Append(recs ...Record) error {
+	var buf []byte
+	for _, r := range recs {
+		line, err := encode(r)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync %s: %w", j.path, err)
+	}
+	j.appended += uint64(len(recs))
+	return nil
+}
+
+// Close syncs and closes the journal. It is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: fsync %s: %w", j.path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,49 @@
+package mpisim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clustereval/internal/units"
+)
+
+// TestRunContextAbortsProgram cancels mid-program: the run must return an
+// error wrapping context.Canceled instead of completing the message loop.
+func TestRunContextAbortsProgram(t *testing.T) {
+	w := newTofuWorld(t, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	iterations := 0
+	err := w.RunContext(ctx, func(c *Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 10000; i++ {
+			c.Sendrecv(peer, 0, units.Bytes(256), nil, peer, 0)
+			if c.Rank() == 0 {
+				iterations = i + 1
+				if i == 10 {
+					cancel()
+				}
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if iterations >= 10000 {
+		t.Error("program ran to completion despite cancellation")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	w := newTofuWorld(t, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := w.RunContext(ctx, func(c *Comm) {
+		t.Error("program ran despite pre-cancelled context")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(cancelled) = %v, want context.Canceled", err)
+	}
+}

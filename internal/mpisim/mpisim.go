@@ -14,6 +14,7 @@
 package mpisim
 
 import (
+	"context"
 	"fmt"
 
 	"clustereval/internal/des"
@@ -158,6 +159,16 @@ func (w *World) Elapsed() units.Seconds { return w.elapsed }
 // fault injection fails a node mid-run, the error wraps a
 // *faultsim.NodeFailedError recoverable with errors.As.
 func (w *World) Run(program func(c *Comm)) error {
+	return w.RunContext(context.Background(), program)
+}
+
+// RunContext is Run under a context: the DES event loop checks ctx
+// between event steps, so a deadline or cancellation aborts the
+// simulation promptly mid-run — clusterd's per-job deadlines interrupt a
+// running collective, not just the boundary between retry attempts. An
+// aborted run's error wraps ctx.Err(); Elapsed reports virtual time up
+// to the abort.
+func (w *World) RunContext(ctx context.Context, program func(c *Comm)) error {
 	start := w.eng.Now()
 	for r := 0; r < w.ranks; r++ {
 		r := r
@@ -167,7 +178,7 @@ func (w *World) Run(program func(c *Comm)) error {
 			program(comm)
 		})
 	}
-	err := w.eng.Run()
+	err := w.eng.RunContext(ctx)
 	w.elapsed = w.eng.Now() - start
 	return err
 }

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// String renders the state for /v1/healthz.
+func (s breakerState) String() string {
+	switch s {
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker gates fault-carrying specs on the service's recent-outcome
+// window: when the recent failure rate crosses the threshold the breaker
+// opens and such specs are rejected at admission — they are the
+// submissions most likely to burn a full retry budget against a cluster
+// that the window already shows to be failing. After the cooldown one
+// probe job is admitted (half-open); its outcome closes or reopens the
+// breaker. Specs without faults are never gated: they run against the
+// unperturbed simulated cluster and cannot trip node-failure retries.
+type breaker struct {
+	threshold  float64
+	minSamples int
+	cooldown   time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold float64, minSamples int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, minSamples: minSamples, cooldown: cooldown}
+}
+
+// allow decides admission for one fault-carrying spec given the current
+// failure-rate window. probe marks the admitted job as the half-open
+// probe; retryAfter hints when a rejected client should try again.
+func (b *breaker) allow(now time.Time, rate float64, samples int) (admit, probe bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true, 0
+	case breakerHalfOpen:
+		if b.probing {
+			return false, false, b.cooldown
+		}
+		b.probing = true
+		return true, true, 0
+	default: // closed: trip lazily off the shared outcome window
+		if samples >= b.minSamples && rate >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return false, false, b.cooldown
+		}
+		return true, false, 0
+	}
+}
+
+// onProbe reports the half-open probe's outcome: success closes the
+// breaker, failure reopens it and restarts the cooldown.
+func (b *breaker) onProbe(now time.Time, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerHalfOpen {
+		return
+	}
+	b.probing = false
+	if failed {
+		b.state = breakerOpen
+		b.openedAt = now
+	} else {
+		b.state = breakerClosed
+	}
+}
+
+// abandonProbe releases the probe slot without judging the cluster — a
+// cancelled probe says nothing about fault health, so the breaker stays
+// half-open and the next fault-carrying spec becomes the probe.
+func (b *breaker) abandonProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// current returns the state for the clusterd_breaker_state gauge.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -165,7 +165,7 @@ func RunAttempt(ctx context.Context, spec JobSpec, attempt int) (*Result, error)
 	case KindFPU:
 		return runFPU(m, spec)
 	case KindNet:
-		return runNet(pair, m, spec)
+		return runNet(ctx, pair, m, spec)
 	case KindHPL:
 		return runHPL(m, spec)
 	case KindHPCG:
@@ -259,7 +259,7 @@ func runFPU(m machine.Machine, spec JobSpec) (*Result, error) {
 	}, nil
 }
 
-func runNet(pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error) {
+func runNet(ctx context.Context, pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error) {
 	// Use the seeded pair's descriptor so the fabric noise follows the
 	// spec's seed exactly like the CLI -seed flag.
 	seeded, err := pair.MachineByName(m.Name)
@@ -270,7 +270,9 @@ func runNet(pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	bw, err := osu.MeasurePair(fab, spec.SrcNode, spec.DstNode, units.Bytes(spec.SizeBytes), spec.Iters)
+	// The context reaches the DES event loop: a deadline aborts the
+	// simulated Sendrecv loop mid-run, not at the next attempt boundary.
+	bw, err := osu.MeasurePairContext(ctx, fab, spec.SrcNode, spec.DstNode, units.Bytes(spec.SizeBytes), spec.Iters)
 	if err != nil {
 		return nil, err
 	}

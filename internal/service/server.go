@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"clustereval/internal/machine"
@@ -48,7 +50,8 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // handleSubmit accepts a JobSpec, answering 200 for cache hits, 202 for
-// queued jobs, 400 for invalid specs and 503 when the queue is full or the
+// queued jobs, 400 for invalid specs, 429 with Retry-After when admission
+// control sheds the submission, and 503 when the queue is full or the
 // daemon is draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
@@ -59,6 +62,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	view, err := s.svc.Submit(spec)
+	var overload *OverloadError
 	switch {
 	case err == nil:
 		code := http.StatusAccepted
@@ -68,6 +72,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, view)
 	case errors.As(err, new(*ValidationError)):
 		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.As(err, &overload):
+		secs := int(math.Ceil(overload.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
@@ -162,6 +173,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"queue_saturation":    sat,
 		"recent_failure_rate": rate,
 		"recent_samples":      samples,
+		"breaker":             s.svc.BreakerState(),
+		"durable":             s.svc.Durable(),
 	})
 }
 

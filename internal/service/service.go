@@ -8,14 +8,17 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"clustereval/internal/faultsim"
+	"clustereval/internal/journal"
 	"clustereval/internal/xrand"
 )
 
@@ -48,6 +51,17 @@ var (
 	ErrNotFound = errors.New("service: no such job")
 )
 
+// OverloadError is returned when admission control rejects a submission
+// before it reaches the queue — load shedding above the saturation
+// threshold, or the circuit breaker refusing fault-carrying specs. The
+// HTTP layer maps it to 429 with a Retry-After header from the hint.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string { return "service: " + e.Reason }
+
 // Config sizes the service.
 type Config struct {
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
@@ -70,6 +84,20 @@ type Config struct {
 	// attempts (doubled per retry, scaled by a deterministic jitter drawn
 	// from the job's spec hash); 0 means 50ms, negative means no delay.
 	RetryBackoff time.Duration
+	// ShedThreshold is the queue saturation in (0, 1] at or above which
+	// new queue-bound submissions are load-shed with an *OverloadError
+	// (cache hits are never shed — they consume no queue slot); 0 means
+	// 0.9, and 1 sheds only when the queue is already full.
+	ShedThreshold float64
+	// BreakerThreshold is the recent failure rate at or above which the
+	// circuit breaker opens for fault-carrying specs; 0 means 0.5.
+	BreakerThreshold float64
+	// BreakerMinSamples is the minimum number of outcomes the recent
+	// window must hold before the breaker may open; 0 means 16.
+	BreakerMinSamples int
+	// BreakerCooldown is how long the breaker stays open before
+	// admitting a half-open probe; 0 means 5s.
+	BreakerCooldown time.Duration
 	// runner overrides job execution in tests.
 	runner func(context.Context, JobSpec) (*Result, error)
 	// runnerAttempt overrides job execution in tests that exercise the
@@ -105,6 +133,21 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff < 0 {
 		c.RetryBackoff = 0
 	}
+	if c.ShedThreshold <= 0 {
+		c.ShedThreshold = 0.9
+	}
+	if c.ShedThreshold > 1 {
+		c.ShedThreshold = 1
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 0.5
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 16
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.runnerAttempt == nil {
 		if c.runner != nil {
 			fn := c.runner
@@ -124,6 +167,15 @@ type Job struct {
 	ID   string
 	Spec JobSpec // normalised
 	Key  string  // canonical spec hash (cache key)
+
+	// deadline is the absolute per-job deadline derived from the spec's
+	// DeadlineMS at submission (zero = none); probe marks the job as the
+	// circuit breaker's half-open probe; recovered marks a job replayed
+	// from the journal. All three are set before the job is shared and
+	// immutable after.
+	deadline  time.Time
+	probe     bool
+	recovered bool
 
 	mu         sync.Mutex
 	state      JobState
@@ -146,6 +198,7 @@ type JobView struct {
 	Spec            JobSpec   `json:"spec"`
 	SpecHash        string    `json:"spec_hash"`
 	Cached          bool      `json:"cached"`
+	Recovered       bool      `json:"recovered,omitempty"`
 	Attempts        int       `json:"attempts,omitempty"`
 	Degraded        bool      `json:"degraded,omitempty"`
 	Error           string    `json:"error,omitempty"`
@@ -162,7 +215,8 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID: j.ID, State: j.state, Spec: j.Spec, SpecHash: j.Key,
-		Cached: j.cached, Attempts: j.attempts, Degraded: j.degraded,
+		Cached: j.cached, Recovered: j.recovered,
+		Attempts: j.attempts, Degraded: j.degraded,
 		Error: j.errMsg, Result: j.result,
 		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
 	}
@@ -177,6 +231,8 @@ type Service struct {
 	cfg   Config
 	cache *resultCache
 	queue chan *Job
+	jnl   *journal.Journal // nil without durability
+	brk   *breaker
 
 	mu     sync.Mutex
 	closed bool
@@ -188,18 +244,22 @@ type Service struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
-	reg           *Registry
-	submitted     *Counter
-	completed     *Counter
-	failed        *Counter
-	cancelled     *Counter
-	cacheHits     *Counter
-	cacheMisses   *Counter
-	queueRejected *Counter
-	retries       *Counter
-	degraded      *Counter
-	durations     *HistogramVec
-	recent        *outcomeWindow
+	reg            *Registry
+	submitted      *Counter
+	completed      *Counter
+	failed         *Counter
+	cancelled      *Counter
+	cacheHits      *Counter
+	cacheMisses    *Counter
+	queueRejected  *Counter
+	retries        *Counter
+	degraded       *Counter
+	shed           *Counter
+	journalRecords *Counter
+	journalErrors  *Counter
+	recovered      *Counter
+	durations      *HistogramVec
+	recent         *outcomeWindow
 }
 
 // outcomeWindow is a fixed-size ring of recent job outcomes backing the
@@ -243,14 +303,44 @@ func (w *outcomeWindow) rate() (float64, int) {
 	return float64(fails) / float64(w.filled), w.filled
 }
 
-// New builds the service and starts its worker pool.
+// New builds the service and starts its worker pool. The service is not
+// durable: queued and running jobs are lost on a crash. Use OpenDurable
+// for a journal-backed service that survives one.
 func New(cfg Config) *Service {
+	s, pending := newService(cfg, nil, nil)
+	s.start(pending)
+	return s
+}
+
+// OpenDurable builds the service on top of the write-ahead journal at
+// path. Existing records are replayed before the worker pool starts:
+// terminal jobs rehydrate the registry (and done results the cache),
+// unfinished jobs re-enqueue and run again — unless the journal ends
+// with a clean-shutdown marker, in which case an unfinished job cannot
+// be a crash victim and is closed out as cancelled instead of re-run.
+// Every subsequent lifecycle transition is journaled and fsynced before
+// it is acknowledged.
+func OpenDurable(cfg Config, path string) (*Service, error) {
+	jnl, recs, err := journal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, pending := newService(cfg, jnl, recs)
+	s.start(pending)
+	return s, nil
+}
+
+// newService builds the service, replaying any journal records into the
+// registry. It returns the jobs that must re-enqueue; start() runs them.
+func newService(cfg Config, jnl *journal.Journal, recs []journal.Record) (*Service, []*Job) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:       cfg,
 		cache:     newResultCache(cfg.CacheSize),
 		queue:     make(chan *Job, cfg.QueueDepth),
+		jnl:       jnl,
+		brk:       newBreaker(cfg.BreakerThreshold, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		jobs:      map[string]*Job{},
 		baseCtx:   ctx,
 		cancelAll: cancel,
@@ -266,6 +356,12 @@ func New(cfg Config) *Service {
 	s.queueRejected = s.reg.Counter("clusterd_queue_rejected_total", "Submissions rejected because the queue was full.")
 	s.retries = s.reg.Counter("clusterd_job_retries_total", "Re-executions of jobs that failed with a retryable fault error.")
 	s.degraded = s.reg.Counter("clusterd_jobs_degraded_total", "Jobs that exhausted their retries against an injected fault and failed degraded.")
+	s.shed = s.reg.Counter("clusterd_shed_total", "Submissions load-shed because queue saturation crossed the shed threshold.")
+	s.journalRecords = s.reg.Counter("clusterd_journal_records_total", "Write-ahead journal records: replayed at startup plus appended since.")
+	s.journalErrors = s.reg.Counter("clusterd_journal_errors_total", "Failed journal appends (the in-memory state machine keeps going).")
+	s.recovered = s.reg.Counter("clusterd_recovered_jobs_total", "Jobs rehydrated or re-enqueued from the write-ahead journal at startup.")
+	s.reg.GaugeFunc("clusterd_breaker_state", "Admission circuit breaker state: 0 closed, 1 half-open, 2 open.",
+		func() float64 { return float64(s.brk.current()) })
 	s.reg.GaugeFunc("clusterd_queue_depth", "Jobs currently waiting in the queue.",
 		func() float64 { return float64(len(s.queue)) })
 	s.reg.GaugeFunc("clusterd_cache_entries", "Results currently held by the LRU cache.",
@@ -286,11 +382,119 @@ func New(cfg Config) *Service {
 		"Wall-clock execution time of completed jobs by kind (cache hits excluded).", "kind",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60})
 
-	s.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
+	pending := s.replay(recs)
+	return s, pending
+}
+
+// start launches the worker pool and re-enqueues the recovered jobs. The
+// sends block when the recovered backlog exceeds the queue depth; the
+// already-running workers drain it, so they always complete.
+func (s *Service) start(pending []*Job) {
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	for _, job := range pending {
+		s.queue <- job
+	}
+}
+
+// replay folds the journal records into jobs, registers them, rehydrates
+// the cache from done results, and returns the unfinished jobs that must
+// re-enqueue. A trailing shutdown marker means the previous process
+// drained cleanly, so an unfinished job there is a bookkeeping casualty,
+// not a crash victim: it is closed out as cancelled rather than re-run.
+func (s *Service) replay(recs []journal.Record) []*Job {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.journalRecords.Add(uint64(len(recs)))
+	cleanShutdown := recs[len(recs)-1].Type == journal.TypeShutdown
+
+	byID := map[string]*Job{}
+	var order []string
+	for _, r := range recs {
+		if r.Type == journal.TypeSubmitted {
+			var spec JobSpec
+			job := &Job{ID: r.JobID, recovered: true, submitted: r.At, state: StateQueued}
+			if err := json.Unmarshal(r.Spec, &spec); err != nil {
+				job.state = StateFailed
+				job.errMsg = fmt.Sprintf("recovery: undecodable spec: %v", err)
+			} else if norm, key, err := Canonicalize(spec); err != nil {
+				job.state = StateFailed
+				job.errMsg = fmt.Sprintf("recovery: spec no longer valid: %v", err)
+			} else {
+				job.Spec, job.Key = norm, key
+				if norm.DeadlineMS > 0 {
+					job.deadline = r.At.Add(time.Duration(norm.DeadlineMS) * time.Millisecond)
+				}
+			}
+			if _, dup := byID[r.JobID]; !dup {
+				order = append(order, r.JobID)
+			}
+			byID[r.JobID] = job
+			if n, err := strconv.ParseUint(strings.TrimLeft(r.JobID, "j"), 10, 64); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+			continue
+		}
+		job, ok := byID[r.JobID]
+		if !ok {
+			continue // terminal record for a job outside the journal's horizon
+		}
+		switch r.Type {
+		case journal.TypeStarted:
+			job.state = StateRunning
+			job.started = r.At
+			job.attempts = r.Attempt + 1
+		case journal.TypeDone:
+			job.state = StateDone
+			job.cached = r.Cached
+			job.attempts = r.Attempt
+			job.finished = r.At
+			if len(r.Result) > 0 {
+				var res Result
+				if err := json.Unmarshal(r.Result, &res); err == nil {
+					job.result = &res
+				}
+			}
+		case journal.TypeFailed:
+			job.state = StateFailed
+			job.errMsg = r.Error
+			job.degraded = r.Degraded
+			job.attempts = r.Attempt
+			job.finished = r.At
+		case journal.TypeCancelled:
+			job.state = StateCancelled
+			job.errMsg = r.Error
+			job.attempts = r.Attempt
+			job.finished = r.At
+		}
+	}
+
+	var pending []*Job
+	for _, id := range order {
+		job := byID[id]
+		if !job.state.Terminal() {
+			if cleanShutdown {
+				job.state = StateCancelled
+				job.errMsg = "recovery: unfinished at clean shutdown"
+				job.finished = recs[len(recs)-1].At
+			} else {
+				// Crash victim: wind the job back to queued and run it again.
+				job.state = StateQueued
+				job.started = time.Time{}
+				job.attempts = 0
+				pending = append(pending, job)
+			}
+		}
+		if job.state == StateDone && job.result != nil && !job.cached {
+			s.cache.Put(job.Key, job.result)
+		}
+		s.registerLocked(job) // no concurrency yet: workers are not running
+		s.recovered.Inc()
+	}
+	return pending
 }
 
 // Registry exposes the metrics registry (the /v1/metrics handler renders
@@ -312,12 +516,29 @@ func (s *Service) QueueSaturation() float64 {
 // executed jobs and the number of outcomes the window holds.
 func (s *Service) RecentFailureRate() (float64, int) { return s.recent.rate() }
 
+// BreakerState reports the admission circuit breaker's state:
+// "closed", "half-open" or "open".
+func (s *Service) BreakerState() string { return s.brk.current().String() }
+
+// RecoveredJobs returns how many jobs were replayed from the journal at
+// startup.
+func (s *Service) RecoveredJobs() uint64 { return s.recovered.Value() }
+
+// Durable reports whether a write-ahead journal is attached.
+func (s *Service) Durable() bool { return s.jnl != nil }
+
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }
 
 // Submit validates, canonicalises and either answers spec from the result
 // cache or enqueues it. The returned view reflects the job's state at
 // return time: StateDone for cache hits, StateQueued otherwise.
+//
+// Queue-bound submissions pass admission control first: saturation above
+// the shed threshold or an open circuit breaker (for fault-carrying
+// specs) rejects with *OverloadError before the job consumes anything.
+// Admitted jobs are journaled — submission record fsynced — before the
+// view is returned, so an acknowledged job survives a crash.
 func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	norm, key, err := Canonicalize(spec)
 	if err != nil {
@@ -332,36 +553,104 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	s.submitted.Inc()
 
 	now := time.Now()
-	s.nextID++
-	job := &Job{
-		ID:        fmt.Sprintf("j%06d", s.nextID),
-		Spec:      norm,
-		Key:       key,
-		submitted: now,
+	newJob := func() *Job {
+		s.nextID++
+		job := &Job{
+			ID:        fmt.Sprintf("j%06d", s.nextID),
+			Spec:      norm,
+			Key:       key,
+			submitted: now,
+		}
+		if norm.DeadlineMS > 0 {
+			job.deadline = now.Add(time.Duration(norm.DeadlineMS) * time.Millisecond)
+		}
+		return job
 	}
 
 	if res, ok := s.cache.Get(key); ok {
 		s.cacheHits.Inc()
 		s.completed.Inc()
+		job := newJob()
 		job.state = StateDone
 		job.cached = true
 		job.result = res
 		job.started = now
 		job.finished = now
+		s.journalAppend(
+			journal.Record{Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key},
+			journal.Record{Type: journal.TypeDone, JobID: job.ID, At: now, Cached: true, Result: mustJSON(res)},
+		)
 		s.registerLocked(job)
 		return job.View(), nil
 	}
 	s.cacheMisses.Inc()
 
+	// Admission control, cheapest signal first. The saturation read is
+	// stable enough to act on: only workers drain the queue, so a depth
+	// below capacity here cannot grow before our own enqueue below.
+	if sat := float64(len(s.queue)) / float64(cap(s.queue)); sat >= s.cfg.ShedThreshold && len(s.queue) < cap(s.queue) {
+		s.shed.Inc()
+		return JobView{}, &OverloadError{
+			Reason:     fmt.Sprintf("shedding load: queue saturation %.2f >= %.2f", sat, s.cfg.ShedThreshold),
+			RetryAfter: time.Second,
+		}
+	}
+	isProbe := false
+	if norm.Faults != nil {
+		rate, samples := s.recent.rate()
+		admit, probe, wait := s.brk.allow(now, rate, samples)
+		if !admit {
+			s.shed.Inc()
+			return JobView{}, &OverloadError{
+				Reason:     fmt.Sprintf("circuit breaker %s for fault-carrying specs (recent failure rate %.2f)", s.brk.current(), rate),
+				RetryAfter: wait,
+			}
+		}
+		isProbe = probe
+	}
+
+	job := newJob()
+	job.probe = isProbe
 	job.state = StateQueued
 	select {
 	case s.queue <- job:
+		s.journalAppend(journal.Record{
+			Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key,
+		})
 		s.registerLocked(job)
 		return job.View(), nil
 	default:
+		if isProbe {
+			s.brk.abandonProbe()
+		}
 		s.queueRejected.Inc()
 		return JobView{}, ErrQueueFull
 	}
+}
+
+// mustJSON marshals values that are JSON round-trip safe by construction
+// (normalised specs, results the HTTP layer already serves as JSON).
+func mustJSON(v any) json.RawMessage {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("service: unencodable journal payload: %v", err))
+	}
+	return buf
+}
+
+// journalAppend writes lifecycle records through the journal, if one is
+// attached. Append failures cannot be surfaced to a client mid-run, so
+// they are counted and the in-memory state machine keeps going — the
+// journal degrades to best-effort rather than wedging the service.
+func (s *Service) journalAppend(recs ...journal.Record) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(recs...); err != nil {
+		s.journalErrors.Inc()
+		return
+	}
+	s.journalRecords.Add(uint64(len(recs)))
 }
 
 // registerLocked records the job and prunes the oldest finished jobs
@@ -438,6 +727,12 @@ func (s *Service) Cancel(id string) (JobView, error) {
 		job.finished = time.Now()
 		job.errMsg = "cancelled while queued"
 		s.cancelled.Inc()
+		s.journalAppend(journal.Record{
+			Type: journal.TypeCancelled, JobID: job.ID, At: job.finished, Error: job.errMsg,
+		})
+		if job.probe {
+			s.brk.abandonProbe()
+		}
 	case StateRunning:
 		job.cancelWant = true
 		if job.cancelFn != nil {
@@ -456,8 +751,9 @@ func (s *Service) worker() {
 	}
 }
 
-// execute runs one job with a per-job timeout, records its outcome and
-// populates the cache.
+// execute runs one job with a per-job timeout (and, when the spec set
+// deadline_ms, a per-job deadline measured from submission), records its
+// outcome, journals the transitions and populates the cache.
 func (s *Service) execute(job *Job) {
 	job.mu.Lock()
 	if job.state != StateQueued { // cancelled while waiting
@@ -465,11 +761,22 @@ func (s *Service) execute(job *Job) {
 		return
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	if !job.deadline.IsZero() {
+		// The spec deadline covers queue wait too, so it is anchored at
+		// submission; nesting under the timeout ctx keeps cancelFn (the
+		// outer cancel) propagating to the whole chain.
+		var cancelDl context.CancelFunc
+		ctx, cancelDl = context.WithDeadline(ctx, job.deadline)
+		defer cancelDl()
+	}
 	job.state = StateRunning
 	job.started = time.Now()
 	job.cancelFn = cancel
 	job.mu.Unlock()
 	defer cancel()
+	s.journalAppend(journal.Record{
+		Type: journal.TypeStarted, JobID: job.ID, At: job.started,
+	})
 
 	type outcome struct {
 		res      *Result
@@ -530,7 +837,12 @@ func (s *Service) execute(job *Job) {
 		s.recent.record(false)
 	case errors.Is(out.err, context.DeadlineExceeded) && !job.cancelWant:
 		job.state = StateFailed
-		job.errMsg = fmt.Sprintf("job timed out after %v", s.cfg.JobTimeout)
+		if !job.deadline.IsZero() && !now.Before(job.deadline) {
+			job.errMsg = fmt.Sprintf("deadline exceeded: deadline_ms=%d elapsed since submission",
+				job.Spec.DeadlineMS)
+		} else {
+			job.errMsg = fmt.Sprintf("job timed out after %v", s.cfg.JobTimeout)
+		}
 		s.failed.Inc()
 		s.recent.record(true)
 	case errors.Is(out.err, context.Canceled) || job.cancelWant:
@@ -552,7 +864,34 @@ func (s *Service) execute(job *Job) {
 		s.failed.Inc()
 		s.recent.record(true)
 	}
+	rec := journal.Record{JobID: job.ID, At: now, Attempt: out.attempts, Error: job.errMsg}
+	switch job.state {
+	case StateDone:
+		rec.Type = journal.TypeDone
+		rec.Result = mustJSON(job.result)
+	case StateCancelled:
+		rec.Type = journal.TypeCancelled
+	default:
+		rec.Type = journal.TypeFailed
+		rec.Degraded = job.degraded
+	}
+	state := job.state
+	isProbe := job.probe
 	job.mu.Unlock()
+	s.journalAppend(rec)
+	if isProbe {
+		// The half-open probe's outcome decides the breaker: a fresh
+		// success closes it, any failure re-opens it; a cancelled probe
+		// judged nothing and just frees the probe slot.
+		switch state {
+		case StateDone:
+			s.brk.onProbe(now, false)
+		case StateFailed:
+			s.brk.onProbe(now, true)
+		default:
+			s.brk.abandonProbe()
+		}
+	}
 }
 
 // retryDelay computes the backoff before retry `attempt` (0-based): the
@@ -578,6 +917,10 @@ func retryDelay(base time.Duration, key string, attempt int) time.Duration {
 // are still executed, and Close returns when the pool is idle. If ctx
 // expires first, in-flight and remaining queued jobs are cancelled and
 // Close waits for the (now fast) drain before returning ctx's error.
+//
+// Once the pool is idle every job is terminal, so a clean-shutdown
+// marker is journaled and the journal closed: the next OpenDurable can
+// tell this drain apart from a crash and knows not to re-run anything.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closed
@@ -595,12 +938,19 @@ func (s *Service) Close(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelAll() // flip every per-job context; workers finish promptly
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.journalAppend(journal.Record{Type: journal.TypeShutdown, At: time.Now()})
+	if s.jnl != nil {
+		if cerr := s.jnl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

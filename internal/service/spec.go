@@ -70,6 +70,10 @@ type JobSpec struct {
 	// faults have no effect canonicalizes to nil, so it shares a cache
 	// entry with the unfaulted job.
 	Faults *faultsim.Spec `json:"faults,omitempty"`
+	// DeadlineMS bounds the job's total lifetime — queue wait plus
+	// execution — in milliseconds from submission; 0 means no deadline
+	// (the service's JobTimeout still applies). Every kind accepts it.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // ValidationError marks a spec the service refuses to run; the HTTP layer
@@ -161,6 +165,10 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	// Canonicalize the fault spec: entries sorted, no-op entries dropped,
 	// and an effect-free spec folded to nil so it cannot split the cache.
 	n.Faults = n.Faults.Canonical()
+
+	if n.DeadlineMS < 0 {
+		return JobSpec{}, invalidf("negative deadline_ms %d", n.DeadlineMS)
+	}
 
 	// Per-kind validation and defaults.
 	switch n.Kind {
@@ -260,12 +268,20 @@ func canonicalSlug(name string) string {
 // SHA-256 of the canonical JSON encoding. The address is the cache key, so
 // any two submissions of the same deterministic simulation — whatever
 // aliases or omitted defaults they used — collapse onto one cache entry.
+//
+// The deadline is stripped before hashing: it can only change *whether* a
+// job finishes, never what result it produces, and only successful runs
+// — where the deadline demonstrably did not change the outcome — are
+// ever cached. Folding it away lets a deadlined resubmission of a
+// previously completed spec answer from the cache in microseconds.
 func Canonicalize(spec JobSpec) (JobSpec, string, error) {
 	n, err := spec.Normalize()
 	if err != nil {
 		return JobSpec{}, "", err
 	}
-	buf, err := json.Marshal(n)
+	keySpec := n
+	keySpec.DeadlineMS = 0
+	buf, err := json.Marshal(keySpec)
 	if err != nil {
 		return JobSpec{}, "", fmt.Errorf("service: encoding canonical spec: %w", err)
 	}
