@@ -5,15 +5,24 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench ablation paper export serve examples crashtest clean
+.PHONY: all build vet lint test race cover bench ablation paper export serve examples crashtest clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (the repo
+# adds no dependencies, so environments without it still lint cleanly).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...

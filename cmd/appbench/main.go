@@ -1,97 +1,15 @@
-// Command appbench runs the scientific-application experiments of Section V:
-// one application per invocation, printing its scalability figures and the
-// paper's headline comparisons.
+// Command appbench runs the scientific-application experiments of Section
+// V: one application per invocation (or all of them), printing each
+// scalability figure and the paper's headline comparisons. The -app menu
+// comes from the experiment registry's application catalog; flags come
+// from the registry's "app" schema plus the driver in
+// internal/experiment/cli.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"clustereval/internal/apps/alya"
-	"clustereval/internal/apps/scaling"
-	"clustereval/internal/figures"
-	"clustereval/internal/report"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	app := flag.String("app", "", "application: alya | nemo | gromacs | openifs | wrf (empty = all)")
-	seed := flag.Uint64("seed", 0, "noise seed for the interconnect models (0 = paper default); identical seeds reproduce identical numbers")
-	flag.Parse()
-
-	if err := run(*app, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "appbench:", err)
-		os.Exit(1)
-	}
-}
-
-func run(app string, seed uint64) error {
-	p := figures.WithSeed(seed)
-	type figFn struct {
-		name string
-		fn   func() (*report.Plot, error)
-	}
-	apps := map[string][]figFn{
-		"alya": {
-			{"Fig. 8", p.Figure8}, {"Fig. 9", p.Figure9}, {"Fig. 10", p.Figure10},
-		},
-		"nemo":    {{"Fig. 11", p.Figure11}},
-		"gromacs": {{"Fig. 12", p.Figure12}, {"Fig. 13", p.Figure13}},
-		"openifs": {{"Fig. 14", p.Figure14}, {"Fig. 15", p.Figure15}},
-		"wrf":     {{"Fig. 16", p.Figure16}},
-	}
-	order := []string{"alya", "nemo", "gromacs", "openifs", "wrf"}
-
-	selected := order
-	if app != "" {
-		if _, ok := apps[app]; !ok {
-			return fmt.Errorf("unknown app %q (valid: alya nemo gromacs openifs wrf)", app)
-		}
-		selected = []string{app}
-	}
-	for _, name := range selected {
-		for _, f := range apps[name] {
-			plot, err := f.fn()
-			if err != nil {
-				return err
-			}
-			if err := plot.Render(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		if name == "alya" {
-			if err := alyaHighlights(p); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// alyaHighlights prints the equivalence points the paper calls out.
-func alyaHighlights(p figures.Pair) error {
-	arm, mn4 := p.Arm, p.Ref
-	cte, ref, err := alya.Figure8(arm, mn4)
-	if err != nil {
-		return err
-	}
-	target, _ := ref.TimeAt(12)
-	fmt.Printf("Alya: %d CTE-Arm nodes match 12 MareNostrum 4 nodes (time step)\n",
-		scaling.MatchingNodes(cte, target))
-	cteA, refA, err := alya.Figure9(arm, mn4)
-	if err != nil {
-		return err
-	}
-	targetA, _ := refA.TimeAt(12)
-	fmt.Printf("Alya: %d CTE-Arm nodes match 12 MareNostrum 4 nodes (Assembly)\n",
-		scaling.MatchingNodes(cteA, targetA))
-	cteS, refS, err := alya.Figure10(arm, mn4)
-	if err != nil {
-		return err
-	}
-	targetS, _ := refS.TimeAt(12)
-	fmt.Printf("Alya: %d CTE-Arm nodes match 12 MareNostrum 4 nodes (Solver)\n\n",
-		scaling.MatchingNodes(cteS, targetS))
-	return nil
-}
+func main() { cli.Main("appbench", os.Args[1:]) }

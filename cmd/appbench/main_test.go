@@ -1,17 +1,23 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"clustereval/internal/experiment"
+	"clustereval/internal/experiment/cli"
+)
 
 func TestEachApp(t *testing.T) {
-	for _, app := range []string{"alya", "nemo", "gromacs", "openifs", "wrf"} {
-		if err := run(app, 0); err != nil {
+	// The menu is the registry's application catalog, not a local list.
+	for _, app := range experiment.AppNames() {
+		if err := cli.AppBench(app, 0); err != nil {
 			t.Errorf("app %s: %v", app, err)
 		}
 	}
 }
 
 func TestUnknownApp(t *testing.T) {
-	if err := run("linpack", 0); err == nil {
+	if err := cli.AppBench("linpack", 0); err == nil {
 		t.Error("unknown app accepted")
 	}
 }
@@ -19,7 +25,7 @@ func TestUnknownApp(t *testing.T) {
 func TestSeededRun(t *testing.T) {
 	// A nonzero seed must change only the noise realisation, never break a
 	// figure; the sweep stays renderable for any seed.
-	if err := run("nemo", 42); err != nil {
+	if err := cli.AppBench("nemo", 42); err != nil {
 		t.Errorf("seeded run: %v", err)
 	}
 }

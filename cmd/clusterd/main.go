@@ -2,7 +2,9 @@
 // POST simulation specs (machine preset, benchmark or application, ranks,
 // seed) to /v1/jobs, a bounded worker pool replays the corresponding model,
 // and identical specs are answered from a content-addressed result cache.
-// Metrics are exposed in Prometheus text format on /v1/metrics.
+// Metrics are exposed in Prometheus text format on /v1/metrics, and the
+// experiment registry — every job kind with its parameter schema — on
+// GET /v1/kinds (or offline via -list-kinds).
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 //	         [-retries 2] [-retry-backoff 50ms] [-journal path]
 //	         [-drain-timeout 30s] [-shed-threshold 0.9]
 //	         [-breaker-threshold 0.5] [-breaker-min-samples 16] [-breaker-cooldown 5s]
+//	clusterd -list-kinds
 //
 // A zero -workers means one worker per CPU (GOMAXPROCS). SIGINT/SIGTERM
 // trigger a graceful drain: the listener stops, queued jobs finish up to
@@ -33,6 +36,9 @@
 // the simulated cluster is failing; /v1/healthz exposes the saturation,
 // failure rate and breaker state so operators can see the service degrade
 // rather than flap.
+//
+// The daemon's flag parsing, validation and serve loop live in
+// internal/experiment/cli; this file only wires signals and exit codes.
 package main
 
 import (
@@ -40,127 +46,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
-	"clustereval/internal/service"
+	"clustereval/internal/experiment/cli"
 )
 
-// options is the validated CLI configuration.
-type options struct {
-	addr         string
-	journal      string
-	drainTimeout time.Duration
-
-	workers    int
-	queue      int
-	cache      int
-	jobTimeout time.Duration
-	retries    int
-	backoff    time.Duration
-
-	shedThreshold     float64
-	breakerThreshold  float64
-	breakerMinSamples int
-	breakerCooldown   time.Duration
-}
-
-// parseFlags parses args (without the program name) into options. It
-// validates everything a typo can break and returns an error instead of
-// letting the daemon come up silently misconfigured.
-func parseFlags(args []string) (options, error) {
-	var o options
-	fs := flag.NewFlagSet("clusterd", flag.ContinueOnError)
-	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
-	fs.StringVar(&o.journal, "journal", "", "write-ahead journal path (empty disables durability)")
-	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long a graceful drain may run before in-flight jobs are cancelled")
-	fs.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	fs.IntVar(&o.queue, "queue", 256, "job queue depth")
-	fs.IntVar(&o.cache, "cache", 1024, "result cache entries (negative disables)")
-	fs.DurationVar(&o.jobTimeout, "job-timeout", 2*time.Minute, "per-job execution timeout")
-	fs.IntVar(&o.retries, "retries", 2, "max re-executions of a job failing with a retryable fault (0 disables)")
-	fs.DurationVar(&o.backoff, "retry-backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt (0 means no delay)")
-	fs.Float64Var(&o.shedThreshold, "shed-threshold", 0.9, "queue saturation in (0,1] at which submissions are load-shed with 429")
-	fs.Float64Var(&o.breakerThreshold, "breaker-threshold", 0.5, "recent failure rate in (0,1] at which the circuit breaker opens")
-	fs.IntVar(&o.breakerMinSamples, "breaker-min-samples", 16, "outcomes the failure window must hold before the breaker may open")
-	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 5*time.Second, "how long the breaker stays open before a half-open probe")
-	if err := fs.Parse(args); err != nil {
-		return options{}, err
-	}
-	if err := o.validate(); err != nil {
-		return options{}, err
-	}
-	return o, nil
-}
-
-// validate rejects configurations that would otherwise misbehave
-// silently (a negative backoff quietly meaning "none", a shed threshold
-// of 0 rejecting every job).
-func (o options) validate() error {
-	if o.retries < 0 {
-		return fmt.Errorf("-retries must be >= 0 (0 disables retries), got %d", o.retries)
-	}
-	if o.backoff < 0 {
-		return fmt.Errorf("-retry-backoff must be >= 0 (0 means no delay), got %v", o.backoff)
-	}
-	if o.drainTimeout <= 0 {
-		return fmt.Errorf("-drain-timeout must be positive, got %v", o.drainTimeout)
-	}
-	if o.jobTimeout <= 0 {
-		return fmt.Errorf("-job-timeout must be positive, got %v", o.jobTimeout)
-	}
-	if o.queue <= 0 {
-		return fmt.Errorf("-queue must be positive, got %d", o.queue)
-	}
-	if o.workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", o.workers)
-	}
-	if o.shedThreshold <= 0 || o.shedThreshold > 1 {
-		return fmt.Errorf("-shed-threshold must be in (0, 1], got %g", o.shedThreshold)
-	}
-	if o.breakerThreshold <= 0 || o.breakerThreshold > 1 {
-		return fmt.Errorf("-breaker-threshold must be in (0, 1], got %g", o.breakerThreshold)
-	}
-	if o.breakerMinSamples <= 0 {
-		return fmt.Errorf("-breaker-min-samples must be positive, got %d", o.breakerMinSamples)
-	}
-	if o.breakerCooldown <= 0 {
-		return fmt.Errorf("-breaker-cooldown must be positive, got %v", o.breakerCooldown)
-	}
-	return nil
-}
-
-// config maps the CLI options onto the service configuration. The CLI
-// uses 0 for "disabled" where the library uses negative values (its 0
-// means "default"), so the translation happens here.
-func (o options) config() service.Config {
-	cfg := service.Config{
-		Workers:           o.workers,
-		QueueDepth:        o.queue,
-		CacheSize:         o.cache,
-		JobTimeout:        o.jobTimeout,
-		MaxRetries:        o.retries,
-		RetryBackoff:      o.backoff,
-		ShedThreshold:     o.shedThreshold,
-		BreakerThreshold:  o.breakerThreshold,
-		BreakerMinSamples: o.breakerMinSamples,
-		BreakerCooldown:   o.breakerCooldown,
-	}
-	if o.retries == 0 {
-		cfg.MaxRetries = -1
-	}
-	if o.backoff == 0 {
-		cfg.RetryBackoff = -1
-	}
-	return cfg
-}
-
 func main() {
-	opts, err := parseFlags(os.Args[1:])
+	opts, err := cli.ParseDaemonFlags(os.Args[1:])
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(0)
@@ -168,66 +62,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)
 		os.Exit(2)
 	}
+	if opts.ListKinds {
+		if err := cli.ListKinds(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "clusterd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, opts, nil); err != nil {
+	if err := cli.Daemon(ctx, opts, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)
 		os.Exit(1)
 	}
-}
-
-// run starts the service and HTTP server, blocks until ctx is cancelled,
-// then drains gracefully. onReady, when non-nil, receives the bound
-// address once the listener is up (tests use it to learn the port).
-func run(ctx context.Context, opts options, onReady func(net.Addr)) error {
-	var svc *service.Service
-	var err error
-	if opts.journal != "" {
-		svc, err = service.OpenDurable(opts.config(), opts.journal)
-		if err != nil {
-			return err
-		}
-	} else {
-		svc = service.New(opts.config())
-	}
-	srv := &http.Server{Handler: service.NewServer(svc)}
-
-	ln, err := net.Listen("tcp", opts.addr)
-	if err != nil {
-		_ = svc.Close(context.Background())
-		return err
-	}
-	fmt.Printf("clusterd listening on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), svc.Workers(), opts.queue, opts.cache)
-	if opts.journal != "" {
-		fmt.Printf("clusterd: journal %s, %d job(s) recovered\n", opts.journal, svc.RecoveredJobs())
-	}
-	if onReady != nil {
-		onReady(ln.Addr())
-	}
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-
-	select {
-	case err := <-errCh:
-		// Listener failed outright; still tear the pool down.
-		_ = svc.Close(context.Background())
-		return err
-	case <-ctx.Done():
-	}
-
-	fmt.Println("clusterd: draining...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
-	}
-	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("drain: %w", err)
-	}
-	fmt.Println("clusterd: bye")
-	return nil
 }

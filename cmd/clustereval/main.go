@@ -8,189 +8,18 @@
 //	clustereval -table 4      # one table (1..4)
 //	clustereval -figure 6     # one figure (1..16)
 //	clustereval -csv -table 4 # table as CSV
+//	clustereval -out dir      # every table and figure as CSV files
+//	clustereval -kind hpl -spec '{"nodes":32}'  # one registry experiment
+//
+// The -kind mode runs any experiment kind registered in
+// internal/experiment — the same registry clusterd serves — and prints
+// the result as JSON.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"clustereval/internal/core"
-	"clustereval/internal/figures"
-	"clustereval/internal/report"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	table := flag.Int("table", 0, "render one table (1..4); 0 = all")
-	figure := flag.Int("figure", 0, "render one figure (1..16); 0 = all")
-	csv := flag.Bool("csv", false, "emit tables as CSV")
-	out := flag.String("out", "", "write every table and figure as CSV files into this directory")
-	flag.Parse()
-
-	if *out != "" {
-		if err := exportAll(*out); err != nil {
-			fmt.Fprintln(os.Stderr, "clustereval:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*table, *figure, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "clustereval:", err)
-		os.Exit(1)
-	}
-}
-
-func run(table, figure int, csv bool) error {
-	ev := core.New()
-	pair := figures.Default()
-
-	emitTable := func(t *report.Table) error {
-		if csv {
-			return t.CSV(os.Stdout)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		return nil
-	}
-
-	tables := map[int]func() (*report.Table, error){
-		1: func() (*report.Table, error) { return ev.TableI(), nil },
-		2: func() (*report.Table, error) { return ev.TableII(), nil },
-		3: func() (*report.Table, error) { return ev.TableIII(), nil },
-		4: func() (*report.Table, error) {
-			rows, err := ev.TableIV()
-			if err != nil {
-				return nil, err
-			}
-			return core.RenderTableIV(rows), nil
-		},
-	}
-
-	figs := map[int]func() error{
-		1: func() error {
-			t, err := pair.Figure1()
-			if err != nil {
-				return err
-			}
-			return emitTable(t)
-		},
-		2: func() error {
-			plot, _, err := pair.Figure2()
-			if err != nil {
-				return err
-			}
-			return plot.Render(os.Stdout)
-		},
-		3: func() error {
-			t, _, err := pair.Figure3()
-			if err != nil {
-				return err
-			}
-			return emitTable(t)
-		},
-		4: func() error {
-			hm, raw, err := pair.Figure4(256)
-			if err != nil {
-				return err
-			}
-			if err := hm.Render(os.Stdout); err != nil {
-				return err
-			}
-			for _, d := range raw.DegradedReceivers(0.5) {
-				fmt.Printf("degraded receiver detected: node %d\n", d)
-			}
-			return nil
-		},
-		5: func() error {
-			t, _, err := pair.Figure5()
-			if err != nil {
-				return err
-			}
-			return emitTable(t)
-		},
-		6: func() error {
-			plot, _, err := pair.Figure6()
-			if err != nil {
-				return err
-			}
-			return plot.Render(os.Stdout)
-		},
-		7: func() error {
-			t, _, err := pair.Figure7()
-			if err != nil {
-				return err
-			}
-			return emitTable(t)
-		},
-		8:  plotFig(pair.Figure8),
-		9:  plotFig(pair.Figure9),
-		10: plotFig(pair.Figure10),
-		11: plotFig(pair.Figure11),
-		12: plotFig(pair.Figure12),
-		13: plotFig(pair.Figure13),
-		14: plotFig(pair.Figure14),
-		15: plotFig(pair.Figure15),
-		16: plotFig(pair.Figure16),
-	}
-
-	switch {
-	case table > 0:
-		f, ok := tables[table]
-		if !ok {
-			return fmt.Errorf("no table %d (valid: 1..4)", table)
-		}
-		t, err := f()
-		if err != nil {
-			return err
-		}
-		return emitTable(t)
-	case figure > 0:
-		f, ok := figs[figure]
-		if !ok {
-			return fmt.Errorf("no figure %d (valid: 1..16)", figure)
-		}
-		return f()
-	default:
-		for i := 1; i <= 4; i++ {
-			t, err := tables[i]()
-			if err != nil {
-				return err
-			}
-			if err := emitTable(t); err != nil {
-				return err
-			}
-		}
-		for i := 1; i <= 16; i++ {
-			if err := figs[i](); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		// Section VI: the paper's conclusions, re-derived and checked.
-		findings, err := ev.Conclusions()
-		if err != nil {
-			return err
-		}
-		fmt.Println("Conclusions (Section VI), checked against the models:")
-		for _, f := range findings {
-			mark := "ok  "
-			if !f.Holds {
-				mark = "FAIL"
-			}
-			fmt.Printf("  [%s] %s — %s\n", mark, f.Statement, f.Evidence)
-		}
-		return nil
-	}
-}
-
-func plotFig(f func() (*report.Plot, error)) func() error {
-	return func() error {
-		plot, err := f()
-		if err != nil {
-			return err
-		}
-		return plot.Render(os.Stdout)
-	}
-}
+func main() { cli.Main("clustereval", os.Args[1:]) }

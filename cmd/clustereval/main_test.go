@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"clustereval/internal/experiment/cli"
 )
 
 // -update regenerates the golden files from current output.
@@ -39,7 +41,7 @@ func capture(t *testing.T, f func() error) string {
 }
 
 func TestRunTable4(t *testing.T) {
-	out := capture(t, func() error { return run(4, 0, false) })
+	out := capture(t, func() error { return cli.Eval(4, 0, false) })
 	for _, want := range []string{"LINPACK", "NEMO", "NP", "N/A"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table 4 output missing %q", want)
@@ -48,7 +50,7 @@ func TestRunTable4(t *testing.T) {
 }
 
 func TestRunTable4CSV(t *testing.T) {
-	out := capture(t, func() error { return run(4, 0, true) })
+	out := capture(t, func() error { return cli.Eval(4, 0, true) })
 	if !strings.Contains(out, "Applications,1,16,32,64,128,192") {
 		t.Errorf("CSV header missing:\n%s", out)
 	}
@@ -59,7 +61,7 @@ func TestRunTable4CSV(t *testing.T) {
 // accidental drift anywhere in the simulation stack shows up here as a
 // one-line diff. Refresh intentionally with: go test ./cmd/clustereval -update
 func TestRunTable4CSVGolden(t *testing.T) {
-	out := capture(t, func() error { return run(4, 0, true) })
+	out := capture(t, func() error { return cli.Eval(4, 0, true) })
 	golden := filepath.Join("testdata", "table4.golden")
 	if *update {
 		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
@@ -77,11 +79,11 @@ func TestRunTable4CSVGolden(t *testing.T) {
 }
 
 func TestRunFigure(t *testing.T) {
-	out := capture(t, func() error { return run(0, 6, false) })
+	out := capture(t, func() error { return cli.Eval(0, 6, false) })
 	if !strings.Contains(out, "Linpack scalability") {
 		t.Errorf("figure 6 output wrong:\n%s", out)
 	}
-	out = capture(t, func() error { return run(0, 4, false) })
+	out = capture(t, func() error { return cli.Eval(0, 4, false) })
 	if !strings.Contains(out, "degraded receiver detected: node 23") {
 		t.Errorf("figure 4 should flag node 23:\n%s", out)
 	}
@@ -89,7 +91,7 @@ func TestRunFigure(t *testing.T) {
 
 func TestExportAll(t *testing.T) {
 	dir := t.TempDir()
-	out := capture(t, func() error { return exportAll(dir) })
+	out := capture(t, func() error { return cli.ExportAll(dir) })
 	if !strings.Contains(out, "table4.csv") || !strings.Contains(out, "fig16.csv") {
 		t.Errorf("export log incomplete:\n%s", out)
 	}
@@ -111,10 +113,10 @@ func TestExportAll(t *testing.T) {
 }
 
 func TestRunRejectsBadSelectors(t *testing.T) {
-	if err := run(9, 0, false); err == nil {
+	if err := cli.Eval(9, 0, false); err == nil {
 		t.Error("table 9 accepted")
 	}
-	if err := run(0, 99, false); err == nil {
+	if err := cli.Eval(0, 99, false); err == nil {
 		t.Error("figure 99 accepted")
 	}
 }
@@ -129,7 +131,7 @@ func TestRunRejectsBadSelectors(t *testing.T) {
 //	go test ./cmd/clustereval -run TestExportGoldenCSVs -update
 func TestExportGoldenCSVs(t *testing.T) {
 	dir := t.TempDir()
-	capture(t, func() error { return exportAll(dir) })
+	capture(t, func() error { return cli.ExportAll(dir) })
 
 	for _, name := range []string{"fig2.csv", "fig5.csv", "fig6.csv", "fig7.csv"} {
 		got, err := os.ReadFile(filepath.Join(dir, name))

@@ -1,72 +1,14 @@
 // Command fpubench runs the FPU µKernel experiment (paper Section III-A,
 // Fig. 1): six scalar/vector x half/single/double variants on one core of
-// each machine, plus the paper's variability sweeps across cores and nodes.
+// each machine, plus the paper's variability sweeps across cores and
+// nodes. Flags come from the experiment registry's "fpu" schema plus the
+// driver in internal/experiment/cli.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"clustereval/internal/bench/fpu"
-	"clustereval/internal/figures"
-	"clustereval/internal/machine"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	iters := flag.Int("iters", fpu.DefaultIterations, "kernel iterations")
-	variability := flag.Bool("variability", false, "also run the within-node and across-node variability sweeps")
-	flag.Parse()
-
-	if err := run(*iters, *variability); err != nil {
-		fmt.Fprintln(os.Stderr, "fpubench:", err)
-		os.Exit(1)
-	}
-}
-
-func run(iters int, variability bool) error {
-	machines := []machine.Machine{machine.CTEArm(), machine.MareNostrum4()}
-	bars, err := fpu.Figure1(machines, iters)
-	if err != nil {
-		return err
-	}
-	p := figures.Default()
-	t, err := p.Figure1()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	// Checksums prove real arithmetic ran.
-	fmt.Println()
-	for _, b := range bars {
-		if b.Supported {
-			fmt.Printf("checksum %-14s %-14s %.6g\n", b.Variant.Name(), b.Machine, b.Checksum)
-		}
-	}
-
-	if variability {
-		fmt.Println()
-		for _, m := range machines {
-			cv, err := fpu.NodeVariability(m, iters, 1)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-16s within-node variability: %.3f%%\n", m.Name, 100*cv)
-			cv, err = fpu.ClusterVariability(m, min(m.Nodes, 192), iters, 1)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-16s across-node variability: %.3f%%\n", m.Name, 100*cv)
-		}
-	}
-	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
+func main() { cli.Main("fpubench", os.Args[1:]) }

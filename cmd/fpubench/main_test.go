@@ -1,15 +1,19 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"clustereval/internal/experiment/cli"
+)
 
 func TestRunWithVariability(t *testing.T) {
-	if err := run(500, true); err != nil {
+	if err := cli.FPUBench(500, true); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
 
 func TestRunRejectsBadIterations(t *testing.T) {
-	if err := run(0, false); err == nil {
+	if err := cli.FPUBench(0, false); err == nil {
 		t.Error("zero iterations accepted")
 	}
 }

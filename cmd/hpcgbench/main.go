@@ -1,81 +1,14 @@
 // Command hpcgbench runs the HPCG experiment (paper Section IV-B, Fig. 7):
 // the vanilla/optimized model on both clusters, and — with -verify — a real
-// multigrid-preconditioned CG solve on the 27-point stencil.
+// multigrid-preconditioned CG solve on the 27-point stencil. Flags come
+// from the experiment registry's "hpcg" schema plus the driver in
+// internal/experiment/cli.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"time"
 
-	"clustereval/internal/figures"
-	"clustereval/internal/hpcg"
-	"clustereval/internal/machine"
-	"clustereval/internal/omp"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	verify := flag.Int("verify", 0, "solve a real NxNxN HPCG system and report convergence")
-	threads := flag.Int("threads", 8, "worker threads for -verify")
-	flag.Parse()
-
-	if err := run(*verify, *threads); err != nil {
-		fmt.Fprintln(os.Stderr, "hpcgbench:", err)
-		os.Exit(1)
-	}
-}
-
-func run(verify, threads int) error {
-	if verify > 0 {
-		team, err := omp.NewTeam(machine.CTEArm().Node, threads, omp.Spread)
-		if err != nil {
-			return err
-		}
-		prob, err := hpcg.NewProblem(verify, verify, verify)
-		if err != nil {
-			return err
-		}
-		mg, err := hpcg.NewMG(prob, 4)
-		if err != nil {
-			return err
-		}
-		b := make([]float64, prob.NRows)
-		for i := range b {
-			b[i] = 1
-		}
-		start := time.Now()
-		_, res, err := hpcg.CG(prob, mg, team, b, 100, 1e-9)
-		if err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		fmt.Printf("grid %d^3 (%d rows, %d nonzeros), %d MG levels: converged=%v in %d iterations, %.3gs host time\n",
-			verify, prob.NRows, prob.Nonzeros(), mg.Levels(), res.Converged, res.Iterations, elapsed.Seconds())
-		for i, r := range res.Residuals {
-			fmt.Printf("  iter %2d: ||r|| = %.3e\n", i+1, r)
-		}
-		if !res.Converged {
-			return fmt.Errorf("CG did not converge")
-		}
-		return nil
-	}
-
-	p := figures.Default()
-	t, runs, err := p.Figure7()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	params := hpcg.PaperParameters(machine.CTEArm())
-	fmt.Printf("run parameters: nx=%d ny=%d nz=%d rt=%ds, %d ranks/node (MPI-only)\n",
-		params.NX, params.NY, params.NZ, params.RuntimeSecs, params.RanksPerNode)
-	for k, v := range params.EnvVars {
-		fmt.Printf("  %s=%s\n", k, v)
-	}
-	_ = runs
-	return nil
-}
+func main() { cli.Main("hpcgbench", os.Args[1:]) }

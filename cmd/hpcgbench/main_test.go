@@ -1,15 +1,19 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"clustereval/internal/experiment/cli"
+)
 
 func TestVerifyMode(t *testing.T) {
-	if err := run(8, 4); err != nil {
+	if err := cli.HPCGBench(8, 4); err != nil {
 		t.Fatalf("verify run failed: %v", err)
 	}
 }
 
 func TestModelMode(t *testing.T) {
-	if err := run(0, 4); err != nil {
+	if err := cli.HPCGBench(0, 4); err != nil {
 		t.Fatalf("model run failed: %v", err)
 	}
 }

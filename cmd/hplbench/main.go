@@ -1,82 +1,14 @@
 // Command hplbench runs the LINPACK experiment (paper Section IV-A,
 // Fig. 6): the scalability model on both clusters, and — with -verify — a
 // real blocked LU factorization with the official HPL residual check.
+// Flags come from the experiment registry's "hpl" schema plus the driver
+// in internal/experiment/cli.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"time"
 
-	"clustereval/internal/figures"
-	"clustereval/internal/hpl"
-	"clustereval/internal/machine"
-	"clustereval/internal/omp"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	verify := flag.Int("verify", 0, "factorize a real NxN system and check the HPL residual")
-	nb := flag.Int("nb", 64, "block size for -verify")
-	threads := flag.Int("threads", 8, "worker threads for -verify")
-	flag.Parse()
-
-	if err := run(*verify, *nb, *threads); err != nil {
-		fmt.Fprintln(os.Stderr, "hplbench:", err)
-		os.Exit(1)
-	}
-}
-
-func run(verify, nb, threads int) error {
-	if verify > 0 {
-		team, err := omp.NewTeam(machine.CTEArm().Node, threads, omp.Spread)
-		if err != nil {
-			return err
-		}
-		a := hpl.RandomSPDish(verify, 1)
-		ones := make([]float64, verify)
-		for i := range ones {
-			ones[i] = 1
-		}
-		b := a.MatVec(ones)
-		start := time.Now()
-		lu, err := hpl.Factorize(a, nb, team)
-		if err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		x, err := lu.Solve(b)
-		if err != nil {
-			return err
-		}
-		resid := hpl.Residual(a, x, b)
-		status := "PASSED"
-		if resid > 16 {
-			status = "FAILED"
-		}
-		rate := hpl.FlopCount(verify) / elapsed.Seconds() / 1e9
-		fmt.Printf("N=%d nb=%d threads=%d: %.2f GFlop/s (host), residual %.3g -> %s\n",
-			verify, nb, threads, rate, resid, status)
-		if status == "FAILED" {
-			return fmt.Errorf("HPL residual check failed")
-		}
-		return nil
-	}
-
-	p := figures.Default()
-	plot, runs, err := p.Figure6()
-	if err != nil {
-		return err
-	}
-	if err := plot.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	for _, m := range []string{"CTE-Arm", "MareNostrum 4"} {
-		for _, r := range runs[m] {
-			fmt.Printf("%-16s nodes=%3d N=%8d P x Q=%2dx%-3d %12s  %5.1f%% of peak  (t=%s)\n",
-				m, r.Nodes, r.N, r.P, r.Q, r.Perf.String(), r.PercentOfPeak, r.Time)
-		}
-	}
-	return nil
-}
+func main() { cli.Main("hplbench", os.Args[1:]) }

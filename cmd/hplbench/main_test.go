@@ -1,15 +1,19 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"clustereval/internal/experiment/cli"
+)
 
 func TestVerifyMode(t *testing.T) {
-	if err := run(120, 32, 4); err != nil {
+	if err := cli.HPLBench(120, 32, 4); err != nil {
 		t.Fatalf("verify run failed: %v", err)
 	}
 }
 
 func TestModelMode(t *testing.T) {
-	if err := run(0, 64, 8); err != nil {
+	if err := cli.HPLBench(0, 64, 8); err != nil {
 		t.Fatalf("model run failed: %v", err)
 	}
 }

@@ -1,82 +1,15 @@
 // Command netbench runs the network experiments (paper Section III-C): the
 // Fig. 4 all-pairs bandwidth heatmap with degraded-node detection, the
 // Fig. 5 bandwidth distribution, and — with -des — a real Sendrecv loop
-// through the discrete-event MPI runtime for one node pair.
+// through the discrete-event MPI runtime for one node pair. Flags come
+// from the experiment registry's "net" schema plus the driver in
+// internal/experiment/cli.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"clustereval/internal/bench/osu"
-	"clustereval/internal/figures"
-	"clustereval/internal/interconnect"
-	"clustereval/internal/topology"
-	"clustereval/internal/units"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	size := flag.Int("size", 256, "message size in bytes for the heatmap")
-	des := flag.Bool("des", false, "also measure one pair through the DES-backed MPI runtime")
-	seed := flag.Uint64("seed", 0, "noise seed for the fabric (0 = paper default); identical seeds reproduce identical numbers")
-	flag.Parse()
-
-	if err := run(units.Bytes(*size), *des, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "netbench:", err)
-		os.Exit(1)
-	}
-}
-
-func run(size units.Bytes, des bool, seed uint64) error {
-	p := figures.WithSeed(seed)
-	hm, raw, err := p.Figure4(size)
-	if err != nil {
-		return err
-	}
-	if err := hm.Render(os.Stdout); err != nil {
-		return err
-	}
-	for _, d := range raw.DegradedReceivers(0.5) {
-		fmt.Printf("degraded receiver: node %d (%s): recv %v vs send %v\n",
-			d, topology.TofuNodeName(d), raw.MeanAsReceiver(d), raw.MeanAsSender(d))
-	}
-	fmt.Println()
-
-	t, dist, err := p.Figure5()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	bimodal := dist.BimodalSizes(0.12)
-	if len(bimodal) > 0 {
-		fmt.Printf("bimodal sizes: %v .. %v\n", bimodal[0], bimodal[len(bimodal)-1])
-	}
-
-	if des {
-		fab, err := interconnect.NewTofuD(p.Arm, 192)
-		if err != nil {
-			return err
-		}
-		for _, s := range []units.Bytes{256, 64 * 1024, 4 << 20} {
-			bw, err := osu.MeasurePair(fab, 0, 100, s, 64)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("DES Sendrecv loop, nodes 0->100, %10v: %v\n", s, bw)
-		}
-		// osu_latency-style ping-pong sweep through the DES runtime.
-		sizes := []units.Bytes{0, 8, 256, 4096, 64 * 1024}
-		pts, err := osu.MeasureLatency(fab, 0, 100, sizes, 50)
-		if err != nil {
-			return err
-		}
-		fmt.Println("\nDES ping-pong latency (half round trip), nodes 0->100:")
-		for _, p := range pts {
-			fmt.Printf("  %10v: %v\n", p.Size, p.Latency)
-		}
-	}
-	return nil
-}
+func main() { cli.Main("netbench", os.Args[1:]) }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"clustereval/internal/experiment/cli"
 	"clustereval/internal/units"
 )
 
@@ -80,7 +81,7 @@ func TestRunFlagCombinations(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			out := capture(t, func() error { return run(tc.size, tc.des, tc.seed) })
+			out := capture(t, func() error { return cli.NetBench(tc.size, tc.des, tc.seed) })
 			for _, w := range tc.want {
 				if !strings.Contains(out, w) {
 					t.Errorf("output missing %q:\n%s", w, out)
@@ -99,12 +100,12 @@ func TestRunFlagCombinations(t *testing.T) {
 // byte-identical output, and the paper seed (0) differs from a reseeded run
 // somewhere in the DES bandwidth numbers.
 func TestSeedReproducibility(t *testing.T) {
-	a := capture(t, func() error { return run(256, true, 7) })
-	b := capture(t, func() error { return run(256, true, 7) })
+	a := capture(t, func() error { return cli.NetBench(256, true, 7) })
+	b := capture(t, func() error { return cli.NetBench(256, true, 7) })
 	if a != b {
 		t.Error("same seed produced different output")
 	}
-	c := capture(t, func() error { return run(256, true, 0) })
+	c := capture(t, func() error { return cli.NetBench(256, true, 0) })
 	if a == c {
 		t.Error("seed 7 output identical to paper-default output; seed not plumbed through")
 	}

@@ -1,65 +1,14 @@
 // Command streambench runs the STREAM experiments (paper Section III-B):
 // the Fig. 2 OpenMP thread sweep, the Fig. 3 hybrid MPI+OpenMP sweep, and —
 // with -verify — a real concurrent execution of the four kernels validated
-// exactly as stream.c validates them.
+// exactly as stream.c validates them. Flags come from the experiment
+// registry's "stream" schema plus the driver in internal/experiment/cli.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"clustereval/internal/bench/stream"
-	"clustereval/internal/figures"
-	"clustereval/internal/machine"
-	"clustereval/internal/omp"
+	"clustereval/internal/experiment/cli"
 )
 
-func main() {
-	verify := flag.Int("verify", 0, "run the real kernels over N elements and validate")
-	threads := flag.Int("threads", 8, "threads for -verify")
-	flag.Parse()
-
-	if err := run(*verify, *threads); err != nil {
-		fmt.Fprintln(os.Stderr, "streambench:", err)
-		os.Exit(1)
-	}
-}
-
-func run(verify, threads int) error {
-	if verify > 0 {
-		team, err := omp.NewTeam(machine.CTEArm().Node, threads, omp.Spread)
-		if err != nil {
-			return err
-		}
-		arr, err := stream.NewArrays(verify)
-		if err != nil {
-			return err
-		}
-		const iters = 10
-		for i := 0; i < iters; i++ {
-			stream.RunIteration(team, arr)
-		}
-		if err := stream.Validate(arr, iters); err != nil {
-			return err
-		}
-		fmt.Printf("real STREAM kernels: %d elements x %d iterations on %d threads validated\n",
-			verify, iters, threads)
-		return nil
-	}
-
-	p := figures.Default()
-	plot, _, err := p.Figure2()
-	if err != nil {
-		return err
-	}
-	if err := plot.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	t, _, err := p.Figure3()
-	if err != nil {
-		return err
-	}
-	return t.Render(os.Stdout)
-}
+func main() { cli.Main("streambench", os.Args[1:]) }

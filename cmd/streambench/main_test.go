@@ -1,15 +1,19 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"clustereval/internal/experiment/cli"
+)
 
 func TestVerifyMode(t *testing.T) {
-	if err := run(20000, 4); err != nil {
+	if err := cli.StreamBench(20000, 4); err != nil {
 		t.Fatalf("verify run failed: %v", err)
 	}
 }
 
 func TestFigureMode(t *testing.T) {
-	if err := run(0, 0); err != nil {
+	if err := cli.StreamBench(0, 0); err != nil {
 		t.Fatalf("figure run failed: %v", err)
 	}
 }

@@ -9,6 +9,11 @@
 // The root package holds the benchmark harness (bench_test.go): one
 // testing.B benchmark per table and figure. The library lives under
 // internal/; the binaries under cmd/; runnable examples under examples/.
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// All dispatch flows through internal/experiment, a typed registry that
+// defines each job kind (stream, hybrid-stream, fpu, net, hpl, hpcg, app)
+// exactly once — parameter schema, defaults, validation, canonical cache
+// keys and execution — consumed by the figure harness, the clusterd
+// service and the shared CLI driver (internal/experiment/cli) behind every
+// cmd/* binary. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-versus-measured record.
 package clustereval

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+
+	"clustereval/internal/apps/alya"
+	"clustereval/internal/apps/gromacs"
+	"clustereval/internal/apps/nemo"
+	"clustereval/internal/apps/openifs"
+	"clustereval/internal/apps/scaling"
+	"clustereval/internal/apps/wrf"
+)
+
+// AppInfo is one Section V application in the catalog: its name, the
+// primary scalability figure Table IV scores it by, and the model run
+// producing that figure's series for both machines.
+type AppInfo struct {
+	Name   string
+	Figure string
+	Series func(Pair) ([]scaling.Series, error)
+}
+
+// two adapts the common (cte, ref, err) figure signature to a series slice.
+func two(cte, ref scaling.Series, err error) ([]scaling.Series, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []scaling.Series{cte, ref}, nil
+}
+
+// appCatalog is the single source of truth for the applications the "app"
+// kind accepts, in the paper's order: spec validation, cmd/appbench's menu
+// and the per-app figure labels all derive from it. Adding an application
+// here is the only step needed to expose it everywhere.
+var appCatalog = []AppInfo{
+	{"alya", "Fig. 8", func(p Pair) ([]scaling.Series, error) { return two(alya.Figure8(p.Arm, p.Ref)) }},
+	{"nemo", "Fig. 11", func(p Pair) ([]scaling.Series, error) { return two(nemo.Figure11(p.Arm, p.Ref)) }},
+	{"gromacs", "Fig. 13", func(p Pair) ([]scaling.Series, error) { return two(gromacs.Figure13(p.Arm, p.Ref)) }},
+	{"openifs", "Fig. 15", func(p Pair) ([]scaling.Series, error) { return two(openifs.Figure15(p.Arm, p.Ref)) }},
+	{"wrf", "Fig. 16", func(p Pair) ([]scaling.Series, error) { return wrf.Figure16(p.Arm, p.Ref) }},
+}
+
+// AppNames returns the catalog's application names in the paper's order.
+func AppNames() []string {
+	out := make([]string, len(appCatalog))
+	for i, a := range appCatalog {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// AppByName looks an application up in the catalog.
+func AppByName(name string) (AppInfo, bool) {
+	for _, a := range appCatalog {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AppInfo{}, false
+}
+
+func appNamesJoined() string { return strings.Join(AppNames(), " ") }

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// kindSpec returns a fast, valid spec of the given kind for execution
+// tests.
+func kindSpec(kind string) Spec {
+	spec := Spec{Kind: kind}
+	switch kind {
+	case KindApp:
+		spec.App = "alya"
+	case KindFPU:
+		spec.Iters = 200
+	case KindNet:
+		spec.SizeBytes = 1024
+		spec.Iters = 8
+	case KindHPL, KindHPCG:
+		spec.Nodes = 2
+	case KindStream:
+		spec.Ranks = 4
+	}
+	return spec
+}
+
+// TestRunHonoursCancellationPerKind: every registered kind's Run returns
+// promptly with the context error when the context is already cancelled —
+// the uniform contract clusterd's deadlines and DELETE /v1/jobs rely on.
+func TestRunHonoursCancellationPerKind(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			spec, err := kindSpec(kind).Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Through the dispatcher.
+			if _, err := Run(ctx, spec); !errors.Is(err, context.Canceled) {
+				t.Errorf("Run with cancelled ctx: err = %v, want context.Canceled", err)
+			}
+
+			// And through the kind's own Run, past the dispatcher's entry
+			// check, so each implementation is proven ctx-aware itself.
+			def, ok := Lookup(kind)
+			if !ok {
+				t.Fatalf("kind %q not registered", kind)
+			}
+			m, err := resolveMachine(spec.Machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := def.New()
+			if err := p.FromSpec(spec, m); err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(ctx, Env{Machine: m, Pair: PairWithSeed(spec.Seed)})
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("params.Run with cancelled ctx: res=%v err=%v, want context.Canceled", res, err)
+			}
+		})
+	}
+}
+
+// TestRunCompletesPerKind is the positive twin: with a live context every
+// kind runs to a result whose Kind and Machine match the spec.
+func TestRunCompletesPerKind(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			spec, err := kindSpec(kind).Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Kind != kind {
+				t.Errorf("result kind %q, want %q", res.Kind, kind)
+			}
+			if res.Machine != "CTE-Arm" {
+				t.Errorf("result machine %q, want CTE-Arm", res.Machine)
+			}
+			if res.Summary == "" {
+				t.Error("empty summary")
+			}
+		})
+	}
+}

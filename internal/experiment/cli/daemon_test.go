@@ -1,4 +1,4 @@
-package main
+package cli
 
 import (
 	"context"
@@ -11,30 +11,31 @@ import (
 	"testing"
 	"time"
 
+	"clustereval/internal/experiment"
 	"clustereval/internal/service"
 )
 
 // testOptions returns a validated default option set bound to addr.
-func testOptions(t *testing.T, addr string) options {
+func testOptions(t *testing.T, addr string) DaemonOptions {
 	t.Helper()
-	o, err := parseFlags([]string{"-addr", addr, "-workers", "2"})
+	o, err := ParseDaemonFlags([]string{"-addr", addr, "-workers", "2"})
 	if err != nil {
-		t.Fatalf("parseFlags: %v", err)
+		t.Fatalf("ParseDaemonFlags: %v", err)
 	}
 	return o
 }
 
-// TestRunServesAndDrains boots the daemon on an ephemeral port, submits a
-// real job through the full stack, then cancels the context and verifies a
-// clean drain.
-func TestRunServesAndDrains(t *testing.T) {
+// TestDaemonServesAndDrains boots the daemon on an ephemeral port, submits
+// a real job through the full stack, then cancels the context and verifies
+// a clean drain.
+func TestDaemonServesAndDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	addrCh := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, testOptions(t, "127.0.0.1:0"), func(a net.Addr) { addrCh <- a })
+		errCh <- Daemon(ctx, testOptions(t, "127.0.0.1:0"), func(a net.Addr) { addrCh <- a })
 	}()
 
 	var base string
@@ -42,7 +43,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	case a := <-addrCh:
 		base = "http://" + a.String()
 	case err := <-errCh:
-		t.Fatalf("run exited early: %v", err)
+		t.Fatalf("daemon exited early: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatal("listener never came up")
 	}
@@ -97,17 +98,17 @@ func TestRunServesAndDrains(t *testing.T) {
 	select {
 	case err := <-errCh:
 		if err != nil {
-			t.Errorf("run returned %v on graceful shutdown", err)
+			t.Errorf("daemon returned %v on graceful shutdown", err)
 		}
 	case <-time.After(30 * time.Second):
 		t.Error("daemon did not drain after cancel")
 	}
 }
 
-// TestRunDurableRecoversAcrossRestarts drives the full daemon twice over
-// one journal: the first incarnation completes a job and drains cleanly,
-// the second must rehydrate it with its result intact.
-func TestRunDurableRecoversAcrossRestarts(t *testing.T) {
+// TestDaemonDurableRecoversAcrossRestarts drives the full daemon twice
+// over one journal: the first incarnation completes a job and drains
+// cleanly, the second must rehydrate it with its result intact.
+func TestDaemonDurableRecoversAcrossRestarts(t *testing.T) {
 	journalPath := filepath.Join(t.TempDir(), "wal")
 
 	boot := func() (string, context.CancelFunc, chan error) {
@@ -115,14 +116,14 @@ func TestRunDurableRecoversAcrossRestarts(t *testing.T) {
 		addrCh := make(chan net.Addr, 1)
 		errCh := make(chan error, 1)
 		opts := testOptions(t, "127.0.0.1:0")
-		opts.journal = journalPath
-		go func() { errCh <- run(ctx, opts, func(a net.Addr) { addrCh <- a }) }()
+		opts.Journal = journalPath
+		go func() { errCh <- Daemon(ctx, opts, func(a net.Addr) { addrCh <- a }) }()
 		select {
 		case a := <-addrCh:
 			return "http://" + a.String(), cancel, errCh
 		case err := <-errCh:
 			cancel()
-			t.Fatalf("run exited early: %v", err)
+			t.Fatalf("daemon exited early: %v", err)
 		case <-time.After(10 * time.Second):
 			cancel()
 			t.Fatal("listener never came up")
@@ -185,16 +186,17 @@ func TestRunDurableRecoversAcrossRestarts(t *testing.T) {
 	}
 }
 
-func TestRunBadAddress(t *testing.T) {
-	err := run(context.Background(), testOptions(t, "256.0.0.1:99999"), nil)
+func TestDaemonBadAddress(t *testing.T) {
+	err := Daemon(context.Background(), testOptions(t, "256.0.0.1:99999"), nil)
 	if err == nil {
-		t.Error("run accepted an unlistenable address")
+		t.Error("daemon accepted an unlistenable address")
 	}
 }
 
-// TestFlagValidation pins the startup validation: every misconfiguration
-// must be refused with a clear message instead of silently misbehaving.
-func TestFlagValidation(t *testing.T) {
+// TestDaemonFlagValidation pins the startup validation: every
+// misconfiguration must be refused with a clear message instead of
+// silently misbehaving.
+func TestDaemonFlagValidation(t *testing.T) {
 	cases := []struct {
 		name string
 		args []string
@@ -216,9 +218,9 @@ func TestFlagValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := parseFlags(tc.args)
+			_, err := ParseDaemonFlags(tc.args)
 			if err == nil {
-				t.Fatalf("parseFlags(%v) accepted invalid flags", tc.args)
+				t.Fatalf("ParseDaemonFlags(%v) accepted invalid flags", tc.args)
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("error %q does not name %s", err, tc.want)
@@ -227,18 +229,38 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
-// TestFlagDisableTranslation pins the CLI's 0-disables convention onto
-// the library's negative-disables one.
-func TestFlagDisableTranslation(t *testing.T) {
-	o, err := parseFlags([]string{"-retries", "0", "-retry-backoff", "0s"})
+// TestDaemonFlagDisableTranslation pins the CLI's 0-disables convention
+// onto the library's negative-disables one.
+func TestDaemonFlagDisableTranslation(t *testing.T) {
+	o, err := ParseDaemonFlags([]string{"-retries", "0", "-retry-backoff", "0s"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := o.config()
+	cfg := o.Config()
 	if cfg.MaxRetries >= 0 {
 		t.Errorf("retries 0 should map to negative MaxRetries, got %d", cfg.MaxRetries)
 	}
 	if cfg.RetryBackoff >= 0 {
 		t.Errorf("backoff 0 should map to negative RetryBackoff, got %v", cfg.RetryBackoff)
+	}
+}
+
+// TestListKinds pins the -list-kinds output onto the registry: every kind
+// appears with its schema fields, and the shared fields close the list.
+func TestListKinds(t *testing.T) {
+	var sb strings.Builder
+	if err := ListKinds(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, kind := range experiment.Kinds() {
+		if !strings.Contains(out, kind) {
+			t.Errorf("listing is missing kind %q:\n%s", kind, out)
+		}
+	}
+	for _, want := range []string{"size_bytes", "shared fields", "deadline_ms", "machine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing is missing %q:\n%s", want, out)
+		}
 	}
 }

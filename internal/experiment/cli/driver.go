@@ -1,0 +1,213 @@
+// Package cli is the shared driver behind the cmd/* binaries. Each binary
+// is registered here as a Tool: its command-line flags are generated from
+// its experiment kind's registry schema (internal/experiment.Field), plus
+// whatever tool-specific flags the Tool binds itself. A cmd/*/main.go is
+// therefore one call — cli.Main(name, os.Args[1:]) — and adding a flag to
+// a kind's schema updates the daemon's /v1/kinds listing and the matching
+// binary's flag set in the same change.
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clustereval/internal/experiment"
+)
+
+// Tool describes one command-line binary. Kind names the registry entry
+// whose parameter schema becomes the tool's generated flags (empty means
+// the tool takes no schema flags). Bind registers any tool-specific flags
+// on fs and returns the action to run after parsing; the action receives
+// the Spec rebuilt from the generated flags, unnormalised, so a tool can
+// distinguish "-iters 0" from the schema default.
+type Tool struct {
+	Name string
+	Kind string
+	Bind func(fs *flag.FlagSet) func(spec experiment.Spec) error
+}
+
+// tools indexes the registered binaries by name.
+var tools = map[string]*Tool{}
+
+// registerTool adds a binary to the driver; duplicates are a programming
+// error.
+func registerTool(t *Tool) {
+	if _, dup := tools[t.Name]; dup {
+		panic("cli: tool " + t.Name + " registered twice")
+	}
+	tools[t.Name] = t
+}
+
+// ToolNames returns the registered binary names, sorted.
+func ToolNames() []string {
+	names := make([]string, 0, len(tools))
+	for name := range tools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// errUsage marks a flag-parse failure whose message the FlagSet already
+// printed; Main exits 2 without repeating it.
+var errUsage = errors.New("usage error")
+
+// Run drives the named tool over args: the kind's schema flags are
+// generated, parsed alongside the tool's own flags, folded back into a
+// Spec, and handed to the tool's action.
+func Run(name string, args []string) error {
+	t, ok := tools[name]
+	if !ok {
+		return fmt.Errorf("unknown tool %q (have %s)", name, strings.Join(ToolNames(), " "))
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var sf *specFlags
+	if t.Kind != "" {
+		sf = addSpecFlags(fs, t.Kind)
+	}
+	action := t.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return errUsage
+	}
+	var spec experiment.Spec
+	if sf != nil {
+		var err error
+		if spec, err = sf.Spec(); err != nil {
+			return err
+		}
+	}
+	return action(spec)
+}
+
+// Main is the entry point every cmd/* main wraps: run the tool, map
+// errors onto the conventional exit codes (0 for -h, 2 for flag errors,
+// 1 for execution failures).
+func Main(name string, args []string) {
+	switch err := Run(name, args); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// specFlags binds one kind's registry schema — its own fields plus the
+// shared seed field — onto a FlagSet, and rebuilds a Spec from the parsed
+// values. Flag names and defaults come from the schema, so the binaries
+// cannot drift from what clusterd's /v1/kinds advertises.
+type specFlags struct {
+	kind   string
+	fields []experiment.Field
+	values map[string]any // field name -> *int / *int64 / *uint64 / *string
+}
+
+// addSpecFlags registers the kind's schema flags on fs. An unknown kind
+// or schema type is a programming error in the tool table, not an input
+// error, so it panics.
+func addSpecFlags(fs *flag.FlagSet, kind string) *specFlags {
+	def, ok := experiment.Lookup(kind)
+	if !ok {
+		panic("cli: tool bound to unregistered kind " + kind)
+	}
+	fields := append([]experiment.Field{}, def.Fields...)
+	for _, f := range experiment.SharedFields() {
+		// Of the shared fields only the seed makes sense on a local run:
+		// the machine pair is fixed by the paper and deadlines belong to
+		// the service's queue, not a foreground process.
+		if f.Name == "seed" {
+			fields = append(fields, f)
+		}
+	}
+	sf := &specFlags{kind: kind, fields: fields, values: map[string]any{}}
+	for _, f := range fields {
+		usage := f.Usage
+		if len(f.Enum) > 0 {
+			usage += " (" + strings.Join(f.Enum, " | ") + ")"
+		}
+		switch f.Type {
+		case "int":
+			sf.values[f.Name] = fs.Int(f.FlagName(), atoi(f.Default), usage)
+		case "int64":
+			sf.values[f.Name] = fs.Int64(f.FlagName(), int64(atoi(f.Default)), usage)
+		case "uint64":
+			sf.values[f.Name] = fs.Uint64(f.FlagName(), uint64(atoi(f.Default)), usage)
+		case "string", "json":
+			sf.values[f.Name] = fs.String(f.FlagName(), f.Default, usage)
+		default:
+			panic("cli: field " + f.Name + " has unsupported schema type " + f.Type)
+		}
+	}
+	return sf
+}
+
+// atoi parses a schema default; empty means zero.
+func atoi(s string) int {
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic("cli: non-numeric schema default " + s)
+	}
+	return n
+}
+
+// Spec folds the parsed flag values back into a job spec, exactly as if
+// the same parameters had been POSTed to clusterd. Zero values are
+// omitted so kind defaults keep applying during normalisation.
+func (sf *specFlags) Spec() (experiment.Spec, error) {
+	m := map[string]any{"kind": sf.kind}
+	for _, f := range sf.fields {
+		switch v := sf.values[f.Name].(type) {
+		case *int:
+			if *v != 0 {
+				m[f.Name] = *v
+			}
+		case *int64:
+			if *v != 0 {
+				m[f.Name] = *v
+			}
+		case *uint64:
+			if *v != 0 {
+				m[f.Name] = *v
+			}
+		case *string:
+			if *v == "" {
+				continue
+			}
+			if f.Type == "json" {
+				if !json.Valid([]byte(*v)) {
+					return experiment.Spec{}, fmt.Errorf("flag -%s: invalid JSON %q", f.FlagName(), *v)
+				}
+				m[f.Name] = json.RawMessage(*v)
+			} else {
+				m[f.Name] = *v
+			}
+		}
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	var spec experiment.Spec
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return experiment.Spec{}, fmt.Errorf("rebuilding spec from flags: %w", err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,197 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"clustereval/internal/experiment"
+)
+
+// minimalArgs returns the smallest flag list that makes the kind's spec
+// valid (only "app" has a required field).
+func minimalArgs(kind string) []string {
+	if kind == experiment.KindApp {
+		return []string{"-app", "alya"}
+	}
+	return nil
+}
+
+// minimalSpec is the wire-side twin of minimalArgs.
+func minimalSpec(kind string) experiment.Spec {
+	spec := experiment.Spec{Kind: kind}
+	if kind == experiment.KindApp {
+		spec.App = "alya"
+	}
+	return spec
+}
+
+// TestSchemaFlagDefaultsRoundTrip pins the driver's core contract: for
+// every registered kind, generating flags from the schema, parsing
+// nothing, and folding the values back into a spec normalises to exactly
+// what a bare spec of that kind normalises to. A schema default that
+// drifts from the kind's FromSpec default would split the CLI's
+// parameters from the daemon's here.
+func TestSchemaFlagDefaultsRoundTrip(t *testing.T) {
+	for _, kind := range experiment.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			fs := flag.NewFlagSet(kind, flag.ContinueOnError)
+			sf := addSpecFlags(fs, kind)
+			if err := fs.Parse(minimalArgs(kind)); err != nil {
+				t.Fatal(err)
+			}
+			spec, err := sf.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := spec.Normalize()
+			if err != nil {
+				t.Fatalf("flag-built spec does not normalise: %v", err)
+			}
+			want, err := minimalSpec(kind).Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("flag defaults drifted from registry defaults:\n flags %+v\n bare  %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSchemaFlagOverridesRoundTrip drives non-default values through the
+// generated flags and checks they land in the typed params unchanged.
+func TestSchemaFlagOverridesRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
+	sf := addSpecFlags(fs, experiment.KindNet)
+	if err := fs.Parse([]string{"-size", "4096", "-iters", "7", "-src_node", "3", "-dst_node", "9", "-seed", "11"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sf.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiment.Spec{
+		Kind: experiment.KindNet, Machine: "cte-arm",
+		SizeBytes: 4096, Iters: 7, SrcNode: 3, DstNode: 9, Seed: 11,
+	}
+	if !reflect.DeepEqual(norm, want) {
+		t.Errorf("parsed spec = %+v, want %+v", norm, want)
+	}
+}
+
+// TestSchemaFlagFaultsJSON checks the "json"-typed faults field: valid
+// JSON flows into the spec, invalid JSON is refused with the flag named.
+func TestSchemaFlagFaultsJSON(t *testing.T) {
+	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
+	sf := addSpecFlags(fs, experiment.KindNet)
+	if err := fs.Parse([]string{"-faults", `{"nodes":[{"node":3,"failed":true}]}`}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sf.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Faults == nil || len(spec.Faults.Nodes) != 1 {
+		t.Errorf("faults flag not decoded: %+v", spec.Faults)
+	}
+
+	fs = flag.NewFlagSet("netbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sf = addSpecFlags(fs, experiment.KindNet)
+	if err := fs.Parse([]string{"-faults", `{not json`}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Spec(); err == nil || !strings.Contains(err.Error(), "-faults") {
+		t.Errorf("invalid faults JSON error = %v, want one naming -faults", err)
+	}
+}
+
+// TestEveryToolParses proves each registered binary's flag set builds
+// without collisions between schema-generated and tool-specific flags:
+// -h must reach flag.ErrHelp, which means every flag registered cleanly.
+func TestEveryToolParses(t *testing.T) {
+	// clusterd is the eighth binary; it parses through ParseDaemonFlags
+	// and is covered by the daemon tests.
+	want := []string{"appbench", "clustereval", "fpubench", "hpcgbench", "hplbench", "netbench", "streambench"}
+	names := ToolNames()
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registered tools = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		if err := Run(name, []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("Run(%s, -h) = %v, want flag.ErrHelp", name, err)
+		}
+	}
+}
+
+// TestRunUnknownToolAndBadFlag pins the driver's error classification.
+func TestRunUnknownToolAndBadFlag(t *testing.T) {
+	if err := Run("nosuchtool", nil); err == nil || !strings.Contains(err.Error(), "nosuchtool") {
+		t.Errorf("unknown tool error = %v", err)
+	}
+	// Silence the FlagSet's own report; the driver must classify it as a
+	// usage error either way.
+	if err := Run("fpubench", []string{"-definitely-not-a-flag"}); !errors.Is(err, errUsage) {
+		t.Errorf("bad flag error = %v, want errUsage", err)
+	}
+}
+
+// TestRunKindReachesEveryKind is the registry-completeness half of the
+// CLI contract: every registered kind must be runnable from the
+// clustereval binary's -kind mode and print a well-formed JSON result.
+func TestRunKindReachesEveryKind(t *testing.T) {
+	params := map[string]string{
+		experiment.KindStream:       `{"ranks":4}`,
+		experiment.KindHybridStream: ``,
+		experiment.KindFPU:          `{"iters":200}`,
+		experiment.KindNet:          `{"size_bytes":1024,"iters":8}`,
+		experiment.KindHPL:          `{"nodes":2}`,
+		experiment.KindHPCG:         `{"nodes":2}`,
+		experiment.KindApp:          `{"app":"alya"}`,
+	}
+	for _, kind := range experiment.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			p, ok := params[kind]
+			if !ok {
+				t.Fatalf("kind %q added to the registry without a -kind reachability case", kind)
+			}
+			var sb strings.Builder
+			if err := RunKind(context.Background(), kind, p, &sb); err != nil {
+				t.Fatalf("RunKind: %v", err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "cache key ") {
+				t.Errorf("output missing cache key line:\n%s", out)
+			}
+			// The JSON body follows the two comment lines.
+			idx := strings.Index(out, "{")
+			if idx < 0 {
+				t.Fatalf("no JSON in output:\n%s", out)
+			}
+			var res experiment.Result
+			if err := json.Unmarshal([]byte(out[idx:]), &res); err != nil {
+				t.Fatalf("result does not decode: %v\n%s", err, out)
+			}
+			if res.Kind != kind || res.Summary == "" {
+				t.Errorf("result kind %q / summary %q", res.Kind, res.Summary)
+			}
+		})
+	}
+
+	if err := RunKind(context.Background(), "nosuch", "", io.Discard); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := RunKind(context.Background(), experiment.KindHPL, `{"bogus":1}`, io.Discard); err == nil {
+		t.Error("unknown -spec field accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"clustereval/internal/apps/scaling"
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+func appDef() Definition {
+	return Definition{
+		Kind:   KindApp,
+		Title:  "Section V application scalability sweep",
+		Figure: "Fig. 8-16",
+		New:    func() Params { return &AppParams{} },
+		Fields: []Field{
+			{Name: "app", Type: "string",
+				Usage: "application to evaluate", Enum: AppNames()},
+			{Name: "nodes", Type: "int", Default: "0",
+				Usage: "probe one node count of the sweep (0 = whole paper sweep)"},
+			{Name: "faults", Type: "json", Default: "",
+				Usage: "fault scenario injected into the simulated cluster (see internal/faultsim)"},
+		},
+	}
+}
+
+// AppParams parameterises one Section V application scalability job.
+type AppParams struct {
+	App   string
+	Nodes int
+}
+
+// FromSpec implements Params.
+func (p *AppParams) FromSpec(spec Spec, m machine.Machine) error {
+	if _, ok := AppByName(spec.App); !ok {
+		return invalidf("unknown app %q (valid: %s)", spec.App, appNamesJoined())
+	}
+	p.App = spec.App
+	if spec.Nodes < 0 || spec.Nodes > m.Nodes {
+		return invalidf("nodes %d out of [0, %d] on %s", spec.Nodes, m.Nodes, m.Name)
+	}
+	p.Nodes = spec.Nodes
+	return nil
+}
+
+// ApplyTo implements Params.
+func (p *AppParams) ApplyTo(spec *Spec) {
+	spec.App = p.App
+	spec.Nodes = p.Nodes
+}
+
+// Run implements Params.
+func (p *AppParams) Run(ctx context.Context, env Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	info, _ := AppByName(p.App)
+	series, err := env.Pair.AppSeries(p.App)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := env.Machine
+	ar := &AppResult{App: p.App, Figure: info.Figure}
+	for _, s := range series {
+		if s.Machine != m.Name {
+			continue
+		}
+		as := AppSeries{Label: s.Label}
+		for _, pt := range s.Sorted() {
+			as.Points = append(as.Points, AppPoint{Nodes: pt.Nodes, Seconds: float64(pt.Time)})
+		}
+		ar.Series = append(ar.Series, as)
+	}
+	if len(ar.Series) == 0 {
+		return nil, fmt.Errorf("experiment: %s has no %s series", p.App, m.Name)
+	}
+	summary := fmt.Sprintf("%s (%s) on %s: %d-point scalability sweep",
+		p.App, ar.Figure, m.Name, len(ar.Series[0].Points))
+	if p.Nodes > 0 {
+		t, ok := timeAt(series, m.Name, p.Nodes)
+		if !ok {
+			return nil, invalidf("%s has no %d-node point on %s in the paper's sweep",
+				p.App, p.Nodes, m.Name)
+		}
+		ar.TimeAtNodes = float64(t)
+		summary = fmt.Sprintf("%s (%s) on %d %s nodes: %v per iteration unit",
+			p.App, ar.Figure, p.Nodes, m.Name, t)
+	}
+	return &Result{Kind: KindApp, Machine: m.Name, Summary: summary, App: ar}, nil
+}
+
+// timeAt finds the sweep time of machineName's first series at nodes.
+func timeAt(series []scaling.Series, machineName string, nodes int) (units.Seconds, bool) {
+	for _, s := range series {
+		if s.Machine != machineName {
+			continue
+		}
+		if t, ok := s.TimeAt(nodes); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}

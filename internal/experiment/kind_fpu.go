@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"clustereval/internal/bench/fpu"
+	"clustereval/internal/machine"
+)
+
+// defaultFPUIters is the canonical iteration count of the FPU µKernel,
+// matching fpu.DefaultIterations.
+const defaultFPUIters = 20000
+
+func fpuDef() Definition {
+	return Definition{
+		Kind:   KindFPU,
+		Title:  "FPU µKernel scalar/vector variants on one core",
+		Figure: "Fig. 1",
+		New:    func() Params { return &FPUParams{} },
+		Fields: []Field{
+			{Name: "iters", Type: "int", Default: strconv.Itoa(defaultFPUIters),
+				Usage: "kernel iterations"},
+		},
+	}
+}
+
+// FPUParams parameterises the Fig. 1 FPU µKernel run.
+type FPUParams struct {
+	Iters int
+}
+
+// FromSpec implements Params.
+func (p *FPUParams) FromSpec(spec Spec, _ machine.Machine) error {
+	if spec.Iters < 0 {
+		return invalidf("negative iters %d", spec.Iters)
+	}
+	p.Iters = spec.Iters
+	if p.Iters == 0 {
+		p.Iters = defaultFPUIters
+	}
+	return nil
+}
+
+// ApplyTo implements Params.
+func (p *FPUParams) ApplyTo(spec *Spec) { spec.Iters = p.Iters }
+
+// Run implements Params.
+func (p *FPUParams) Run(ctx context.Context, env Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := env.Machine
+	bars, err := fpu.Figure1([]machine.Machine{m}, p.Iters)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out []FPUBar
+	best := 0.0
+	for _, b := range bars {
+		fb := FPUBar{Variant: b.Variant.Name(), Supported: b.Supported}
+		if b.Supported {
+			fb.SustainedGFlops = b.Sustained.Giga()
+			fb.PeakGFlops = b.Peak.Giga()
+			fb.PercentOfPeak = b.PercentOfPeak
+			if fb.SustainedGFlops > best {
+				best = fb.SustainedGFlops
+			}
+		}
+		out = append(out, fb)
+	}
+	return &Result{
+		Kind: KindFPU, Machine: m.Name,
+		Summary: fmt.Sprintf("FPU µKernel on %s: %d variants, best %.1f GFlop/s sustained", m.Name, len(out), best),
+		FPU:     out,
+	}, nil
+}

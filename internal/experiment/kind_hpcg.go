@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"clustereval/internal/hpcg"
+	"clustereval/internal/machine"
+)
+
+func hpcgDef() Definition {
+	return Definition{
+		Kind:   KindHPCG,
+		Title:  "HPCG performance prediction (vanilla and optimized)",
+		Figure: "Fig. 7",
+		New:    func() Params { return &HPCGParams{} },
+		Fields: []Field{
+			{Name: "nodes", Type: "int", Default: "1",
+				Usage: "node count of the predicted run"},
+			{Name: "version", Type: "string", Default: "optimized",
+				Usage: "HPCG code version", Enum: []string{"vanilla", "optimized"}},
+		},
+	}
+}
+
+// HPCGParams parameterises one Fig. 7 HPCG prediction.
+type HPCGParams struct {
+	Nodes   int
+	Version string
+}
+
+// FromSpec implements Params.
+func (p *HPCGParams) FromSpec(spec Spec, m machine.Machine) error {
+	if spec.Nodes < 0 || spec.Nodes > m.Nodes {
+		return invalidf("nodes %d out of [0, %d] on %s", spec.Nodes, m.Nodes, m.Name)
+	}
+	p.Nodes = spec.Nodes
+	if p.Nodes == 0 {
+		p.Nodes = 1
+	}
+	switch spec.Version {
+	case "":
+		p.Version = "optimized"
+	case "vanilla", "optimized":
+		p.Version = spec.Version
+	default:
+		return invalidf("unknown hpcg version %q (valid: vanilla optimized)", spec.Version)
+	}
+	return nil
+}
+
+// ApplyTo implements Params.
+func (p *HPCGParams) ApplyTo(spec *Spec) {
+	spec.Nodes = p.Nodes
+	spec.Version = p.Version
+}
+
+// Run implements Params.
+func (p *HPCGParams) Run(ctx context.Context, env Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := env.Machine
+	v := hpcg.Optimized
+	if p.Version == "vanilla" {
+		v = hpcg.Vanilla
+	}
+	run, err := hpcg.Predict(m, v, p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	hr := &HPCGResult{
+		Nodes: run.Nodes, Version: p.Version,
+		GFlops:        run.Perf.Giga(),
+		PercentOfPeak: run.PercentOfPeak,
+	}
+	return &Result{
+		Kind: KindHPCG, Machine: m.Name,
+		Summary: fmt.Sprintf("HPCG (%s) on %d %s nodes: %.1f GFlop/s (%.2f%% of peak)",
+			hr.Version, hr.Nodes, m.Name, hr.GFlops, hr.PercentOfPeak),
+		HPCG: hr,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"clustereval/internal/hpl"
+	"clustereval/internal/machine"
+)
+
+func hplDef() Definition {
+	return Definition{
+		Kind:   KindHPL,
+		Title:  "Linpack (HPL) performance prediction",
+		Figure: "Fig. 6",
+		New:    func() Params { return &HPLParams{} },
+		Fields: []Field{
+			{Name: "nodes", Type: "int", Default: "1",
+				Usage: "node count of the predicted run"},
+		},
+	}
+}
+
+// HPLParams parameterises one Fig. 6 Linpack prediction.
+type HPLParams struct {
+	Nodes int
+}
+
+// FromSpec implements Params.
+func (p *HPLParams) FromSpec(spec Spec, m machine.Machine) error {
+	if spec.Nodes < 0 || spec.Nodes > m.Nodes {
+		return invalidf("nodes %d out of [0, %d] on %s", spec.Nodes, m.Nodes, m.Name)
+	}
+	p.Nodes = spec.Nodes
+	if p.Nodes == 0 {
+		p.Nodes = 1
+	}
+	return nil
+}
+
+// ApplyTo implements Params.
+func (p *HPLParams) ApplyTo(spec *Spec) { spec.Nodes = p.Nodes }
+
+// Run implements Params.
+func (p *HPLParams) Run(ctx context.Context, env Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := env.Machine
+	run, err := hpl.Predict(m, p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	hr := &HPLResult{
+		Nodes: run.Nodes, N: run.N, P: run.P, Q: run.Q,
+		TimeSeconds:   float64(run.Time),
+		GFlops:        run.Perf.Giga(),
+		PercentOfPeak: run.PercentOfPeak,
+	}
+	return &Result{
+		Kind: KindHPL, Machine: m.Name,
+		Summary: fmt.Sprintf("HPL on %d %s nodes: N=%d, %.0f GFlop/s (%.0f%% of peak)",
+			hr.Nodes, m.Name, hr.N, hr.GFlops, hr.PercentOfPeak),
+		HPL: hr,
+	}, nil
+}

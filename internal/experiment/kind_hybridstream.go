@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"clustereval/internal/machine"
+)
+
+func hybridStreamDef() Definition {
+	return Definition{
+		Kind:   KindHybridStream,
+		Title:  "hybrid MPI+OpenMP STREAM Triad sweep",
+		Figure: "Fig. 3",
+		New:    func() Params { return &HybridStreamParams{} },
+		Fields: []Field{
+			{Name: "language", Type: "string", Default: "c",
+				Usage: "STREAM build language", Enum: []string{"c", "fortran"}},
+		},
+	}
+}
+
+// HybridStreamParams parameterises the Fig. 3 hybrid MPI+OpenMP sweep.
+type HybridStreamParams struct {
+	Language string
+}
+
+// FromSpec implements Params.
+func (p *HybridStreamParams) FromSpec(spec Spec, _ machine.Machine) error {
+	switch spec.Language {
+	case "":
+		p.Language = "c"
+	case "c", "fortran":
+		p.Language = spec.Language
+	default:
+		return invalidf("unknown language %q (valid: c fortran)", spec.Language)
+	}
+	return nil
+}
+
+// ApplyTo implements Params.
+func (p *HybridStreamParams) ApplyTo(spec *Spec) { spec.Language = p.Language }
+
+// Run implements Params.
+func (p *HybridStreamParams) Run(ctx context.Context, env Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := env.Machine
+	series, err := env.Pair.HybridStreamSeries(m.Name, language(p.Language))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	hr := &HybridResult{
+		Language:      p.Language,
+		BestConfig:    series.Best.Label(),
+		BestGBps:      series.Best.Bandwidth.GB(),
+		PercentOfPeak: series.PercentOfPeak,
+	}
+	return &Result{
+		Kind: KindHybridStream, Machine: m.Name,
+		Summary: fmt.Sprintf("hybrid STREAM Triad on %s (%s): best %s = %.1f GB/s (%.0f%% of peak)",
+			m.Name, p.Language, hr.BestConfig, hr.BestGBps, hr.PercentOfPeak),
+		Hybrid: hr,
+	}, nil
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/toolchain"
+)
+
+func streamDef() Definition {
+	return Definition{
+		Kind:   KindStream,
+		Title:  "OpenMP STREAM Triad thread sweep",
+		Figure: "Fig. 2",
+		New:    func() Params { return &StreamParams{} },
+		Fields: []Field{
+			{Name: "language", Type: "string", Default: "c",
+				Usage: "STREAM build language", Enum: []string{"c", "fortran"}},
+			{Name: "ranks", Type: "int", Default: "0",
+				Usage: "restrict the sweep to one thread count (0 = full sweep 1..cores)"},
+		},
+	}
+}
+
+// StreamParams parameterises the Fig. 2 OpenMP STREAM Triad sweep.
+type StreamParams struct {
+	Language string
+	Ranks    int
+}
+
+// FromSpec implements Params.
+func (p *StreamParams) FromSpec(spec Spec, m machine.Machine) error {
+	switch spec.Language {
+	case "":
+		p.Language = "c"
+	case "c", "fortran":
+		p.Language = spec.Language
+	default:
+		return invalidf("unknown language %q (valid: c fortran)", spec.Language)
+	}
+	if spec.Ranks < 0 || spec.Ranks > m.Node.Cores() {
+		return invalidf("ranks %d out of [0, %d] on %s", spec.Ranks, m.Node.Cores(), m.Name)
+	}
+	p.Ranks = spec.Ranks
+	return nil
+}
+
+// ApplyTo implements Params.
+func (p *StreamParams) ApplyTo(spec *Spec) {
+	spec.Language = p.Language
+	spec.Ranks = p.Ranks
+}
+
+// language maps the wire value onto the toolchain enum.
+func language(s string) toolchain.Language {
+	if s == "fortran" {
+		return toolchain.Fortran
+	}
+	return toolchain.C
+}
+
+// Run implements Params.
+func (p *StreamParams) Run(ctx context.Context, env Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := env.Machine
+	series, err := env.Pair.StreamSeries(m.Name, language(p.Language))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sr := &StreamResult{
+		Language:      p.Language,
+		Elements:      series.Elements,
+		BestThreads:   series.Best.Threads,
+		BestGBps:      series.Best.Bandwidth.GB(),
+		PercentOfPeak: series.PercentOfPeak,
+	}
+	for _, pt := range series.Points {
+		if p.Ranks != 0 && pt.Threads != p.Ranks {
+			continue
+		}
+		sr.Points = append(sr.Points, StreamPoint{Threads: pt.Threads, GBps: pt.Bandwidth.GB()})
+	}
+	summary := fmt.Sprintf("STREAM Triad on %s (%s): best %.1f GB/s @ %d threads (%.0f%% of peak)",
+		m.Name, p.Language, sr.BestGBps, sr.BestThreads, sr.PercentOfPeak)
+	if p.Ranks != 0 && len(sr.Points) == 1 {
+		summary = fmt.Sprintf("STREAM Triad on %s (%s): %.1f GB/s @ %d threads",
+			m.Name, p.Language, sr.Points[0].GBps, p.Ranks)
+	}
+	return &Result{Kind: KindStream, Machine: m.Name, Summary: summary, Stream: sr}, nil
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+
+	"clustereval/internal/apps/scaling"
+	"clustereval/internal/bench/stream"
+	"clustereval/internal/machine"
+	"clustereval/internal/toolchain"
+	"clustereval/internal/xrand"
+)
+
+// Pair holds the two machines under evaluation. The per-kind entry points
+// below (StreamSeries, HybridStreamSeries, AppSeries) are the registry's
+// wiring of each experiment to its paper configuration — Table II builds,
+// array sizes, per-app figure selection — defined once and shared by the
+// figure renderers, the evaluation service and the CLI tools, so all
+// three produce bit-identical numbers.
+type Pair struct {
+	Arm, Ref machine.Machine
+}
+
+// DefaultPair returns the paper's machine pair.
+func DefaultPair() Pair {
+	return Pair{Arm: machine.CTEArm(), Ref: machine.MareNostrum4()}
+}
+
+// PairWithSeed returns the paper's machine pair with an alternative noise
+// seed plumbed into both machines' network descriptors. Seed 0 keeps the
+// built-in seeds that reproduce the paper bit-for-bit; any other value
+// yields a different — but equally deterministic — realisation of the
+// interconnect noise, so repeated runs with the same seed agree exactly.
+// Per-machine streams are derived through xrand so the two fabrics never
+// share a noise stream.
+func PairWithSeed(seed uint64) Pair {
+	p := DefaultPair()
+	if seed != 0 {
+		p.Arm.Network.Seed = xrand.MixN(seed, 1)
+		p.Ref.Network.Seed = xrand.MixN(seed, 2)
+	}
+	return p
+}
+
+// streamSetup returns the Table II STREAM build and array size the paper
+// uses on machine m. The element counts follow the paper's sizing rule on
+// each system's memory.
+func (p Pair) streamSetup(m machine.Machine) (toolchain.Compiler, int) {
+	if m.Name == p.Arm.Name {
+		return toolchain.StreamOpenMPArm(), 610e6
+	}
+	return toolchain.StreamMN4(), 400e6
+}
+
+// MachineByName resolves one of the pair's machines from its Table I name,
+// preserving any seed plumbed in by PairWithSeed.
+func (p Pair) MachineByName(name string) (machine.Machine, error) {
+	switch name {
+	case p.Arm.Name:
+		return p.Arm, nil
+	case p.Ref.Name:
+		return p.Ref, nil
+	default:
+		return machine.Machine{}, fmt.Errorf("experiment: unknown machine %q (have %q, %q)",
+			name, p.Arm.Name, p.Ref.Name)
+	}
+}
+
+// StreamSeries runs the Fig. 2 OpenMP thread sweep for a single machine and
+// language, with exactly the build and array size the full figure uses —
+// the evaluation service serves per-machine STREAM jobs through this entry
+// point so they match the CLI numbers bit-for-bit.
+func (p Pair) StreamSeries(machineName string, lang toolchain.Language) (stream.Series, error) {
+	m, err := p.MachineByName(machineName)
+	if err != nil {
+		return stream.Series{}, err
+	}
+	comp, elements := p.streamSetup(m)
+	return stream.Figure2(m, comp, lang, elements)
+}
+
+// HybridStreamSeries runs the Fig. 3 hybrid MPI+OpenMP sweep for a single
+// machine and language, using the full figure's build configuration.
+func (p Pair) HybridStreamSeries(machineName string, lang toolchain.Language) (stream.HybridSeries, error) {
+	m, err := p.MachineByName(machineName)
+	if err != nil {
+		return stream.HybridSeries{}, err
+	}
+	comp := toolchain.StreamMN4()
+	if m.Name == p.Arm.Name {
+		comp = toolchain.StreamHybridArm()
+	}
+	return stream.Figure3(m, comp, lang)
+}
+
+// AppSeries returns the scalability series of an application's primary
+// figure — the curve Table IV scores it by — for both machines, resolved
+// through the application catalog in apps.go.
+func (p Pair) AppSeries(app string) ([]scaling.Series, error) {
+	info, ok := AppByName(app)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown app %q (valid: %s)", app, appNamesJoined())
+	}
+	return info.Series(p)
+}

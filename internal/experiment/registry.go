@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"clustereval/internal/machine"
+)
+
+// Job kinds the registry defines. Each maps onto one of the repo's
+// evaluation layers.
+const (
+	KindStream       = "stream"        // Fig. 2 OpenMP STREAM Triad sweep
+	KindHybridStream = "hybrid-stream" // Fig. 3 MPI+OpenMP STREAM Triad sweep
+	KindFPU          = "fpu"           // Fig. 1 FPU µKernel variants
+	KindNet          = "net"           // OSU-style point-to-point bandwidth
+	KindHPL          = "hpl"           // Fig. 6 Linpack prediction
+	KindHPCG         = "hpcg"          // Fig. 7 HPCG prediction
+	KindApp          = "app"           // Section V application scalability
+)
+
+// Params is the typed parameter struct of one experiment kind. A kind's
+// Definition produces a fresh value via New; FromSpec extracts the kind's
+// fields from a spec, validates them against the target machine, and
+// fills defaults; ApplyTo writes the canonical values back into a spec
+// (the input to cache keys); Run executes the experiment.
+type Params interface {
+	FromSpec(spec Spec, m machine.Machine) error
+	ApplyTo(spec *Spec)
+	Run(ctx context.Context, env Env) (*Result, error)
+}
+
+// Field describes one kind-specific parameter in the Spec wire format.
+// The schema drives three things at once: rejection of stray fields
+// during normalisation, CLI flag generation in experiment/cli, and the
+// GET /v1/kinds serialisation.
+type Field struct {
+	// Name is the field's JSON name in Spec (e.g. "size_bytes").
+	Name string `json:"name"`
+	// Flag is the published CLI flag (defaults to Name when empty).
+	Flag string `json:"flag,omitempty"`
+	// Type is the wire type: "string", "int", "int64" or "uint64".
+	Type string `json:"type"`
+	// Default is the canonical default as a string; empty means the zero
+	// value (or, for required fields, no default).
+	Default string `json:"default,omitempty"`
+	// Usage is a one-line description, reused as the generated flag's help.
+	Usage string `json:"usage"`
+	// Enum lists the valid values when the domain is closed.
+	Enum []string `json:"enum,omitempty"`
+}
+
+// FlagName returns the CLI flag the field is published under.
+func (f Field) FlagName() string {
+	if f.Flag != "" {
+		return f.Flag
+	}
+	return f.Name
+}
+
+// Definition is one registered experiment kind — the single place the
+// kind's name, schema, validation and execution are wired.
+type Definition struct {
+	// Kind is the spec's kind string.
+	Kind string
+	// Title is a short human description (shown by /v1/kinds and
+	// clusterd -list-kinds).
+	Title string
+	// Figure names the paper artefact the kind reproduces.
+	Figure string
+	// New returns a fresh zero-value typed parameter struct.
+	New func() Params
+	// Fields is the kind-specific parameter schema, beyond the shared
+	// fields (machine, seed, deadline_ms) every kind accepts.
+	Fields []Field
+
+	fieldSet map[string]bool
+}
+
+// uses reports whether the kind consumes the named spec field.
+func (d *Definition) uses(field string) bool { return d.fieldSet[field] }
+
+// registry holds the definitions in registration order: the paper's menu
+// (Fig. 2, 3, 1, network, 6, 7, Section V), matching the original
+// service.Kinds() order that clients and tests observe.
+var registry []*Definition
+
+func init() {
+	register(streamDef())
+	register(hybridStreamDef())
+	register(fpuDef())
+	register(netDef())
+	register(hplDef())
+	register(hpcgDef())
+	register(appDef())
+}
+
+// register adds a definition; duplicate kinds are a programming error.
+func register(d Definition) {
+	for _, have := range registry {
+		if have.Kind == d.Kind {
+			panic(fmt.Sprintf("experiment: kind %q registered twice", d.Kind))
+		}
+	}
+	d.fieldSet = map[string]bool{}
+	for _, f := range d.Fields {
+		d.fieldSet[f.Name] = true
+	}
+	registry = append(registry, &d)
+}
+
+// Lookup returns the definition of a kind.
+func Lookup(kind string) (*Definition, bool) {
+	for _, d := range registry {
+		if d.Kind == kind {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Kinds returns every registered kind in the registry's stable order.
+func Kinds() []string {
+	out := make([]string, len(registry))
+	for i, d := range registry {
+		out[i] = d.Kind
+	}
+	return out
+}
+
+// Definitions returns the registered definitions in stable order.
+func Definitions() []*Definition {
+	out := make([]*Definition, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// SharedFields returns the schema of the fields every kind accepts, in
+// wire order. They are part of each kind's effective parameter set even
+// though no Definition lists them.
+func SharedFields() []Field {
+	return []Field{
+		{Name: "machine", Type: "string", Default: "cte-arm",
+			Usage: "machine preset slug or alias", Enum: presetEnum()},
+		{Name: "seed", Type: "uint64", Default: "0",
+			Usage: "noise seed for the interconnect models (0 = paper default); identical seeds reproduce identical numbers"},
+		{Name: "deadline_ms", Type: "int64", Default: "0",
+			Usage: "job lifetime bound in milliseconds from submission (0 = none)"},
+	}
+}
+
+func presetEnum() []string {
+	names := machine.PresetNames()
+	sort.Strings(names)
+	return names
+}

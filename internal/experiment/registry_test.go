@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestKindsOrder pins the registry order clients observe (the /v1/kinds
+// listing and the "unknown kind" error message).
+func TestKindsOrder(t *testing.T) {
+	want := []string{"stream", "hybrid-stream", "fpu", "net", "hpl", "hpcg", "app"}
+	if got := Kinds(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Kinds() = %v, want %v", got, want)
+	}
+}
+
+// TestDefinitionsComplete checks every definition is fully wired: title,
+// figure, params constructor and a schema whose fields name real Spec
+// JSON fields.
+func TestDefinitionsComplete(t *testing.T) {
+	specFields := map[string]bool{}
+	typ := reflect.TypeOf(Spec{})
+	for i := 0; i < typ.NumField(); i++ {
+		tag := typ.Field(i).Tag.Get("json")
+		for j := 0; j < len(tag); j++ {
+			if tag[j] == ',' {
+				tag = tag[:j]
+				break
+			}
+		}
+		specFields[tag] = true
+	}
+	for _, d := range Definitions() {
+		if d.Title == "" || d.Figure == "" {
+			t.Errorf("kind %q: missing title or figure", d.Kind)
+		}
+		if d.New == nil {
+			t.Fatalf("kind %q: nil params constructor", d.Kind)
+		}
+		if d.New() == nil {
+			t.Errorf("kind %q: New returned nil", d.Kind)
+		}
+		for _, f := range d.Fields {
+			if !specFields[f.Name] {
+				t.Errorf("kind %q: schema field %q is not a Spec JSON field", d.Kind, f.Name)
+			}
+			if f.Usage == "" {
+				t.Errorf("kind %q: field %q has no usage text", d.Kind, f.Name)
+			}
+			if f.Type == "" {
+				t.Errorf("kind %q: field %q has no type", d.Kind, f.Name)
+			}
+		}
+	}
+	for _, f := range SharedFields() {
+		if !specFields[f.Name] {
+			t.Errorf("shared schema field %q is not a Spec JSON field", f.Name)
+		}
+	}
+}
+
+// TestNormalizeIdempotent: normalising a normalised spec is a no-op for
+// every kind's defaults — the property the cache-key contract rests on.
+func TestNormalizeIdempotent(t *testing.T) {
+	for _, kind := range Kinds() {
+		spec := Spec{Kind: kind}
+		if kind == KindApp {
+			spec.App = "alya"
+		}
+		n, err := spec.Normalize()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		again, err := n.Normalize()
+		if err != nil {
+			t.Fatalf("%s: re-normalise: %v", kind, err)
+		}
+		if !reflect.DeepEqual(n, again) {
+			t.Errorf("%s: Normalize not idempotent: %+v -> %+v", kind, n, again)
+		}
+	}
+}
+
+// TestAppCatalogIsSingleSource: the app schema enum, AppNames and the
+// validation error all come from the same catalog.
+func TestAppCatalogIsSingleSource(t *testing.T) {
+	def, ok := Lookup(KindApp)
+	if !ok {
+		t.Fatal("app kind not registered")
+	}
+	var enum []string
+	for _, f := range def.Fields {
+		if f.Name == "app" {
+			enum = f.Enum
+		}
+	}
+	if !reflect.DeepEqual(enum, AppNames()) {
+		t.Errorf("app field enum %v != AppNames() %v", enum, AppNames())
+	}
+	want := []string{"alya", "nemo", "gromacs", "openifs", "wrf"}
+	if !reflect.DeepEqual(AppNames(), want) {
+		t.Errorf("AppNames() = %v, want %v", AppNames(), want)
+	}
+	if _, err := (Spec{Kind: "app", App: "lammps"}).Normalize(); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package experiment
+
+// Result is the JSON payload of a completed job. Exactly one of the typed
+// sub-results is populated, matching the spec's kind. The wire format is
+// served verbatim by clusterd and persisted in its journal, so renames
+// here are protocol changes.
+type Result struct {
+	Kind    string        `json:"kind"`
+	Machine string        `json:"machine"`
+	Summary string        `json:"summary"`
+	Stream  *StreamResult `json:"stream,omitempty"`
+	Hybrid  *HybridResult `json:"hybrid,omitempty"`
+	FPU     []FPUBar      `json:"fpu,omitempty"`
+	Net     *NetResult    `json:"net,omitempty"`
+	HPL     *HPLResult    `json:"hpl,omitempty"`
+	HPCG    *HPCGResult   `json:"hpcg,omitempty"`
+	App     *AppResult    `json:"app,omitempty"`
+}
+
+// StreamPoint is one thread count of the Fig. 2 sweep.
+type StreamPoint struct {
+	Threads int     `json:"threads"`
+	GBps    float64 `json:"gbps"`
+}
+
+// StreamResult is the Fig. 2 OpenMP sweep for one machine/language.
+type StreamResult struct {
+	Language      string        `json:"language"`
+	Elements      int           `json:"elements"`
+	Points        []StreamPoint `json:"points"`
+	BestThreads   int           `json:"best_threads"`
+	BestGBps      float64       `json:"best_gbps"`
+	PercentOfPeak float64       `json:"percent_of_peak"`
+}
+
+// HybridResult is the Fig. 3 hybrid MPI+OpenMP sweep outcome.
+type HybridResult struct {
+	Language      string  `json:"language"`
+	BestConfig    string  `json:"best_config"` // "ranks x threads"
+	BestGBps      float64 `json:"best_gbps"`
+	PercentOfPeak float64 `json:"percent_of_peak"`
+}
+
+// FPUBar is one variant of the Fig. 1 µKernel run.
+type FPUBar struct {
+	Variant         string  `json:"variant"`
+	Supported       bool    `json:"supported"`
+	SustainedGFlops float64 `json:"sustained_gflops,omitempty"`
+	PeakGFlops      float64 `json:"peak_gflops,omitempty"`
+	PercentOfPeak   float64 `json:"percent_of_peak,omitempty"`
+}
+
+// NetResult is one OSU-style point-to-point measurement.
+type NetResult struct {
+	SrcNode       int     `json:"src_node"`
+	DstNode       int     `json:"dst_node"`
+	SizeBytes     int64   `json:"size_bytes"`
+	Iters         int     `json:"iters"`
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+	LatencyMicros float64 `json:"latency_us"` // zero-byte latency
+}
+
+// HPLResult is one Fig. 6 Linpack prediction.
+type HPLResult struct {
+	Nodes         int     `json:"nodes"`
+	N             int     `json:"n"`
+	P             int     `json:"p"`
+	Q             int     `json:"q"`
+	TimeSeconds   float64 `json:"time_seconds"`
+	GFlops        float64 `json:"gflops"`
+	PercentOfPeak float64 `json:"percent_of_peak"`
+}
+
+// HPCGResult is one Fig. 7 HPCG prediction.
+type HPCGResult struct {
+	Nodes         int     `json:"nodes"`
+	Version       string  `json:"version"`
+	GFlops        float64 `json:"gflops"`
+	PercentOfPeak float64 `json:"percent_of_peak"`
+}
+
+// AppPoint is one node count of an application scalability sweep.
+type AppPoint struct {
+	Nodes   int     `json:"nodes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// AppSeries is one curve of an application figure (WRF contributes two per
+// machine: with and without IO).
+type AppSeries struct {
+	Label  string     `json:"label,omitempty"`
+	Points []AppPoint `json:"points"`
+}
+
+// AppResult is the paper's scalability sweep for one application on one
+// machine.
+type AppResult struct {
+	App         string      `json:"app"`
+	Figure      string      `json:"figure"`
+	Series      []AppSeries `json:"series"`
+	TimeAtNodes float64     `json:"time_at_nodes,omitempty"` // set when the spec probed one node count
+}

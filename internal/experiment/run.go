@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"context"
+
+	"clustereval/internal/machine"
+)
+
+// Env is the resolved execution environment of one run: the target
+// machine (with any compiled fault model attached) and the seeded machine
+// pair the per-kind entry points resolve descriptors from.
+type Env struct {
+	Machine machine.Machine
+	Pair    Pair
+}
+
+// Run executes one normalised job spec against the evaluation layers. It
+// is a pure function of the spec: identical specs produce identical
+// results, the invariant the result cache relies on. The context is
+// honoured between model phases; the individual model calls are seconds at
+// worst, so cancellation latency is bounded by the longest single phase.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	return RunAttempt(ctx, spec, 0)
+}
+
+// RunAttempt is Run with an explicit 0-based attempt number: the attempt
+// salts the *stochastic* part of the spec's fault scenario (FailProb and
+// OSNoise draws), so a retry of a transiently failed job re-rolls the dice
+// while explicitly injected faults — a named dead node, a pinned slow link
+// — persist across attempts, exactly like real hardware. With a nil or
+// effect-free fault spec every attempt is the same pure function of the
+// spec that Run documents.
+func RunAttempt(ctx context.Context, spec Spec, attempt int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, err := resolveMachine(spec.Machine)
+	if err != nil {
+		return nil, err
+	}
+	pair := PairWithSeed(spec.Seed)
+
+	if spec.Faults != nil {
+		model, err := spec.Faults.Compile(m.Nodes, attempt)
+		if err != nil {
+			return nil, invalidf("fault spec: %v", err)
+		}
+		m.Faults = model
+		// The pair's copy of the machine is what the net and app kinds
+		// resolve, so the compiled scenario has to ride on it too.
+		switch m.Name {
+		case pair.Arm.Name:
+			pair.Arm.Faults = model
+		case pair.Ref.Name:
+			pair.Ref.Faults = model
+		}
+	}
+
+	def, ok := Lookup(spec.Kind)
+	if !ok {
+		return nil, invalidf("unknown kind %q", spec.Kind)
+	}
+	p := def.New()
+	if err := p.FromSpec(spec, m); err != nil {
+		return nil, err
+	}
+	return p.Run(ctx, Env{Machine: m, Pair: pair})
+}

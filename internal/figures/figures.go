@@ -1,7 +1,11 @@
 // Package figures regenerates every figure of the paper as a renderable
-// report object. The command-line tools and examples are thin wrappers over
-// this package; the benchmark harness (bench_test.go) drives the same entry
-// points so that `go test -bench` reproduces the full evaluation.
+// report object. The per-kind experiment wiring — machine pair, Table II
+// builds, application catalog — lives in the internal/experiment registry;
+// this package drives those same registry entry points and adds only the
+// presentation (plots, tables, heatmaps). The command-line tools and
+// examples are thin wrappers over this package; the benchmark harness
+// (bench_test.go) drives the same entry points so that `go test -bench`
+// reproduces the full evaluation.
 package figures
 
 import (
@@ -16,6 +20,7 @@ import (
 	"clustereval/internal/bench/fpu"
 	"clustereval/internal/bench/osu"
 	"clustereval/internal/bench/stream"
+	"clustereval/internal/experiment"
 	"clustereval/internal/hpcg"
 	"clustereval/internal/hpl"
 	"clustereval/internal/interconnect"
@@ -23,111 +28,26 @@ import (
 	"clustereval/internal/report"
 	"clustereval/internal/toolchain"
 	"clustereval/internal/units"
-	"clustereval/internal/xrand"
 )
 
-// Pair holds the two machines under evaluation.
+// Pair holds the two machines under evaluation. It embeds the registry's
+// experiment.Pair, so the per-kind entry points (StreamSeries,
+// HybridStreamSeries, AppSeries, MachineByName) are the registry's own —
+// the figure renderers below add presentation, not wiring.
 type Pair struct {
-	Arm, Ref machine.Machine
+	experiment.Pair
 }
 
 // Default returns the paper's machine pair.
 func Default() Pair {
-	return Pair{Arm: machine.CTEArm(), Ref: machine.MareNostrum4()}
+	return Pair{experiment.DefaultPair()}
 }
 
 // WithSeed returns the paper's machine pair with an alternative noise seed
-// plumbed into both machines' network descriptors. Seed 0 keeps the
-// built-in seeds that reproduce the paper bit-for-bit; any other value
-// yields a different — but equally deterministic — realisation of the
-// interconnect noise, so repeated runs with the same seed agree exactly.
-// Per-machine streams are derived through xrand so the two fabrics never
-// share a noise stream.
+// plumbed into both machines' network descriptors; see
+// experiment.PairWithSeed.
 func WithSeed(seed uint64) Pair {
-	p := Default()
-	if seed != 0 {
-		p.Arm.Network.Seed = xrand.MixN(seed, 1)
-		p.Ref.Network.Seed = xrand.MixN(seed, 2)
-	}
-	return p
-}
-
-// streamSetup returns the Table II STREAM build and array size the paper
-// uses on machine m. The element counts follow the paper's sizing rule on
-// each system's memory.
-func (p Pair) streamSetup(m machine.Machine) (toolchain.Compiler, int) {
-	if m.Name == p.Arm.Name {
-		return toolchain.StreamOpenMPArm(), 610e6
-	}
-	return toolchain.StreamMN4(), 400e6
-}
-
-// MachineByName resolves one of the pair's machines from its Table I name,
-// preserving any seed plumbed in by WithSeed.
-func (p Pair) MachineByName(name string) (machine.Machine, error) {
-	switch name {
-	case p.Arm.Name:
-		return p.Arm, nil
-	case p.Ref.Name:
-		return p.Ref, nil
-	default:
-		return machine.Machine{}, fmt.Errorf("figures: unknown machine %q (have %q, %q)",
-			name, p.Arm.Name, p.Ref.Name)
-	}
-}
-
-// AppSeries returns the scalability series of an application's primary
-// figure — the curve Table IV scores it by — for both machines: Fig. 8 for
-// Alya, Fig. 11 for NEMO, Fig. 13 for Gromacs, Fig. 15 for OpenIFS and
-// Fig. 16 for WRF (which contributes an IO and a no-IO curve per machine).
-func (p Pair) AppSeries(app string) ([]scaling.Series, error) {
-	two := func(cte, ref scaling.Series, err error) ([]scaling.Series, error) {
-		if err != nil {
-			return nil, err
-		}
-		return []scaling.Series{cte, ref}, nil
-	}
-	switch app {
-	case "alya":
-		return two(alya.Figure8(p.Arm, p.Ref))
-	case "nemo":
-		return two(nemo.Figure11(p.Arm, p.Ref))
-	case "gromacs":
-		return two(gromacs.Figure13(p.Arm, p.Ref))
-	case "openifs":
-		return two(openifs.Figure15(p.Arm, p.Ref))
-	case "wrf":
-		return wrf.Figure16(p.Arm, p.Ref)
-	default:
-		return nil, fmt.Errorf("figures: unknown app %q (valid: alya nemo gromacs openifs wrf)", app)
-	}
-}
-
-// StreamSeries runs the Fig. 2 OpenMP thread sweep for a single machine and
-// language, with exactly the build and array size the full figure uses —
-// the evaluation service serves per-machine STREAM jobs through this entry
-// point so they match the CLI numbers bit-for-bit.
-func (p Pair) StreamSeries(machineName string, lang toolchain.Language) (stream.Series, error) {
-	m, err := p.MachineByName(machineName)
-	if err != nil {
-		return stream.Series{}, err
-	}
-	comp, elements := p.streamSetup(m)
-	return stream.Figure2(m, comp, lang, elements)
-}
-
-// HybridStreamSeries runs the Fig. 3 hybrid MPI+OpenMP sweep for a single
-// machine and language, using the full figure's build configuration.
-func (p Pair) HybridStreamSeries(machineName string, lang toolchain.Language) (stream.HybridSeries, error) {
-	m, err := p.MachineByName(machineName)
-	if err != nil {
-		return stream.HybridSeries{}, err
-	}
-	comp := toolchain.StreamMN4()
-	if m.Name == p.Arm.Name {
-		comp = toolchain.StreamHybridArm()
-	}
-	return stream.Figure3(m, comp, lang)
+	return Pair{experiment.PairWithSeed(seed)}
 }
 
 // Figure1 runs the FPU µKernel and tabulates sustained performance per

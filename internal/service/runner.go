@@ -2,387 +2,37 @@ package service
 
 import (
 	"context"
-	"fmt"
 
-	"clustereval/internal/apps/scaling"
-	"clustereval/internal/bench/fpu"
-	"clustereval/internal/bench/osu"
-	"clustereval/internal/figures"
-	"clustereval/internal/hpcg"
-	"clustereval/internal/hpl"
-	"clustereval/internal/interconnect"
-	"clustereval/internal/machine"
-	"clustereval/internal/toolchain"
-	"clustereval/internal/units"
+	"clustereval/internal/experiment"
 )
 
-// Result is the JSON payload of a completed job. Exactly one of the typed
-// sub-results is populated, matching the spec's kind.
-type Result struct {
-	Kind    string        `json:"kind"`
-	Machine string        `json:"machine"`
-	Summary string        `json:"summary"`
-	Stream  *StreamResult `json:"stream,omitempty"`
-	Hybrid  *HybridResult `json:"hybrid,omitempty"`
-	FPU     []FPUBar      `json:"fpu,omitempty"`
-	Net     *NetResult    `json:"net,omitempty"`
-	HPL     *HPLResult    `json:"hpl,omitempty"`
-	HPCG    *HPCGResult   `json:"hpcg,omitempty"`
-	App     *AppResult    `json:"app,omitempty"`
-}
+// Result is the JSON payload of a completed job; the typed sub-results
+// are defined alongside each kind in internal/experiment.
+type Result = experiment.Result
 
-// StreamPoint is one thread count of the Fig. 2 sweep.
-type StreamPoint struct {
-	Threads int     `json:"threads"`
-	GBps    float64 `json:"gbps"`
-}
+// Per-kind result shapes, re-exported so service clients keep compiling.
+type (
+	StreamPoint  = experiment.StreamPoint
+	StreamResult = experiment.StreamResult
+	HybridResult = experiment.HybridResult
+	FPUBar       = experiment.FPUBar
+	NetResult    = experiment.NetResult
+	HPLResult    = experiment.HPLResult
+	HPCGResult   = experiment.HPCGResult
+	AppPoint     = experiment.AppPoint
+	AppSeries    = experiment.AppSeries
+	AppResult    = experiment.AppResult
+)
 
-// StreamResult is the Fig. 2 OpenMP sweep for one machine/language.
-type StreamResult struct {
-	Language      string        `json:"language"`
-	Elements      int           `json:"elements"`
-	Points        []StreamPoint `json:"points"`
-	BestThreads   int           `json:"best_threads"`
-	BestGBps      float64       `json:"best_gbps"`
-	PercentOfPeak float64       `json:"percent_of_peak"`
-}
-
-// HybridResult is the Fig. 3 hybrid MPI+OpenMP sweep outcome.
-type HybridResult struct {
-	Language      string  `json:"language"`
-	BestConfig    string  `json:"best_config"` // "ranks x threads"
-	BestGBps      float64 `json:"best_gbps"`
-	PercentOfPeak float64 `json:"percent_of_peak"`
-}
-
-// FPUBar is one variant of the Fig. 1 µKernel run.
-type FPUBar struct {
-	Variant         string  `json:"variant"`
-	Supported       bool    `json:"supported"`
-	SustainedGFlops float64 `json:"sustained_gflops,omitempty"`
-	PeakGFlops      float64 `json:"peak_gflops,omitempty"`
-	PercentOfPeak   float64 `json:"percent_of_peak,omitempty"`
-}
-
-// NetResult is one OSU-style point-to-point measurement.
-type NetResult struct {
-	SrcNode       int     `json:"src_node"`
-	DstNode       int     `json:"dst_node"`
-	SizeBytes     int64   `json:"size_bytes"`
-	Iters         int     `json:"iters"`
-	BandwidthGBps float64 `json:"bandwidth_gbps"`
-	LatencyMicros float64 `json:"latency_us"` // zero-byte latency
-}
-
-// HPLResult is one Fig. 6 Linpack prediction.
-type HPLResult struct {
-	Nodes         int     `json:"nodes"`
-	N             int     `json:"n"`
-	P             int     `json:"p"`
-	Q             int     `json:"q"`
-	TimeSeconds   float64 `json:"time_seconds"`
-	GFlops        float64 `json:"gflops"`
-	PercentOfPeak float64 `json:"percent_of_peak"`
-}
-
-// HPCGResult is one Fig. 7 HPCG prediction.
-type HPCGResult struct {
-	Nodes         int     `json:"nodes"`
-	Version       string  `json:"version"`
-	GFlops        float64 `json:"gflops"`
-	PercentOfPeak float64 `json:"percent_of_peak"`
-}
-
-// AppPoint is one node count of an application scalability sweep.
-type AppPoint struct {
-	Nodes   int     `json:"nodes"`
-	Seconds float64 `json:"seconds"`
-}
-
-// AppSeries is one curve of an application figure (WRF contributes two per
-// machine: with and without IO).
-type AppSeries struct {
-	Label  string     `json:"label,omitempty"`
-	Points []AppPoint `json:"points"`
-}
-
-// AppResult is the paper's scalability sweep for one application on one
-// machine.
-type AppResult struct {
-	App         string      `json:"app"`
-	Figure      string      `json:"figure"`
-	Series      []AppSeries `json:"series"`
-	TimeAtNodes float64     `json:"time_at_nodes,omitempty"` // set when the spec probed one node count
-}
-
-// Run executes one normalised job spec against the evaluation layers. It
-// is a pure function of the spec: identical specs produce identical
-// results, the invariant the result cache relies on. The context is
-// honoured between model phases; the individual model calls are seconds at
-// worst, so cancellation latency is bounded by the longest single phase.
+// Run executes one normalised job spec through the experiment registry.
+// It is a pure function of the spec: identical specs produce identical
+// results, the invariant the result cache relies on.
 func Run(ctx context.Context, spec JobSpec) (*Result, error) {
-	return RunAttempt(ctx, spec, 0)
+	return experiment.Run(ctx, spec)
 }
 
-// RunAttempt is Run with an explicit 0-based attempt number: the attempt
-// salts the *stochastic* part of the spec's fault scenario (FailProb and
-// OSNoise draws), so a retry of a transiently failed job re-rolls the dice
-// while explicitly injected faults — a named dead node, a pinned slow link
-// — persist across attempts, exactly like real hardware. With a nil or
-// effect-free fault spec every attempt is the same pure function of the
-// spec that Run documents.
+// RunAttempt is Run with an explicit 0-based attempt number salting the
+// stochastic part of the spec's fault scenario; see experiment.RunAttempt.
 func RunAttempt(ctx context.Context, spec JobSpec, attempt int) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	m, err := resolveMachine(spec.Machine)
-	if err != nil {
-		return nil, err
-	}
-	pair := figures.WithSeed(spec.Seed)
-
-	if spec.Faults != nil {
-		model, err := spec.Faults.Compile(m.Nodes, attempt)
-		if err != nil {
-			return nil, invalidf("fault spec: %v", err)
-		}
-		m.Faults = model
-		// The pair's copy of the machine is what runNet and runApp resolve,
-		// so the compiled scenario has to ride on it too.
-		switch m.Name {
-		case pair.Arm.Name:
-			pair.Arm.Faults = model
-		case pair.Ref.Name:
-			pair.Ref.Faults = model
-		}
-	}
-
-	switch spec.Kind {
-	case KindStream:
-		return runStream(ctx, pair, m, spec)
-	case KindHybridStream:
-		return runHybrid(pair, m, spec)
-	case KindFPU:
-		return runFPU(m, spec)
-	case KindNet:
-		return runNet(ctx, pair, m, spec)
-	case KindHPL:
-		return runHPL(m, spec)
-	case KindHPCG:
-		return runHPCG(m, spec)
-	case KindApp:
-		return runApp(pair, m, spec)
-	default:
-		return nil, invalidf("unknown kind %q", spec.Kind)
-	}
-}
-
-func language(s string) toolchain.Language {
-	if s == "fortran" {
-		return toolchain.Fortran
-	}
-	return toolchain.C
-}
-
-func runStream(ctx context.Context, pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error) {
-	series, err := pair.StreamSeries(m.Name, language(spec.Language))
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	sr := &StreamResult{
-		Language:      spec.Language,
-		Elements:      series.Elements,
-		BestThreads:   series.Best.Threads,
-		BestGBps:      series.Best.Bandwidth.GB(),
-		PercentOfPeak: series.PercentOfPeak,
-	}
-	for _, p := range series.Points {
-		if spec.Ranks != 0 && p.Threads != spec.Ranks {
-			continue
-		}
-		sr.Points = append(sr.Points, StreamPoint{Threads: p.Threads, GBps: p.Bandwidth.GB()})
-	}
-	summary := fmt.Sprintf("STREAM Triad on %s (%s): best %.1f GB/s @ %d threads (%.0f%% of peak)",
-		m.Name, spec.Language, sr.BestGBps, sr.BestThreads, sr.PercentOfPeak)
-	if spec.Ranks != 0 && len(sr.Points) == 1 {
-		summary = fmt.Sprintf("STREAM Triad on %s (%s): %.1f GB/s @ %d threads",
-			m.Name, spec.Language, sr.Points[0].GBps, spec.Ranks)
-	}
-	return &Result{Kind: spec.Kind, Machine: m.Name, Summary: summary, Stream: sr}, nil
-}
-
-func runHybrid(pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error) {
-	series, err := pair.HybridStreamSeries(m.Name, language(spec.Language))
-	if err != nil {
-		return nil, err
-	}
-	hr := &HybridResult{
-		Language:      spec.Language,
-		BestConfig:    series.Best.Label(),
-		BestGBps:      series.Best.Bandwidth.GB(),
-		PercentOfPeak: series.PercentOfPeak,
-	}
-	return &Result{
-		Kind: spec.Kind, Machine: m.Name,
-		Summary: fmt.Sprintf("hybrid STREAM Triad on %s (%s): best %s = %.1f GB/s (%.0f%% of peak)",
-			m.Name, spec.Language, hr.BestConfig, hr.BestGBps, hr.PercentOfPeak),
-		Hybrid: hr,
-	}, nil
-}
-
-func runFPU(m machine.Machine, spec JobSpec) (*Result, error) {
-	bars, err := fpu.Figure1([]machine.Machine{m}, spec.Iters)
-	if err != nil {
-		return nil, err
-	}
-	var out []FPUBar
-	best := 0.0
-	for _, b := range bars {
-		fb := FPUBar{Variant: b.Variant.Name(), Supported: b.Supported}
-		if b.Supported {
-			fb.SustainedGFlops = b.Sustained.Giga()
-			fb.PeakGFlops = b.Peak.Giga()
-			fb.PercentOfPeak = b.PercentOfPeak
-			if fb.SustainedGFlops > best {
-				best = fb.SustainedGFlops
-			}
-		}
-		out = append(out, fb)
-	}
-	return &Result{
-		Kind: spec.Kind, Machine: m.Name,
-		Summary: fmt.Sprintf("FPU µKernel on %s: %d variants, best %.1f GFlop/s sustained", m.Name, len(out), best),
-		FPU:     out,
-	}, nil
-}
-
-func runNet(ctx context.Context, pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error) {
-	// Use the seeded pair's descriptor so the fabric noise follows the
-	// spec's seed exactly like the CLI -seed flag.
-	seeded, err := pair.MachineByName(m.Name)
-	if err != nil {
-		return nil, err
-	}
-	fab, err := interconnect.New(seeded, seeded.Nodes)
-	if err != nil {
-		return nil, err
-	}
-	// The context reaches the DES event loop: a deadline aborts the
-	// simulated Sendrecv loop mid-run, not at the next attempt boundary.
-	bw, err := osu.MeasurePairContext(ctx, fab, spec.SrcNode, spec.DstNode, units.Bytes(spec.SizeBytes), spec.Iters)
-	if err != nil {
-		return nil, err
-	}
-	nr := &NetResult{
-		SrcNode: spec.SrcNode, DstNode: spec.DstNode,
-		SizeBytes: spec.SizeBytes, Iters: spec.Iters,
-		BandwidthGBps: bw.GB(),
-		LatencyMicros: fab.Latency(spec.SrcNode, spec.DstNode).Micro(),
-	}
-	return &Result{
-		Kind: spec.Kind, Machine: m.Name,
-		Summary: fmt.Sprintf("%s nodes %d->%d, %v x %d iters: %.2f GB/s, %.2f us zero-byte latency",
-			m.Name, nr.SrcNode, nr.DstNode, units.Bytes(nr.SizeBytes), nr.Iters, nr.BandwidthGBps, nr.LatencyMicros),
-		Net: nr,
-	}, nil
-}
-
-func runHPL(m machine.Machine, spec JobSpec) (*Result, error) {
-	run, err := hpl.Predict(m, spec.Nodes)
-	if err != nil {
-		return nil, err
-	}
-	hr := &HPLResult{
-		Nodes: run.Nodes, N: run.N, P: run.P, Q: run.Q,
-		TimeSeconds:   float64(run.Time),
-		GFlops:        run.Perf.Giga(),
-		PercentOfPeak: run.PercentOfPeak,
-	}
-	return &Result{
-		Kind: spec.Kind, Machine: m.Name,
-		Summary: fmt.Sprintf("HPL on %d %s nodes: N=%d, %.0f GFlop/s (%.0f%% of peak)",
-			hr.Nodes, m.Name, hr.N, hr.GFlops, hr.PercentOfPeak),
-		HPL: hr,
-	}, nil
-}
-
-func runHPCG(m machine.Machine, spec JobSpec) (*Result, error) {
-	v := hpcg.Optimized
-	if spec.Version == "vanilla" {
-		v = hpcg.Vanilla
-	}
-	run, err := hpcg.Predict(m, v, spec.Nodes)
-	if err != nil {
-		return nil, err
-	}
-	hr := &HPCGResult{
-		Nodes: run.Nodes, Version: spec.Version,
-		GFlops:        run.Perf.Giga(),
-		PercentOfPeak: run.PercentOfPeak,
-	}
-	return &Result{
-		Kind: spec.Kind, Machine: m.Name,
-		Summary: fmt.Sprintf("HPCG (%s) on %d %s nodes: %.1f GFlop/s (%.2f%% of peak)",
-			hr.Version, hr.Nodes, m.Name, hr.GFlops, hr.PercentOfPeak),
-		HPCG: hr,
-	}, nil
-}
-
-// appFigure names the primary scalability figure each app job reproduces.
-var appFigure = map[string]string{
-	"alya":    "Fig. 8",
-	"nemo":    "Fig. 11",
-	"gromacs": "Fig. 13",
-	"openifs": "Fig. 15",
-	"wrf":     "Fig. 16",
-}
-
-func runApp(pair figures.Pair, m machine.Machine, spec JobSpec) (*Result, error) {
-	series, err := pair.AppSeries(spec.App)
-	if err != nil {
-		return nil, err
-	}
-	ar := &AppResult{App: spec.App, Figure: appFigure[spec.App]}
-	for _, s := range series {
-		if s.Machine != m.Name {
-			continue
-		}
-		as := AppSeries{Label: s.Label}
-		for _, p := range s.Sorted() {
-			as.Points = append(as.Points, AppPoint{Nodes: p.Nodes, Seconds: float64(p.Time)})
-		}
-		ar.Series = append(ar.Series, as)
-	}
-	if len(ar.Series) == 0 {
-		return nil, fmt.Errorf("service: %s has no %s series", spec.App, m.Name)
-	}
-	summary := fmt.Sprintf("%s (%s) on %s: %d-point scalability sweep",
-		spec.App, ar.Figure, m.Name, len(ar.Series[0].Points))
-	if spec.Nodes > 0 {
-		t, ok := timeAt(series, m.Name, spec.Nodes)
-		if !ok {
-			return nil, invalidf("%s has no %d-node point on %s in the paper's sweep",
-				spec.App, spec.Nodes, m.Name)
-		}
-		ar.TimeAtNodes = float64(t)
-		summary = fmt.Sprintf("%s (%s) on %d %s nodes: %v per iteration unit",
-			spec.App, ar.Figure, spec.Nodes, m.Name, t)
-	}
-	return &Result{Kind: spec.Kind, Machine: m.Name, Summary: summary, App: ar}, nil
-}
-
-// timeAt finds the sweep time of machineName's first series at nodes.
-func timeAt(series []scaling.Series, machineName string, nodes int) (units.Seconds, bool) {
-	for _, s := range series {
-		if s.Machine != machineName {
-			continue
-		}
-		if t, ok := s.TimeAt(nodes); ok {
-			return t, true
-		}
-	}
-	return 0, false
+	return experiment.RunAttempt(ctx, spec, attempt)
 }

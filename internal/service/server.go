@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"clustereval/internal/experiment"
 	"clustereval/internal/machine"
 )
 
@@ -27,6 +28,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	s.mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -140,6 +142,33 @@ func (s *Server) handleMachines(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"machines": out,
 		"kinds":    Kinds(),
+	})
+}
+
+// handleKinds publishes the experiment registry: every job kind with its
+// title, paper figure and parameter schema, plus the shared fields every
+// kind accepts, so clients can build valid specs without guessing. The
+// listing is derived from internal/experiment's definitions — the same
+// source that validates submissions — so it cannot drift from what the
+// daemon actually runs.
+func (s *Server) handleKinds(w http.ResponseWriter, _ *http.Request) {
+	type kindInfo struct {
+		Kind   string             `json:"kind"`
+		Title  string             `json:"title"`
+		Figure string             `json:"figure"`
+		Fields []experiment.Field `json:"fields"`
+	}
+	out := []kindInfo{}
+	for _, d := range experiment.Definitions() {
+		fields := d.Fields
+		if fields == nil {
+			fields = []experiment.Field{}
+		}
+		out = append(out, kindInfo{Kind: d.Kind, Title: d.Title, Figure: d.Figure, Fields: fields})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kinds":         out,
+		"shared_fields": experiment.SharedFields(),
 	})
 }
 

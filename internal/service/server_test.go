@@ -309,6 +309,63 @@ func TestMachinesAndHealth(t *testing.T) {
 	}
 }
 
+// TestKindsEndpoint pins GET /v1/kinds onto the experiment registry:
+// all seven kinds, in registry order, each carrying its parameter
+// schema, plus the shared fields every kind accepts.
+func TestKindsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1, runner: fastRunner})
+
+	var listing struct {
+		Kinds []struct {
+			Kind   string `json:"kind"`
+			Title  string `json:"title"`
+			Figure string `json:"figure"`
+			Fields []struct {
+				Name  string `json:"name"`
+				Type  string `json:"type"`
+				Usage string `json:"usage"`
+			} `json:"fields"`
+		} `json:"kinds"`
+		SharedFields []struct {
+			Name string `json:"name"`
+		} `json:"shared_fields"`
+	}
+	if resp := getJSON(t, ts, "/v1/kinds", &listing); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/kinds = %d", resp.StatusCode)
+	}
+	want := Kinds()
+	if len(listing.Kinds) != len(want) {
+		t.Fatalf("kind count = %d, want %d", len(listing.Kinds), len(want))
+	}
+	fieldsByKind := map[string][]string{}
+	for i, k := range listing.Kinds {
+		if k.Kind != want[i] {
+			t.Errorf("kinds[%d] = %q, want %q (registry order)", i, k.Kind, want[i])
+		}
+		if k.Title == "" || k.Figure == "" {
+			t.Errorf("kind %q missing title or figure", k.Kind)
+		}
+		for _, f := range k.Fields {
+			if f.Type == "" || f.Usage == "" {
+				t.Errorf("kind %q field %q missing type or usage", k.Kind, f.Name)
+			}
+			fieldsByKind[k.Kind] = append(fieldsByKind[k.Kind], f.Name)
+		}
+	}
+	if got := fmt.Sprint(fieldsByKind["net"]); got != "[size_bytes iters src_node dst_node faults]" {
+		t.Errorf("net schema fields = %v", got)
+	}
+	shared := map[string]bool{}
+	for _, f := range listing.SharedFields {
+		shared[f.Name] = true
+	}
+	for _, name := range []string{"machine", "seed", "deadline_ms"} {
+		if !shared[name] {
+			t.Errorf("shared_fields missing %q", name)
+		}
+	}
+}
+
 // TestAllKindsRunEndToEnd sweeps one real job of each kind through the
 // HTTP API, proving every evaluation layer is reachable from the daemon.
 func TestAllKindsRunEndToEnd(t *testing.T) {

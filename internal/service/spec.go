@@ -1,290 +1,38 @@
 package service
 
-import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
-	"strings"
+import "clustereval/internal/experiment"
 
-	"clustereval/internal/faultsim"
-	"clustereval/internal/machine"
-)
+// The service's job vocabulary is the experiment registry's: specs,
+// validation, canonicalisation and cache keys are all defined once in
+// internal/experiment. The aliases below keep the service API (and its
+// wire format) unchanged while making clusterd a thin client of the
+// registry — a kind registered there is immediately submittable here.
 
-// Job kinds the service can execute. Each maps onto one of the repo's
-// evaluation layers.
+// JobSpec is the canonical description of one simulation job; see
+// experiment.Spec for the field semantics and the cache-key contract.
+type JobSpec = experiment.Spec
+
+// ValidationError marks a spec the registry refuses to run; the HTTP
+// layer turns it into a 400.
+type ValidationError = experiment.ValidationError
+
+// Job kinds the service accepts, re-exported from the registry.
 const (
-	KindStream       = "stream"        // Fig. 2 OpenMP STREAM Triad sweep
-	KindHybridStream = "hybrid-stream" // Fig. 3 MPI+OpenMP STREAM Triad sweep
-	KindFPU          = "fpu"           // Fig. 1 FPU µKernel variants
-	KindNet          = "net"           // OSU-style point-to-point bandwidth
-	KindHPL          = "hpl"           // Fig. 6 Linpack prediction
-	KindHPCG         = "hpcg"          // Fig. 7 HPCG prediction
-	KindApp          = "app"           // Section V application scalability
+	KindStream       = experiment.KindStream
+	KindHybridStream = experiment.KindHybridStream
+	KindFPU          = experiment.KindFPU
+	KindNet          = experiment.KindNet
+	KindHPL          = experiment.KindHPL
+	KindHPCG         = experiment.KindHPCG
+	KindApp          = experiment.KindApp
 )
 
-// Kinds returns every job kind the service accepts, in a stable order.
-func Kinds() []string {
-	return []string{KindStream, KindHybridStream, KindFPU, KindNet, KindHPL, KindHPCG, KindApp}
-}
+// Kinds returns every job kind the service accepts, in the registry's
+// stable order.
+func Kinds() []string { return experiment.Kinds() }
 
-// apps the "app" kind accepts, matching cmd/appbench.
-var knownApps = map[string]bool{
-	"alya": true, "nemo": true, "gromacs": true, "openifs": true, "wrf": true,
-}
-
-// JobSpec is the canonical description of one simulation job. Two specs
-// that normalise to the same canonical form are the same deterministic
-// simulation, so their results are interchangeable — that property is what
-// makes the result cache safe.
-type JobSpec struct {
-	// Kind selects the experiment; see Kinds().
-	Kind string `json:"kind"`
-	// Machine is a preset slug ("cte-arm", "mn4", or an alias).
-	Machine string `json:"machine,omitempty"`
-	// App names the application for kind "app".
-	App string `json:"app,omitempty"`
-	// Language is "c" or "fortran" for the STREAM kinds.
-	Language string `json:"language,omitempty"`
-	// Version is "vanilla" or "optimized" for kind "hpcg".
-	Version string `json:"version,omitempty"`
-	// Nodes is the node count for "hpl" and "hpcg", and an optional probe
-	// point for "app" (0 = whole paper sweep).
-	Nodes int `json:"nodes,omitempty"`
-	// Ranks restricts the "stream" sweep to one thread count (0 = full
-	// sweep 1..cores).
-	Ranks int `json:"ranks,omitempty"`
-	// SizeBytes is the message size for kind "net".
-	SizeBytes int64 `json:"size_bytes,omitempty"`
-	// Iters is the iteration count for "net" and "fpu" (0 = default).
-	Iters int `json:"iters,omitempty"`
-	// SrcNode and DstNode are the endpoints for kind "net".
-	SrcNode int `json:"src_node,omitempty"`
-	DstNode int `json:"dst_node,omitempty"`
-	// Seed reseeds the deterministic interconnect noise (0 = paper
-	// default). Identical spec+seed always produce identical results.
-	Seed uint64 `json:"seed,omitempty"`
-	// Faults injects a deterministic fault scenario (straggler nodes,
-	// degraded links, hard node failures) into the simulated cluster for
-	// kinds that run through the interconnect ("net", "app"). A spec whose
-	// faults have no effect canonicalizes to nil, so it shares a cache
-	// entry with the unfaulted job.
-	Faults *faultsim.Spec `json:"faults,omitempty"`
-	// DeadlineMS bounds the job's total lifetime — queue wait plus
-	// execution — in milliseconds from submission; 0 means no deadline
-	// (the service's JobTimeout still applies). Every kind accepts it.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-// ValidationError marks a spec the service refuses to run; the HTTP layer
-// turns it into a 400.
-type ValidationError struct{ msg string }
-
-func (e *ValidationError) Error() string { return e.msg }
-
-func invalidf(format string, args ...any) error {
-	return &ValidationError{msg: fmt.Sprintf(format, args...)}
-}
-
-// fieldUse lists which optional fields each kind consumes. Nonzero values
-// in unused fields are rejected rather than ignored: silently dropping
-// them would let two different-looking specs collide on one cache entry.
-var fieldUse = map[string]struct {
-	app, language, version, nodes, ranks, size, iters, endpoints, faults bool
-}{
-	KindStream:       {language: true, ranks: true},
-	KindHybridStream: {language: true},
-	KindFPU:          {iters: true},
-	KindNet:          {size: true, iters: true, endpoints: true, faults: true},
-	KindHPL:          {nodes: true},
-	KindHPCG:         {nodes: true, version: true},
-	KindApp:          {app: true, nodes: true, faults: true},
-}
-
-// Defaults applied during normalisation.
-const (
-	defaultNetSize  = 256
-	defaultNetIters = 100
-	defaultFPUIters = 20000
-)
-
-// Normalize validates spec and returns its canonical form: names folded to
-// their canonical slugs and every defaultable field filled in, so equal
-// simulations map to equal specs.
-func (s JobSpec) Normalize() (JobSpec, error) {
-	n := s
-	n.Kind = strings.ToLower(strings.TrimSpace(s.Kind))
-	n.App = strings.ToLower(strings.TrimSpace(s.App))
-	n.Language = strings.ToLower(strings.TrimSpace(s.Language))
-	n.Version = strings.ToLower(strings.TrimSpace(s.Version))
-
-	use, ok := fieldUse[n.Kind]
-	if !ok {
-		return JobSpec{}, invalidf("unknown kind %q (valid: %s)", s.Kind, strings.Join(Kinds(), " "))
-	}
-
-	m, err := resolveMachine(n.Machine)
-	if err != nil {
-		return JobSpec{}, err
-	}
-	n.Machine = canonicalSlug(n.Machine)
-
-	// Reject nonzero fields the kind does not consume.
-	if !use.app && n.App != "" {
-		return JobSpec{}, invalidf("field app not used by kind %q", n.Kind)
-	}
-	if !use.language && n.Language != "" {
-		return JobSpec{}, invalidf("field language not used by kind %q", n.Kind)
-	}
-	if !use.version && n.Version != "" {
-		return JobSpec{}, invalidf("field version not used by kind %q", n.Kind)
-	}
-	if !use.nodes && n.Nodes != 0 {
-		return JobSpec{}, invalidf("field nodes not used by kind %q", n.Kind)
-	}
-	if !use.ranks && n.Ranks != 0 {
-		return JobSpec{}, invalidf("field ranks not used by kind %q", n.Kind)
-	}
-	if !use.size && n.SizeBytes != 0 {
-		return JobSpec{}, invalidf("field size_bytes not used by kind %q", n.Kind)
-	}
-	if !use.iters && n.Iters != 0 {
-		return JobSpec{}, invalidf("field iters not used by kind %q", n.Kind)
-	}
-	if !use.endpoints && (n.SrcNode != 0 || n.DstNode != 0) {
-		return JobSpec{}, invalidf("fields src_node/dst_node not used by kind %q", n.Kind)
-	}
-	if !use.faults && !n.Faults.Zero() {
-		return JobSpec{}, invalidf("field faults not used by kind %q", n.Kind)
-	}
-	if use.faults && n.Faults != nil {
-		if err := n.Faults.Validate(m.Nodes); err != nil {
-			return JobSpec{}, invalidf("invalid fault spec on %s: %v", m.Name, err)
-		}
-	}
-	// Canonicalize the fault spec: entries sorted, no-op entries dropped,
-	// and an effect-free spec folded to nil so it cannot split the cache.
-	n.Faults = n.Faults.Canonical()
-
-	if n.DeadlineMS < 0 {
-		return JobSpec{}, invalidf("negative deadline_ms %d", n.DeadlineMS)
-	}
-
-	// Per-kind validation and defaults.
-	switch n.Kind {
-	case KindStream, KindHybridStream:
-		switch n.Language {
-		case "":
-			n.Language = "c"
-		case "c", "fortran":
-		default:
-			return JobSpec{}, invalidf("unknown language %q (valid: c fortran)", s.Language)
-		}
-		if n.Ranks < 0 || n.Ranks > m.Node.Cores() {
-			return JobSpec{}, invalidf("ranks %d out of [0, %d] on %s", n.Ranks, m.Node.Cores(), m.Name)
-		}
-	case KindFPU:
-		if n.Iters < 0 {
-			return JobSpec{}, invalidf("negative iters %d", n.Iters)
-		}
-		if n.Iters == 0 {
-			n.Iters = defaultFPUIters
-		}
-	case KindNet:
-		if n.SizeBytes < 0 {
-			return JobSpec{}, invalidf("negative size_bytes %d", n.SizeBytes)
-		}
-		if n.SizeBytes == 0 {
-			n.SizeBytes = defaultNetSize
-		}
-		if n.Iters < 0 {
-			return JobSpec{}, invalidf("negative iters %d", n.Iters)
-		}
-		if n.Iters == 0 {
-			n.Iters = defaultNetIters
-		}
-		if n.SrcNode < 0 || n.SrcNode >= m.Nodes || n.DstNode < 0 || n.DstNode >= m.Nodes {
-			return JobSpec{}, invalidf("endpoints %d->%d out of [0, %d) on %s",
-				n.SrcNode, n.DstNode, m.Nodes, m.Name)
-		}
-		if n.SrcNode == 0 && n.DstNode == 0 {
-			// Unspecified endpoints default to a node pair; same-node
-			// transfers are still reachable via any src == dst != 0.
-			n.DstNode = 1
-		}
-	case KindHPL, KindHPCG:
-		if n.Nodes < 0 || n.Nodes > m.Nodes {
-			return JobSpec{}, invalidf("nodes %d out of [0, %d] on %s", n.Nodes, m.Nodes, m.Name)
-		}
-		if n.Nodes == 0 {
-			n.Nodes = 1
-		}
-		if n.Kind == KindHPCG {
-			switch n.Version {
-			case "":
-				n.Version = "optimized"
-			case "vanilla", "optimized":
-			default:
-				return JobSpec{}, invalidf("unknown hpcg version %q (valid: vanilla optimized)", s.Version)
-			}
-		}
-	case KindApp:
-		if !knownApps[n.App] {
-			return JobSpec{}, invalidf("unknown app %q (valid: alya nemo gromacs openifs wrf)", s.App)
-		}
-		if n.Nodes < 0 || n.Nodes > m.Nodes {
-			return JobSpec{}, invalidf("nodes %d out of [0, %d] on %s", n.Nodes, m.Nodes, m.Name)
-		}
-	}
-	return n, nil
-}
-
-// resolveMachine maps the spec's machine field (empty = cte-arm) to its
-// preset descriptor.
-func resolveMachine(name string) (machine.Machine, error) {
-	if name == "" {
-		name = "cte-arm"
-	}
-	m, ok := machine.Preset(name)
-	if !ok {
-		return machine.Machine{}, invalidf("unknown machine %q (valid: %s)",
-			name, strings.Join(machine.PresetNames(), " "))
-	}
-	return m, nil
-}
-
-// canonicalSlug folds a machine name/alias to its canonical preset slug.
-func canonicalSlug(name string) string {
-	if name == "" {
-		name = "cte-arm"
-	}
-	if slug, ok := machine.PresetSlug(name); ok {
-		return slug
-	}
-	return strings.ToLower(strings.TrimSpace(name))
-}
-
-// Canonicalize normalises the spec and derives its content address: the
-// SHA-256 of the canonical JSON encoding. The address is the cache key, so
-// any two submissions of the same deterministic simulation — whatever
-// aliases or omitted defaults they used — collapse onto one cache entry.
-//
-// The deadline is stripped before hashing: it can only change *whether* a
-// job finishes, never what result it produces, and only successful runs
-// — where the deadline demonstrably did not change the outcome — are
-// ever cached. Folding it away lets a deadlined resubmission of a
-// previously completed spec answer from the cache in microseconds.
+// Canonicalize normalises the spec and derives its content address (the
+// cache key); see experiment.Canonicalize.
 func Canonicalize(spec JobSpec) (JobSpec, string, error) {
-	n, err := spec.Normalize()
-	if err != nil {
-		return JobSpec{}, "", err
-	}
-	keySpec := n
-	keySpec.DeadlineMS = 0
-	buf, err := json.Marshal(keySpec)
-	if err != nil {
-		return JobSpec{}, "", fmt.Errorf("service: encoding canonical spec: %w", err)
-	}
-	sum := sha256.Sum256(buf)
-	return n, hex.EncodeToString(sum[:]), nil
+	return experiment.Canonicalize(spec)
 }

@@ -1,0 +1,179 @@
+// Command genfixtures regenerates the golden compatibility fixtures under
+// internal/experiment/testdata:
+//
+//   - cachekeys.json: canonical JobSpec -> SHA-256 cache-key pairs covering
+//     every registered kind, with and without faults and deadlines. The
+//     fixture pins the canonical encoding byte-for-byte, so any refactor
+//     that would silently invalidate the result cache or the write-ahead
+//     journal fails the golden test instead.
+//   - prerefactor.journal: a write-ahead journal produced by a real
+//     clusterd service run (submit, execute, clean drain) that the replay
+//     golden test re-opens. A journal written by an older build must keep
+//     replaying after refactors.
+//
+// Run it only to intentionally re-pin compatibility, e.g. after a
+// deliberate cache-format version bump:
+//
+//	go run ./scripts/genfixtures
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"clustereval/internal/service"
+)
+
+// fixtureCase is one pinned spec. Spec is the submission as a client would
+// send it (aliases, omitted defaults); Canonical and Key are what the
+// service derived from it.
+type fixtureCase struct {
+	Name      string          `json:"name"`
+	Spec      json.RawMessage `json:"spec"`
+	Canonical json.RawMessage `json:"canonical"`
+	Key       string          `json:"key"`
+}
+
+// cases returns the fixture specs as raw JSON so the fixtures also pin the
+// wire format (field names, alias folding), not just Go struct values.
+func cases() []struct{ name, spec string } {
+	return []struct{ name, spec string }{
+		{"stream-defaults", `{"kind":"stream"}`},
+		{"stream-fortran-ranks", `{"kind":"stream","machine":"CTE-Arm","language":"fortran","ranks":4}`},
+		{"stream-alias-a64fx", `{"kind":"STREAM","machine":"a64fx","language":"C"}`},
+		{"stream-deadline", `{"kind":"stream","deadline_ms":60000}`},
+		{"hybrid-defaults", `{"kind":"hybrid-stream"}`},
+		{"hybrid-mn4-fortran", `{"kind":"hybrid-stream","machine":"marenostrum4","language":"fortran"}`},
+		{"fpu-defaults", `{"kind":"fpu"}`},
+		{"fpu-iters", `{"kind":"fpu","iters":500}`},
+		{"fpu-deadline", `{"kind":"fpu","iters":500,"deadline_ms":5000}`},
+		{"net-defaults", `{"kind":"net"}`},
+		{"net-pair-64k", `{"kind":"net","size_bytes":65536,"iters":64,"src_node":0,"dst_node":100}`},
+		{"net-seeded", `{"kind":"net","seed":42}`},
+		{"net-faults-slow-node", `{"kind":"net","faults":{"nodes":[{"node":1,"slowdown":1.5}]}}`},
+		{"net-faults-noop-folds", `{"kind":"net","faults":{"nodes":[{"node":1}]}}`},
+		{"net-faults-deadline", `{"kind":"net","faults":{"links":[{"src":0,"dst":1,"bandwidth_factor":0.5}]},"deadline_ms":30000}`},
+		{"hpl-defaults", `{"kind":"hpl"}`},
+		{"hpl-8-nodes", `{"kind":"hpl","nodes":8}`},
+		{"hpcg-defaults", `{"kind":"hpcg"}`},
+		{"hpcg-vanilla-4", `{"kind":"hpcg","nodes":4,"version":"vanilla"}`},
+		{"app-alya", `{"kind":"app","app":"alya"}`},
+		{"app-wrf-12-nodes", `{"kind":"app","app":"wrf","nodes":12}`},
+		{"app-nemo-mn4", `{"kind":"app","app":"nemo","machine":"mn4"}`},
+		{"app-faults", `{"kind":"app","app":"gromacs","faults":{"os_noise":0.1,"seed":7}}`},
+		{"app-faults-deadline", `{"kind":"app","app":"gromacs","faults":{"os_noise":0.1,"seed":7},"deadline_ms":120000}`},
+	}
+}
+
+func main() {
+	dir := filepath.Join("internal", "experiment", "testdata")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeCacheKeys(filepath.Join(dir, "cachekeys.json")); err != nil {
+		fatal(err)
+	}
+	if err := writeJournal(filepath.Join(dir, "prerefactor.journal")); err != nil {
+		fatal(err)
+	}
+}
+
+func writeCacheKeys(path string) error {
+	var out []fixtureCase
+	for _, c := range cases() {
+		var spec service.JobSpec
+		if err := json.Unmarshal([]byte(c.spec), &spec); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		norm, key, err := service.Canonicalize(spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		canon, err := json.Marshal(norm)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		out = append(out, fixtureCase{
+			Name: c.name, Spec: json.RawMessage(c.spec),
+			Canonical: canon, Key: key,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path, "-", len(out), "cases")
+	return nil
+}
+
+// journalSpecs are the jobs the fixture journal records: one per kind,
+// plus a fault-carrying job that fails degraded, so replay exercises done,
+// failed and cached states.
+func journalSpecs() []string {
+	return []string{
+		`{"kind":"fpu","iters":500}`,
+		`{"kind":"net","size_bytes":1024,"iters":16}`,
+		`{"kind":"hpl","nodes":4}`,
+		`{"kind":"hpcg","nodes":2}`,
+		`{"kind":"app","app":"alya"}`,
+		`{"kind":"stream","ranks":8}`,
+		`{"kind":"hybrid-stream"}`,
+		`{"kind":"net","size_bytes":1024,"iters":16}`, // duplicate spec: same cache key journalled twice
+		`{"kind":"net","src_node":0,"dst_node":3,"faults":{"nodes":[{"node":3,"failed":true}]}}`, // fails degraded
+	}
+}
+
+func writeJournal(path string) error {
+	_ = os.Remove(path)
+	svc, err := service.OpenDurable(service.Config{
+		Workers: 2, MaxRetries: -1, RetryBackoff: -1, JobTimeout: 2 * time.Minute,
+	}, path)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, raw := range journalSpecs() {
+		var spec service.JobSpec
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			return err
+		}
+		view, err := svc.Submit(spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", raw, err)
+		}
+		ids = append(ids, view.ID)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for _, id := range ids {
+		for {
+			view, err := svc.Get(id)
+			if err != nil {
+				return err
+			}
+			if view.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s did not finish", id)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path, "-", len(ids), "jobs")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genfixtures:", err)
+	os.Exit(1)
+}
