@@ -1,0 +1,21 @@
+// Clusterlint is the repository's static-analysis suite, run through the
+// go vet driver:
+//
+//	go build -o bin/clusterlint ./cmd/clusterlint
+//	go vet -vettool=bin/clusterlint ./...
+//
+// (or just `make lint`). It enforces the simulator's cross-cutting
+// invariants — determinism, context propagation, canonical-encoding
+// stability, unit-typed arithmetic, and error wrapping. Run
+// `bin/clusterlint help` for the analyzer docs and the suppression
+// policy.
+package main
+
+import (
+	"clustereval/internal/analysis/suite"
+	"clustereval/internal/analysis/vetdriver"
+)
+
+func main() {
+	vetdriver.Main(suite.Analyzers)
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a finding is waived by an adjacent comment of the form
+//
+//	//lint:allow <analyzer> <justification>
+//
+// on the same line as the finding or the line directly above it. The
+// justification is mandatory — a bare //lint:allow suppresses nothing —
+// so every waiver records *why* the invariant does not apply at that call
+// site. TESTING.md documents the policy.
+const allowPrefix = "//lint:allow"
+
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	analyzer      string
+	justification string
+}
+
+// allowIndex maps file name -> line -> waivers declared on that line.
+type allowIndex map[string]map[int][]allowSite
+
+// buildAllowIndex scans the files' comments for //lint:allow directives.
+// Files must have been parsed with parser.ParseComments.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, justification, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(justification) == "" {
+					continue // no analyzer or no justification: not a waiver
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]allowSite{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], allowSite{
+					analyzer:      name,
+					justification: strings.TrimSpace(justification),
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// Filter drops diagnostics waived by a //lint:allow comment on their line
+// or the line above. It is applied by both vetdriver and analysistest, so
+// fixtures exercise the suppression path exactly as production runs do.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	idx := buildAllowIndex(fset, files)
+	if len(idx) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if idx.waives(pos.Filename, pos.Line, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func (idx allowIndex) waives(file string, line int, analyzer string) bool {
+	byLine, ok := idx[file]
+	if !ok {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, site := range byLine[l] {
+			if site.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// convention as golang.org/x/tools/go/analysis/analysistest (rebuilt on
+// the standard library, since this module deliberately has no x/tools
+// dependency).
+//
+// Fixtures live under testdata/src/<import-path> of the calling
+// analyzer's package. Import paths that start with "internal/" resolve
+// to sibling fixture packages (so a fixture can import the fixture
+// "internal/units"); everything else resolves through the source
+// importer, i.e. the real standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clustereval/internal/analysis"
+)
+
+// Run analyzes each fixture package under testdata/src and reports any
+// mismatch between the analyzer's diagnostics and the fixtures' want
+// comments as test failures. The //lint:allow filter is applied first,
+// so fixtures can assert that a justified suppression silences a
+// finding.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader("testdata/src")
+	for _, pkgPath := range pkgPaths {
+		t.Run(strings.ReplaceAll(pkgPath, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, l, a, pkgPath)
+		})
+	}
+}
+
+func runOne(t *testing.T, l *loader, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	lp, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	pass := analysis.NewPass(a, l.fset, lp.files, lp.pkg, lp.info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
+	}
+	diags := analysis.Filter(l.fset, lp.files, pass.Diagnostics())
+
+	wants := collectWants(t, l.fset, lp.files)
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// want is one expectation parsed from a `// want "re"` comment,
+// anchored to the line the comment starts on.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a want comment; both Go string
+// syntaxes are accepted ("..." and backquotes).
+var (
+	wantRE    = regexp.MustCompile(`want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+	patternRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range patternRE.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &want{
+						file: pos.Filename, line: pos.Line,
+						pattern: pattern, re: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages on demand, resolving
+// fixture-to-fixture imports within the same testdata/src root.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+	std  types.Importer
+}
+
+func newLoader(root string) *loader {
+	l := &loader{root: root, fset: token.NewFileSet(), pkgs: map[string]*loadedPkg{}}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+func (l *loader) load(pkgPath string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[pkgPath]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{Importer: importerFunc(l.importPkg)}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %w", pkgPath, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[pkgPath] = lp
+	return lp, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if strings.HasPrefix(path, "internal/") {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

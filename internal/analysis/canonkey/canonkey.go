@@ -1,0 +1,146 @@
+// Package canonkey polices the byte stability of canonical encodings:
+// experiment cache keys and journal records must stay byte-identical
+// across refactors, or every cached result and every recoverable journal
+// silently invalidates (PR 4's registry refactor nearly did exactly
+// that). Functions that produce those bytes must iterate deterministically
+// and encode floats at full, fixed width.
+package canonkey
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer checks canonicalization functions in analysis.CanonPackages.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonkey",
+	Doc: `keep cache keys and journal records byte-stable
+
+Inside the packages that produce canonical bytes (internal/experiment,
+internal/faultsim, internal/journal, internal/service), any function
+whose name marks it as part of an encoding path — Canonicalize,
+Normalize, *Key, *Hash, encode*, Fingerprint* and friends — must not:
+
+  - range over a map (iteration order is randomized; collect and sort
+    the keys first, as Model.FailedNodes does);
+  - format a float with %v or %g (the rendering is
+    shortest-representation, which changes bytes when a refactor changes
+    intermediate rounding; use strconv.FormatFloat with an explicit
+    precision, JSON encoding of a struct field, or an integer encoding).
+
+The golden fixtures in internal/experiment/testdata/cachekeys.json pin
+the resulting bytes; this analyzer catches the regression before the
+goldens do, with a useful position.`,
+	Run: run,
+}
+
+// canonName marks functions on a canonical-encoding path by name.
+var canonName = regexp.MustCompile(`(?i)(canonic|normali[sz]e|cache[_]?key|speckey|fingerprint|hash|encode)`)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), analysis.CanonPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !canonName.MatchString(fn.Name.Name) {
+				continue
+			}
+			checkCanonFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCanonFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if pass.IsMapType(n.X) && !collectOnly(pass, n.Body) {
+				pass.Reportf(n.Pos(),
+					"%s ranges over a map: canonical encodings must iterate in sorted order or the emitted bytes change run to run",
+					fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkFloatVerb(pass, fn.Name.Name, n)
+		}
+		return true
+	})
+}
+
+// collectOnly reports whether a map-range body merely gathers values
+// (builtins like append, plus type conversions) — the first half of the
+// sanctioned collect-then-sort idiom. Any other call could observe the
+// random iteration order.
+func collectOnly(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || !ok {
+			return ok
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			ok = false
+			return false
+		}
+		switch pass.TypesInfo.Uses[id].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// checkFloatVerb flags %v / %g verbs whose corresponding argument is a
+// float: shortest-representation float rendering is not a stable
+// canonical encoding.
+func checkFloatVerb(pass *analysis.Pass, funcName string, call *ast.CallExpr) {
+	fn := pass.PkgFunc(call)
+	if fn == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	fmtArg, ok := analysis.FormatCallArg[fn.Name()]
+	if !ok {
+		return
+	}
+	format, args, ok := analysis.FormatLiteral(call, fmtArg)
+	if !ok {
+		return
+	}
+	for _, v := range analysis.ParseVerbs(format) {
+		if v.Verb != 'v' && v.Verb != 'g' {
+			continue
+		}
+		if v.ArgIndex >= len(args) {
+			continue
+		}
+		if isFloat(pass.TypesInfo.TypeOf(args[v.ArgIndex])) {
+			pass.Reportf(args[v.ArgIndex].Pos(),
+				"%s formats a float with %%%c: use a fixed-width encoding (strconv.FormatFloat or struct JSON) so canonical bytes survive refactors",
+				funcName, v.Verb)
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

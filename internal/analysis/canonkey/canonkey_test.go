@@ -1,0 +1,12 @@
+package canonkey_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/canonkey"
+)
+
+func TestCanonkey(t *testing.T) {
+	analysistest.Run(t, canonkey.Analyzer, "internal/experiment")
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalKey is on the encoding path by name, and does everything
+// wrong: unsorted map iteration and shortest-representation floats.
+func CanonicalKey(params map[string]float64) string {
+	var b strings.Builder
+	for k, v := range params { // want `CanonicalKey ranges over a map`
+		fmt.Fprintf(&b, "%s=%v;", k, v) // want `CanonicalKey formats a float with %v`
+	}
+	return b.String()
+}
+
+// CanonicalKeySorted is the sanctioned shape: collect, sort, emit with a
+// fixed-width float encoding.
+func CanonicalKeySorted(params map[string]float64) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(params[k], 'g', 17, 64))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// normalizeWeights shows the %g variant of the float finding.
+func normalizeWeights(total float64) string {
+	return fmt.Sprintf("total=%g", total) // want `normalizeWeights formats a float with %g`
+}
+
+// debugDump is not canon-named, so its map range is the determinism
+// analyzer's business, not canonkey's.
+func debugDump(params map[string]float64) {
+	for k, v := range params {
+		fmt.Println(k, v)
+	}
+}
+
+// encodeLegacy demonstrates a justified suppression.
+func encodeLegacy(params map[string]string) string {
+	var b strings.Builder
+	//lint:allow canonkey keys are single-element maps in the legacy path
+	for k, v := range params {
+		b.WriteString(k + "=" + v)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+// Package ctxflow enforces the deadline-abort chain: clusterd's per-job
+// deadlines can only cut a simulation short if every Run*/Measure* entry
+// point between the service and the discrete-event engine accepts and
+// forwards a context.Context.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer checks exported Run*/Measure* functions in
+// analysis.CtxPackages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `require context propagation through simulation entry points
+
+Every exported function or method named Run* or Measure* in a simulation
+package must either
+
+  - accept a context.Context as its first parameter and actually use it
+    (a parameter named _ or never referenced silently breaks the chain), or
+  - be a convenience wrapper whose body delegates to a *Context variant
+    (the established Run/RunContext pattern).
+
+This is what keeps clusterd's deadline_ms able to abort a simulation
+between DES events; see des.Engine.RunContext -> mpisim.World.RunContext
+-> osu.MeasurePairContext.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), analysis.CtxPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			name := fn.Name.Name
+			if !strings.HasPrefix(name, "Run") && !strings.HasPrefix(name, "Measure") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ctxParam, index := contextParam(pass, fn)
+	if index < 0 {
+		if delegatesToContextVariant(fn.Body) {
+			return // Run() { return RunContext(context.Background(), ...) }
+		}
+		pass.Reportf(fn.Pos(),
+			"exported %s must accept a context.Context (or delegate to a *Context variant) so job deadlines can abort it",
+			fn.Name.Name)
+		return
+	}
+	if index != 0 {
+		pass.Reportf(ctxParam.Pos(),
+			"%s: context.Context must be the first parameter", fn.Name.Name)
+	}
+	if ctxParam.Name == "_" || !identUsed(pass, fn.Body, ctxParam) {
+		pass.Reportf(ctxParam.Pos(),
+			"%s accepts a context but never forwards or checks it, which silently breaks deadline propagation",
+			fn.Name.Name)
+	}
+}
+
+// contextParam returns the identifier of the first context.Context
+// parameter and its position in the flattened parameter list; index is
+// -1 when there is none. An unnamed context parameter reports as "_"
+// anchored at the type expression.
+func contextParam(pass *analysis.Pass, fn *ast.FuncDecl) (*ast.Ident, int) {
+	index := 0
+	for _, field := range fn.Type.Params.List {
+		isCtx := isContextType(pass.TypesInfo.TypeOf(field.Type))
+		if len(field.Names) == 0 {
+			if isCtx {
+				unnamed := ast.NewIdent("_")
+				unnamed.NamePos = field.Type.Pos()
+				return unnamed, index
+			}
+			index++
+			continue
+		}
+		for _, name := range field.Names {
+			if isCtx {
+				return name, index
+			}
+			index++
+		}
+	}
+	return nil, -1
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// delegatesToContextVariant reports whether the body calls any function
+// or method whose name ends in "Context" — the conventional shape of a
+// background-context convenience wrapper.
+func delegatesToContextVariant(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if strings.HasSuffix(analysis.CalleeName(call), "Context") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// identUsed reports whether the object bound to def is referenced
+// anywhere in body.
+func identUsed(pass *analysis.Pass, body *ast.BlockStmt, def *ast.Ident) bool {
+	obj := pass.TypesInfo.Defs[def]
+	if obj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

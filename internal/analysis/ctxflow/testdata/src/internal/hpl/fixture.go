@@ -1,0 +1,56 @@
+package hpl
+
+import "context"
+
+// RunContext is the canonical shape: ctx first, and actually used.
+func RunContext(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Run is the sanctioned convenience wrapper: no context of its own, but
+// it delegates to the *Context variant.
+func Run(n int) error {
+	return RunContext(context.Background(), n)
+}
+
+func RunBare(n int) error { // want `exported RunBare must accept a context\.Context`
+	return nil
+}
+
+func MeasureBare(sizes []int) error { // want `exported MeasureBare must accept a context\.Context`
+	return nil
+}
+
+func RunIgnored(ctx context.Context, n int) error { // want `accepts a context but never forwards or checks it`
+	return nil
+}
+
+func RunDiscarded(_ context.Context, n int) error { // want `accepts a context but never forwards or checks it`
+	return nil
+}
+
+func RunMisplaced(n int, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	return ctx.Err()
+}
+
+//lint:allow ctxflow drives a host kernel whose inner loop cannot be aborted
+func RunWaived(n int) error {
+	return nil
+}
+
+// runLocal is unexported: the deadline chain only constrains the
+// package's public surface.
+func runLocal(n int) error {
+	return nil
+}
+
+type Solver struct{}
+
+// RunSolve: methods are entry points too.
+func (s *Solver) RunSolve(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func (s *Solver) RunSolveBare() error { // want `exported RunSolveBare must accept a context\.Context`
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package determinism forbids nondeterminism sources inside the
+// simulation packages: every figure of the reproduction must be
+// bit-identical given the same seed, so simulated results may depend on
+// nothing but their inputs.
+package determinism
+
+import (
+	"go/ast"
+	"strings"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer flags wall-clock reads, global math/rand use, and map
+// iteration feeding output or hashes inside analysis.SimPackages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterminism sources in simulation packages
+
+Simulated results must be bit-reproducible from a seed (the paper's
+figures are regenerated as golden CSVs), so inside the simulation
+packages this analyzer reports:
+
+  - calls to time.Now, time.Since, time.Sleep, time.After, time.AfterFunc,
+    time.Tick, time.NewTimer and time.NewTicker (in _test.go files only
+    Now and Since are reported: timers are legitimate test
+    synchronization, wall-clock timestamps in assertions are not);
+  - any import of math/rand or math/rand/v2 — randomness comes from
+    internal/xrand, whose generators are seeded, splittable and
+    journal-stable;
+  - ranging over a map while directly printing, writing or hashing in the
+    loop body: Go randomizes map iteration order, so such loops emit
+    different bytes on every run. Collect the keys, sort them, then emit.
+
+Genuine wall-clock call sites (host-kernel benchmark timing, metrics
+timestamps) route through an injected clock — a package variable bound to
+time.Now — which keeps every wall-clock read auditable at one
+declaration. As a last resort a site can carry
+'//lint:allow determinism <justification>'.`,
+	Run: run,
+}
+
+// forbiddenTime are the time package functions that read or depend on the
+// wall clock. The value records whether the call stays forbidden even in
+// _test.go files.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Sleep":     false,
+	"After":     false,
+	"AfterFunc": false,
+	"Tick":      false,
+	"NewTimer":  false,
+	"NewTicker": false,
+}
+
+// emitters are callee names that turn loop iterations into observable
+// bytes: formatted printing, io writes, and hash/encoder feeding.
+var emitters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true, "Appendf": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Sum256": true, "Encode": true, "Marshal": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), analysis.SimPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		isTest := pass.IsTestFile(file.Pos())
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a simulation package: use the seeded generators in internal/xrand", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTimeCall(pass, n, isTest)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkTimeCall(pass *analysis.Pass, call *ast.CallExpr, isTest bool) {
+	fn := pass.PkgFunc(call)
+	if fn == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	alwaysForbidden, listed := forbiddenTime[fn.Name()]
+	if !listed || (isTest && !alwaysForbidden) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to time.%s in a simulation package: results must depend only on the spec and seed (inject a clock for wall-clock-only sites)",
+		fn.Name())
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if !pass.IsMapType(rng.X) {
+		return
+	}
+	var emitter *ast.CallExpr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if emitter != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && emitters[analysis.CalleeName(call)] {
+			emitter = call
+			return false
+		}
+		return true
+	})
+	if emitter != nil {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is random but the loop body calls %s: collect the keys, sort, then emit",
+			analysis.CalleeName(emitter))
+	}
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "internal/mpisim", "internal/report")
+}

@@ -1,0 +1,46 @@
+package mpisim
+
+import (
+	"fmt"
+	_ "math/rand" // want `import of math/rand in a simulation package`
+	"sort"
+	"time"
+)
+
+// hostNow is the injected-clock shape: binding the function value is
+// allowed, calling time.Now inline is not.
+var hostNow = time.Now
+
+func stamp() time.Time {
+	return time.Now() // want `call to time\.Now in a simulation package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `call to time\.Since`
+}
+
+func throttle() {
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep`
+}
+
+func waived() time.Time {
+	//lint:allow determinism wall-clock timestamp feeds the metrics endpoint only
+	return time.Now()
+}
+
+func dumpUnsorted(m map[string]int) {
+	for k, v := range m { // want `map iteration order is random but the loop body calls Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func dumpSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,8 @@
+// Package report is outside analysis.SimPackages: wall-clock use here
+// is the determinism analyzer's business only inside the simulation
+// packages, so nothing in this file may be flagged.
+package report
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,87 @@
+// Package errwrap guards the error-inspection contracts of the service
+// and journal layers: callers match their failures with errors.Is /
+// errors.As (journal.ErrCorrupt, the service's typed overload and
+// not-found errors), which only works while every fmt.Errorf on the way
+// wraps with %w instead of flattening the cause into text.
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer flags fmt.Errorf calls in analysis.WrapPackages that format
+// an error operand with a non-wrapping verb.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: `require %w when formatting errors into errors
+
+In internal/service and internal/journal, a fmt.Errorf that renders an
+error-typed argument with %v, %s or %q severs the error chain: the
+sentinel underneath stops matching errors.Is, and typed errors stop
+matching errors.As. Those packages are exactly where callers rely on
+such matches (journal recovery treats ErrCorrupt as a truncation point;
+clusterd's HTTP layer maps typed errors onto status codes), so the verb
+must be %w.
+
+Since Go 1.20 fmt.Errorf may wrap several errors in one message, so
+"%w at byte %d: %w" is the right shape when two causes matter. Use
+'//lint:allow errwrap <justification>' for the rare message that must
+flatten an error into opaque text deliberately.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), analysis.WrapPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !pass.CallTo(call, "fmt", "Errorf") {
+		return
+	}
+	format, args, ok := analysis.FormatLiteral(call, 0)
+	if !ok {
+		return
+	}
+	for _, v := range analysis.ParseVerbs(format) {
+		switch v.Verb {
+		case 'v', 's', 'q':
+		default:
+			continue
+		}
+		if v.ArgIndex >= len(args) {
+			continue
+		}
+		arg := args[v.ArgIndex]
+		if !isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error formatted with %%%c loses the chain for errors.Is/errors.As: wrap it with %%w",
+			v.Verb)
+	}
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorInterface)
+}

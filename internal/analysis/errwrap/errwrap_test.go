@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "internal/journal")
+}

@@ -1,0 +1,36 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+func flattened(off int, derr error) error {
+	return fmt.Errorf("%w at byte %d: %v", ErrCorrupt, off, derr) // want `error formatted with %v loses the chain`
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("replay failed: %s", err) // want `error formatted with %s loses the chain`
+}
+
+func quoted(err error) error {
+	return fmt.Errorf("replay failed: %q", err) // want `error formatted with %q loses the chain`
+}
+
+func wrapped(off int, derr error) error {
+	return fmt.Errorf("%w at byte %d: %w", ErrCorrupt, off, derr)
+}
+
+// notAnError: %v over non-error arguments is ordinary formatting.
+func notAnError(off int) error {
+	return fmt.Errorf("bad offset %v", off)
+}
+
+// opaque demonstrates a justified suppression: the error is flattened
+// deliberately so it cannot be unwrapped across the trust boundary.
+func opaque(err error) error {
+	//lint:allow errwrap message crosses the wire; the cause must not be unwrappable
+	return fmt.Errorf("internal failure: %v", err)
+}

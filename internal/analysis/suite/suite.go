@@ -1,0 +1,23 @@
+// Package suite assembles the clusterlint analyzers in their canonical
+// order. cmd/clusterlint and the module-wide smoke tests both consume
+// this list so the binary and the tests can never drift apart.
+package suite
+
+import (
+	"clustereval/internal/analysis"
+	"clustereval/internal/analysis/canonkey"
+	"clustereval/internal/analysis/ctxflow"
+	"clustereval/internal/analysis/determinism"
+	"clustereval/internal/analysis/errwrap"
+	"clustereval/internal/analysis/unitsafe"
+)
+
+// Analyzers is the full clusterlint suite, ordered roughly from the
+// broadest invariant (determinism) to the most local (errwrap).
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	ctxflow.Analyzer,
+	canonkey.Analyzer,
+	unitsafe.Analyzer,
+	errwrap.Analyzer,
+}

@@ -1,0 +1,109 @@
+package suite_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles cmd/clusterlint into dir and returns the binary
+// path and the module root it was built from.
+func buildTool(t *testing.T, dir string) (tool, moduleRoot string) {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	moduleRoot = strings.TrimSpace(string(out))
+	tool = filepath.Join(dir, "clusterlint")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/clusterlint")
+	cmd.Dir = moduleRoot
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building clusterlint: %v\n%s", err, b)
+	}
+	return tool, moduleRoot
+}
+
+// vet runs `go vet -vettool=tool ./...` in dir.
+func vet(tool, dir string) (stderr string, err error) {
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stderr = &buf
+	err = cmd.Run()
+	return buf.String(), err
+}
+
+// TestModuleIsClean is the self-hosting guarantee: the suite, run the
+// same way `make lint` runs it, finds nothing in the tree at HEAD.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over the whole module")
+	}
+	tool, root := buildTool(t, t.TempDir())
+	if stderr, err := vet(tool, root); err != nil {
+		t.Fatalf("clusterlint is not clean at HEAD:\n%s", stderr)
+	}
+}
+
+// TestSeededViolationsFail seeds the two violations the acceptance
+// criteria name — a time.Now call in internal/mpisim and an unsorted
+// map range in a canonicalization function — into a scratch module with
+// this module's path, and requires a non-zero go vet exit naming both
+// analyzers.
+func TestSeededViolationsFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and a scratch module")
+	}
+	tool, _ := buildTool(t, t.TempDir())
+
+	scratch := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(scratch, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module clustereval\n\ngo 1.22\n")
+	write("internal/mpisim/bad.go", `package mpisim
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+	write("internal/experiment/canon.go", `package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+func Canonicalize(params map[string]string) string {
+	var b strings.Builder
+	for k, v := range params {
+		fmt.Fprintf(&b, "%s=%s;", k, v)
+	}
+	return b.String()
+}
+`)
+
+	stderr, err := vet(tool, scratch)
+	if err == nil {
+		t.Fatal("go vet exited 0 over seeded violations")
+	}
+	for _, needle := range []string{
+		"[determinism]", "[canonkey]",
+		"time.Now", "map iteration order is random",
+	} {
+		if !strings.Contains(stderr, needle) {
+			t.Errorf("vet output missing %q:\n%s", needle, stderr)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package memsim
+
+import "internal/units"
+
+func latency(t units.Seconds, b units.Bytes) units.Seconds {
+	t = t + 0.5                // want `raw literal 0\.5 added to a units\.Seconds`
+	t = t - 1                  // want `raw literal 1 subtracted from a units\.Seconds`
+	t = 2.5 + t                // want `raw literal 2\.5 added to a units\.Seconds`
+	t = t * 1e9                // want `scaling a units\.Seconds by raw magnitude 1e9`
+	t = t / 4096               // want `scaling a units\.Seconds by raw magnitude 4096`
+	t = t * 2                  // small dimensionless factor: fine
+	t = t / 3                  // fine
+	t = t + units.Seconds(0.5) // constructor makes the unit explicit: fine
+	_ = b
+	return t
+}
+
+func waived(t units.Seconds) units.Seconds {
+	//lint:allow unitsafe nanosecond conversion pinned by the wire format
+	return t * 1e9
+}
+
+// plain float64 arithmetic is out of unitsafe's jurisdiction entirely.
+func raw(x float64) float64 {
+	return x*1e9 + 0.5
+}

@@ -1,0 +1,12 @@
+// Package units is the fixture twin of the real internal/units: named
+// float64 quantities. Conversion arithmetic inside this package is
+// exempt by construction.
+package units
+
+type Seconds float64
+
+type Bytes float64
+
+// KiB is a conversion constant; defining it here (1024 against a raw
+// literal) must not be flagged.
+const KiB = Bytes(1) * 1024

@@ -1,0 +1,163 @@
+// Package unitsafe polices arithmetic on the typed physical quantities
+// in internal/units (Seconds, Bytes, BytesPerSecond, FlopsPerSecond).
+// Every quantity in the model is an architectural ratio in explicit
+// units parameterised from Table I of the paper; a raw numeric literal
+// fused into that arithmetic is either a dimension error or an inline
+// unit conversion that belongs next to the units constants.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer flags unit-typed arithmetic mixed with raw numeric literals
+// outside internal/units itself.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc: `forbid raw numeric literals in units-typed arithmetic
+
+Outside internal/units (whose constructors and String methods are the
+one sanctioned place for conversion factors), this analyzer reports a
+binary expression that mixes a units-typed operand with a bare numeric
+literal when
+
+  - the operator is + or - : adding a naked number to a quantity is
+    dimensionally meaningless; wrap the literal in the quantity's
+    constructor (units.Seconds(0.5)) so the intended unit is visible;
+  - the operator is * or / and the literal is a magnitude >= 1000 or in
+    scientific notation: that is an inline unit conversion; use the
+    units.Kilo/Mega/Giga/KiB/MiB/GiB constants inside a constructor
+    instead.
+
+Small dimensionless factors (t * 2, rtt / 2, b / 3) remain legal:
+scaling a quantity does not change its unit.
+
+_test.go files are exempt — tests construct literal expectations
+constantly, and a wrong unit there fails the assertion anyway.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	rel, ok := analysis.RelPkgPath(pass.Pkg.Path())
+	if !ok || rel == analysis.UnitsPackage {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			checkBinary(pass, bin)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinary(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return
+	}
+	xUnit := unitsTypeName(pass.TypesInfo.TypeOf(bin.X))
+	yUnit := unitsTypeName(pass.TypesInfo.TypeOf(bin.Y))
+	if xUnit == "" && yUnit == "" {
+		return
+	}
+	for _, side := range []struct {
+		lit  ast.Expr
+		unit string
+	}{{bin.Y, xUnit}, {bin.X, yUnit}} {
+		if side.unit == "" {
+			continue
+		}
+		lit, ok := literalOperand(side.lit)
+		if !ok {
+			continue
+		}
+		additive := bin.Op == token.ADD || bin.Op == token.SUB
+		if additive {
+			pass.Reportf(lit.Pos(),
+				"raw literal %s %s a units.%s: wrap it in units.%s(...) so the unit is explicit",
+				lit.Value, opWord(bin.Op), side.unit, side.unit)
+			continue
+		}
+		if isMagnitude(pass, lit) {
+			pass.Reportf(lit.Pos(),
+				"scaling a units.%s by raw magnitude %s looks like an inline unit conversion: use the units.Kilo/Giga/KiB constants in a constructor",
+				side.unit, lit.Value)
+		}
+	}
+}
+
+// opWord renders the additive operator for the diagnostic message.
+func opWord(op token.Token) string {
+	if op == token.ADD {
+		return "added to"
+	}
+	return "subtracted from"
+}
+
+// unitsTypeName returns the quantity's type name when t is a named type
+// declared in internal/units, else "".
+func unitsTypeName(t types.Type) string {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	rel, ok := analysis.RelPkgPath(obj.Pkg().Path())
+	if !ok || rel != analysis.UnitsPackage {
+		return ""
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsNumeric == 0 {
+		return ""
+	}
+	return obj.Name()
+}
+
+// literalOperand unwraps parens and a leading minus to a bare numeric
+// literal.
+func literalOperand(e ast.Expr) (*ast.BasicLit, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return nil, false
+	}
+	return lit, true
+}
+
+// isMagnitude reports whether the literal reads as a unit-conversion
+// factor: scientific notation, or an absolute value of at least 1000.
+func isMagnitude(pass *analysis.Pass, lit *ast.BasicLit) bool {
+	for _, r := range lit.Value {
+		if r == 'e' || r == 'E' {
+			return true // scientific notation is always a conversion smell
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	if f < 0 {
+		f = -f
+	}
+	return f >= 1000
+}

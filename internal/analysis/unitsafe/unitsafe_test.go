@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/unitsafe"
+)
+
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, unitsafe.Analyzer, "internal/memsim", "internal/units")
+}

@@ -1,0 +1,214 @@
+// Package vetdriver runs a set of analyzers under the `go vet -vettool`
+// unit-checker protocol, reimplemented on the standard library (the
+// module deliberately has no dependency on golang.org/x/tools).
+//
+// The protocol, as spoken by cmd/go:
+//
+//   - `tool -V=full` must print "<tool> version devel ... buildID=<hash>"
+//     (cmd/go folds the line into its action cache key, so rebuilt tools
+//     invalidate cached vet results);
+//   - `tool -flags` must print a JSON description of the tool's flags
+//     (this tool has none: "[]");
+//   - `tool <dir>/vet.cfg` must analyze the one package described by the
+//     JSON config: parse cfg.GoFiles, type-check against the export data
+//     of the already-compiled dependencies (cfg.PackageFile), run, write
+//     the facts file cfg.VetxOutput, print findings to stderr, and exit
+//     2 when there are findings, 0 otherwise.
+//
+// Dependency packages arrive with VetxOnly=true — vet only wants their
+// facts. The clusterlint analyzers export no facts, so those invocations
+// write an empty facts file and return immediately; real work happens
+// only for this module's packages.
+package vetdriver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"clustereval/internal/analysis"
+)
+
+// vetConfig mirrors the JSON config cmd/go hands a vettool. Fields the
+// driver does not consume (NonGoFiles, PackageVetx, ...) are listed so a
+// future reader sees the full wire format in one place.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point cmd/clusterlint wraps. It never returns.
+func Main(analyzers []*analysis.Analyzer) {
+	progname := os.Args[0]
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			printVersion(progname)
+			os.Exit(0)
+		case "-V":
+			fmt.Printf("%s version devel\n", progname)
+			os.Exit(0)
+		case "-flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		case "help", "-help", "--help", "-h":
+			printHelp(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr,
+			"usage: go vet -vettool=%s ./...\n(the tool is driven by go vet; it does not accept package patterns itself)\n",
+			progname)
+		os.Exit(1)
+	}
+	diags, fset, err := runConfig(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterlint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the version line cmd/go parses for its cache key:
+// name, "version devel", and a buildID derived from the executable bytes.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Open(progname); err == nil {
+		io.Copy(h, exe)
+		exe.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+func printHelp(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Printf("%s: static analysis suite for the clustereval module\n\n", progname)
+	fmt.Printf("Run it through go vet:\n\n\tgo vet -vettool=%s ./...\n\nAnalyzers:\n\n", progname)
+	for _, a := range analyzers {
+		fmt.Printf("%s:\n%s\n\n", a.Name, strings.TrimSpace(a.Doc))
+	}
+	fmt.Println("Suppress a single finding with `//lint:allow <analyzer> <justification>`")
+	fmt.Println("on the flagged line or the line above it; see TESTING.md.")
+}
+
+// runConfig analyzes the one package described by cfgPath.
+func runConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// go vet caches per-package results keyed on the facts output, so the
+	// file must exist even though clusterlint exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, nil, fmt.Errorf("writing facts output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil, nil // dependency package: facts only, and we have none
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil, nil
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  newExportImporter(fset, cfg),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info)
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	diags = analysis.Filter(fset, files, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, fset, nil
+}
+
+// newExportImporter builds the importer the type checker uses: import
+// paths map through cfg.ImportMap onto canonical package paths, whose
+// compiled export data cmd/go already listed in cfg.PackageFile.
+func newExportImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	under := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return under.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -12,6 +12,7 @@
 package nemo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -117,8 +118,17 @@ func updated(f *Field, p Params, i, j int) float64 {
 
 // RunSerial advances steps time steps serially.
 func RunSerial(f *Field, p Params, steps int) (*Field, error) {
+	return RunSerialContext(context.Background(), f, p, steps)
+}
+
+// RunSerialContext is RunSerial under a context, checked between steps
+// so a job deadline can abort a long integration.
+func RunSerialContext(ctx context.Context, f *Field, p Params, steps int) (*Field, error) {
 	cur := f
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next, err := Step(cur, p)
 		if err != nil {
 			return nil, err
@@ -133,6 +143,12 @@ func RunSerial(f *Field, p Params, steps int) (*Field, error) {
 // and exchanges one-row halos with its periodic neighbours every step.
 // The result is identical to the serial stepper.
 func RunDistributed(w *mpisim.World, f *Field, p Params, steps int) (*Field, error) {
+	return RunDistributedContext(context.Background(), w, f, p, steps)
+}
+
+// RunDistributedContext is RunDistributed under a context: cancellation
+// aborts the simulated MPI world between DES events.
+func RunDistributedContext(ctx context.Context, w *mpisim.World, f *Field, p Params, steps int) (*Field, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,7 +167,7 @@ func RunDistributed(w *mpisim.World, f *Field, p Params, steps int) (*Field, err
 	}
 
 	results := make([][]float64, ranks)
-	err := w.Run(func(c *mpisim.Comm) {
+	err := w.RunContext(ctx, func(c *mpisim.Comm) {
 		r := c.Rank()
 		lo, hi := rowsOf(r)
 		rows := hi - lo

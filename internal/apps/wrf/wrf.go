@@ -13,6 +13,7 @@
 package wrf
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -135,11 +136,20 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 // steps (w may be nil for the IO-disabled runs). It returns the number of
 // frames written.
 func (d *Domain) RunWithIO(steps, frameEvery int, w io.Writer) (int, error) {
+	return d.RunWithIOContext(context.Background(), steps, frameEvery, w)
+}
+
+// RunWithIOContext is RunWithIO under a context, checked between steps
+// so a job deadline can abort a long integration mid-run.
+func (d *Domain) RunWithIOContext(ctx context.Context, steps, frameEvery int, w io.Writer) (int, error) {
 	if steps < 0 || frameEvery <= 0 {
 		return 0, fmt.Errorf("wrf: invalid run parameters")
 	}
 	frames := 0
 	for s := 1; s <= steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return frames, err
+		}
 		d.Step()
 		if w != nil && s%frameEvery == 0 {
 			if err := d.WriteFrame(w); err != nil {

@@ -69,6 +69,13 @@ type LatencyPoint struct {
 // runtime between two nodes: rank 0 sends, rank 1 echoes; the reported
 // latency per size is half the mean round trip.
 func MeasureLatency(f *interconnect.Fabric, a, bNode int, sizes []units.Bytes, iters int) ([]LatencyPoint, error) {
+	return MeasureLatencyContext(context.Background(), f, a, bNode, sizes, iters)
+}
+
+// MeasureLatencyContext is MeasureLatency under a context: the sweep
+// aborts between simulated events when ctx is cancelled, which is how
+// clusterd's job deadlines cut a long sweep short.
+func MeasureLatencyContext(ctx context.Context, f *interconnect.Fabric, a, bNode int, sizes []units.Bytes, iters int) ([]LatencyPoint, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("osu: iterations must be positive")
 	}
@@ -80,7 +87,7 @@ func MeasureLatency(f *interconnect.Fabric, a, bNode int, sizes []units.Bytes, i
 		return nil, err
 	}
 	out := make([]LatencyPoint, 0, len(sizes))
-	err = w.Run(func(c *mpisim.Comm) {
+	err = w.RunContext(ctx, func(c *mpisim.Comm) {
 		peer := 1 - c.Rank()
 		for _, size := range sizes {
 			start := c.Now()

@@ -158,6 +158,7 @@ func (e *Engine) RunContext(ctx context.Context) error {
 	}
 	if e.alive > 0 {
 		names := make([]string, 0, len(e.waiting))
+		//lint:allow determinism names are sorted below before the error is formatted
 		for p, what := range e.waiting {
 			names = append(names, fmt.Sprintf("%s (on %s)", p.Name, what))
 		}

@@ -71,9 +71,8 @@ func TestDaemonServesAndDrains(t *testing.T) {
 		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
 	}
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if time.Now().After(deadline) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 6000 { // ~30s at the 5ms poll interval below
 			t.Fatal("job never finished")
 		}
 		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, view.ID))
@@ -142,9 +141,8 @@ func TestDaemonDurableRecoversAcrossRestarts(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if time.Now().After(deadline) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 6000 { // ~30s at the 5ms poll interval below
 			t.Fatal("job never finished")
 		}
 		r, err := http.Get(base + "/v1/jobs/" + view.ID)

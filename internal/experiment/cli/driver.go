@@ -59,10 +59,13 @@ func ToolNames() []string {
 // printed; Main exits 2 without repeating it.
 var errUsage = errors.New("usage error")
 
-// Run drives the named tool over args: the kind's schema flags are
+// run drives the named tool over args: the kind's schema flags are
 // generated, parsed alongside the tool's own flags, folded back into a
-// Spec, and handed to the tool's action.
-func Run(name string, args []string) error {
+// Spec, and handed to the tool's action. It is unexported deliberately:
+// the cli package's Run-prefixed entry points are simulation surfaces
+// under the ctxflow analyzer, and this is a flag-dispatch layer whose
+// public face is Main.
+func run(name string, args []string) error {
 	t, ok := tools[name]
 	if !ok {
 		return fmt.Errorf("unknown tool %q (have %s)", name, strings.Join(ToolNames(), " "))
@@ -93,7 +96,7 @@ func Run(name string, args []string) error {
 // errors onto the conventional exit codes (0 for -h, 2 for flag errors,
 // 1 for execution failures).
 func Main(name string, args []string) {
-	switch err := Run(name, args); {
+	switch err := run(name, args); {
 	case err == nil:
 	case errors.Is(err, flag.ErrHelp):
 		os.Exit(0)

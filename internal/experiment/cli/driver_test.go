@@ -128,7 +128,7 @@ func TestEveryToolParses(t *testing.T) {
 		t.Fatalf("registered tools = %v, want %v", names, want)
 	}
 	for _, name := range names {
-		if err := Run(name, []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		if err := run(name, []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
 			t.Errorf("Run(%s, -h) = %v, want flag.ErrHelp", name, err)
 		}
 	}
@@ -136,12 +136,12 @@ func TestEveryToolParses(t *testing.T) {
 
 // TestRunUnknownToolAndBadFlag pins the driver's error classification.
 func TestRunUnknownToolAndBadFlag(t *testing.T) {
-	if err := Run("nosuchtool", nil); err == nil || !strings.Contains(err.Error(), "nosuchtool") {
+	if err := run("nosuchtool", nil); err == nil || !strings.Contains(err.Error(), "nosuchtool") {
 		t.Errorf("unknown tool error = %v", err)
 	}
 	// Silence the FlagSet's own report; the driver must classify it as a
 	// usage error either way.
-	if err := Run("fpubench", []string{"-definitely-not-a-flag"}); !errors.Is(err, errUsage) {
+	if err := run("fpubench", []string{"-definitely-not-a-flag"}); !errors.Is(err, errUsage) {
 		t.Errorf("bad flag error = %v, want errUsage", err)
 	}
 }

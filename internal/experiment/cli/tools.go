@@ -4,8 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
-	"time"
 
 	"clustereval/internal/apps/alya"
 	"clustereval/internal/apps/scaling"
@@ -220,12 +220,12 @@ func HPLBench(verify, nb, threads int) error {
 			ones[i] = 1
 		}
 		b := a.MatVec(ones)
-		start := time.Now()
+		start := hostNow()
 		lu, err := hpl.Factorize(a, nb, team)
 		if err != nil {
 			return err
 		}
-		elapsed := time.Since(start)
+		elapsed := hostSince(start)
 		x, err := lu.Solve(b)
 		if err != nil {
 			return err
@@ -283,12 +283,12 @@ func HPCGBench(verify, threads int) error {
 		for i := range b {
 			b[i] = 1
 		}
-		start := time.Now()
+		start := hostNow()
 		_, res, err := hpcg.CG(prob, mg, team, b, 100, 1e-9)
 		if err != nil {
 			return err
 		}
-		elapsed := time.Since(start)
+		elapsed := hostSince(start)
 		fmt.Printf("grid %d^3 (%d rows, %d nonzeros), %d MG levels: converged=%v in %d iterations, %.3gs host time\n",
 			verify, prob.NRows, prob.Nonzeros(), mg.Levels(), res.Converged, res.Iterations, elapsed.Seconds())
 		for i, r := range res.Residuals {
@@ -312,8 +312,13 @@ func HPCGBench(verify, threads int) error {
 	params := hpcg.PaperParameters(machine.CTEArm())
 	fmt.Printf("run parameters: nx=%d ny=%d nz=%d rt=%ds, %d ranks/node (MPI-only)\n",
 		params.NX, params.NY, params.NZ, params.RuntimeSecs, params.RanksPerNode)
-	for k, v := range params.EnvVars {
-		fmt.Printf("  %s=%s\n", k, v)
+	envKeys := make([]string, 0, len(params.EnvVars))
+	for k := range params.EnvVars {
+		envKeys = append(envKeys, k)
+	}
+	sort.Strings(envKeys)
+	for _, k := range envKeys {
+		fmt.Printf("  %s=%s\n", k, params.EnvVars[k])
 	}
 	_ = runs
 	return nil

@@ -32,7 +32,7 @@ func FuzzJournalDecode(f *testing.F) {
 		Record{Type: TypeShutdown},
 	)
 	f.Add(full)
-	f.Add(full[:len(full)-3])           // torn tail
+	f.Add(full[:len(full)-3])            // torn tail
 	f.Add(append(full[:8], full[9:]...)) // mid-file damage
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -144,7 +144,7 @@ func Decode(data []byte) (recs []Record, goodLen int, torn bool, err error) {
 		rec, derr := decodeLine(data[off : off+nl])
 		if derr != nil {
 			if intactRecordAfter(data[off+nl+1:]) {
-				return recs, off, false, fmt.Errorf("%w at byte %d: %v", ErrCorrupt, off, derr)
+				return recs, off, false, fmt.Errorf("%w at byte %d: %w", ErrCorrupt, off, derr)
 			}
 			return recs, off, true, nil
 		}

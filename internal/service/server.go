@@ -22,7 +22,7 @@ type Server struct {
 
 // NewServer wires the REST routes around svc.
 func NewServer(svc *Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{svc: svc, mux: http.NewServeMux(), start: svc.cfg.clock()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -195,7 +195,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":              status,
-		"uptime_seconds":      time.Since(s.start).Seconds(),
+		"uptime_seconds":      s.svc.cfg.clock().Sub(s.start).Seconds(),
 		"workers":             s.svc.Workers(),
 		"queue_depth":         s.svc.QueueDepth(),
 		"queue_capacity":      s.svc.QueueCapacity(),

@@ -103,6 +103,11 @@ type Config struct {
 	// runnerAttempt overrides job execution in tests that exercise the
 	// retry policy; it additionally receives the 0-based attempt number.
 	runnerAttempt func(context.Context, JobSpec, int) (*Result, error)
+	// clock supplies wall-clock timestamps (job lifecycle times, journal
+	// record times, uptime). It defaults to time.Now; binding it here
+	// keeps every wall-clock read in the service behind one injection
+	// point, overridable in tests.
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.clock == nil {
+		c.clock = time.Now
 	}
 	if c.runnerAttempt == nil {
 		if c.runner != nil {
@@ -552,7 +560,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	s.submitted.Inc()
 
-	now := time.Now()
+	now := s.cfg.clock()
 	newJob := func() *Job {
 		s.nextID++
 		job := &Job{
@@ -724,7 +732,7 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	case StateQueued:
 		job.cancelWant = true
 		job.state = StateCancelled
-		job.finished = time.Now()
+		job.finished = s.cfg.clock()
 		job.errMsg = "cancelled while queued"
 		s.cancelled.Inc()
 		s.journalAppend(journal.Record{
@@ -770,7 +778,7 @@ func (s *Service) execute(job *Job) {
 		defer cancelDl()
 	}
 	job.state = StateRunning
-	job.started = time.Now()
+	job.started = s.cfg.clock()
 	job.cancelFn = cancel
 	job.mu.Unlock()
 	defer cancel()
@@ -821,7 +829,7 @@ func (s *Service) execute(job *Job) {
 		out = outcome{nil, ctx.Err(), 0}
 	}
 
-	now := time.Now()
+	now := s.cfg.clock()
 	job.mu.Lock()
 	job.finished = now
 	job.cancelFn = nil
@@ -946,7 +954,7 @@ func (s *Service) Close(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
-	s.journalAppend(journal.Record{Type: journal.TypeShutdown, At: time.Now()})
+	s.journalAppend(journal.Record{Type: journal.TypeShutdown, At: s.cfg.clock()})
 	if s.jnl != nil {
 		if cerr := s.jnl.Close(); cerr != nil && err == nil {
 			err = cerr
