@@ -9,7 +9,7 @@ GO ?= go
 # cannot run" without chasing @latest breakage).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint clusterlint staticcheck test race cover bench ablation paper export serve examples crashtest clean
+.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff ablation paper export serve fleet examples crashtest fleettest loadtest clean
 
 all: build lint test
 
@@ -60,6 +60,17 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Re-record the committed benchmark baseline (BENCH_seed.json). Run on a
+# quiet machine after deliberate performance changes.
+bench-baseline:
+	$(GO) test -bench=. -benchmem . | $(GO) run ./scripts/benchdiff -record -out BENCH_seed.json
+
+# Compare a fresh benchmark run against the committed baseline; exits
+# non-zero when ns/op or allocs/op regresses by more than 10%. Advisory
+# in CI (continue-on-error) because shared runners are noisy.
+benchdiff:
+	$(GO) test -bench=. -benchmem . | $(GO) run ./scripts/benchdiff -baseline BENCH_seed.json
+
 # Ablations: quantify each modelled mechanism's contribution.
 ablation:
 	$(GO) test -bench=Ablation -benchtime=1x .
@@ -77,10 +88,31 @@ export:
 serve:
 	$(GO) run ./cmd/clusterd
 
+# Run a three-shard clusterfleet on :8090 (see README "Running a
+# sharded fleet").
+fleet:
+	$(GO) build -o bin/clusterd ./cmd/clusterd
+	$(GO) run ./cmd/clusterfleet -bin bin/clusterd
+
 # Durability acceptance: SIGKILL clusterd mid-workload, restart against
-# the same journal, assert every job recovers to a consistent state.
+# the same journal, assert every job recovers to a consistent state —
+# first single-daemon, then the fleet variant (shard kill + full fleet
+# restart through the coordinator).
 crashtest:
 	$(GO) run ./scripts/crashtest
+	$(GO) run ./scripts/fleettest
+
+# Fleet durability acceptance alone: kill a shard mid-workload, restart
+# the whole fleet, assert exactly-once terminal states under original
+# fleet IDs.
+fleettest:
+	$(GO) run ./scripts/fleettest
+
+# Fleet SLO acceptance: three shards, >=5k mixed-kind jobs via loadgen,
+# kill-one-shard chaos mid-run, throughput/latency SLOs plus merged
+# observability asserts.
+loadtest:
+	$(GO) run ./scripts/loadtest
 
 # Build every example, then smoke-run each one — examples are user-facing
 # code and must keep compiling and finishing cleanly.

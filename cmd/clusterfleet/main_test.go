@@ -1,0 +1,15 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-bin") {
+		t.Fatalf("missing -bin not rejected: %v", err)
+	}
+	if err := run([]string{"-bin", "/bin/true", "-shards", "0"}); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("zero shards not rejected: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// cachedStub answers every submission as a cache hit.
+func cachedStub(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"id":"j000001","state":"done"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunHappyPath(t *testing.T) {
+	srv := cachedStub(t)
+	if err := run([]string{"-url", srv.URL, "-jobs", "10", "-json"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSLOViolationExits(t *testing.T) {
+	srv := cachedStub(t)
+	err := run([]string{"-url", srv.URL, "-jobs", "10", "-min-throughput", "1e12"})
+	if !errors.Is(err, errSLO) {
+		t.Fatalf("err = %v, want SLO violation", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-jobs", "0"}); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if err := run([]string{"-url", ""}); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+}

@@ -25,6 +25,13 @@ var SimPackages = []string{
 	"internal/hpcg",
 	"internal/apps",
 	"internal/bench",
+	// Fleet coordination and load generation are not seed-reproducible
+	// simulations, but they must stay testable under fake clocks: every
+	// wall-clock read goes through an injectable binding (hostNow,
+	// Limiter.now), which is exactly what the determinism analyzer
+	// enforces.
+	"internal/fleet",
+	"internal/loadgen",
 }
 
 // CtxPackages are the packages on the deadline-abort chain: clusterd's
@@ -45,6 +52,11 @@ var CtxPackages = []string{
 	"internal/hpcg",
 	"internal/apps",
 	"internal/bench/osu",
+	// The coordinator's probe loop and the load generator's run loop are
+	// both long-running: their exported entry points must accept and
+	// honor a context so shutdown and deadlines propagate fleet-wide.
+	"internal/fleet",
+	"internal/loadgen",
 }
 
 // CanonPackages are the packages that produce canonical byte streams:

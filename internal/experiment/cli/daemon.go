@@ -19,6 +19,7 @@ import (
 type DaemonOptions struct {
 	Addr         string
 	Journal      string
+	Shard        string
 	DrainTimeout time.Duration
 
 	Workers    int
@@ -46,6 +47,7 @@ func ParseDaemonFlags(args []string) (DaemonOptions, error) {
 	fs := flag.NewFlagSet("clusterd", flag.ContinueOnError)
 	fs.StringVar(&o.Addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.Journal, "journal", "", "write-ahead journal path (empty disables durability)")
+	fs.StringVar(&o.Shard, "shard", "", "fleet shard identity (set by clusterfleet; reported on /v1/healthz)")
 	fs.DurationVar(&o.DrainTimeout, "drain-timeout", 30*time.Second, "how long a graceful drain may run before in-flight jobs are cancelled")
 	fs.IntVar(&o.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&o.Queue, "queue", 256, "job queue depth")
@@ -109,6 +111,7 @@ func (o DaemonOptions) validate() error {
 // means "default"), so the translation happens here.
 func (o DaemonOptions) Config() service.Config {
 	cfg := service.Config{
+		ShardName:         o.Shard,
 		Workers:           o.Workers,
 		QueueDepth:        o.Queue,
 		CacheSize:         o.Cache,
@@ -189,8 +192,12 @@ func Daemon(ctx context.Context, opts DaemonOptions, onReady func(net.Addr)) err
 		_ = svc.Close(context.Background())
 		return err
 	}
-	fmt.Printf("clusterd listening on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), svc.Workers(), opts.Queue, opts.Cache)
+	shardTag := ""
+	if opts.Shard != "" {
+		shardTag = ", shard " + opts.Shard
+	}
+	fmt.Printf("clusterd listening on %s (%d workers, queue %d, cache %d%s)\n",
+		ln.Addr(), svc.Workers(), opts.Queue, opts.Cache, shardTag)
 	if opts.Journal != "" {
 		fmt.Printf("clusterd: journal %s, %d job(s) recovered\n", opts.Journal, svc.RecoveredJobs())
 	}

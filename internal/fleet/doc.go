@@ -1,0 +1,27 @@
+// Package fleet runs N clusterd shards behind one coordinator, turning
+// the single durable daemon into a horizontally scaled service.
+//
+// Canonical cache keys — the same content addresses that make the result
+// cache safe — are consistent-hashed (with virtual nodes, see Ring) onto
+// shards. The Coordinator owns the ring: it forwards POST /v1/jobs to the
+// key's owning shard, relays the shard's verdict byte-for-byte (including
+// 429 + Retry-After when the owner sheds), merges every shard's /metrics
+// and /healthz into per-shard and aggregate fleet series, and keeps a
+// route table from fleet job IDs ("s0-j000042") back to the shard that
+// ran them.
+//
+// Failure handling is two-staged, mirroring grendel's serve+watch idiom:
+// the Supervisor spawns shards as child processes and restarts a dead one
+// with exponential backoff — its write-ahead journal replays, so in-flight
+// jobs re-run on the same shard and no work is lost. While a shard is
+// down, the ring routes its key range to the next live successor, so new
+// submissions keep flowing. A shard that exhausts its restart budget is
+// declared dead: the coordinator reads the corpse's journal
+// (UnfinishedJobs), re-enqueues every non-terminal job on the surviving
+// shards, and rewrites the route table so existing fleet job IDs keep
+// resolving.
+//
+// The package is process-agnostic: the Coordinator talks plain HTTP to
+// shard base URLs, so tests back shards with httptest servers while
+// cmd/clusterfleet backs them with supervised clusterd children.
+package fleet

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"clustereval/internal/journal"
+)
+
+// Unfinished is one job a dead shard accepted but never finished: the
+// raw material of a handoff. Spec is the canonical spec JSON exactly as
+// the shard journaled it, so resubmitting it reproduces the same cache
+// key on the new owner.
+type Unfinished struct {
+	ID   string // the dead shard's local job ID
+	Key  string // canonical cache key
+	Spec json.RawMessage
+}
+
+// UnfinishedJobs reads a shard's write-ahead journal without opening it
+// for append and returns every job that was submitted but reached no
+// terminal state, in submission order. A journal ending in a clean
+// shutdown marker yields nothing: a drained shard finishes or cancels
+// everything before writing the marker, so an unfinished job there is a
+// bookkeeping casualty the shard's own recovery would cancel, not work
+// to move.
+//
+// A torn tail (the append the shard died inside) is skipped exactly the
+// way journal.Open would truncate it; mid-file corruption is refused —
+// a handoff must never invent work.
+func UnfinishedJobs(path string) ([]Unfinished, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // never wrote a record: nothing to move
+		}
+		return nil, fmt.Errorf("fleet: reading journal %s: %w", path, err)
+	}
+	recs, _, _, err := journal.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: decoding journal %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if recs[len(recs)-1].Type == journal.TypeShutdown {
+		return nil, nil
+	}
+
+	submitted := map[string]Unfinished{}
+	terminal := map[string]bool{}
+	var order []string
+	for _, r := range recs {
+		switch r.Type {
+		case journal.TypeSubmitted:
+			if _, dup := submitted[r.JobID]; !dup {
+				order = append(order, r.JobID)
+			}
+			submitted[r.JobID] = Unfinished{ID: r.JobID, Key: r.Key, Spec: r.Spec}
+			terminal[r.JobID] = false
+		case journal.TypeDone, journal.TypeFailed, journal.TypeCancelled:
+			terminal[r.JobID] = true
+		}
+	}
+	var out []Unfinished
+	for _, id := range order {
+		if !terminal[id] {
+			out = append(out, submitted[id])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(64)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		r.Add(s)
+	}
+	counts := map[string]int{}
+	for _, k := range ringKeys(3000) {
+		owner, ok := r.Lookup(k)
+		if !ok {
+			t.Fatalf("no owner for %s", k)
+		}
+		counts[owner]++
+	}
+	for _, s := range []string{"s0", "s1", "s2"} {
+		if counts[s] < 500 {
+			t.Fatalf("shard %s owns only %d/3000 keys; ring is badly imbalanced (%v)", s, counts[s], counts)
+		}
+	}
+}
+
+func TestRingLookupIsDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(32)
+		r.Add("s2")
+		r.Add("s0")
+		r.Add("s1")
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range ringKeys(200) {
+		oa, _ := a.Lookup(k)
+		ob, _ := b.Lookup(k)
+		if oa != ob {
+			t.Fatalf("key %s: ring A says %s, ring B says %s", k, oa, ob)
+		}
+	}
+}
+
+// A down shard must shed exactly its own key range: keys owned by live
+// shards keep their owner, and reviving the shard restores the original
+// placement bit-for-bit.
+func TestRingRerouteIsLocal(t *testing.T) {
+	r := NewRing(64)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		r.Add(s)
+	}
+	keys := ringKeys(1000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	r.SetLive("s1", false)
+	moved := 0
+	for _, k := range keys {
+		owner, ok := r.Lookup(k)
+		if !ok {
+			t.Fatalf("no owner for %s with s1 down", k)
+		}
+		if owner == "s1" {
+			t.Fatalf("key %s routed to down shard s1", k)
+		}
+		if before[k] != "s1" && owner != before[k] {
+			t.Fatalf("key %s moved %s -> %s although its owner never went down", k, before[k], owner)
+		}
+		if before[k] == "s1" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test is vacuous: s1 owned no keys")
+	}
+
+	r.SetLive("s1", true)
+	for _, k := range keys {
+		owner, _ := r.Lookup(k)
+		if owner != before[k] {
+			t.Fatalf("key %s did not return to %s after revival (got %s)", k, before[k], owner)
+		}
+	}
+}
+
+func TestRingRemoveForgetsShard(t *testing.T) {
+	r := NewRing(16)
+	r.Add("s0")
+	r.Add("s1")
+	r.Remove("s0")
+	for _, k := range ringKeys(100) {
+		owner, ok := r.Lookup(k)
+		if !ok || owner != "s1" {
+			t.Fatalf("key %s: owner %q ok=%v, want s1 after removal", k, owner, ok)
+		}
+	}
+	if shards := r.Shards(); len(shards) != 1 || !shards["s1"] {
+		t.Fatalf("Shards() = %v, want only live s1", shards)
+	}
+	// Removing again (or an unknown shard) is a no-op.
+	r.Remove("s0")
+	r.Remove("nope")
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Lookup("k"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claims a home owner")
+	}
+}
+
+func TestRingOwnerIgnoresLiveness(t *testing.T) {
+	r := NewRing(64)
+	r.Add("s0")
+	r.Add("s1")
+	key := "some-canonical-key"
+	home, _ := r.Owner(key)
+	r.SetLive(home, false)
+	if got, _ := r.Owner(key); got != home {
+		t.Fatalf("Owner moved %s -> %s when %s went down; home placement must be liveness-independent", home, got, home)
+	}
+	if got, _ := r.Lookup(key); got == home {
+		t.Fatalf("Lookup still routes to down shard %s", home)
+	}
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SupervisorConfig shapes the spawn/watch/restart loop.
+type SupervisorConfig struct {
+	// Bin is the clusterd binary to spawn.
+	Bin string
+	// BaseArgs are flags every shard gets (workers, queue, breaker
+	// tuning). The supervisor appends -addr, -journal and -shard itself.
+	BaseArgs []string
+	// RestartBackoff is the first respawn delay, doubled per consecutive
+	// failure up to MaxBackoff; 0 means 100ms.
+	RestartBackoff time.Duration
+	// MaxBackoff caps the doubling; 0 means 5s.
+	MaxBackoff time.Duration
+	// MaxRestarts is how many consecutive fast failures a shard may
+	// consume before it is declared permanently dead and its journal
+	// handed off; 0 means 5. A shard that stays up past StableAfter
+	// resets its budget.
+	MaxRestarts int
+	// StableAfter is how long a child must stay alive for its crash
+	// counter to reset; 0 means 10s.
+	StableAfter time.Duration
+	// Stdout/Stderr receive the children's output (prefixed per shard);
+	// nil means os.Stdout/os.Stderr.
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 5
+	}
+	if c.StableAfter <= 0 {
+		c.StableAfter = 10 * time.Second
+	}
+	if c.Stdout == nil {
+		c.Stdout = os.Stdout
+	}
+	if c.Stderr == nil {
+		c.Stderr = os.Stderr
+	}
+	return c
+}
+
+// Supervisor spawns one clusterd child per shard and keeps it alive,
+// grendel-style: serve, watch the process, restart on exit with
+// exponential backoff. Every lifecycle event is pushed into the
+// coordinator — URL on banner, liveness on exit, permanent death (and
+// journal handoff) once the restart budget is gone.
+type Supervisor struct {
+	cfg   SupervisorConfig
+	coord *Coordinator
+
+	mu   sync.Mutex
+	pids map[string]int // live child PID per shard
+}
+
+// NewSupervisor wires a supervisor to the coordinator whose shards it
+// will run. Each supervised shard must have been declared to the
+// coordinator with its JournalPath.
+func NewSupervisor(cfg SupervisorConfig, coord *Coordinator) *Supervisor {
+	return &Supervisor{cfg: cfg.withDefaults(), coord: coord, pids: map[string]int{}}
+}
+
+// PID returns the named shard's current child PID (0 when not running).
+func (s *Supervisor) PID(shard string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pids[shard]
+}
+
+// Run supervises every declared shard until ctx is cancelled; children
+// are SIGKILLed on the way out (callers drain via the shards' own
+// -drain-timeout by cancelling and waiting). It returns the first
+// spawn-setup error, or ctx.Err().
+func (s *Supervisor) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(s.coord.allShards()))
+	for _, st := range s.coord.allShards() {
+		st.mu.Lock()
+		shard := st.decl
+		st.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.superviseShard(ctx, shard); err != nil && !errors.Is(err, context.Canceled) {
+				errCh <- fmt.Errorf("fleet: shard %s: %w", shard.Name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// superviseShard is one shard's serve+watch loop.
+func (s *Supervisor) superviseShard(ctx context.Context, shard Shard) error {
+	backoff := s.cfg.RestartBackoff
+	restarts := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		began := hostNow()
+		err := s.runChildOnce(ctx, shard)
+		s.coord.SetShardLive(shard.Name, false)
+		s.mu.Lock()
+		delete(s.pids, shard.Name)
+		s.mu.Unlock()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+
+		// A child that served for a while earned a fresh budget; only
+		// rapid crash loops burn through MaxRestarts.
+		if hostSince(began) >= s.cfg.StableAfter {
+			restarts = 0
+			backoff = s.cfg.RestartBackoff
+		}
+		restarts++
+		if restarts > s.cfg.MaxRestarts {
+			fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s exhausted %d restarts; declaring dead and handing off journal\n",
+				shard.Name, s.cfg.MaxRestarts)
+			moved, ferr := s.coord.FailShard(ctx, shard.Name)
+			if ferr != nil {
+				return fmt.Errorf("handoff after restart budget: %w (child exit: %v)", ferr, err)
+			}
+			fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s journal handoff re-enqueued %d job(s)\n", shard.Name, moved)
+			return fmt.Errorf("shard dead after %d restarts (last exit: %v)", s.cfg.MaxRestarts, err)
+		}
+		fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s exited (%v); restart %d/%d in %v\n",
+			shard.Name, err, restarts, s.cfg.MaxRestarts, backoff)
+		s.coord.NoteRestart(shard.Name, restarts)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-sleepCh(backoff):
+		}
+		backoff *= 2
+		if backoff > s.cfg.MaxBackoff {
+			backoff = s.cfg.MaxBackoff
+		}
+	}
+}
+
+// runChildOnce spawns one clusterd child for the shard, waits for its
+// banner to learn the listen address, publishes it to the coordinator
+// and blocks until the child exits (or ctx cancels, which kills it).
+func (s *Supervisor) runChildOnce(ctx context.Context, shard Shard) error {
+	args := append([]string{}, s.cfg.BaseArgs...)
+	args = append(args, "-addr", "127.0.0.1:0", "-shard", shard.Name)
+	if shard.JournalPath != "" {
+		args = append(args, "-journal", shard.JournalPath)
+	}
+	cmd := exec.CommandContext(ctx, s.cfg.Bin, args...)
+	cmd.Cancel = func() error { return cmd.Process.Kill() }
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("stdout pipe: %w", err)
+	}
+	cmd.Stderr = prefixWriter(s.cfg.Stderr, shard.Name)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", s.cfg.Bin, err)
+	}
+	s.mu.Lock()
+	s.pids[shard.Name] = cmd.Process.Pid
+	s.mu.Unlock()
+	s.coord.SetShardPID(shard.Name, cmd.Process.Pid)
+
+	// Scan the banner for the bound address, then keep draining output.
+	out := prefixWriter(s.cfg.Stdout, shard.Name)
+	sc := bufio.NewScanner(stdout)
+	announced := false
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(out, line)
+		if announced {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "clusterd listening on "); ok {
+			if i := strings.IndexByte(rest, ' '); i > 0 {
+				addr := rest[:i]
+				s.coord.SetShardURL(shard.Name, "http://"+addr)
+				s.coord.SetShardLive(shard.Name, true)
+				announced = true
+			}
+		}
+	}
+	return cmd.Wait()
+}
+
+// prefixWriter tags each child's output lines with its shard name.
+func prefixWriter(w io.Writer, shard string) io.Writer {
+	return &lineTagger{w: w, tag: "[" + shard + "] "}
+}
+
+type lineTagger struct {
+	w   io.Writer
+	tag string
+	buf []byte
+}
+
+func (t *lineTagger) Write(p []byte) (int, error) {
+	t.buf = append(t.buf, p...)
+	for {
+		i := strings.IndexByte(string(t.buf), '\n')
+		if i < 0 {
+			break
+		}
+		line := t.buf[:i+1]
+		if _, err := io.WriteString(t.w, t.tag+string(line)); err != nil {
+			return len(p), err
+		}
+		t.buf = t.buf[i+1:]
+	}
+	return len(p), nil
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildClusterd compiles the real daemon binary for supervisor tests.
+func buildClusterd(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping child-process supervision test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "clusterd")
+	cmd := exec.Command("go", "build", "-o", bin, "clustereval/cmd/clusterd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building clusterd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// waitLive polls until the named shard is (or is not) live.
+func waitLive(t *testing.T, c *Coordinator, shard string, want bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		for _, st := range c.allShards() {
+			st.mu.Lock()
+			name, live := st.decl.Name, st.live
+			st.mu.Unlock()
+			if name == shard && live == want {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("shard %s never became live=%v", shard, want)
+}
+
+// End-to-end through real processes: the supervisor spawns clusterd
+// children, learns their addresses from the banner, restarts a SIGKILLed
+// shard with the same journal, and the killed shard's jobs stay
+// resolvable under their original fleet IDs.
+func TestSupervisorRestartsKilledShard(t *testing.T) {
+	bin := buildClusterd(t)
+	dir := t.TempDir()
+
+	coord, err := NewCoordinator(CoordinatorConfig{VirtualNodes: 32}, []Shard{
+		{Name: "s0", JournalPath: filepath.Join(dir, "s0.wal")},
+		{Name: "s1", JournalPath: filepath.Join(dir, "s1.wal")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(SupervisorConfig{
+		Bin:            bin,
+		BaseArgs:       []string{"-workers", "2", "-queue", "64"},
+		RestartBackoff: 50 * time.Millisecond,
+		Stdout:         io.Discard,
+		Stderr:         io.Discard,
+	}, coord)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	supDone := make(chan error, 1)
+	go func() { supDone <- sup.Run(ctx) }()
+
+	waitLive(t, coord, "s0", true)
+	waitLive(t, coord, "s1", true)
+
+	front := httptest.NewServer(coord)
+	defer front.Close()
+
+	// Land one job on each shard and wait for both results.
+	ids := map[string]string{}
+	for i := 0; len(ids) < 2 && i < 400; i++ {
+		v, resp := postJob(t, front.URL, netSpec(i))
+		if resp.StatusCode != 200 && resp.StatusCode != 202 {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		shard, _, _ := splitFleetID(v.ID)
+		if _, ok := ids[shard]; !ok {
+			ids[shard] = v.ID
+		}
+	}
+	if len(ids) < 2 {
+		t.Fatal("could not land jobs on both shards")
+	}
+	for _, id := range ids {
+		if v := waitDone(t, front.URL, id); v.State != "done" {
+			t.Fatalf("job %s ended %q", id, v.State)
+		}
+	}
+
+	// SIGKILL s1's child. The supervisor must notice, restart it with the
+	// same journal, and republish its (new) address.
+	pid := sup.PID("s1")
+	if pid == 0 {
+		t.Fatal("no PID recorded for s1")
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatalf("kill s1 (pid %d): %v", pid, err)
+	}
+	waitLive(t, coord, "s1", false)
+	waitLive(t, coord, "s1", true)
+	if sup.PID("s1") == pid {
+		t.Fatal("s1 was not respawned: same PID after SIGKILL")
+	}
+	if coord.restarts.Value() == 0 {
+		t.Fatal("fleet_shard_restarts_total not incremented")
+	}
+
+	// The journal-recovered shard must still resolve its pre-kill job
+	// under the original fleet ID — exactly-once across a restart.
+	if v := waitDone(t, front.URL, ids["s1"]); v.State != "done" {
+		t.Fatalf("job %s not recovered after restart: %q", ids["s1"], v.State)
+	}
+	// And fresh work routed at s1 completes on the new child.
+	v, resp := postJob(t, front.URL, netSpec(900))
+	if resp.StatusCode != 200 && resp.StatusCode != 202 {
+		t.Fatalf("post-restart submit: HTTP %d", resp.StatusCode)
+	}
+	if got := waitDone(t, front.URL, v.ID); got.State != "done" {
+		t.Fatalf("post-restart job ended %q", got.State)
+	}
+
+	cancel()
+	select {
+	case <-supDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervisor did not exit after cancel")
+	}
+}

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"clustereval/internal/xrand"
+)
+
+// MixConfig dials the traffic mix. The zero value is usable: 64 unique
+// clean specs, a fault job every 10 submissions, a deadline on every 5th
+// clean job.
+type MixConfig struct {
+	// Seed anchors the whole stream; identical seeds generate identical
+	// traffic.
+	Seed uint64
+	// UniqueSpecs is the size of the clean spec pool the stream draws
+	// from. Smaller pools mean more repeats, i.e. a higher cache hit
+	// rate; 0 means 64.
+	UniqueSpecs int
+	// FaultEvery makes every n-th submission the stream's single
+	// fault-carrying spec. The spec is constant, so consistent-hash
+	// routing sends every occurrence to the same shard, whose circuit
+	// breaker accumulates the failures. 0 means 10; negative disables.
+	FaultEvery int
+	// DeadlineEvery attaches a deadline_ms to every n-th clean job.
+	// 0 means 5; negative disables.
+	DeadlineEvery int
+	// DeadlineMS is the deadline attached to deadline-bearing jobs.
+	// 0 means 60000 — generous, so deadline jobs exercise the deadline
+	// plumbing without being expected to expire.
+	DeadlineMS int
+}
+
+func (c MixConfig) withDefaults() MixConfig {
+	if c.UniqueSpecs == 0 {
+		c.UniqueSpecs = 64
+	}
+	if c.FaultEvery == 0 {
+		c.FaultEvery = 10
+	}
+	if c.DeadlineEvery == 0 {
+		c.DeadlineEvery = 5
+	}
+	if c.DeadlineMS == 0 {
+		c.DeadlineMS = 60000
+	}
+	return c
+}
+
+// Generator derives job specs purely from (seed, index): no shared
+// state, safe for concurrent use, and Spec(i) is the same bytes in every
+// run and from every goroutine.
+type Generator struct {
+	cfg MixConfig
+}
+
+// NewGenerator builds a deterministic spec stream for the mix.
+func NewGenerator(cfg MixConfig) *Generator {
+	return &Generator{cfg: cfg.withDefaults()}
+}
+
+// IsFault reports whether submission i carries the fault spec.
+func (g *Generator) IsFault(i int) bool {
+	return g.cfg.FaultEvery > 0 && i > 0 && i%g.cfg.FaultEvery == 0
+}
+
+// Spec returns the i-th submission's JSON body.
+func (g *Generator) Spec(i int) string {
+	if g.IsFault(i) {
+		return g.faultSpec()
+	}
+	return g.cleanSpec(i)
+}
+
+// FaultSpec exposes the stream's constant fault-carrying spec, so a
+// harness can compute which shard the fault tranche will converge on.
+func (g *Generator) FaultSpec() string { return g.faultSpec() }
+
+// cleanSpec picks a pool entry for submission i. The pool index is a
+// hash, not i%N, so repeats are spread through the stream instead of
+// arriving in lockstep with the pool size.
+func (g *Generator) cleanSpec(i int) string {
+	pool := xrand.MixN(g.cfg.Seed, 0x10ad, uint64(i)) % uint64(g.cfg.UniqueSpecs)
+	spec := g.poolSpec(pool)
+	if g.cfg.DeadlineEvery > 0 && i%g.cfg.DeadlineEvery == 0 {
+		spec = spec[:len(spec)-1] + fmt.Sprintf(`,"deadline_ms":%d}`, g.cfg.DeadlineMS)
+	}
+	return spec
+}
+
+// poolSpec materialises pool entry j: the kind rotates through the fast
+// experiment kinds and the parameters come from j's own xrand stream, so
+// entry j is stable regardless of submission order.
+func (g *Generator) poolSpec(j uint64) string {
+	r := xrand.New(xrand.MixN(g.cfg.Seed, 0x5bec, j))
+	switch j % 4 {
+	case 0:
+		return fmt.Sprintf(`{"kind":"net","size_bytes":%d,"iters":%d,"dst_node":%d}`,
+			1024<<uint(r.Intn(8)), 2+r.Intn(6), 1+r.Intn(31))
+	case 1:
+		return fmt.Sprintf(`{"kind":"stream","ranks":%d}`, 1+r.Intn(12))
+	case 2:
+		return fmt.Sprintf(`{"kind":"fpu","iters":%d}`, 1000+1000*r.Intn(20))
+	default:
+		return fmt.Sprintf(`{"kind":"hpl","nodes":%d}`, 1+r.Intn(16))
+	}
+}
+
+// faultSpec is the constant fault-carrying spec: a net transfer whose
+// destination node is marked failed from sim-time zero, which aborts the
+// run with a retryable *NodeFailedError on every attempt.
+func (g *Generator) faultSpec() string {
+	r := xrand.New(xrand.MixN(g.cfg.Seed, 0xfa01))
+	node := 1 + r.Intn(31)
+	return fmt.Sprintf(
+		`{"kind":"net","size_bytes":%d,"iters":4,"dst_node":%d,"faults":{"nodes":[{"node":%d,"failed":true}]}}`,
+		4096, node, node)
+}

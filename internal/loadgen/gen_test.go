@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"clustereval/internal/service"
+)
+
+func TestGeneratorIsDeterministic(t *testing.T) {
+	a := NewGenerator(MixConfig{Seed: 42})
+	b := NewGenerator(MixConfig{Seed: 42})
+	for i := 0; i < 500; i++ {
+		if a.Spec(i) != b.Spec(i) {
+			t.Fatalf("spec %d diverged between identically-seeded generators", i)
+		}
+	}
+	c := NewGenerator(MixConfig{Seed: 43})
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.Spec(i) == c.Spec(i) {
+			same++
+		}
+	}
+	// The fault tranche is seed-dependent too, so a different seed should
+	// disagree almost everywhere.
+	if same > 100 {
+		t.Fatalf("seeds 42 and 43 agree on %d/500 specs; stream is not seed-driven", same)
+	}
+}
+
+func TestGeneratorSpecsAreValid(t *testing.T) {
+	g := NewGenerator(MixConfig{Seed: 7})
+	for i := 0; i < 400; i++ {
+		raw := g.Spec(i)
+		var spec service.JobSpec
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			t.Fatalf("spec %d is not JSON: %v\n%s", i, err, raw)
+		}
+		if _, _, err := service.Canonicalize(spec); err != nil {
+			t.Fatalf("spec %d does not canonicalize: %v\n%s", i, err, raw)
+		}
+	}
+}
+
+func TestGeneratorFaultTranche(t *testing.T) {
+	g := NewGenerator(MixConfig{Seed: 7, FaultEvery: 10})
+	fault := g.FaultSpec()
+	if !strings.Contains(fault, `"faults"`) || !strings.Contains(fault, `"failed":true`) {
+		t.Fatalf("fault spec carries no node failure: %s", fault)
+	}
+	for i := 0; i < 200; i++ {
+		isFault := i > 0 && i%10 == 0
+		if g.IsFault(i) != isFault {
+			t.Fatalf("IsFault(%d) = %v, want %v", i, g.IsFault(i), isFault)
+		}
+		if isFault && g.Spec(i) != fault {
+			t.Fatalf("fault submission %d differs from the constant fault spec", i)
+		}
+		if !isFault && g.Spec(i) == fault {
+			t.Fatalf("clean submission %d emitted the fault spec", i)
+		}
+	}
+	// Disabled tranche.
+	off := NewGenerator(MixConfig{Seed: 7, FaultEvery: -1})
+	for i := 0; i < 100; i++ {
+		if off.IsFault(i) {
+			t.Fatalf("FaultEvery<0 still emits fault at %d", i)
+		}
+	}
+}
+
+func TestGeneratorCacheHitMix(t *testing.T) {
+	g := NewGenerator(MixConfig{Seed: 7, UniqueSpecs: 16, FaultEvery: -1, DeadlineEvery: -1})
+	seen := map[string]int{}
+	for i := 0; i < 400; i++ {
+		seen[g.Spec(i)]++
+	}
+	if len(seen) > 16 {
+		t.Fatalf("pool of 16 produced %d distinct specs", len(seen))
+	}
+	repeats := 0
+	for _, n := range seen {
+		if n > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("400 draws from a 16-spec pool produced no repeats; cache hits are impossible")
+	}
+}
+
+func TestGeneratorDeadlineTranche(t *testing.T) {
+	g := NewGenerator(MixConfig{Seed: 7, DeadlineEvery: 5, DeadlineMS: 1234, FaultEvery: -1})
+	withDeadline := 0
+	for i := 0; i < 100; i++ {
+		spec := g.Spec(i)
+		if strings.Contains(spec, `"deadline_ms":1234`) {
+			withDeadline++
+			var parsed service.JobSpec
+			if err := json.Unmarshal([]byte(spec), &parsed); err != nil {
+				t.Fatalf("deadline spec %d is not JSON: %v\n%s", i, err, spec)
+			}
+		}
+	}
+	if withDeadline != 20 {
+		t.Fatalf("%d/100 specs carry the deadline, want 20", withDeadline)
+	}
+}

@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter paces callers to a fixed rate: each Wait reserves the next
+// submission slot and sleeps until it. Slots are spaced exactly
+// 1/rate apart from the first Wait, so a burst of ready workers drains
+// at the configured rate instead of all at once. A nil Limiter (or rate
+// <= 0) never blocks.
+type Limiter struct {
+	interval time.Duration
+	now      func() time.Time
+	sleep    func(time.Duration)
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+// NewLimiter builds a limiter for perSecond submissions per second,
+// paced on the host clock. perSecond <= 0 returns nil: no throttling.
+func NewLimiter(perSecond float64) *Limiter {
+	return newLimiter(perSecond, hostNow, hostSleep)
+}
+
+// newLimiter is the injected-clock constructor the tests use.
+func newLimiter(perSecond float64, now func() time.Time, sleep func(time.Duration)) *Limiter {
+	if perSecond <= 0 {
+		return nil
+	}
+	return &Limiter{
+		interval: time.Duration(float64(time.Second) / perSecond),
+		now:      now,
+		sleep:    sleep,
+	}
+}
+
+// Wait blocks until the caller's reserved slot arrives.
+func (l *Limiter) Wait() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	now := l.now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	delay := l.next.Sub(now)
+	l.next = l.next.Add(l.interval)
+	l.mu.Unlock()
+	if delay > 0 {
+		l.sleep(delay)
+	}
+}

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Limiter without wall-clock sleeps: sleeping just
+// advances the clock.
+type fakeClock struct {
+	t      time.Time
+	slept  []time.Duration
+	asleep time.Duration
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.slept = append(c.slept, d)
+	c.asleep += d
+	c.t = c.t.Add(d)
+}
+
+func TestLimiterPacesToRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := newLimiter(100, clk.now, clk.sleep) // 10ms interval
+
+	// First call is immediate; each subsequent call earns one interval.
+	for i := 0; i < 10; i++ {
+		l.Wait()
+	}
+	if got, want := clk.asleep, 90*time.Millisecond; got != want {
+		t.Fatalf("10 waits at 100/s slept %v total, want %v", got, want)
+	}
+	for _, d := range clk.slept {
+		if d > 10*time.Millisecond {
+			t.Fatalf("single wait slept %v, above the 10ms interval", d)
+		}
+	}
+}
+
+func TestLimiterDoesNotAccumulateIdleCredit(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := newLimiter(100, clk.now, clk.sleep)
+	l.Wait()
+	// A long idle gap must not let the next burst run free: slots restart
+	// from "now", spaced one interval apart.
+	clk.t = clk.t.Add(10 * time.Second)
+	before := clk.asleep
+	l.Wait() // immediate: slot was long overdue
+	l.Wait() // must wait one interval
+	if got, want := clk.asleep-before, 10*time.Millisecond; got != want {
+		t.Fatalf("post-idle pair slept %v, want %v", got, want)
+	}
+}
+
+func TestLimiterNilAndUnthrottled(t *testing.T) {
+	if l := NewLimiter(0); l != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	if l := NewLimiter(-3); l != nil {
+		t.Fatal("negative rate should disable the limiter")
+	}
+	var l *Limiter
+	l.Wait() // must not panic
+}

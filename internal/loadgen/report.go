@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LatencySummary condenses a latency population into the percentiles the
+// SLOs speak, in seconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// summarize folds a sample slice (seconds) into a LatencySummary.
+func summarize(samples []float64) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]float64{}, samples...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice using
+// the nearest-rank method.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Report is a load run's complete outcome.
+type Report struct {
+	Jobs      int `json:"jobs"`      // submissions attempted
+	Submitted int `json:"submitted"` // requests that got an HTTP response
+
+	// Submission verdicts.
+	Accepted    int `json:"accepted"`    // 202: queued on a shard
+	Cached      int `json:"cached"`      // 200: served from the result cache
+	Shed        int `json:"shed"`        // 429: admission control or open breaker
+	Unavailable int `json:"unavailable"` // 503: queue full / draining
+	Invalid     int `json:"invalid"`     // 400: generator produced a bad spec (a bug)
+	OtherHTTP   int `json:"other_http"`  // any other status (a bug)
+	Transport   int `json:"transport"`   // submissions that died before an HTTP status
+	FaultJobs   int `json:"fault_jobs"`  // submissions carrying the fault spec
+	Deadlined   int `json:"deadlined"`   // accepted jobs that expired their deadline
+
+	// Terminal outcomes of accepted jobs.
+	Done          int `json:"done"`
+	Failed        int `json:"failed"`
+	Cancelled     int `json:"cancelled"`
+	CleanFailures int `json:"clean_failures"` // failed jobs that carried no fault
+	Lost          int `json:"lost"`           // accepted but never reached a terminal state
+
+	WallSeconds      float64 `json:"wall_seconds"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"` // terminal outcomes per second
+
+	SubmitLatency LatencySummary `json:"submit_latency"` // POST round-trip
+	E2ELatency    LatencySummary `json:"e2e_latency"`    // submit -> observed terminal
+}
+
+// SLO is the contract a load run is judged against. Zero-valued fields
+// are not checked, except the always-on invariants: no lost jobs, no
+// clean-job failures, no invalid specs, no unclassified statuses.
+type SLO struct {
+	// MinThroughputPerSec is the floor on terminal outcomes per second.
+	MinThroughputPerSec float64
+	// MaxSubmitP99Seconds bounds the submission round-trip p99.
+	MaxSubmitP99Seconds float64
+	// MaxE2EP99Seconds bounds the submit-to-terminal p99.
+	MaxE2EP99Seconds float64
+	// MaxShedFraction bounds shed+unavailable as a fraction of
+	// submissions; 0 means "not checked" — sheds are an overload signal,
+	// not an error.
+	MaxShedFraction float64
+	// MaxTransportErrors bounds submissions that failed below HTTP.
+	// (Checked even when zero: transport errors are never acceptable
+	// unless explicitly budgeted.)
+	MaxTransportErrors int
+}
+
+// Check returns every violated clause, empty when the run met the SLO.
+func (r *Report) Check(slo SLO) []string {
+	var v []string
+	if r.Lost > 0 {
+		v = append(v, fmt.Sprintf("%d job(s) were accepted but never reached a terminal state", r.Lost))
+	}
+	if r.CleanFailures > 0 {
+		v = append(v, fmt.Sprintf("%d clean job(s) failed", r.CleanFailures))
+	}
+	if r.Invalid > 0 {
+		v = append(v, fmt.Sprintf("%d submission(s) were rejected as invalid specs", r.Invalid))
+	}
+	if r.OtherHTTP > 0 {
+		v = append(v, fmt.Sprintf("%d submission(s) got an unclassified HTTP status", r.OtherHTTP))
+	}
+	if r.Transport > slo.MaxTransportErrors {
+		v = append(v, fmt.Sprintf("%d transport error(s), budget %d", r.Transport, slo.MaxTransportErrors))
+	}
+	if slo.MinThroughputPerSec > 0 && r.ThroughputPerSec < slo.MinThroughputPerSec {
+		v = append(v, fmt.Sprintf("throughput %.1f/s below SLO %.1f/s", r.ThroughputPerSec, slo.MinThroughputPerSec))
+	}
+	if slo.MaxSubmitP99Seconds > 0 && r.SubmitLatency.P99 > slo.MaxSubmitP99Seconds {
+		v = append(v, fmt.Sprintf("submit p99 %.3fs above SLO %.3fs", r.SubmitLatency.P99, slo.MaxSubmitP99Seconds))
+	}
+	if slo.MaxE2EP99Seconds > 0 && r.E2ELatency.P99 > slo.MaxE2EP99Seconds {
+		v = append(v, fmt.Sprintf("e2e p99 %.3fs above SLO %.3fs", r.E2ELatency.P99, slo.MaxE2EP99Seconds))
+	}
+	if slo.MaxShedFraction > 0 && r.Submitted > 0 {
+		if frac := float64(r.Shed+r.Unavailable) / float64(r.Submitted); frac > slo.MaxShedFraction {
+			v = append(v, fmt.Sprintf("shed fraction %.3f above SLO %.3f", frac, slo.MaxShedFraction))
+		}
+	}
+	return v
+}
+
+// WriteSummary renders the human-readable run summary.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d submissions in %.2fs — %.1f terminal/s\n",
+		r.Jobs, r.WallSeconds, r.ThroughputPerSec)
+	fmt.Fprintf(w, "  submit: %d accepted, %d cached, %d shed, %d unavailable, %d invalid, %d transport\n",
+		r.Accepted, r.Cached, r.Shed, r.Unavailable, r.Invalid, r.Transport)
+	fmt.Fprintf(w, "  outcome: %d done, %d failed (%d clean), %d cancelled, %d lost\n",
+		r.Done, r.Failed, r.CleanFailures, r.Cancelled, r.Lost)
+	fmt.Fprintf(w, "  submit latency: p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms\n",
+		r.SubmitLatency.P50*1e3, r.SubmitLatency.P95*1e3, r.SubmitLatency.P99*1e3, r.SubmitLatency.Max*1e3)
+	fmt.Fprintf(w, "  e2e latency:    p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms\n",
+		r.E2ELatency.P50*1e3, r.E2ELatency.P95*1e3, r.E2ELatency.P99*1e3, r.E2ELatency.Max*1e3)
+}

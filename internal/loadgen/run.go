@@ -1,0 +1,287 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL is the clusterd daemon or clusterfleet coordinator to load.
+	BaseURL string
+	// Jobs is how many submissions to make.
+	Jobs int
+	// Concurrency is the number of concurrent submitters; 0 means 8.
+	Concurrency int
+	// RatePerSec paces submissions fleet-wide; <= 0 means unthrottled.
+	RatePerSec float64
+	// Mix dials the traffic composition.
+	Mix MixConfig
+	// PollInterval spaces the completion polls; 0 means 20ms.
+	PollInterval time.Duration
+	// PollTimeout bounds how long the runner waits for accepted jobs to
+	// reach a terminal state after the last submission; 0 means 2m.
+	PollTimeout time.Duration
+	// Client is the HTTP client; nil means a client with a 30s timeout.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 20 * time.Millisecond
+	}
+	if c.PollTimeout <= 0 {
+		c.PollTimeout = 2 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// Runner executes a load run against one endpoint.
+type Runner struct {
+	cfg Config
+	gen *Generator
+	lim *Limiter
+}
+
+// NewRunner validates the config and builds the runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("loadgen: Jobs must be positive, got %d", cfg.Jobs)
+	}
+	cfg = cfg.withDefaults()
+	return &Runner{
+		cfg: cfg,
+		gen: NewGenerator(cfg.Mix),
+		lim: NewLimiter(cfg.RatePerSec),
+	}, nil
+}
+
+// Generator exposes the runner's spec stream (harnesses use it to aim
+// assertions at the fault tranche).
+func (r *Runner) Generator() *Generator { return r.gen }
+
+// jobView is the subset of the daemon's job view the runner reads.
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// accepted is one queued submission awaiting its terminal state.
+type accepted struct {
+	id       string
+	fault    bool
+	submitAt time.Time
+}
+
+// Run submits the configured traffic, waits for every accepted job to
+// reach a terminal state, and returns the folded Report. It returns an
+// error only for harness-level failures (context cancelled); service
+// misbehaviour is data, reported in the Report and judged by Check.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	cfg := r.cfg
+	rep := &Report{Jobs: cfg.Jobs}
+	start := hostNow()
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var pending []accepted
+	e2e := []float64{}
+	submitLat := []float64{}
+
+	worker := func() {
+		defer wg.Done()
+		for i := range indices {
+			if ctx.Err() != nil {
+				continue // drain the channel; counted as unsubmitted
+			}
+			r.lim.Wait()
+			spec := r.gen.Spec(i)
+			fault := r.gen.IsFault(i)
+			sentAt := hostNow()
+			view, status, err := r.submit(ctx, spec)
+			lat := hostSince(sentAt).Seconds()
+
+			mu.Lock()
+			if fault {
+				rep.FaultJobs++
+			}
+			switch {
+			case err != nil:
+				rep.Transport++
+			case status == http.StatusOK:
+				rep.Submitted++
+				rep.Cached++
+				submitLat = append(submitLat, lat)
+				e2e = append(e2e, lat)
+			case status == http.StatusAccepted:
+				rep.Submitted++
+				rep.Accepted++
+				submitLat = append(submitLat, lat)
+				pending = append(pending, accepted{id: view.ID, fault: fault, submitAt: sentAt})
+			case status == http.StatusTooManyRequests:
+				rep.Submitted++
+				rep.Shed++
+			case status == http.StatusServiceUnavailable:
+				rep.Submitted++
+				rep.Unavailable++
+			case status == http.StatusBadRequest:
+				rep.Submitted++
+				rep.Invalid++
+			default:
+				rep.Submitted++
+				rep.OtherHTTP++
+			}
+			mu.Unlock()
+		}
+	}
+
+	wg.Add(cfg.Concurrency)
+	for w := 0; w < cfg.Concurrency; w++ {
+		go worker()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+
+	// Poll phase: chase every accepted job to a terminal state.
+	deadline := hostNow().Add(cfg.PollTimeout)
+	shards := splitWork(pending, cfg.Concurrency)
+	wg.Add(len(shards))
+	for _, part := range shards {
+		part := part
+		go func() {
+			defer wg.Done()
+			remaining := part
+			for len(remaining) > 0 && ctx.Err() == nil && hostNow().Before(deadline) {
+				next := remaining[:0]
+				for _, a := range remaining {
+					view, ok := r.poll(ctx, a.id)
+					if !ok {
+						next = append(next, a)
+						continue
+					}
+					switch view.State {
+					case "done", "failed", "cancelled":
+						lat := hostSince(a.submitAt).Seconds()
+						mu.Lock()
+						e2e = append(e2e, lat)
+						switch view.State {
+						case "done":
+							rep.Done++
+						case "failed":
+							rep.Failed++
+							if !a.fault {
+								rep.CleanFailures++
+							}
+						case "cancelled":
+							rep.Cancelled++
+						}
+						mu.Unlock()
+					default:
+						next = append(next, a)
+					}
+				}
+				remaining = next
+				if len(remaining) > 0 {
+					hostSleep(cfg.PollInterval)
+				}
+			}
+			if len(remaining) > 0 {
+				mu.Lock()
+				rep.Lost += len(remaining)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+
+	rep.WallSeconds = hostSince(start).Seconds()
+	if rep.WallSeconds > 0 {
+		rep.ThroughputPerSec = float64(rep.Cached+rep.Done+rep.Failed+rep.Cancelled) / rep.WallSeconds
+	}
+	rep.SubmitLatency = summarize(submitLat)
+	rep.E2ELatency = summarize(e2e)
+	return rep, nil
+}
+
+// submit POSTs one spec; the returned status is 0 when err != nil.
+func (r *Runner) submit(ctx context.Context, spec string) (jobView, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/jobs", strings.NewReader(spec))
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var view jobView
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = json.Unmarshal(body, &view)
+	return view, resp.StatusCode, nil
+}
+
+// poll GETs one job; ok is false when the answer was not a readable job
+// view (transient coordinator 503s during failover land here and are
+// simply retried on the next sweep).
+func (r *Runner) poll(ctx context.Context, id string) (jobView, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return jobView{}, false
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return jobView{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return jobView{}, false
+	}
+	var view jobView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&view); err != nil {
+		return jobView{}, false
+	}
+	return view, true
+}
+
+// splitWork deals the accepted jobs round-robin onto n pollers.
+func splitWork(jobs []accepted, n int) [][]accepted {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	parts := make([][]accepted, n)
+	for i, j := range jobs {
+		parts[i%n] = append(parts[i%n], j)
+	}
+	return parts
+}

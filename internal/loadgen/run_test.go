@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"clustereval/internal/service"
+)
+
+func TestRunnerAgainstService(t *testing.T) {
+	svc := service.New(service.Config{Workers: 4, QueueDepth: 512})
+	srv := httptest.NewServer(service.NewServer(svc))
+	defer srv.Close()
+	defer func() { _ = svc.Close(context.Background()) }()
+
+	// DeadlineMS is deliberately huge: under -race the simulations run
+	// an order of magnitude slower, and queued jobs expiring a "generous"
+	// 60s deadline would read as clean failures.
+	r, err := NewRunner(Config{
+		BaseURL:     srv.URL,
+		Jobs:        200,
+		Concurrency: 8,
+		Mix:         MixConfig{Seed: 11, UniqueSpecs: 32, FaultEvery: 15, DeadlineMS: 600000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Submitted+rep.Transport != rep.Jobs {
+		t.Fatalf("submitted %d + transport %d != jobs %d", rep.Submitted, rep.Transport, rep.Jobs)
+	}
+	if rep.Transport != 0 {
+		t.Fatalf("%d transport errors against a local server", rep.Transport)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("%d jobs lost", rep.Lost)
+	}
+	if rep.CleanFailures != 0 {
+		t.Fatalf("%d clean jobs failed", rep.CleanFailures)
+	}
+	if rep.Invalid != 0 || rep.OtherHTTP != 0 {
+		t.Fatalf("generator produced rejected traffic: %d invalid, %d other", rep.Invalid, rep.OtherHTTP)
+	}
+	// 200 draws from a 32-spec pool must hit the cache.
+	if rep.Cached == 0 {
+		t.Fatal("no cache hits in a repeat-heavy mix")
+	}
+	// The fault tranche ran and failed (or was shed by the breaker once
+	// it opened) — it must never be counted as clean failures.
+	if rep.FaultJobs == 0 {
+		t.Fatal("no fault jobs were submitted")
+	}
+	if rep.Failed+rep.Shed == 0 {
+		t.Fatal("fault tranche produced neither failures nor breaker sheds")
+	}
+	// Every terminal outcome is accounted for.
+	terminal := rep.Cached + rep.Done + rep.Failed + rep.Cancelled
+	if terminal+rep.Shed+rep.Unavailable != rep.Submitted {
+		t.Fatalf("outcomes don't add up: %d terminal + %d shed + %d unavailable != %d submitted",
+			terminal, rep.Shed, rep.Unavailable, rep.Submitted)
+	}
+	if rep.ThroughputPerSec <= 0 {
+		t.Fatalf("throughput %.2f/s", rep.ThroughputPerSec)
+	}
+	if rep.SubmitLatency.Count == 0 || rep.E2ELatency.Count == 0 {
+		t.Fatal("latency populations are empty")
+	}
+
+	// The run should pass a sane SLO and fail an absurd one.
+	if v := rep.Check(SLO{MinThroughputPerSec: 1, MaxSubmitP99Seconds: 30, MaxE2EP99Seconds: 60}); len(v) != 0 {
+		t.Fatalf("sane SLO violated: %v", v)
+	}
+	if v := rep.Check(SLO{MinThroughputPerSec: 1e9}); len(v) == 0 {
+		t.Fatal("absurd throughput SLO not flagged")
+	}
+}
+
+func TestRunnerCountsSheds(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"shedding load"}`, http.StatusTooManyRequests)
+	}))
+	defer stub.Close()
+
+	r, err := NewRunner(Config{BaseURL: stub.URL, Jobs: 20, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 20 {
+		t.Fatalf("shed = %d, want 20", rep.Shed)
+	}
+	// Sheds are not violations unless the SLO bounds them.
+	if v := rep.Check(SLO{}); len(v) != 0 {
+		t.Fatalf("all-shed run violated the default SLO: %v", v)
+	}
+	if v := rep.Check(SLO{MaxShedFraction: 0.5}); len(v) == 0 {
+		t.Fatal("shed fraction 1.0 passed a 0.5 bound")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Config{Jobs: 1}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := NewRunner(Config{BaseURL: "http://x", Jobs: 0}); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := summarize([]float64{4, 1, 3, 2, 5})
+	if s.P50 != 3 || s.Max != 5 || s.Count != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P99 != 5 {
+		t.Fatalf("p99 of 5 samples = %g, want the max", s.P99)
+	}
+	if z := summarize(nil); z.Count != 0 || z.Max != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}

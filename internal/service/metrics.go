@@ -92,12 +92,55 @@ func (hv *HistogramVec) With(value string) *Histogram {
 	return h
 }
 
+// GaugeVec is a family of explicitly-set gauges partitioned by one label
+// (the fleet coordinator uses it for per-shard liveness and restart
+// counts). Children render sorted by label value, so the exposition is
+// byte-stable across scrapes.
+type GaugeVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]float64
+}
+
+// Set records the gauge value for a label value, creating the child on
+// first use.
+func (gv *GaugeVec) Set(value string, v float64) {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	gv.children[value] = v
+}
+
+// Delete removes a child (a shard leaving the fleet takes its series
+// with it).
+func (gv *GaugeVec) Delete(value string) {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	delete(gv.children, value)
+}
+
+// snapshot returns the children sorted by label value.
+func (gv *GaugeVec) snapshot() ([]string, []float64) {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	labels := make([]string, 0, len(gv.children))
+	for l := range gv.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	vals := make([]float64, len(labels))
+	for i, l := range labels {
+		vals[i] = gv.children[l]
+	}
+	return labels, vals
+}
+
 // metricKind tags a registered family for rendering.
 type metricKind int
 
 const (
 	kindCounter metricKind = iota
 	kindGauge
+	kindGaugeVec
 	kindHistogram
 )
 
@@ -107,6 +150,7 @@ type family struct {
 	kind       metricKind
 	counter    *Counter
 	gaugeFn    func() float64
+	gaugeVec   *GaugeVec
 	hist       *HistogramVec
 }
 
@@ -144,6 +188,13 @@ func (r *Registry) Counter(name, help string) *Counter {
 // — the natural shape for instantaneous readings like queue depth.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&family{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// GaugeVec registers a one-label family of explicitly-set gauges.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	gv := &GaugeVec{label: label, children: map[string]float64{}}
+	r.register(&family{name: name, help: help, kind: kindGaugeVec, gaugeVec: gv})
+	return gv
 }
 
 // HistogramVec registers a one-label histogram family with the given
@@ -190,6 +241,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case kindGauge:
 			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", f.name, f.name, formatValue(f.gaugeFn())); err != nil {
 				return err
+			}
+		case kindGaugeVec:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", f.name); err != nil {
+				return err
+			}
+			labels, vals := f.gaugeVec.snapshot()
+			for i, l := range labels {
+				if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", f.name, f.gaugeVec.label, l, formatValue(vals[i])); err != nil {
+					return err
+				}
 			}
 		case kindHistogram:
 			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", f.name); err != nil {

@@ -193,7 +193,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if sat >= healthSaturationLimit || (samples >= healthMinSamples && rate >= healthFailureRateLimit) {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	report := map[string]any{
 		"status":              status,
 		"uptime_seconds":      s.svc.cfg.clock().Sub(s.start).Seconds(),
 		"workers":             s.svc.Workers(),
@@ -204,7 +204,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"recent_samples":      samples,
 		"breaker":             s.svc.BreakerState(),
 		"durable":             s.svc.Durable(),
-	})
+	}
+	if shard := s.svc.ShardName(); shard != "" {
+		report["shard"] = shard
+	}
+	writeJSON(w, http.StatusOK, report)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -64,6 +64,11 @@ func (e *OverloadError) Error() string { return "service: " + e.Reason }
 
 // Config sizes the service.
 type Config struct {
+	// ShardName is this daemon's identity inside a clusterfleet ("s0");
+	// empty for a standalone daemon. It is reported on /v1/healthz and in
+	// the startup banner so fleet tooling can tie a process to its ring
+	// position.
+	ShardName string
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds the number of jobs waiting to run; 0 means 256.
@@ -537,6 +542,9 @@ func (s *Service) Durable() bool { return s.jnl != nil }
 
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }
+
+// ShardName returns this daemon's fleet identity ("" standalone).
+func (s *Service) ShardName() string { return s.cfg.ShardName }
 
 // Submit validates, canonicalises and either answers spec from the result
 // cache or enqueues it. The returned view reflects the job's state at

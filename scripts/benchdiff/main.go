@@ -1,0 +1,200 @@
+// Command benchdiff records and compares `go test -bench` results so CI
+// can flag performance regressions against a committed baseline.
+//
+// Record a baseline (reads benchmark text output on stdin):
+//
+//	go test -bench=. -benchmem . | go run ./scripts/benchdiff -record -out BENCH_seed.json
+//
+// Compare a fresh run against the baseline:
+//
+//	go test -bench=. -benchmem . | go run ./scripts/benchdiff -baseline BENCH_seed.json
+//
+// A benchmark regresses when its ns/op or allocs/op exceeds the baseline
+// by more than 10% (plus a small absolute floor so single-digit-alloc
+// benchmarks aren't flagged on a one-alloc wobble). Any regression lists
+// on stderr and exits 1; benchmarks present on only one side are
+// reported but never fail the run. Wall-clock noise makes ns/op jumpy on
+// shared CI machines, which is why the CI step consuming this is
+// advisory (continue-on-error) — the committed baseline still gives
+// reviewers a number to argue with.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Regression thresholds: relative slack for noise, absolute floors so
+// tiny baselines (a 4-alloc benchmark, a 600ns benchmark) need a real
+// move, not a rounding wobble, to trip.
+const (
+	relSlack    = 0.10
+	nsFloor     = 100.0
+	allocsFloor = 2.0 // B/op is recorded for the curious but not judged
+)
+
+// result is one benchmark's recorded figures.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	record := flag.Bool("record", false, "write a baseline from stdin instead of comparing")
+	out := flag.String("out", "BENCH_seed.json", "baseline file to write with -record")
+	baseline := flag.String("baseline", "BENCH_seed.json", "baseline file to compare stdin against")
+	flag.Parse()
+
+	var err error
+	if *record {
+		err = recordBaseline(os.Stdin, *out)
+	} else {
+		err = compare(os.Stdin, *baseline)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkFig7_HPCG-8   969796   1319 ns/op   848 B/op   4 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines port across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse extracts benchmark results from `go test -bench` text output,
+// echoing every line through to stdout so the tool can sit at the end of
+// a pipe without hiding the run.
+func parse(r io.Reader) (map[string]result, error) {
+	res := map[string]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var cur result
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				cur.NsPerOp = v
+			case "B/op":
+				cur.BytesPerOp = v
+			case "allocs/op":
+				cur.AllocsPerOp = v
+			}
+		}
+		if cur.NsPerOp > 0 {
+			res[m[1]] = cur
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark results on stdin")
+	}
+	return res, nil
+}
+
+func recordBaseline(r io.Reader, path string) error {
+	res, err := parse(r)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(res), path)
+	return nil
+}
+
+// regressed reports whether got exceeds want by the relative slack plus
+// the absolute floor.
+func regressed(want, got, floor float64) bool {
+	return got > want*(1+relSlack) && got-want > floor
+}
+
+func compare(r io.Reader, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w (run `make bench-baseline` to create it)", err)
+	}
+	base := map[string]result{}
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	fresh, err := parse(r)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	regressedNames := map[string]bool{}
+	compared := 0
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Printf("benchdiff: %s only in baseline (removed?)\n", name)
+			continue
+		}
+		compared++
+		if regressed(b.NsPerOp, f.NsPerOp, nsFloor) {
+			regressedNames[name] = true
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (%+.1f%%)", name, b.NsPerOp, f.NsPerOp,
+				100*(f.NsPerOp-b.NsPerOp)/b.NsPerOp))
+		}
+		if regressed(b.AllocsPerOp, f.AllocsPerOp, allocsFloor) {
+			regressedNames[name] = true
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %.0f -> %.0f (%+.1f%%)", name, b.AllocsPerOp, f.AllocsPerOp,
+				100*(f.AllocsPerOp-b.AllocsPerOp)/b.AllocsPerOp))
+		}
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchdiff: %s not in baseline (new — re-record to track it)\n", name)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regressions), path)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		return fmt.Errorf("%d of %d benchmarks regressed >%.0f%%", len(regressedNames), compared, 100*relSlack)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of %s\n", compared, 100*relSlack, path)
+	return nil
+}

@@ -1,0 +1,360 @@
+// Command fleettest is the fleet durability acceptance harness wired
+// into `make crashtest` (and `make fleettest`): it builds clusterd and
+// clusterfleet, starts a three-shard fleet, submits a mid-weight
+// workload through the coordinator, SIGKILLs the busiest shard's child
+// process mid-flight, and asserts that the supervisor restarts it with
+// the same journal and that every job still reaches exactly one terminal
+// state under its original fleet ID — no losses, no duplicates. It then
+// restarts the whole fleet against the same journals and asserts the
+// results survive, exercising the prefix-route fallback that keeps fleet
+// IDs resolvable without coordinator persistence. It exits non-zero with
+// a diagnostic on the first violated invariant.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const jobCount = 60
+
+type jobView struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleettest: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleettest: PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "clusterfleet-test")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	clusterd := filepath.Join(dir, "clusterd")
+	clusterfleet := filepath.Join(dir, "clusterfleet")
+	for bin, pkg := range map[string]string{clusterd: "./cmd/clusterd", clusterfleet: "./cmd/clusterfleet"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			return fmt.Errorf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	data := filepath.Join(dir, "fleet-data")
+
+	// Incarnation 1: run the workload, kill a shard mid-flight.
+	fleet, base, err := startFleet(clusterfleet, clusterd, data)
+	if err != nil {
+		return err
+	}
+	defer fleet.Process.Kill()
+	if err := waitLiveShards(base, 3, 30*time.Second); err != nil {
+		return err
+	}
+
+	ids := make([]string, 0, jobCount)
+	seen := map[string]bool{}
+	for i := 0; i < jobCount; i++ {
+		// Distinct DES-backed network jobs, slow enough that the kill
+		// lands while part of the workload is queued or running.
+		spec := fmt.Sprintf(`{"kind":"net","size_bytes":%d,"iters":60,"src_node":0,"dst_node":%d}`,
+			4096+i*512, 1+i%31)
+		v, code, err := post(base+"/v1/jobs", spec)
+		if err != nil {
+			return fmt.Errorf("submitting job %d: %w", i, err)
+		}
+		if code != http.StatusAccepted && code != http.StatusOK {
+			return fmt.Errorf("submitting job %d: HTTP %d", i, code)
+		}
+		if v.ID == "" || seen[v.ID] {
+			return fmt.Errorf("job %d got duplicate or empty fleet ID %q", i, v.ID)
+		}
+		seen[v.ID] = true
+		ids = append(ids, v.ID)
+	}
+
+	// Let part of the workload finish, then SIGKILL the shard with the
+	// most jobs still in flight.
+	if err := waitTerminalCount(base, ids, 10, 60*time.Second); err != nil {
+		return fmt.Errorf("before kill: %w", err)
+	}
+	victim, pid, err := busiestShard(base, ids)
+	if err != nil {
+		return err
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		return fmt.Errorf("killing shard %s (pid %d): %w", victim, pid, err)
+	}
+	fmt.Printf("fleettest: shard %s (pid %d) killed mid-workload\n", victim, pid)
+
+	// The supervisor must restart it with the same journal; every job
+	// reaches exactly one terminal state under its original fleet ID.
+	if err := waitTerminalCount(base, ids, jobCount, 180*time.Second); err != nil {
+		return fmt.Errorf("after shard kill: %w", err)
+	}
+	for _, id := range ids {
+		v, err := get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return fmt.Errorf("job %s lost across the shard kill: %w", id, err)
+		}
+		if v.State != "done" || len(v.Result) == 0 {
+			return fmt.Errorf("job %s ended %q (%s), want done with a result", id, v.State, v.Error)
+		}
+	}
+	metrics, err := getText(base + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	if strings.Contains(metrics, "fleet_shard_restarts_total 0\n") {
+		return fmt.Errorf("supervisor reported no restarts after the kill")
+	}
+	if !strings.Contains(metrics, `clusterd_jobs_submitted_total{shard="`+victim+`"}`) {
+		return fmt.Errorf("restarted shard %s missing from the merged exposition", victim)
+	}
+	fmt.Printf("fleettest: %d jobs done after shard %s was killed and restarted\n", jobCount, victim)
+
+	// Graceful fleet stop, then incarnation 2 against the same journals:
+	// every result must still resolve under its original fleet ID.
+	if err := stopFleet(fleet); err != nil {
+		return err
+	}
+	fleet2, base2, err := startFleet(clusterfleet, clusterd, data)
+	if err != nil {
+		return fmt.Errorf("restarting fleet: %w", err)
+	}
+	defer fleet2.Process.Kill()
+	if err := waitLiveShards(base2, 3, 30*time.Second); err != nil {
+		return fmt.Errorf("after fleet restart: %w", err)
+	}
+	if err := waitTerminalCount(base2, ids, jobCount, 120*time.Second); err != nil {
+		return fmt.Errorf("after fleet restart: %w", err)
+	}
+	for _, id := range ids {
+		v, err := get(base2 + "/v1/jobs/" + id)
+		if err != nil {
+			return fmt.Errorf("job %s lost across the fleet restart: %w", id, err)
+		}
+		if v.State != "done" || len(v.Result) == 0 {
+			return fmt.Errorf("job %s ended %q (%s) after fleet restart, want done", id, v.State, v.Error)
+		}
+	}
+	// The restarted fleet still takes fresh work.
+	v, code, err := post(base2+"/v1/jobs", `{"kind":"net","size_bytes":2048,"iters":5,"dst_node":7}`)
+	if err != nil || (code != http.StatusAccepted && code != http.StatusOK) {
+		return fmt.Errorf("fresh submission after fleet restart: HTTP %d, %v", code, err)
+	}
+	if err := waitTerminalCount(base2, []string{v.ID}, 1, 30*time.Second); err != nil {
+		return err
+	}
+	if err := stopFleet(fleet2); err != nil {
+		return err
+	}
+	fmt.Printf("fleettest: %d jobs intact across a full fleet restart\n", jobCount)
+	return nil
+}
+
+// startFleet launches clusterfleet on an ephemeral port and parses the
+// bound address from its banner.
+func startFleet(clusterfleet, clusterd, data string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(clusterfleet,
+		"-addr", "127.0.0.1:0", "-bin", clusterd, "-shards", "3", "-data", data,
+		"-workers", "2", "-queue", "128", "-probe-interval", "100ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println("  |", line)
+			if rest, ok := strings.CutPrefix(line, "clusterfleet listening on "); ok {
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					select {
+					case addrCh <- rest[:i]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("clusterfleet never announced its address")
+	}
+}
+
+// stopFleet drains the coordinator and its children via SIGTERM.
+func stopFleet(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("clusterfleet exited uncleanly: %w", err)
+	}
+	return nil
+}
+
+// waitLiveShards polls /v1/healthz until the fleet reports n live shards.
+func waitLiveShards(base string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			var report struct {
+				LiveShards int `json:"live_shards"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&report)
+			resp.Body.Close()
+			if derr == nil && report.LiveShards >= n {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet never reached %d live shards", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// busiestShard finds the shard owning the most non-terminal jobs and its
+// child PID.
+func busiestShard(base string, ids []string) (string, int, error) {
+	inflight := map[string]int{}
+	for _, id := range ids {
+		v, err := get(base + "/v1/jobs/" + id)
+		if err != nil {
+			continue
+		}
+		switch v.State {
+		case "done", "failed", "cancelled":
+		default:
+			shard, _, ok := strings.Cut(id, "-")
+			if ok {
+				inflight[shard]++
+			}
+		}
+	}
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var topo struct {
+		Shards []struct {
+			Name string `json:"name"`
+			Live bool   `json:"live"`
+			PID  int    `json:"pid"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return "", 0, err
+	}
+	best, bestPID, bestCount := "", 0, -1
+	for _, s := range topo.Shards {
+		if !s.Live || s.PID == 0 {
+			continue
+		}
+		if inflight[s.Name] > bestCount {
+			best, bestPID, bestCount = s.Name, s.PID, inflight[s.Name]
+		}
+	}
+	if best == "" {
+		return "", 0, fmt.Errorf("no live shard with a PID to kill")
+	}
+	return best, bestPID, nil
+}
+
+// waitTerminalCount polls until at least n of the jobs are terminal.
+// Non-OK answers (a down shard answers 503 while its child restarts) are
+// counted as not-terminal-yet and retried.
+func waitTerminalCount(base string, ids []string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		terminal := 0
+		for _, id := range ids {
+			v, err := get(base + "/v1/jobs/" + id)
+			if err != nil {
+				continue
+			}
+			switch v.State {
+			case "done", "failed", "cancelled":
+				terminal++
+			}
+		}
+		if terminal >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d/%d jobs terminal after %v", terminal, n, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func post(url, body string) (jobView, int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return jobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return jobView{}, resp.StatusCode, err
+	}
+	return v, resp.StatusCode, nil
+}
+
+func get(url string) (jobView, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobView{}, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return jobView{}, err
+	}
+	return v, nil
+}
+
+func getText(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err = buf.ReadFrom(resp.Body)
+	return buf.String(), err
+}
