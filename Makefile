@@ -9,7 +9,7 @@ GO ?= go
 # cannot run" without chasing @latest breakage).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff ablation paper export serve fleet examples crashtest fleettest loadtest clean
+.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff benchdiff-engine difftest profile ablation paper export serve fleet examples crashtest fleettest loadtest clean
 
 all: build lint test
 
@@ -71,6 +71,31 @@ bench-baseline:
 benchdiff:
 	$(GO) test -bench=. -benchmem . | $(GO) run ./scripts/benchdiff -baseline BENCH_seed.json
 
+# Engine benchmark gate: only the simulator-level benchmarks
+# (BenchmarkDES_*, BenchmarkMPISim_*), compared hard against the
+# baseline. These measure the DES engine itself, are far less noisy than
+# the full-figure benchmarks, and a regression here slows every
+# experiment — so CI fails on them.
+benchdiff-engine:
+	$(GO) test -run '^$$' -bench='^Benchmark(DES|MPISim)_' -benchmem . | \
+		$(GO) run ./scripts/benchdiff -baseline BENCH_seed.json -prefix BenchmarkDES_,BenchmarkMPISim_
+
+# The differential tier (see TESTING.md): the calendar-queue fast path
+# must schedule bit-identically to the reference heap. Runs the
+# engine-level trace comparison, the calq fuzz seeds + oracle tests, the
+# experiment-level result comparison for every registered kind, and the
+# whole des test suite pinned to the reference queue via the build tag.
+difftest:
+	$(GO) test -run 'Differential|Oracle|Fuzz|CondSignal|WorkerReuse' -v ./internal/des/... ./internal/experiment/
+	$(GO) test -tags desrefqueue ./internal/des/...
+
+# CPU + heap profile of a full Fig. 11 regeneration (NEMO through the
+# DES-backed MPI runtime): the standard starting point for engine
+# performance work. Inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/clustereval -figure 11 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "profile: wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
+
 # Ablations: quantify each modelled mechanism's contribution.
 ablation:
 	$(GO) test -bench=Ablation -benchtime=1x .
@@ -125,4 +150,4 @@ examples:
 	$(GO) run ./examples/pop-analysis
 
 clean:
-	rm -rf paperdata test_output.txt bench_output.txt coverage.out bin
+	rm -rf paperdata test_output.txt bench_output.txt coverage.out bin cpu.pprof mem.pprof

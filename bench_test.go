@@ -22,12 +22,14 @@ import (
 	"clustereval/internal/bench/osu"
 	"clustereval/internal/bench/stream"
 	"clustereval/internal/core"
+	"clustereval/internal/des"
 	"clustereval/internal/hpcg"
 	"clustereval/internal/hpl"
 	"clustereval/internal/interconnect"
 	"clustereval/internal/machine"
 	"clustereval/internal/mpisim"
 	"clustereval/internal/toolchain"
+	"clustereval/internal/units"
 )
 
 func pairMachines() (machine.Machine, machine.Machine) {
@@ -630,3 +632,85 @@ func BenchmarkTable4_Speedups(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine-level benchmarks -----------------------------------------------
+//
+// The benchmarks below measure the simulator itself rather than the paper's
+// artefacts: DES event churn, proc spawn/reuse, and mpisim collectives at
+// two rank counts. scripts/benchdiff gates the BenchmarkDES_* and
+// BenchmarkMPISim_* prefixes hard in CI (the paper-artefact benchmarks
+// above stay advisory), so engine regressions fail the build.
+
+// BenchmarkDES_EventChurn measures raw event throughput: a fixed process
+// population doing nothing but quantized delays, so the cost is schedule,
+// queue, and context-switch — the per-event floor under every simulation.
+func BenchmarkDES_EventChurn(b *testing.B) {
+	const procs = 64
+	const delaysPerProc = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := des.New()
+		for p := 0; p < procs; p++ {
+			phase := units.Seconds(float64(p%7) * 0.25)
+			e.Spawn("churn", func(pr *des.Proc) {
+				for d := 0; d < delaysPerProc; d++ {
+					pr.Delay(1 + phase)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(procs*delaysPerProc), "events/run")
+}
+
+// BenchmarkDES_SpawnReuse measures spawn-heavy workloads: many short-lived
+// processes per run, across many runs — the pattern mpisim produces when a
+// World is reused, and the case the parked-worker pool exists for.
+func BenchmarkDES_SpawnReuse(b *testing.B) {
+	const procs = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := des.New()
+		for p := 0; p < procs; p++ {
+			e.Spawn("ephemeral", func(pr *des.Proc) { pr.Delay(1) })
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAllreduce runs a 4-value Allreduce across the given rank count on
+// the CTE-Arm fabric, reusing one World (and its DES engine) for all
+// iterations exactly as the experiment kinds do.
+func benchAllreduce(b *testing.B, ranks int) {
+	arm, _ := pairMachines()
+	fab, err := interconnect.NewTofuD(arm, arm.Nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mpisim.NewWorld(fab, ranks, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(c *mpisim.Comm) {
+			data := []float64{float64(c.Rank()), 1, 2, 3}
+			c.Allreduce(data, mpisim.OpSum, 32)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPISim_AllreduceRanks64 is the small-communicator collective.
+func BenchmarkMPISim_AllreduceRanks64(b *testing.B) { benchAllreduce(b, 64) }
+
+// BenchmarkMPISim_AllreduceRanks512 is the large-communicator collective:
+// rank spawn cost and event-queue pressure dominate here.
+func BenchmarkMPISim_AllreduceRanks512(b *testing.B) { benchAllreduce(b, 512) }

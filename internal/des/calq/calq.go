@@ -1,0 +1,264 @@
+// Package calq implements a calendar queue (R. Brown, CACM 31(10), 1988):
+// the priority queue behind the DES engine's fast path. Items are totally
+// ordered by (At, Seq) — virtual time first, then insertion sequence — so
+// equal-time items pop FIFO, the invariant bit-reproducible simulation
+// rests on.
+//
+// Items hash into width-sized time buckets arranged in a circular "year".
+// A pop scans forward from the bucket holding the last popped time and
+// takes the earliest item whose time falls inside the scan's current
+// one-bucket window; when a whole year passes without a hit (the next
+// event is far in the future) a direct search over all buckets re-anchors
+// the scan. Bucket count doubles or halves with the live population and
+// the bucket width is re-estimated from sampled inter-event gaps on every
+// resize, so bucket chains stay O(1) for both bursty and uniform event
+// streams. In steady state (fixed population, as in an mpisim world where
+// each rank owns one pending wake-up) pushes and pops allocate nothing.
+//
+// The queue tolerates arbitrary inputs — pushing a time earlier than the
+// last pop re-anchors the scan rather than losing the item — but the DES
+// engine never does that: schedule times are >= the current clock.
+package calq
+
+import (
+	"math"
+	"sort"
+)
+
+// Item is one queued entry: a payload V ordered by (At, Seq).
+type Item[V any] struct {
+	At  float64
+	Seq int64
+	V   V
+}
+
+// less is the queue's total order: time, then insertion sequence.
+func less[V any](a, b Item[V]) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
+}
+
+const minBuckets = 4
+
+// maxSlot caps the slot index so slot arithmetic stays in the exact
+// integer range of float64. Times beyond maxSlot*width all share the last
+// slot — still correctly ordered within it, just without O(1) spreading.
+const maxSlot = float64(1 << 52)
+
+// Queue is a calendar queue. The zero value is not ready; use New.
+type Queue[V any] struct {
+	buckets [][]Item[V]
+	width   float64 // virtual-time width of one slot
+	n       int     // live items
+	cur     int     // bucket the next pop scans first
+	curSlot float64 // slot the next pop scans first (integer-valued)
+	lastAt  float64 // time of the last pop (or earliest known item)
+}
+
+// New returns an empty queue.
+func New[V any]() *Queue[V] {
+	return &Queue[V]{buckets: make([][]Item[V], minBuckets), width: 1}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[V]) Len() int { return q.n }
+
+// slot maps a time onto its integer slot index, floor(at/width), clamped
+// into [0, maxSlot]. Both the bucket mapping and the pop scan derive from
+// this one function, so they can never disagree about which slot a time
+// belongs to — the float-rounding hazard of computing windows and bucket
+// indices through separate arithmetic.
+func (q *Queue[V]) slot(at float64) float64 {
+	s := math.Floor(at / q.width)
+	if !(s > 0) { // negative times (and NaN) collapse into slot 0
+		return 0
+	}
+	if s > maxSlot {
+		return maxSlot
+	}
+	return s
+}
+
+// bucketOf maps an integer slot onto its bucket in the circular year.
+// The bucket count is always a power of two (minBuckets, then doubled or
+// halved), so the modulo is a mask; s is integer-valued and <= maxSlot,
+// so the int64 conversion is exact.
+func (q *Queue[V]) bucketOf(s float64) int {
+	return int(int64(s) & int64(len(q.buckets)-1))
+}
+
+// anchor points the pop scan at the slot containing at.
+func (q *Queue[V]) anchor(at float64) {
+	q.curSlot = q.slot(at)
+	q.cur = q.bucketOf(q.curSlot)
+}
+
+// Push inserts an item.
+func (q *Queue[V]) Push(at float64, seq int64, v V) {
+	if q.n == 0 || at < q.lastAt {
+		// First item, or an out-of-contract insert behind the scan
+		// position: re-anchor so the scan cannot miss it.
+		q.lastAt = at
+		q.anchor(at)
+	}
+	i := q.bucketOf(q.slot(at))
+	q.buckets[i] = insertSorted(q.buckets[i], Item[V]{At: at, Seq: seq, V: v})
+	q.n++
+	if q.n > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// insertSorted places it into bucket b keeping (At, Seq) ascending order.
+// The common DES case — times arriving in increasing order — appends.
+func insertSorted[V any](b []Item[V], it Item[V]) []Item[V] {
+	n := len(b)
+	if n == 0 || !less(it, b[n-1]) {
+		return append(b, it)
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(b[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var zero Item[V]
+	b = append(b, zero)
+	copy(b[lo+1:], b[lo:])
+	b[lo] = it
+	return b
+}
+
+// PopBatch removes every item sharing the earliest time and appends them
+// to dst in Seq order. An empty queue returns dst unchanged.
+func (q *Queue[V]) PopBatch(dst []Item[V]) []Item[V] {
+	if q.n == 0 {
+		return dst
+	}
+	nb := len(q.buckets)
+	for i := 0; i < nb; i++ {
+		b := q.buckets[q.cur]
+		// <= rather than ==: clamped slots and defensive tolerance for a
+		// front that is somehow behind the scan both resolve to "pop now".
+		if len(b) > 0 && q.slot(b[0].At) <= q.curSlot {
+			return q.popFrom(q.cur, dst)
+		}
+		q.cur++
+		if q.cur == nb {
+			q.cur = 0
+		}
+		q.curSlot++
+	}
+	// A full year without a hit: the next event is more than a year away.
+	// Find it directly and re-anchor the scan on its slot.
+	min := -1
+	for i, b := range q.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if min < 0 || less(b[0], q.buckets[min][0]) {
+			min = i
+		}
+	}
+	return q.popFrom(min, dst)
+}
+
+// popFrom removes the front run of equal-time items from bucket i.
+func (q *Queue[V]) popFrom(i int, dst []Item[V]) []Item[V] {
+	b := q.buckets[i]
+	at := b[0].At
+	k := 1
+	for k < len(b) && b[k].At == at {
+		k++
+	}
+	dst = append(dst, b[:k]...)
+	m := copy(b, b[k:])
+	var zero Item[V]
+	for j := m; j < len(b); j++ {
+		b[j] = zero // release payload references
+	}
+	q.buckets[i] = b[:m]
+	q.n -= k
+	q.lastAt = at
+	q.cur = i
+	q.curSlot = q.slot(at)
+	if q.n < len(q.buckets)/2 && len(q.buckets) > minBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return dst
+}
+
+// resize rebuilds the calendar with nb buckets and a width re-estimated
+// from the current item spacing, then re-anchors the scan on the earliest
+// item.
+func (q *Queue[V]) resize(nb int) {
+	if nb < minBuckets {
+		nb = minBuckets
+	}
+	old := q.buckets
+	q.width = q.estimateWidth()
+	q.buckets = make([][]Item[V], nb)
+	minAt := math.Inf(1)
+	for _, b := range old {
+		for _, it := range b {
+			i := q.bucketOf(q.slot(it.At))
+			q.buckets[i] = insertSorted(q.buckets[i], it)
+			if it.At < minAt {
+				minAt = it.At
+			}
+		}
+	}
+	if q.n > 0 {
+		if minAt < q.lastAt {
+			q.lastAt = minAt
+		}
+		// Anchor on lastAt, not minAt: future pushes only promise to be
+		// >= lastAt, and anchoring ahead of that would let a later push
+		// land behind the scan and be popped out of order. Anchoring
+		// "too early" merely costs scan steps (the direct-search
+		// fallback and popFrom's re-anchor recover immediately).
+		q.anchor(q.lastAt)
+	}
+}
+
+// estimateWidth returns a bucket width of three times the average gap
+// between consecutive distinct event times, from a bounded sample. With no
+// distinct gaps in the sample (all times equal, or <2 items) the current
+// width is kept: any width is correct, adaptation just tunes the scan.
+func (q *Queue[V]) estimateWidth() float64 {
+	const maxSample = 64
+	sample := make([]float64, 0, maxSample)
+	for _, b := range q.buckets {
+		for _, it := range b {
+			sample = append(sample, it.At)
+			if len(sample) == maxSample {
+				break
+			}
+		}
+		if len(sample) == maxSample {
+			break
+		}
+	}
+	sort.Float64s(sample)
+	var sum float64
+	var cnt int
+	for i := 1; i < len(sample); i++ {
+		if d := sample[i] - sample[i-1]; d > 0 {
+			sum += d
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return q.width
+	}
+	w := 3 * sum / float64(cnt)
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return q.width
+	}
+	return w
+}

@@ -1,0 +1,163 @@
+package calq
+
+import (
+	"sort"
+	"testing"
+
+	"clustereval/internal/xrand"
+)
+
+// oracle is the trivially-correct model: a sorted slice.
+type oracle struct{ items []Item[int] }
+
+func (o *oracle) push(at float64, seq int64, v int) {
+	o.items = append(o.items, Item[int]{At: at, Seq: seq, V: v})
+	sort.Slice(o.items, func(i, j int) bool { return less(o.items[i], o.items[j]) })
+}
+
+func (o *oracle) popBatch() []Item[int] {
+	if len(o.items) == 0 {
+		return nil
+	}
+	at := o.items[0].At
+	k := 1
+	for k < len(o.items) && o.items[k].At == at {
+		k++
+	}
+	out := append([]Item[int](nil), o.items[:k]...)
+	o.items = append(o.items[:0], o.items[k:]...)
+	return out
+}
+
+// drive runs an op sequence against queue and oracle, failing on the first
+// divergence. ops: push amounts come from next(); a negative draw pops.
+func drive(t *testing.T, ops int, nextAt func(i int) (at float64, pop bool)) {
+	t.Helper()
+	q := New[int]()
+	o := &oracle{}
+	var seq int64
+	var scratch []Item[int]
+	for i := 0; i < ops; i++ {
+		at, pop := nextAt(i)
+		if pop {
+			scratch = q.PopBatch(scratch[:0])
+			want := o.popBatch()
+			if len(scratch) != len(want) {
+				t.Fatalf("op %d: batch len %d, oracle %d (oracle %v, got %v)", i, len(scratch), len(want), want, scratch)
+			}
+			for j := range want {
+				if scratch[j] != want[j] {
+					t.Fatalf("op %d item %d: got %+v, oracle %+v", i, j, scratch[j], want[j])
+				}
+			}
+			continue
+		}
+		seq++
+		q.Push(at, seq, int(seq))
+		o.push(at, seq, int(seq))
+		if q.Len() != len(o.items) {
+			t.Fatalf("op %d: len %d, oracle %d", i, q.Len(), len(o.items))
+		}
+	}
+	// Drain: every remaining batch must match.
+	for q.Len() > 0 {
+		scratch = q.PopBatch(scratch[:0])
+		want := o.popBatch()
+		if len(scratch) != len(want) {
+			t.Fatalf("drain: batch len %d, oracle %d", len(scratch), len(want))
+		}
+		for j := range want {
+			if scratch[j] != want[j] {
+				t.Fatalf("drain item %d: got %+v, oracle %+v", j, scratch[j], want[j])
+			}
+		}
+	}
+	if len(o.items) != 0 {
+		t.Fatalf("oracle still holds %d items after drain", len(o.items))
+	}
+}
+
+// TestOracleRandom cross-checks random push/pop interleavings, with
+// quantized times so equal-timestamp batches actually occur. The
+// generator deliberately includes pushes behind the last popped time —
+// the out-of-contract input the queue promises to survive.
+func TestOracleRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := xrand.New(seed)
+		clock := 0.0
+		name := "seed" + string(rune('A'+int(seed)))
+		t.Run(name, func(t *testing.T) {
+			drive(t, 2000, func(i int) (float64, bool) {
+				if r.Float64() < 0.4 {
+					return 0, true
+				}
+				// Quantize to multiples of 0.01 across several decades of
+				// scale so batches collide and widths must adapt.
+				scale := []float64{0.01, 0.5, 40}[r.Intn(3)]
+				at := clock + float64(r.Intn(40))*scale
+				if r.Intn(8) == 0 {
+					clock = at // advance the floor occasionally
+				}
+				return at, false
+			})
+		})
+	}
+}
+
+// TestOracleBurstsAndGaps stresses the resize paths: dense equal-time
+// bursts, then a jump years ahead, then a drain.
+func TestOracleBurstsAndGaps(t *testing.T) {
+	r := xrand.New(7)
+	base := 0.0
+	drive(t, 5000, func(i int) (float64, bool) {
+		switch {
+		case i%97 == 96:
+			base += 1e6 // far jump: direct-search territory
+			return 0, true
+		case r.Intn(3) == 0:
+			return 0, true
+		default:
+			return base + float64(r.Intn(5))*1e-6, false
+		}
+	})
+}
+
+// TestOutOfContractPush pins the robustness promise: pushing a time
+// earlier than the last pop re-anchors instead of losing or reordering
+// items relative to the total order of what remains.
+func TestOutOfContractPush(t *testing.T) {
+	q := New[int]()
+	q.Push(100, 1, 1)
+	var got []Item[int]
+	got = q.PopBatch(got[:0])
+	if len(got) != 1 || got[0].At != 100 {
+		t.Fatalf("pop = %v", got)
+	}
+	q.Push(5, 2, 2) // behind the last pop
+	q.Push(50, 3, 3)
+	got = q.PopBatch(got[:0])
+	if len(got) != 1 || got[0].At != 5 {
+		t.Fatalf("behind-cursor item lost: pop = %v", got)
+	}
+	got = q.PopBatch(got[:0])
+	if len(got) != 1 || got[0].At != 50 {
+		t.Fatalf("pop = %v", got)
+	}
+}
+
+// TestEqualTimeFIFO pins the seq tie-break across a resize.
+func TestEqualTimeFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ { // forces several grows
+		q.Push(1.5, int64(i), i)
+	}
+	got := q.PopBatch(nil)
+	if len(got) != 100 {
+		t.Fatalf("batch size %d, want 100", len(got))
+	}
+	for i, it := range got {
+		if it.Seq != int64(i) {
+			t.Fatalf("batch[%d].Seq = %d, want %d (FIFO broken)", i, it.Seq, i)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package calq
+
+import "testing"
+
+// FuzzQueue fuzzes the calendar queue against the sorted-slice oracle.
+// Input bytes decode two at a time into (op, arg) pairs: pops, quantized
+// forward pushes, out-of-contract pushes behind the cursor, far jumps
+// (direct-search territory), and tiny-gap bursts at large absolute times —
+// the mix that exercises bucket mapping, year scanning, both resize
+// directions, and the float-alignment edge the slot design exists for.
+// Every divergence from the oracle is a scheduling-order bug in the fast
+// path, so keep the decoded op space pointed at the queue's edge cases.
+func FuzzQueue(f *testing.F) {
+	// Seeds mirror the table-driven oracle tests: a pop-heavy mix, a
+	// burst-then-jump sequence, and behind-cursor inserts.
+	f.Add([]byte{0x01, 0x04, 0x01, 0x04, 0x00, 0x00, 0x01, 0x09, 0x00, 0x00})
+	f.Add([]byte{0x04, 0x03, 0x04, 0x03, 0x04, 0x05, 0x03, 0x02, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x01, 0x20, 0x00, 0x00, 0x02, 0x10, 0x01, 0x08, 0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip("need at least one (op, arg) pair")
+		}
+		base := 0.0
+		drive(t, len(data)/2, func(i int) (float64, bool) {
+			op, arg := data[2*i], data[2*i+1]
+			switch op % 5 {
+			case 0: // pop and compare against the oracle
+				return 0, true
+			case 1: // quantized forward push: equal-time batches
+				return base + float64(arg)*0.25, false
+			case 2: // out-of-contract push behind the cursor
+				return base - float64(arg)*0.125, false
+			case 3: // far jump: next event more than a year ahead
+				base += float64(arg) * 1e5
+				return base, false
+			default: // tiny gaps at large absolute time: float alignment
+				return base + float64(arg%8)*1e-6, false
+			}
+		})
+	})
+}

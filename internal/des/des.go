@@ -2,10 +2,30 @@
 //
 // Simulated processes are ordinary Go functions running in goroutines, but
 // only one process executes at a time: a process runs until it blocks on a
-// Delay, a Cond, or a Resource, then hands control back to the engine, which
-// advances the virtual clock to the next scheduled event. Events at equal
-// times fire in scheduling order, so a simulation is bit-reproducible — a
-// property every figure of the reproduction depends on.
+// Delay, a Cond, or a Resource, then hands control to the engine's
+// scheduler, which advances the virtual clock to the next scheduled event.
+// Events at equal times fire in scheduling order, so a simulation is
+// bit-reproducible — a property every figure of the reproduction depends
+// on, proven by the differential harness (diff_test.go and
+// internal/experiment's scheduler test) against the retained reference
+// scheduler.
+//
+// The hot path is built for throughput:
+//
+//   - Events live in an allocation-free calendar queue
+//     (internal/des/calq) keyed on (time, seq); the original
+//     container/heap queue is retained in internal/des/refqueue and
+//     selected engine-wide by the desrefqueue build tag, or per-engine via
+//     NewReference, for differential testing.
+//   - All events sharing a timestamp are popped in one batch, so
+//     equal-time wake-ups are delivered in one queue scan, in seq order.
+//   - Control transfers are a single rendezvous: the yielding process pops
+//     the next event itself and resumes that process directly — one
+//     channel handoff per event instead of the former two (yield to the
+//     engine goroutine, then engine resumes the next process).
+//   - Process goroutines come from a shared free list (worker.go) and park
+//     for reuse when a body returns, so mpisim's spawn-per-rank-per-run
+//     pattern recycles goroutines across World runs instead of spawning.
 //
 // The engine powers the simulated MPI runtime (internal/mpisim): each rank
 // is a Proc, message matching uses Conds, and link bandwidth is modelled
@@ -13,11 +33,11 @@
 package des
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"clustereval/internal/units"
 )
@@ -29,46 +49,74 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// eventQueue orders events by (at, seq). Two implementations exist: the
+// calendar-queue fast path and the reference heap (see queue.go); the
+// differential harness proves them interchangeable.
+type eventQueue interface {
+	Len() int
+	Push(ev event)
+	// PopBatch removes every event sharing the earliest timestamp and
+	// appends them to dst in seq order.
+	PopBatch(dst []event) []event
 }
 
 // Engine owns the virtual clock and the event queue.
+//
+// During a run exactly one goroutine — the process resumed by the last
+// event, or the Run caller before the first and after the last — holds the
+// control token, and only the holder touches engine state. The token moves
+// through channel sends (worker resume channels and the driver's done
+// channel), so every access is ordered by a happens-before edge and the
+// engine needs no locks.
 type Engine struct {
-	now     units.Seconds
-	events  eventHeap
-	seq     int64
-	yield   chan yieldMsg
-	alive   int // processes spawned and not yet finished
+	now units.Seconds
+	q   eventQueue
+	seq int64
+
+	// batch holds the same-timestamp events currently being delivered;
+	// batchPos is the next undelivered index. The slice is reused across
+	// batches, so steady-state delivery allocates nothing.
+	batch    []event
+	batchPos int
+
+	ctx     context.Context
+	done    chan struct{} // returns the control token to RunContext
+	alive   int           // processes spawned and not yet finished
 	waiting map[*Proc]string
 	failure error
 }
 
-type yieldMsg struct {
-	proc     *Proc
-	finished bool
-	panicked interface{}
+// refForced pins engines created by New to the reference queue at runtime.
+// It exists for the differential harness in internal/experiment, which
+// re-runs whole experiments — their engines buried inside mpisim worlds —
+// on the reference scheduler. Flip it only around serialized test runs.
+var refForced atomic.Bool
+
+// UseReferenceQueue forces every subsequently created engine onto the
+// reference heap queue (true) or back to the build default (false). Test
+// hook for differential runs; see also the desrefqueue build tag and
+// NewReference.
+func UseReferenceQueue(on bool) { refForced.Store(on) }
+
+// New returns an engine with the clock at zero, using the build-default
+// event queue (the calendar queue, or the reference heap under the
+// desrefqueue build tag).
+func New() *Engine {
+	if refForced.Load() {
+		return newEngine(newRefQueue())
+	}
+	return newEngine(newDefaultQueue())
 }
 
-// New returns an engine with the clock at zero.
-func New() *Engine {
+// NewReference returns an engine pinned to the reference heap queue
+// regardless of build tags: the baseline side of differential tests.
+func NewReference() *Engine { return newEngine(newRefQueue()) }
+
+func newEngine(q eventQueue) *Engine {
 	return &Engine{
-		yield:   make(chan yieldMsg),
+		q:       q,
+		ctx:     context.Background(),
+		done:    make(chan struct{}, 1),
 		waiting: make(map[*Proc]string),
 	}
 }
@@ -81,26 +129,18 @@ func (e *Engine) Now() units.Seconds { return e.now }
 type Proc struct {
 	Name      string
 	eng       *Engine
-	resume    chan struct{}
+	w         *worker
 	scheduled bool
 }
 
 // Spawn registers a new process that starts (at the current virtual time)
 // when Run is called, or immediately if the simulation is already running.
+// The process body runs on a pooled goroutine reused across processes and
+// engines.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{Name: name, eng: e, resume: make(chan struct{})}
+	p := &Proc{Name: name, eng: e, w: getWorker()}
 	e.alive++
-	go func() {
-		<-p.resume // wait for first scheduling
-		defer func() {
-			if r := recover(); r != nil {
-				e.yield <- yieldMsg{proc: p, finished: true, panicked: r}
-				return
-			}
-			e.yield <- yieldMsg{proc: p, finished: true}
-		}()
-		body(p)
-	}()
+	p.w.assign <- assignment{p: p, body: body}
 	e.schedule(p, e.now)
 	return p
 }
@@ -114,7 +154,59 @@ func (e *Engine) schedule(p *Proc, at units.Seconds) {
 	}
 	p.scheduled = true
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	e.q.Push(event{at: at, seq: e.seq, proc: p})
+}
+
+// dispatch hands control to the next runnable process. It is called by
+// whichever goroutine holds the control token — a yielding or finishing
+// process, or RunContext entering the run — and either resumes the next
+// event's process directly (the single rendezvous) or returns the token to
+// the driver when the run is over, aborted, or broken.
+func (e *Engine) dispatch() {
+	if err := e.ctx.Err(); err != nil {
+		e.failure = fmt.Errorf("des: run aborted at t=%v: %w", float64(e.now), err)
+		e.done <- struct{}{}
+		return
+	}
+	if e.batchPos == len(e.batch) {
+		e.batch = e.batch[:0]
+		e.batchPos = 0
+		if e.q.Len() == 0 {
+			e.done <- struct{}{}
+			return
+		}
+		e.batch = e.q.PopBatch(e.batch)
+	}
+	ev := e.batch[e.batchPos]
+	e.batch[e.batchPos].proc = nil // release once delivered
+	e.batchPos++
+	if ev.at < e.now {
+		e.failure = fmt.Errorf("des: time went backwards: %v < %v", ev.at, e.now)
+		e.done <- struct{}{}
+		return
+	}
+	e.now = ev.at
+	ev.proc.scheduled = false
+	ev.proc.w.resume <- struct{}{}
+}
+
+// procFinished is called by a worker whose process body returned: the
+// process leaves the simulation and control passes to the next event.
+func (e *Engine) procFinished(p *Proc) {
+	e.alive--
+	e.dispatch()
+}
+
+// procPanicked aborts the run, reporting the panic as the run's error. A
+// process aborting with an error value (e.g. a typed fault-injection
+// failure) stays unwrappable via errors.As.
+func (e *Engine) procPanicked(p *Proc, r interface{}) {
+	if perr, ok := r.(error); ok {
+		e.failure = fmt.Errorf("des: process %q panicked: %w", p.Name, perr)
+	} else {
+		e.failure = fmt.Errorf("des: process %q panicked: %v", p.Name, r)
+	}
+	e.done <- struct{}{}
 }
 
 // Run executes the simulation until no events remain. It returns an error
@@ -127,34 +219,16 @@ func (e *Engine) Run() error { return e.RunContext(context.Background()) }
 // simulation mid-run — within one event — rather than only at its end.
 // An aborted run returns an error wrapping ctx.Err(); the virtual clock
 // stops at the abort point. As with a process panic, goroutines of still
-// -blocked processes are abandoned (they hold no external resources).
+// -blocked processes are abandoned (they hold no external resources, and
+// their pooled workers are simply never recycled).
 func (e *Engine) RunContext(ctx context.Context) error {
-	for len(e.events) > 0 {
-		if err := ctx.Err(); err != nil {
-			e.failure = fmt.Errorf("des: run aborted at t=%v: %w", float64(e.now), err)
-			return e.failure
-		}
-		ev := heap.Pop(&e.events).(event)
-		if ev.at < e.now {
-			return fmt.Errorf("des: time went backwards: %v < %v", ev.at, e.now)
-		}
-		e.now = ev.at
-		ev.proc.scheduled = false
-		ev.proc.resume <- struct{}{}
-		msg := <-e.yield
-		if msg.panicked != nil {
-			// A process aborting with an error value (e.g. a typed
-			// fault-injection failure) stays unwrappable via errors.As.
-			if perr, ok := msg.panicked.(error); ok {
-				e.failure = fmt.Errorf("des: process %q panicked: %w", msg.proc.Name, perr)
-			} else {
-				e.failure = fmt.Errorf("des: process %q panicked: %v", msg.proc.Name, msg.panicked)
-			}
-			return e.failure
-		}
-		if msg.finished {
-			e.alive--
-		}
+	e.ctx = ctx
+	e.failure = nil
+	e.dispatch() // cede the control token into the simulation
+	<-e.done     // and wait for it to come back
+	e.ctx = context.Background()
+	if e.failure != nil {
+		return e.failure
 	}
 	if e.alive > 0 {
 		names := make([]string, 0, len(e.waiting))
@@ -169,10 +243,11 @@ func (e *Engine) RunContext(ctx context.Context) error {
 	return nil
 }
 
-// yieldAndWait hands control back to the engine and blocks until rescheduled.
+// yieldAndWait hands the control token to the next runnable process and
+// blocks until rescheduled.
 func (p *Proc) yieldAndWait() {
-	p.eng.yield <- yieldMsg{proc: p}
-	<-p.resume
+	p.eng.dispatch()
+	<-p.w.resume
 }
 
 // Now returns the current virtual time.
@@ -196,6 +271,7 @@ type Cond struct {
 	eng     *Engine
 	name    string
 	waiters []*Proc
+	head    int // index of the longest waiter; see Signal
 }
 
 // NewCond returns a condition bound to the engine.
@@ -213,26 +289,50 @@ func (c *Cond) Wait(p *Proc) {
 	delete(c.eng.waiting, p)
 }
 
-// Signal wakes the longest-waiting process, if any.
+// Signal wakes the longest-waiting process, if any. Consumed slots are
+// skipped with a head index rather than re-slicing (waiters[1:] would pin
+// the backing array while shift-copying on append), and the live tail is
+// copied down once the dead prefix reaches half the slice — so the backing
+// array stays proportional to the peak number of concurrent waiters no
+// matter how many signals pass through.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.head == len(c.waiters) {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	p := c.waiters[c.head]
+	c.waiters[c.head] = nil
+	c.head++
+	switch {
+	case c.head == len(c.waiters):
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	case 2*c.head >= len(c.waiters):
+		n := copy(c.waiters, c.waiters[c.head:])
+		for i := n; i < len(c.waiters); i++ {
+			c.waiters[i] = nil
+		}
+		c.waiters = c.waiters[:n]
+		c.head = 0
+	}
 	c.eng.schedule(p, c.eng.now)
 }
 
 // Broadcast wakes every waiting process.
 func (c *Cond) Broadcast() {
-	for _, p := range c.waiters {
-		c.eng.schedule(p, c.eng.now)
+	for i := c.head; i < len(c.waiters); i++ {
+		c.eng.schedule(c.waiters[i], c.eng.now)
+		c.waiters[i] = nil
 	}
 	c.waiters = c.waiters[:0]
+	c.head = 0
 }
 
 // NumWaiters returns how many processes are blocked on the condition.
-func (c *Cond) NumWaiters() int { return len(c.waiters) }
+func (c *Cond) NumWaiters() int { return len(c.waiters) - c.head }
+
+// waitersCap reports the backing-array size of the waiter slice, for the
+// regression test pinning Signal's bounded-growth contract.
+func (c *Cond) waitersCap() int { return cap(c.waiters) }
 
 // Resource is a counted resource (a semaphore) with FIFO fairness, used to
 // model entities with finite concurrency such as network injection ports.

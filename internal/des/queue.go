@@ -1,0 +1,50 @@
+package des
+
+import (
+	"clustereval/internal/des/calq"
+	"clustereval/internal/des/refqueue"
+	"clustereval/internal/units"
+)
+
+// fastQueue adapts the generic calendar queue (internal/des/calq) to the
+// engine's eventQueue. The scratch slice is reused across batch pops so
+// steady-state delivery allocates nothing.
+type fastQueue struct {
+	q       *calq.Queue[*Proc]
+	scratch []calq.Item[*Proc]
+}
+
+func newFastQueue() eventQueue { return &fastQueue{q: calq.New[*Proc]()} }
+
+func (f *fastQueue) Len() int      { return f.q.Len() }
+func (f *fastQueue) Push(ev event) { f.q.Push(float64(ev.at), ev.seq, ev.proc) }
+func (f *fastQueue) PopBatch(dst []event) []event {
+	f.scratch = f.q.PopBatch(f.scratch[:0])
+	for i := range f.scratch {
+		it := &f.scratch[i]
+		dst = append(dst, event{at: units.Seconds(it.At), seq: it.Seq, proc: it.V})
+		it.V = nil
+	}
+	return dst
+}
+
+// heapQueue adapts the reference heap (internal/des/refqueue), the
+// pre-rewrite scheduler retained for differential testing.
+type heapQueue struct {
+	q       *refqueue.Queue[*Proc]
+	scratch []refqueue.Item[*Proc]
+}
+
+func newRefQueue() eventQueue { return &heapQueue{q: refqueue.New[*Proc]()} }
+
+func (h *heapQueue) Len() int      { return h.q.Len() }
+func (h *heapQueue) Push(ev event) { h.q.Push(float64(ev.at), ev.seq, ev.proc) }
+func (h *heapQueue) PopBatch(dst []event) []event {
+	h.scratch = h.q.PopBatch(h.scratch[:0])
+	for i := range h.scratch {
+		it := &h.scratch[i]
+		dst = append(dst, event{at: units.Seconds(it.At), seq: it.Seq, proc: it.V})
+		it.V = nil
+	}
+	return dst
+}

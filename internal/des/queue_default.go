@@ -1,0 +1,9 @@
+//go:build !desrefqueue
+
+package des
+
+// newDefaultQueue selects the engine's event queue: the calendar-queue
+// fast path by default; build with -tags desrefqueue to pin the whole
+// binary to the reference heap scheduler instead (the differential CI job
+// runs the des tests both ways).
+func newDefaultQueue() eventQueue { return newFastQueue() }

@@ -1,0 +1,9 @@
+//go:build desrefqueue
+
+package des
+
+// newDefaultQueue under the desrefqueue build tag pins every engine to the
+// reference container/heap scheduler (internal/des/refqueue): the
+// build-time switch the differential harness uses to run the whole test
+// suite on the pre-rewrite scheduler.
+func newDefaultQueue() eventQueue { return newRefQueue() }

@@ -1,0 +1,69 @@
+// Package refqueue is the reference DES event queue: the container/heap
+// binary heap the engine used before the calendar-queue fast path,
+// retained on purpose — interface{} boxing and all — as the baseline side
+// of the differential harness. The engine pins itself to this queue under
+// the desrefqueue build tag (see internal/des), and the differential
+// tests run both queues over identical workloads asserting byte-identical
+// results. Do not optimise this package: its value is being the known-good
+// original, not being fast.
+package refqueue
+
+import "container/heap"
+
+// Item is one queued entry: a payload V ordered by (At, Seq) — time
+// first, then insertion sequence, so equal-time items pop FIFO.
+type Item[V any] struct {
+	At  float64
+	Seq int64
+	V   V
+}
+
+// boxedHeap is the original heap.Interface implementation, boxing every
+// pushed and popped item through interface{} exactly as the pre-rewrite
+// engine did.
+type boxedHeap[V any] []Item[V]
+
+func (h boxedHeap[V]) Len() int { return len(h) }
+func (h boxedHeap[V]) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h boxedHeap[V]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap[V]) Push(x interface{}) { *h = append(*h, x.(Item[V])) }
+func (h *boxedHeap[V]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is the reference priority queue over (At, Seq).
+type Queue[V any] struct{ h boxedHeap[V] }
+
+// New returns an empty queue.
+func New[V any]() *Queue[V] { return &Queue[V]{} }
+
+// Len returns the number of queued items.
+func (q *Queue[V]) Len() int { return len(q.h) }
+
+// Push inserts an item.
+func (q *Queue[V]) Push(at float64, seq int64, v V) {
+	heap.Push(&q.h, Item[V]{At: at, Seq: seq, V: v})
+}
+
+// PopBatch removes every item sharing the earliest time and appends them
+// to dst in Seq order. An empty queue returns dst unchanged.
+func (q *Queue[V]) PopBatch(dst []Item[V]) []Item[V] {
+	if len(q.h) == 0 {
+		return dst
+	}
+	first := heap.Pop(&q.h).(Item[V])
+	dst = append(dst, first)
+	for len(q.h) > 0 && q.h[0].At == first.At {
+		dst = append(dst, heap.Pop(&q.h).(Item[V]))
+	}
+	return dst
+}

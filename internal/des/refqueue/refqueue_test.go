@@ -1,0 +1,65 @@
+package refqueue
+
+import (
+	"sort"
+	"testing"
+
+	"clustereval/internal/xrand"
+)
+
+// TestOrderAndBatching pins the reference contract the fast queue is
+// measured against: pops come out in (At, Seq) order and each PopBatch
+// returns exactly the front equal-time run.
+func TestOrderAndBatching(t *testing.T) {
+	q := New[int]()
+	r := xrand.New(3)
+	var all []Item[int]
+	for seq := int64(0); seq < 500; seq++ {
+		at := float64(r.Intn(50)) * 0.5 // quantized: equal times happen often
+		q.Push(at, seq, int(seq))
+		all = append(all, Item[int]{At: at, Seq: seq, V: int(seq)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	var got []Item[int]
+	for q.Len() > 0 {
+		n := len(got)
+		got = q.PopBatch(got)
+		batch := got[n:]
+		for i := 1; i < len(batch); i++ {
+			if batch[i].At != batch[0].At {
+				t.Fatalf("batch mixes times %v and %v", batch[0].At, batch[i].At)
+			}
+		}
+		if q.Len() > 0 {
+			peek := q.PopBatch(nil)
+			if peek[0].At == batch[0].At {
+				t.Fatalf("batch at t=%v was not exhaustive", batch[0].At)
+			}
+			for _, it := range peek { // put the peeked batch back
+				q.Push(it.At, it.Seq, it.V)
+			}
+		}
+	}
+	if len(got) != len(all) {
+		t.Fatalf("popped %d items, pushed %d", len(got), len(all))
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("item %d: got %+v, want %+v", i, got[i], all[i])
+		}
+	}
+}
+
+// TestEmptyPop pins that popping an empty queue leaves dst unchanged.
+func TestEmptyPop(t *testing.T) {
+	q := New[string]()
+	dst := []Item[string]{{At: 1, Seq: 1, V: "keep"}}
+	if out := q.PopBatch(dst); len(out) != 1 || out[0].V != "keep" {
+		t.Fatalf("empty pop mutated dst: %+v", out)
+	}
+}

@@ -1,0 +1,105 @@
+package des
+
+import "sync"
+
+// A worker is a reusable goroutine hosting process bodies. Spawn binds a
+// worker to one Proc via its assign channel; the worker parks on its
+// resume channel until the process's first scheduled event, runs the body
+// (which yields and resumes through the same channel), and when the body
+// returns hands the control token onward and parks back on assign for the
+// next Spawn — possibly on a different engine. Reuse makes mpisim's
+// spawn-per-rank-per-run pattern cheap across World runs: steady state
+// starts zero goroutines.
+//
+// Both channels are buffered (capacity 1) so the sender of a token never
+// blocks waiting for the Go scheduler to wake the receiver: at most one
+// assignment and one resume token can be outstanding per worker, and each
+// send happens-before the matching receive, which is what carries the
+// engine's single-control-token discipline across goroutines.
+type worker struct {
+	assign chan assignment
+	resume chan struct{}
+}
+
+// assignment binds a worker to one process for one lifetime.
+type assignment struct {
+	p    *Proc
+	body func(*Proc)
+}
+
+// maxIdleWorkers bounds the parked free list: beyond it a finishing worker
+// exits instead of parking. The pool bounds idle goroutine cost; it is not
+// a concurrency limit — getWorker always returns a worker.
+const maxIdleWorkers = 1024
+
+// workerPool is the process-wide free list of parked workers. Engines may
+// run concurrently (clusterd executes jobs in parallel), so access is
+// mutex-guarded; which worker a Spawn gets is invisible to simulation
+// results, so sharing costs no determinism.
+var workerPool struct {
+	mu   sync.Mutex
+	free []*worker
+}
+
+// getWorker pops a parked worker, or starts a fresh goroutine.
+func getWorker() *worker {
+	workerPool.mu.Lock()
+	if n := len(workerPool.free); n > 0 {
+		w := workerPool.free[n-1]
+		workerPool.free[n-1] = nil
+		workerPool.free = workerPool.free[:n-1]
+		workerPool.mu.Unlock()
+		return w
+	}
+	workerPool.mu.Unlock()
+	w := &worker{assign: make(chan assignment, 1), resume: make(chan struct{}, 1)}
+	go w.loop()
+	return w
+}
+
+// putWorker parks w for reuse; false means the pool is full and the worker
+// should exit.
+func putWorker(w *worker) bool {
+	workerPool.mu.Lock()
+	defer workerPool.mu.Unlock()
+	if len(workerPool.free) >= maxIdleWorkers {
+		return false
+	}
+	workerPool.free = append(workerPool.free, w)
+	return true
+}
+
+// idleWorkers reports the free-list size, for the reuse tests.
+func idleWorkers() int {
+	workerPool.mu.Lock()
+	defer workerPool.mu.Unlock()
+	return len(workerPool.free)
+}
+
+func (w *worker) loop() {
+	for a := range w.assign {
+		<-w.resume // the process's first scheduled event
+		w.run(a)
+		if !putWorker(w) {
+			return
+		}
+	}
+}
+
+// run executes one process body, then passes the control token onward: to
+// the next event when the body returned, or back to the run driver when it
+// panicked. Processes abandoned mid-body (deadlock, abort, panic elsewhere)
+// never reach this hand-back; their workers stay parked on resume forever
+// and are simply not recycled, exactly as the pre-pool engine leaked their
+// goroutines.
+func (w *worker) run(a assignment) {
+	e := a.p.eng
+	defer func() {
+		if r := recover(); r != nil {
+			e.procPanicked(a.p, r)
+		} else {
+			e.procFinished(a.p)
+		}
+	}()
+	a.body(a.p)
+}

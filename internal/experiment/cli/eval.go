@@ -25,15 +25,19 @@ func init() {
 			out := fs.String("out", "", "write every table and figure as CSV files into this directory")
 			kind := fs.String("kind", "", "run one experiment kind from the registry and print its result as JSON (see -spec)")
 			spec := fs.String("spec", "", `JSON parameters for -kind, e.g. '{"app":"alya","nodes":32}'`)
+			cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+			memprofile := fs.String("memprofile", "", "write a heap profile to this file after the run")
 			return func(experiment.Spec) error {
-				switch {
-				case *kind != "":
-					return RunKind(context.Background(), *kind, *spec, os.Stdout)
-				case *out != "":
-					return ExportAll(*out)
-				default:
-					return Eval(*table, *figure, *csv)
-				}
+				return withProfiling(*cpuprofile, *memprofile, func() error {
+					switch {
+					case *kind != "":
+						return RunKind(context.Background(), *kind, *spec, os.Stdout)
+					case *out != "":
+						return ExportAll(*out)
+					default:
+						return Eval(*table, *figure, *csv)
+					}
+				})
 			}
 		}})
 }

@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// withProfiling runs fn, writing a CPU profile and/or a heap profile to
+// the given paths (either may be empty to skip). This backs the
+// clustereval tool's -cpuprofile/-memprofile flags and `make profile`: the
+// standard way to see where simulated time goes is to profile a full
+// figure regeneration and feed the output to `go tool pprof`.
+func withProfiling(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := fn()
+	if memPath != "" {
+		f, merr := os.Create(memPath)
+		if merr != nil {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("memprofile: %w", merr)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if merr := pprof.WriteHeapProfile(f); merr != nil && err == nil {
+			return fmt.Errorf("memprofile: %w", merr)
+		}
+	}
+	return err
+}

@@ -1,0 +1,88 @@
+package experiment_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"clustereval/internal/des"
+	"clustereval/internal/experiment"
+)
+
+// diffCases is one modest spec per registered kind — small enough that the
+// full kinds × seeds × two-schedulers matrix stays in test-suite budget,
+// but every kind still routes through the DES engine's full feature set
+// (mpisim collectives, Cond wake-ups, Resource contention).
+func diffCases(t *testing.T) []experiment.Spec {
+	t.Helper()
+	byKind := map[string]experiment.Spec{
+		"stream":        {Kind: "stream", Ranks: 4},
+		"hybrid-stream": {Kind: "hybrid-stream"},
+		"fpu":           {Kind: "fpu"},
+		"net":           {Kind: "net", Iters: 20},
+		"hpl":           {Kind: "hpl", Nodes: 2},
+		"hpcg":          {Kind: "hpcg", Nodes: 2},
+		"app":           {Kind: "app", App: "nemo", Nodes: 8},
+	}
+	kinds := experiment.Kinds()
+	cases := make([]experiment.Spec, 0, len(kinds))
+	for _, k := range kinds {
+		spec, ok := byKind[k]
+		if !ok {
+			t.Fatalf("kind %q has no differential case: add one so new kinds stay covered", k)
+		}
+		cases = append(cases, spec)
+	}
+	return cases
+}
+
+// runCanonical canonicalizes and runs spec, returning the result's
+// deterministic JSON encoding.
+func runCanonical(t *testing.T, spec experiment.Spec) []byte {
+	t.Helper()
+	canon, _, err := experiment.Canonicalize(spec)
+	if err != nil {
+		t.Fatalf("canonicalize %+v: %v", spec, err)
+	}
+	res, err := experiment.Run(context.Background(), canon)
+	if err != nil {
+		t.Fatalf("run %+v: %v", canon, err)
+	}
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestDifferentialSchedulers is the experiment-level half of the
+// differential harness: every registered kind, run at several seeds under
+// the reference heap scheduler and under the calendar-queue fast path,
+// must produce byte-identical canonical results. This is the
+// bit-reproducibility contract of the whole PR — if the fast path
+// reorders even one equal-timestamp wake-up anywhere in a simulation,
+// some kind's result bytes shift and this test names it.
+func TestDifferentialSchedulers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	defer des.UseReferenceQueue(false)
+	for _, spec := range diffCases(t) {
+		spec := spec
+		for seed := uint64(0); seed < 3; seed++ {
+			spec.Seed = seed
+			spec := spec
+			t.Run(fmt.Sprintf("%s/seed%d", spec.Kind, seed), func(t *testing.T) {
+				des.UseReferenceQueue(true)
+				ref := runCanonical(t, spec)
+				des.UseReferenceQueue(false)
+				fast := runCanonical(t, spec)
+				if string(ref) != string(fast) {
+					t.Errorf("scheduler-dependent result for %s seed %d:\nreference: %s\nfast:      %s",
+						spec.Kind, seed, ref, fast)
+				}
+			})
+		}
+	}
+}

@@ -54,6 +54,7 @@ type World struct {
 	fabric   *interconnect.Fabric
 	ranks    int
 	rankNode []int
+	rankName []string // "rank<r>", built once; Run re-spawns every rank per call
 
 	mailbox  [][]pending
 	newMail  []*des.Cond
@@ -142,6 +143,10 @@ func NewWorldPlaced(fabric *interconnect.Fabric, rankNode []int) (*World, error)
 	for r := range w.newMail {
 		w.newMail[r] = w.eng.NewCond(fmt.Sprintf("mailbox[%d]", r))
 	}
+	w.rankName = make([]string, len(rankNode))
+	for r := range w.rankName {
+		w.rankName[r] = fmt.Sprintf("rank%d", r)
+	}
 	return w, nil
 }
 
@@ -173,7 +178,7 @@ func (w *World) RunContext(ctx context.Context, program func(c *Comm)) error {
 	for r := 0; r < w.ranks; r++ {
 		r := r
 		comm := &Comm{w: w, rank: r}
-		comm.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r), func(p *des.Proc) {
+		comm.proc = w.eng.Spawn(w.rankName[r], func(p *des.Proc) {
 			comm.proc = p
 			program(comm)
 		})

@@ -14,9 +14,16 @@
 // benchmarks aren't flagged on a one-alloc wobble). Any regression lists
 // on stderr and exits 1; benchmarks present on only one side are
 // reported but never fail the run. Wall-clock noise makes ns/op jumpy on
-// shared CI machines, which is why the CI step consuming this is
-// advisory (continue-on-error) — the committed baseline still gives
+// shared CI machines, which is why the CI step comparing the full suite
+// is advisory (continue-on-error) — the committed baseline still gives
 // reviewers a number to argue with.
+//
+// -prefix restricts a comparison to benchmarks whose names start with one
+// of the given comma-separated prefixes. CI uses it to gate the
+// engine-level benchmarks (BenchmarkDES_*, BenchmarkMPISim_*) hard:
+//
+//	go test -bench='^Benchmark(DES|MPISim)_' -benchmem . \
+//	  | go run ./scripts/benchdiff -prefix BenchmarkDES_,BenchmarkMPISim_
 package main
 
 import (
@@ -52,13 +59,14 @@ func main() {
 	record := flag.Bool("record", false, "write a baseline from stdin instead of comparing")
 	out := flag.String("out", "BENCH_seed.json", "baseline file to write with -record")
 	baseline := flag.String("baseline", "BENCH_seed.json", "baseline file to compare stdin against")
+	prefix := flag.String("prefix", "", "comma-separated name prefixes: compare only matching benchmarks")
 	flag.Parse()
 
 	var err error
 	if *record {
 		err = recordBaseline(os.Stdin, *out)
 	} else {
-		err = compare(os.Stdin, *baseline)
+		err = compare(os.Stdin, *baseline, splitPrefixes(*prefix))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -138,7 +146,32 @@ func regressed(want, got, floor float64) bool {
 	return got > want*(1+relSlack) && got-want > floor
 }
 
-func compare(r io.Reader, path string) error {
+// splitPrefixes parses the -prefix flag: nil (match everything) for an
+// empty flag, otherwise the non-empty comma-separated entries.
+func splitPrefixes(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// matches reports whether name passes the prefix filter (nil = all).
+func matches(name string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func compare(r io.Reader, path string, prefixes []string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading baseline: %w (run `make bench-baseline` to create it)", err)
@@ -154,9 +187,15 @@ func compare(r io.Reader, path string) error {
 
 	names := make([]string, 0, len(base))
 	for name := range base {
-		names = append(names, name)
+		if matches(name, prefixes) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
+	if len(prefixes) > 0 && len(names) == 0 {
+		return fmt.Errorf("no baseline benchmark matches -prefix %s (re-record the baseline?)",
+			strings.Join(prefixes, ","))
+	}
 
 	var regressions []string
 	regressedNames := map[string]bool{}
@@ -183,7 +222,7 @@ func compare(r io.Reader, path string) error {
 		}
 	}
 	for name := range fresh {
-		if _, ok := base[name]; !ok {
+		if _, ok := base[name]; !ok && matches(name, prefixes) {
 			fmt.Printf("benchdiff: %s not in baseline (new — re-record to track it)\n", name)
 		}
 	}
