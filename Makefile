@@ -9,7 +9,7 @@ GO ?= go
 # cannot run" without chasing @latest breakage).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff benchdiff-engine difftest profile ablation paper export serve fleet examples crashtest fleettest loadtest clean
+.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff benchdiff-engine difftest profile ablation paper export serve fleet examples crashtest fleettest disktest loadtest clean
 
 all: build lint test
 
@@ -132,6 +132,13 @@ crashtest:
 # fleet IDs.
 fleettest:
 	$(GO) run ./scripts/fleettest
+
+# Replication acceptance: three shards with -replicas 2 -ack-quorum 2,
+# >=1k jobs, then rm -rf of the busiest shard's whole data directory +
+# SIGKILL. The supervisor must promote the follower's replica and revive
+# the shard with zero lost jobs under their original fleet IDs.
+disktest:
+	$(GO) run ./scripts/disktest
 
 # Fleet SLO acceptance: three shards, >=5k mixed-kind jobs via loadgen,
 # kill-one-shard chaos mid-run, throughput/latency SLOs plus merged

@@ -10,6 +10,7 @@
 //	clusterfleet -bin ./clusterd [-addr :8090] [-shards 3] [-data fleet-data]
 //	             [-vnodes 64] [-workers 0] [-queue 256] [-cache 1024]
 //	             [-max-restarts 5] [-restart-backoff 100ms] [-probe-interval 250ms]
+//	             [-replicas 1] [-ack-quorum 0]
 //
 // Shard sN journals to <data>/sN.wal. A child that dies is restarted with
 // the same journal, so the shard's own crash recovery re-runs its
@@ -17,6 +18,15 @@
 // that burns through -max-restarts consecutive fast failures is declared
 // permanently dead: its key range flows to the ring successors and the
 // unfinished jobs in its journal are re-enqueued onto the survivors.
+//
+// -replicas R > 1 turns on journal replication: each shard moves to its
+// own directory (<data>/sN/journal.wal) and streams its journal to its
+// R-1 ring-successor followers, which keep the copies alongside their own
+// journals (<data>/sN/replica-sM.wal). A submit is acknowledged only
+// after -ack-quorum of the R copies fsynced (0 means a majority). If a
+// shard's journal directory is destroyed outright, the supervisor
+// promotes the deepest follower replica back into a primary journal and
+// respawns the child over it — nothing a quorum acknowledged is lost.
 //
 // The coordinator's own API adds GET /v1/fleet (topology: shards, PIDs,
 // liveness, rerouted jobs) next to the clusterd surface it proxies.
@@ -63,6 +73,8 @@ func run(args []string) error {
 	maxRestarts := fs.Int("max-restarts", 5, "consecutive fast failures before a shard is declared dead")
 	restartBackoff := fs.Duration("restart-backoff", 100*time.Millisecond, "first respawn delay, doubled per failure")
 	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "shard health-probe period")
+	replicas := fs.Int("replicas", 1, "copies of each shard's journal across the fleet (1 disables replication)")
+	ackQuorum := fs.Int("ack-quorum", 0, "journal copies that must fsync before a submit is acknowledged (0 = majority of -replicas)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +84,15 @@ func run(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
+	if *replicas > *shards {
+		return fmt.Errorf("-replicas %d needs at least that many shards, got %d", *replicas, *shards)
+	}
+	if *ackQuorum < 0 || *ackQuorum > *replicas {
+		return fmt.Errorf("-ack-quorum must be in [0, %d] (0 = majority), got %d", *replicas, *ackQuorum)
+	}
 	if err := os.MkdirAll(*data, 0o755); err != nil {
 		return fmt.Errorf("journal dir: %w", err)
 	}
@@ -79,6 +100,21 @@ func run(args []string) error {
 	decls := make([]fleet.Shard, *shards)
 	for i := range decls {
 		name := "s" + strconv.Itoa(i)
+		if *replicas > 1 {
+			// Replicated layout: each shard owns a directory holding its
+			// journal and the replicas it follows for other shards, so
+			// "losing a disk" is one rm -rf away from being tested.
+			dir := filepath.Join(*data, name)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("shard dir: %w", err)
+			}
+			decls[i] = fleet.Shard{
+				Name:        name,
+				DataDir:     dir,
+				JournalPath: filepath.Join(dir, "journal.wal"),
+			}
+			continue
+		}
 		decls[i] = fleet.Shard{
 			Name:        name,
 			JournalPath: filepath.Join(*data, name+".wal"),
@@ -87,6 +123,8 @@ func run(args []string) error {
 	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
 		VirtualNodes:  *vnodes,
 		ProbeInterval: *probeInterval,
+		Replicas:      *replicas,
+		AckQuorum:     *ackQuorum,
 	}, decls)
 	if err != nil {
 		return err
@@ -109,8 +147,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("clusterfleet listening on %s (%d shards, bin %s, journals %s)\n",
-		ln.Addr(), *shards, *bin, *data)
+	replTag := ""
+	if *replicas > 1 {
+		q := *ackQuorum
+		if q == 0 {
+			q = *replicas/2 + 1
+		}
+		replTag = fmt.Sprintf(", replicas %d quorum %d", *replicas, q)
+	}
+	fmt.Printf("clusterfleet listening on %s (%d shards, bin %s, journals %s%s)\n",
+		ln.Addr(), *shards, *bin, *data, replTag)
 
 	supDone := make(chan error, 1)
 	go func() { supDone <- sup.Run(ctx) }()

@@ -12,4 +12,16 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bin", "/bin/true", "-shards", "0"}); err == nil || !strings.Contains(err.Error(), "-shards") {
 		t.Fatalf("zero shards not rejected: %v", err)
 	}
+	if err := run([]string{"-bin", "/bin/true", "-replicas", "0"}); err == nil || !strings.Contains(err.Error(), "-replicas") {
+		t.Fatalf("zero replicas not rejected: %v", err)
+	}
+	if err := run([]string{"-bin", "/bin/true", "-shards", "2", "-replicas", "3"}); err == nil || !strings.Contains(err.Error(), "-replicas") {
+		t.Fatalf("replicas > shards not rejected: %v", err)
+	}
+	if err := run([]string{"-bin", "/bin/true", "-replicas", "2", "-ack-quorum", "3"}); err == nil || !strings.Contains(err.Error(), "-ack-quorum") {
+		t.Fatalf("ack-quorum > replicas not rejected: %v", err)
+	}
+	if err := run([]string{"-bin", "/bin/true", "-ack-quorum", "-1"}); err == nil || !strings.Contains(err.Error(), "-ack-quorum") {
+		t.Fatalf("negative ack-quorum not rejected: %v", err)
+	}
 }

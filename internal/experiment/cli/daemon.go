@@ -19,6 +19,7 @@ import (
 type DaemonOptions struct {
 	Addr         string
 	Journal      string
+	ReplicaDir   string
 	Shard        string
 	DrainTimeout time.Duration
 
@@ -47,6 +48,7 @@ func ParseDaemonFlags(args []string) (DaemonOptions, error) {
 	fs := flag.NewFlagSet("clusterd", flag.ContinueOnError)
 	fs.StringVar(&o.Addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.Journal, "journal", "", "write-ahead journal path (empty disables durability)")
+	fs.StringVar(&o.ReplicaDir, "replica-dir", "", "directory for follower replicas of other shards' journals (requires -journal; set by clusterfleet)")
 	fs.StringVar(&o.Shard, "shard", "", "fleet shard identity (set by clusterfleet; reported on /v1/healthz)")
 	fs.DurationVar(&o.DrainTimeout, "drain-timeout", 30*time.Second, "how long a graceful drain may run before in-flight jobs are cancelled")
 	fs.IntVar(&o.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -103,6 +105,9 @@ func (o DaemonOptions) validate() error {
 	if o.BreakerCooldown <= 0 {
 		return fmt.Errorf("-breaker-cooldown must be positive, got %v", o.BreakerCooldown)
 	}
+	if o.ReplicaDir != "" && o.Journal == "" {
+		return errors.New("-replica-dir requires -journal: a shard holding replicas for others must be durable itself")
+	}
 	return nil
 }
 
@@ -112,6 +117,7 @@ func (o DaemonOptions) validate() error {
 func (o DaemonOptions) Config() service.Config {
 	cfg := service.Config{
 		ShardName:         o.Shard,
+		ReplicaDir:        o.ReplicaDir,
 		Workers:           o.Workers,
 		QueueDepth:        o.Queue,
 		CacheSize:         o.Cache,

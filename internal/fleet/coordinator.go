@@ -29,6 +29,11 @@ type Shard struct {
 	// JournalPath, when non-empty, locates the shard's write-ahead
 	// journal for handoff after permanent death.
 	JournalPath string
+	// DataDir, when non-empty, is the shard's on-disk home. With
+	// replication enabled the child also keeps the replica journals it
+	// follows for other shards here (replica-<src>.wal), which is where
+	// promotion looks after a disk loss.
+	DataDir string
 }
 
 var shardNameRe = regexp.MustCompile(`^[a-z0-9]+$`)
@@ -68,6 +73,14 @@ type CoordinatorConfig struct {
 	// ProbeInterval paces the background health poll Run drives; 0 means
 	// 250ms.
 	ProbeInterval time.Duration
+	// Replicas is how many copies of each shard's journal the fleet
+	// keeps: the primary plus Replicas-1 ring-successor followers.
+	// 0 or 1 disables replication entirely (the seed behavior).
+	Replicas int
+	// AckQuorum is how many of those copies must fsync before a submit
+	// is acknowledged; 0 means a majority (Replicas/2 + 1). Must satisfy
+	// 1 <= AckQuorum <= Replicas.
+	AckQuorum int
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -79,6 +92,12 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.AckQuorum <= 0 {
+		c.AckQuorum = c.Replicas/2 + 1
 	}
 	return c
 }
@@ -104,6 +123,9 @@ type Coordinator struct {
 	forwardErrors  *service.Counter
 	rerouted       *service.Counter
 	handoffErrors  *service.Counter
+	promotions     *service.Counter
+	promotedRecs   *service.Counter
+	replSyncErrors *service.Counter
 	restarts       *service.Counter
 	shardUp        *service.GaugeVec
 	shardRestarts  *service.GaugeVec
@@ -118,6 +140,12 @@ func NewCoordinator(cfg CoordinatorConfig, shards []Shard) (*Coordinator, error)
 	cfg = cfg.withDefaults()
 	if len(shards) == 0 {
 		return nil, errors.New("fleet: no shards declared")
+	}
+	if cfg.AckQuorum > cfg.Replicas {
+		return nil, fmt.Errorf("fleet: ack quorum %d exceeds replicas %d", cfg.AckQuorum, cfg.Replicas)
+	}
+	if cfg.Replicas > len(shards) {
+		return nil, fmt.Errorf("fleet: %d replicas need %d shards, got %d", cfg.Replicas, cfg.Replicas, len(shards))
 	}
 	c := &Coordinator{
 		cfg:    cfg,
@@ -136,6 +164,9 @@ func NewCoordinator(cfg CoordinatorConfig, shards []Shard) (*Coordinator, error)
 		if _, dup := c.shards[sh.Name]; dup {
 			return nil, fmt.Errorf("fleet: duplicate shard name %q", sh.Name)
 		}
+		if cfg.Replicas > 1 && (sh.DataDir == "" || sh.JournalPath == "") {
+			return nil, fmt.Errorf("fleet: replication needs shard %s to declare DataDir and JournalPath", sh.Name)
+		}
 		st := &shardState{decl: sh, baseURL: sh.BaseURL, live: sh.BaseURL != ""}
 		c.shards[sh.Name] = st
 		c.ring.Add(sh.Name)
@@ -147,6 +178,9 @@ func NewCoordinator(cfg CoordinatorConfig, shards []Shard) (*Coordinator, error)
 	c.forwardErrors = c.reg.Counter("fleet_forward_errors_total", "Proxied requests that failed at the transport layer (shard unreachable mid-request).")
 	c.rerouted = c.reg.Counter("fleet_rerouted_jobs_total", "Unfinished jobs re-enqueued onto surviving shards from a dead shard's journal.")
 	c.handoffErrors = c.reg.Counter("fleet_handoff_errors_total", "Jobs a journal handoff could not re-enqueue (no live shard, resubmission rejected).")
+	c.promotions = c.reg.Counter("fleet_promotions_total", "Replica journals promoted to primary after a shard lost its disk.")
+	c.promotedRecs = c.reg.Counter("fleet_promoted_records_total", "Journal records recovered into promoted journals.")
+	c.replSyncErrors = c.reg.Counter("fleet_replication_sync_errors_total", "Failed attempts to push a shard's follower set (shard unreachable or rejected the peer set).")
 	c.restarts = c.reg.Counter("fleet_shard_restarts_total", "Shard child processes respawned by the supervisor.")
 	c.mergeScrapeErr = c.reg.Counter("fleet_scrape_errors_total", "Per-shard /metrics or /healthz fetches that failed during a fleet merge.")
 	c.shardUp = c.reg.GaugeVec("fleet_shard_up", "Per-shard routability: 1 live, 0 down or dead.", "shard")
@@ -600,30 +634,38 @@ func (c *Coordinator) handlePassthrough(w http.ResponseWriter, r *http.Request) 
 // PIDs, restart counts and the route-table size.
 func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	type shardInfo struct {
-		Name    string `json:"name"`
-		BaseURL string `json:"base_url,omitempty"`
-		Live    bool   `json:"live"`
-		Dead    bool   `json:"dead,omitempty"`
-		PID     int    `json:"pid,omitempty"`
-		Journal string `json:"journal,omitempty"`
+		Name      string   `json:"name"`
+		BaseURL   string   `json:"base_url,omitempty"`
+		Live      bool     `json:"live"`
+		Dead      bool     `json:"dead,omitempty"`
+		PID       int      `json:"pid,omitempty"`
+		Journal   string   `json:"journal,omitempty"`
+		Followers []string `json:"followers,omitempty"`
 	}
 	out := []shardInfo{}
 	for _, st := range c.allShards() {
 		st.mu.Lock()
-		out = append(out, shardInfo{
+		info := shardInfo{
 			Name: st.decl.Name, BaseURL: st.baseURL, Live: st.live,
 			Dead: st.dead, PID: st.pid, Journal: st.decl.JournalPath,
-		})
+		}
 		st.mu.Unlock()
+		if c.ReplicationEnabled() {
+			info.Followers = c.Followers(info.Name)
+		}
+		out = append(out, info)
 	}
 	c.mu.Lock()
 	routes := len(c.routes)
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"shards":         out,
-		"virtual_nodes":  c.cfg.VirtualNodes,
-		"routes":         routes,
-		"rerouted_total": c.rerouted.Value(),
+		"shards":           out,
+		"virtual_nodes":    c.cfg.VirtualNodes,
+		"replicas":         c.cfg.Replicas,
+		"ack_quorum":       c.cfg.AckQuorum,
+		"routes":           routes,
+		"rerouted_total":   c.rerouted.Value(),
+		"promotions_total": c.promotions.Value(),
 	})
 }
 

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clustereval/internal/journal"
+	"clustereval/internal/service"
+)
+
+// replShard declares one shard with the on-disk layout replication
+// expects: <dir>/<name>/journal.wal plus replicas of other shards
+// alongside it.
+func replShard(t *testing.T, dir, name string) Shard {
+	t.Helper()
+	d := filepath.Join(dir, name)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return Shard{Name: name, DataDir: d, JournalPath: filepath.Join(d, "journal.wal")}
+}
+
+// seedReplica writes a replica of src's journal holding n records into
+// the follower's data dir, through the same store the daemon uses.
+func seedReplica(t *testing.T, followerDir, src string, n int) {
+	t.Helper()
+	store, err := journal.OpenReplicaStore(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]journal.Frame, n)
+	for i := range frames {
+		frames[i] = journal.Frame{Src: src, Seq: uint64(i + 1), Rec: journal.Record{
+			Type: journal.TypeSubmitted, JobID: fmt.Sprintf("j%03d", i),
+			Key: fmt.Sprintf("k%03d", i), Spec: json.RawMessage(`{"kind":"net"}`),
+		}}
+	}
+	if _, err := store.Ingest(frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Promotion must pick the follower holding the most records (the only
+// copy that can contain every quorum-acknowledged submit) and rebuild a
+// plain journal the shard's normal recovery replays.
+func TestPromoteShardPicksBestReplica(t *testing.T) {
+	dir := t.TempDir()
+	shards := []Shard{replShard(t, dir, "s0"), replShard(t, dir, "s1"), replShard(t, dir, "s2")}
+	coord, err := NewCoordinator(CoordinatorConfig{VirtualNodes: 32, Replicas: 3, AckQuorum: 2}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	followers := coord.Followers("s0")
+	if len(followers) != 2 {
+		t.Fatalf("Followers(s0) = %v, want both other shards", followers)
+	}
+	// The second follower is one record ahead: it must win the vote.
+	seedReplica(t, filepath.Join(dir, followers[0]), "s0", 4)
+	seedReplica(t, filepath.Join(dir, followers[1]), "s0", 5)
+
+	n, from, err := coord.PromoteShard("s0")
+	if err != nil {
+		t.Fatalf("PromoteShard: %v", err)
+	}
+	if n != 5 || from != followers[1] {
+		t.Fatalf("promoted %d record(s) from %s, want 5 from %s", n, from, followers[1])
+	}
+	jnl, recs, err := journal.Open(filepath.Join(dir, "s0", "journal.wal"))
+	if err != nil {
+		t.Fatalf("opening promoted journal: %v", err)
+	}
+	defer jnl.Close()
+	if len(recs) != 5 {
+		t.Fatalf("promoted journal replays %d record(s), want 5", len(recs))
+	}
+	if coord.promotions.Value() != 1 || coord.promotedRecs.Value() != 5 {
+		t.Fatalf("promotion metrics = %d/%d, want 1/5",
+			coord.promotions.Value(), coord.promotedRecs.Value())
+	}
+
+	// A shard nobody ever replicated has nothing to promote.
+	if _, _, err := coord.PromoteShard("s1"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("PromoteShard(s1) = %v, want ErrNoReplica", err)
+	}
+}
+
+// replFleet builds a real durable fleet: per-shard clusterd services
+// (journal + replica store) behind httptest, fronted by a replicating
+// coordinator.
+type replFleet struct {
+	coord   *Coordinator
+	servers map[string]*httptest.Server
+	svcs    map[string]*service.Service
+}
+
+func newReplFleet(t *testing.T, n, replicas, quorum int) *replFleet {
+	t.Helper()
+	dir := t.TempDir()
+	rf := &replFleet{servers: map[string]*httptest.Server{}, svcs: map[string]*service.Service{}}
+	shards := make([]Shard, 0, n)
+	for i := 0; i < n; i++ {
+		sh := replShard(t, dir, fmt.Sprintf("s%d", i))
+		svc, err := service.OpenDurable(service.Config{
+			Workers: 2, QueueDepth: 256, ShardName: sh.Name, ReplicaDir: sh.DataDir,
+		}, sh.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewServer(svc))
+		sh.BaseURL = srv.URL
+		rf.svcs[sh.Name] = svc
+		rf.servers[sh.Name] = srv
+		shards = append(shards, sh)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		VirtualNodes: 32, Replicas: replicas, AckQuorum: quorum,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.coord = coord
+	t.Cleanup(func() {
+		for _, srv := range rf.servers {
+			srv.Close()
+		}
+		for _, svc := range rf.svcs {
+			_ = svc.Close(context.Background())
+		}
+	})
+	return rf
+}
+
+// SyncReplication must leave every primary shipping to exactly its ring
+// successors, and a routine submit must then reach a full quorum before
+// it is acknowledged.
+func TestSyncReplicationWiresFollowers(t *testing.T) {
+	rf := newReplFleet(t, 3, 2, 2)
+	rf.coord.SyncReplication(context.Background())
+
+	for name, svc := range rf.svcs {
+		status := svc.ReplicationStatus()
+		if !status.Enabled || status.Quorum != 2 {
+			t.Fatalf("shard %s: replication status %+v, want enabled with quorum 2", name, status)
+		}
+		want := rf.coord.Followers(name)
+		if len(status.Peers) != len(want) {
+			t.Fatalf("shard %s ships to %d peer(s), want %v", name, len(status.Peers), want)
+		}
+		for i, p := range status.Peers {
+			if p.Shard != want[i] {
+				t.Fatalf("shard %s peer %d is %s, want %s", name, i, p.Shard, want[i])
+			}
+		}
+	}
+	if v := rf.coord.replSyncErrors.Value(); v != 0 {
+		t.Fatalf("SyncReplication counted %d errors against a healthy fleet", v)
+	}
+
+	front := httptest.NewServer(rf.coord)
+	defer front.Close()
+	ids := make([]string, 0, 10)
+	for i := 0; i < 10; i++ {
+		v, resp := postJob(t, front.URL, netSpec(i))
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		if v := waitDone(t, front.URL, id); v.State != "done" {
+			t.Fatalf("job %s ended %q", id, v.State)
+		}
+	}
+	// Every journaled record must be quorum-held by the shard's follower.
+	for name, svc := range rf.svcs {
+		status := svc.ReplicationStatus()
+		for _, p := range status.Peers {
+			if p.AckedSeq != status.LastSeq {
+				t.Fatalf("shard %s: follower %s acked %d of %d journal records",
+					name, p.Shard, p.AckedSeq, status.LastSeq)
+			}
+		}
+	}
+}
+
+// FailShard racing in-flight coordinator forwarding (satellite for the
+// replication issue, run under -race): while writers hammer the fleet,
+// the victim's server dies mid-request and the shard is declared dead.
+// Every submission must either land (200/202 with a resolvable ID) or
+// come back retryable (429/503) — an acknowledged job must never 404.
+func TestFailShardDuringConcurrentSubmits(t *testing.T) {
+	dir := t.TempDir()
+	shards := make([]Shard, 0, 3)
+	svcs := map[string]*service.Service{}
+	servers := map[string]*httptest.Server{}
+	for i := 0; i < 3; i++ {
+		sh := replShard(t, dir, fmt.Sprintf("s%d", i))
+		svc, err := service.OpenDurable(service.Config{
+			Workers: 2, QueueDepth: 256, ShardName: sh.Name,
+		}, sh.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewServer(svc))
+		sh.BaseURL = srv.URL
+		svcs[sh.Name] = svc
+		servers[sh.Name] = srv
+		shards = append(shards, sh)
+	}
+	t.Cleanup(func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		for _, svc := range svcs {
+			_ = svc.Close(context.Background())
+		}
+	})
+	coord, err := NewCoordinator(CoordinatorConfig{VirtualNodes: 32}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord)
+	t.Cleanup(front.Close)
+
+	submit := func(spec string) (string, int, error) {
+		resp, err := http.Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return "", 0, err
+		}
+		defer resp.Body.Close()
+		var v struct {
+			ID string `json:"id"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&v)
+		return v.ID, resp.StatusCode, nil
+	}
+
+	const writers = 8
+	var (
+		mu       sync.Mutex
+		accepted []string
+		bad      []int
+	)
+	start := make(chan struct{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, code, err := submit(netSpec(w*10000 + i))
+				if err != nil {
+					// The coordinator itself never went away; a transport
+					// error here is a real failure.
+					mu.Lock()
+					bad = append(bad, -1)
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				switch code {
+				case http.StatusOK, http.StatusAccepted:
+					accepted = append(accepted, id)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Retryable mid-failover verdicts are the contract.
+				default:
+					bad = append(bad, code)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(50 * time.Millisecond) // let forwards get in flight
+
+	victim := "s1"
+	servers[victim].Close() // in-flight forwards now fail at the transport
+	if _, err := coord.FailShard(context.Background(), victim); err != nil {
+		t.Fatalf("FailShard(%s): %v", victim, err)
+	}
+
+	time.Sleep(100 * time.Millisecond) // keep racing after the death
+	close(stop)
+	wg.Wait()
+
+	if len(bad) > 0 {
+		t.Fatalf("submissions returned non-retryable verdicts %v during failover", bad)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("test is vacuous: no submission was accepted")
+	}
+	// Acknowledged IDs must keep resolving: rerouted onto a survivor, still
+	// runnable, or explicitly 410 (finished before the death, result lost
+	// with the shard) — never an unexplained 404.
+	for _, id := range accepted {
+		_, code := getJob(t, front.URL, id)
+		if code == http.StatusNotFound {
+			t.Fatalf("job %s vanished after concurrent FailShard", id)
+		}
+	}
+}

@@ -117,6 +117,37 @@ func (r *Ring) Shards() map[string]bool {
 	return out
 }
 
+// Successors returns up to n distinct shards that follow shard's first
+// virtual point clockwise — the deterministic follower set journal
+// replication ships to. Placement deliberately ignores liveness: a
+// follower that is briefly down still holds its replica on disk, and
+// flapping must not reshuffle where copies live. Permanently removed
+// shards no longer appear. The shard itself is excluded; an unknown
+// shard yields nil.
+func (r *Ring) Successors(shard string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if _, known := r.live[shard]; !known {
+		return nil
+	}
+	h := hashPoint(shard, 0)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{shard: true}
+	var out []string
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		out = append(out, p.shard)
+	}
+	return out
+}
+
 // Lookup returns the live shard owning key, walking clockwise from the
 // key's hash past points of down shards. ok is false when no live shard
 // exists.

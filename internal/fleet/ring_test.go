@@ -124,6 +124,65 @@ func TestRingEmpty(t *testing.T) {
 	}
 }
 
+// Successors is the replica-placement primitive: it must be
+// deterministic across construction order, exclude the shard itself,
+// ignore liveness (a flapping follower keeps its on-disk replica) and
+// drop permanently removed shards.
+func TestRingSuccessors(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3"}
+	r := NewRing(32)
+	for _, s := range names {
+		r.Add(s)
+	}
+	for _, s := range names {
+		succ := r.Successors(s, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%s, 2) = %v, want 2 shards", s, succ)
+		}
+		seen := map[string]bool{s: true}
+		for _, f := range succ {
+			if seen[f] {
+				t.Fatalf("Successors(%s, 2) = %v repeats a shard or includes the shard itself", s, succ)
+			}
+			seen[f] = true
+		}
+	}
+
+	// Same membership added in a different order places identically.
+	r2 := NewRing(32)
+	for _, s := range []string{"s3", "s1", "s0", "s2"} {
+		r2.Add(s)
+	}
+	for _, s := range names {
+		a, b := fmt.Sprintf("%v", r.Successors(s, 2)), fmt.Sprintf("%v", r2.Successors(s, 2))
+		if a != b {
+			t.Fatalf("Successors(%s) depends on Add order: %s vs %s", s, a, b)
+		}
+	}
+
+	// A down follower keeps its placement; a removed one loses it.
+	before := fmt.Sprintf("%v", r.Successors("s0", 2))
+	r.SetLive("s1", false)
+	if got := fmt.Sprintf("%v", r.Successors("s0", 2)); got != before {
+		t.Fatalf("marking a shard down moved replica placement: %s -> %s", before, got)
+	}
+	r.Remove("s1")
+	for _, f := range r.Successors("s0", 3) {
+		if f == "s1" {
+			t.Fatal("removed shard still listed as a successor")
+		}
+	}
+	if got := r.Successors("s0", 10); len(got) != 2 {
+		t.Fatalf("Successors(s0, 10) = %v, want the 2 remaining shards", got)
+	}
+	if got := r.Successors("nope", 2); got != nil {
+		t.Fatalf("Successors of an unknown shard = %v, want nil", got)
+	}
+	if got := r.Successors("s0", 0); got != nil {
+		t.Fatalf("Successors(s0, 0) = %v, want nil", got)
+	}
+}
+
 func TestRingOwnerIgnoresLiveness(t *testing.T) {
 	r := NewRing(64)
 	r.Add("s0")

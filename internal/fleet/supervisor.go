@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"clustereval/internal/xrand"
 )
 
 // SupervisorConfig shapes the spawn/watch/restart loop.
@@ -20,8 +22,9 @@ type SupervisorConfig struct {
 	// BaseArgs are flags every shard gets (workers, queue, breaker
 	// tuning). The supervisor appends -addr, -journal and -shard itself.
 	BaseArgs []string
-	// RestartBackoff is the first respawn delay, doubled per consecutive
-	// failure up to MaxBackoff; 0 means 100ms.
+	// RestartBackoff is the base respawn delay, doubled per consecutive
+	// failure up to MaxBackoff and scaled by a deterministic per-shard
+	// jitter (see restartBackoff); 0 means 100ms.
 	RestartBackoff time.Duration
 	// MaxBackoff caps the doubling; 0 means 5s.
 	MaxBackoff time.Duration
@@ -115,9 +118,27 @@ func (s *Supervisor) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// restartBackoff computes the delay before restart attempt (1-based):
+// RestartBackoff doubled per attempt, capped at MaxBackoff, then scaled
+// by a jitter in [0.75, 1.25) drawn deterministically from the shard
+// name and attempt number. The jitter keeps a fleet-wide crash from
+// lining every shard's respawn (and its thundering re-announce) on the
+// same instant, while staying a pure function of its inputs so tests
+// can predict the exact schedule.
+func restartBackoff(base, max time.Duration, shard string, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	scale := 0.75 + float64(xrand.MixN(hashPoint(shard, 0), uint64(attempt))%1024)/2048.0
+	return time.Duration(float64(d) * scale)
+}
+
 // superviseShard is one shard's serve+watch loop.
 func (s *Supervisor) superviseShard(ctx context.Context, shard Shard) error {
-	backoff := s.cfg.RestartBackoff
 	restarts := 0
 	for {
 		if ctx.Err() != nil {
@@ -137,7 +158,28 @@ func (s *Supervisor) superviseShard(ctx context.Context, shard Shard) error {
 		// rapid crash loops burn through MaxRestarts.
 		if hostSince(began) >= s.cfg.StableAfter {
 			restarts = 0
-			backoff = s.cfg.RestartBackoff
+		}
+
+		// Disk loss looks different from a crash: the journal the child
+		// was appending to is gone from under it. With replication on,
+		// rebuild it from the best follower replica and grant a fresh
+		// budget — the respawn replays the promoted journal under the
+		// shard's own identity, losing nothing the quorum acknowledged.
+		if s.coord.ReplicationEnabled() && shard.JournalPath != "" {
+			if _, statErr := os.Stat(shard.JournalPath); errors.Is(statErr, os.ErrNotExist) {
+				n, from, perr := s.coord.PromoteShard(shard.Name)
+				switch {
+				case perr == nil:
+					fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s lost its journal; promoted %d record(s) from follower %s\n",
+						shard.Name, n, from)
+					restarts = 0
+				case errors.Is(perr, ErrNoReplica):
+					// Nothing was ever replicated (or the journal never
+					// existed): starting fresh is the correct recovery.
+				default:
+					fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s replica promotion failed: %v\n", shard.Name, perr)
+				}
+			}
 		}
 		restarts++
 		if restarts > s.cfg.MaxRestarts {
@@ -150,17 +192,14 @@ func (s *Supervisor) superviseShard(ctx context.Context, shard Shard) error {
 			fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s journal handoff re-enqueued %d job(s)\n", shard.Name, moved)
 			return fmt.Errorf("shard dead after %d restarts (last exit: %v)", s.cfg.MaxRestarts, err)
 		}
+		delay := restartBackoff(s.cfg.RestartBackoff, s.cfg.MaxBackoff, shard.Name, restarts)
 		fmt.Fprintf(s.cfg.Stderr, "fleet: shard %s exited (%v); restart %d/%d in %v\n",
-			shard.Name, err, restarts, s.cfg.MaxRestarts, backoff)
+			shard.Name, err, restarts, s.cfg.MaxRestarts, delay)
 		s.coord.NoteRestart(shard.Name, restarts)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-sleepCh(backoff):
-		}
-		backoff *= 2
-		if backoff > s.cfg.MaxBackoff {
-			backoff = s.cfg.MaxBackoff
+		case <-sleepCh(delay):
 		}
 	}
 }
@@ -173,6 +212,9 @@ func (s *Supervisor) runChildOnce(ctx context.Context, shard Shard) error {
 	args = append(args, "-addr", "127.0.0.1:0", "-shard", shard.Name)
 	if shard.JournalPath != "" {
 		args = append(args, "-journal", shard.JournalPath)
+	}
+	if s.coord.ReplicationEnabled() && shard.DataDir != "" {
+		args = append(args, "-replica-dir", shard.DataDir)
 	}
 	cmd := exec.CommandContext(ctx, s.cfg.Bin, args...)
 	cmd.Cancel = func() error { return cmd.Process.Kill() }
@@ -205,6 +247,10 @@ func (s *Supervisor) runChildOnce(ctx context.Context, shard Shard) error {
 				s.coord.SetShardURL(shard.Name, "http://"+addr)
 				s.coord.SetShardLive(shard.Name, true)
 				announced = true
+				// Every announce changes this child's address, which
+				// invalidates peer sets fleet-wide: re-point every live
+				// primary at the current follower URLs.
+				s.coord.SyncReplication(ctx)
 			}
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -40,6 +42,82 @@ func waitLive(t *testing.T, c *Coordinator, shard string, want bool) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("shard %s never became live=%v", shard, want)
+}
+
+// restartBackoff must be a pure function of (shard, attempt): same
+// inputs, same delay — reproducible restart schedules — while different
+// shards desynchronize so a fleet-wide crash doesn't respawn everyone on
+// the same instant.
+func TestRestartBackoffDeterministicJitter(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		got := restartBackoff(base, max, "s0", attempt)
+		if again := restartBackoff(base, max, "s0", attempt); again != got {
+			t.Fatalf("attempt %d: %v then %v; jitter must be deterministic", attempt, got, again)
+		}
+		exp := base
+		for i := 1; i < attempt && exp < max; i++ {
+			exp *= 2
+		}
+		if exp > max {
+			exp = max
+		}
+		lo, hi := time.Duration(float64(exp)*0.75), time.Duration(float64(exp)*1.25)
+		if got < lo || got >= hi {
+			t.Fatalf("attempt %d: delay %v outside jitter band [%v, %v)", attempt, got, lo, hi)
+		}
+	}
+	diverged := false
+	for attempt := 1; attempt <= 10 && !diverged; attempt++ {
+		diverged = restartBackoff(base, max, "s0", attempt) != restartBackoff(base, max, "s1", attempt)
+	}
+	if !diverged {
+		t.Fatal("s0 and s1 share an identical 10-attempt backoff schedule; jitter is not shard-seeded")
+	}
+}
+
+// Clock-injected supervision: hostSleep is overridden to record delays,
+// the child is a binary that exits instantly without a banner, and the
+// recorded sleeps must match restartBackoff's predicted schedule exactly.
+func TestSupervisorSleepsJitteredSchedule(t *testing.T) {
+	var mu sync.Mutex
+	var slept []time.Duration
+	origSleep := hostSleep
+	hostSleep = func(d time.Duration) {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+	}
+	defer func() { hostSleep = origSleep }()
+
+	coord, err := NewCoordinator(CoordinatorConfig{VirtualNodes: 8}, []Shard{{Name: "s0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base, max = 10 * time.Millisecond, 40 * time.Millisecond
+	sup := NewSupervisor(SupervisorConfig{
+		Bin:            "/bin/false", // exits 1 immediately, never announces
+		RestartBackoff: base,
+		MaxBackoff:     max,
+		MaxRestarts:    3,
+		Stdout:         io.Discard,
+		Stderr:         io.Discard,
+	}, coord)
+	err = sup.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "shard dead after 3 restarts") {
+		t.Fatalf("Run = %v, want restart-budget exhaustion", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != 3 {
+		t.Fatalf("recorded %d sleeps (%v), want one per consumed restart (3)", len(slept), slept)
+	}
+	for i, d := range slept {
+		if want := restartBackoff(base, max, "s0", i+1); d != want {
+			t.Fatalf("restart %d slept %v, want the deterministic schedule's %v", i+1, d, want)
+		}
+	}
 }
 
 // End-to-end through real processes: the supervisor spawns clusterd

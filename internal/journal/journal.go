@@ -85,6 +85,36 @@ var ErrCorrupt = errors.New("journal: corrupt record before end of journal")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// frameLine wraps one JSON body in the journal framing: 8 hex digits of
+// CRC-32C over the body, a space, the body, a newline. The replication
+// stream (replica.go) reuses the same discipline so both kinds of file
+// survive inspection with a text editor and tolerate exactly the same
+// crash damage.
+func frameLine(body []byte) []byte {
+	line := make([]byte, 0, len(body)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(body, castagnoli))
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line
+}
+
+// unframeLine checks one framed line (without its newline) and returns
+// the JSON body.
+func unframeLine(line []byte) ([]byte, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("journal: malformed frame (%d bytes)", len(line))
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("journal: malformed checksum: %w", err)
+	}
+	body := line[9:]
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("journal: checksum mismatch: frame says %08x, body hashes to %08x", want, got)
+	}
+	return body, nil
+}
+
 // encode frames one record: 8 hex digits of CRC-32C over the JSON body,
 // a space, the body, a newline.
 func encode(r Record) ([]byte, error) {
@@ -95,25 +125,14 @@ func encode(r Record) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: encoding record: %w", err)
 	}
-	line := make([]byte, 0, len(body)+10)
-	line = fmt.Appendf(line, "%08x ", crc32.Checksum(body, castagnoli))
-	line = append(line, body...)
-	line = append(line, '\n')
-	return line, nil
+	return frameLine(body), nil
 }
 
 // decodeLine parses one framed line (without its newline).
 func decodeLine(line []byte) (Record, error) {
-	if len(line) < 10 || line[8] != ' ' {
-		return Record{}, fmt.Errorf("journal: malformed frame (%d bytes)", len(line))
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
-		return Record{}, fmt.Errorf("journal: malformed checksum: %w", err)
-	}
-	body := line[9:]
-	if got := crc32.Checksum(body, castagnoli); got != want {
-		return Record{}, fmt.Errorf("journal: checksum mismatch: frame says %08x, body hashes to %08x", want, got)
+	body, err := unframeLine(line)
+	if err != nil {
+		return Record{}, err
 	}
 	var r Record
 	if err := json.Unmarshal(body, &r); err != nil {
@@ -169,14 +188,29 @@ func intactRecordAfter(data []byte) bool {
 	return false
 }
 
+// fsync is the journal's one hook into the platter. A package variable
+// so tests can inject a failing sync and exercise the fail-stop path
+// without needing a broken disk.
+var fsync = func(f *os.File) error { return f.Sync() }
+
+// ErrPoisoned wraps the first write or fsync failure of a journal (or a
+// replica store file). Once poisoned, every subsequent append returns
+// the same sticky error: a journal that cannot prove a record reached
+// the platter must never acknowledge another one, because the service
+// above it treats a successful append as permission to ack the client.
+var ErrPoisoned = errors.New("journal: poisoned by an earlier write or fsync failure")
+
 // Journal is an open write-ahead journal. Append is safe for concurrent
 // use; each record is fsynced before Append returns, so an acknowledged
-// record survives any subsequent crash.
+// record survives any subsequent crash. A failed write or fsync poisons
+// the journal: the error is sticky and every later Append fails with it,
+// rather than silently resuming on a file whose tail state is unknown.
 type Journal struct {
 	mu       sync.Mutex
 	f        *os.File
 	path     string
 	appended uint64
+	poisoned error // sticky first write/fsync failure
 }
 
 // Open opens (creating if absent) the journal at path and replays its
@@ -219,9 +253,18 @@ func (j *Journal) Appended() uint64 {
 	return j.appended
 }
 
+// Err returns the sticky poison error, nil while the journal is healthy.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.poisoned
+}
+
 // Append writes the records and fsyncs once. Either every record is
-// committed or (on error) the caller must treat the journal as failed;
-// partial writes surface as a torn tail on the next Open.
+// committed or (on error) the journal is poisoned: the failure is sticky
+// and every subsequent Append returns it, so a record that may never
+// have hit the platter can never be followed by an acknowledged one.
+// Partial writes surface as a torn tail on the next Open.
 func (j *Journal) Append(recs ...Record) error {
 	var buf []byte
 	for _, r := range recs {
@@ -233,20 +276,27 @@ func (j *Journal) Append(recs ...Record) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.poisoned != nil {
+		return j.poisoned
+	}
 	if j.f == nil {
 		return errors.New("journal: closed")
 	}
 	if _, err := j.f.Write(buf); err != nil {
+		j.poisoned = fmt.Errorf("%w: appending to %s: %w", ErrPoisoned, j.path, err)
 		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := fsync(j.f); err != nil {
+		j.poisoned = fmt.Errorf("%w: fsync %s: %w", ErrPoisoned, j.path, err)
 		return fmt.Errorf("journal: fsync %s: %w", j.path, err)
 	}
 	j.appended += uint64(len(recs))
 	return nil
 }
 
-// Close syncs and closes the journal. It is idempotent.
+// Close syncs and closes the journal. It is idempotent. A poisoned
+// journal is closed without the final sync — its durability promise is
+// already void and the poison error explains why.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -255,7 +305,11 @@ func (j *Journal) Close() error {
 	}
 	f := j.f
 	j.f = nil
-	if err := f.Sync(); err != nil {
+	if j.poisoned != nil {
+		_ = f.Close()
+		return j.poisoned
+	}
+	if err := fsync(f); err != nil {
 		f.Close()
 		return fmt.Errorf("journal: fsync %s: %w", j.path, err)
 	}

@@ -235,3 +235,37 @@ func TestRejectsInvalidRecords(t *testing.T) {
 		t.Error("job record without id accepted")
 	}
 }
+
+func TestFsyncFailurePoisonsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := mustOpen(t, path)
+	defer j.Close()
+	if err := j.Append(sample(TypeSubmitted, "j000001")); err != nil {
+		t.Fatal(err)
+	}
+
+	failing := errors.New("platter on fire")
+	orig := fsync
+	fsync = func(*os.File) error { return failing }
+	err := j.Append(sample(TypeStarted, "j000001"))
+	fsync = orig
+	if !errors.Is(err, failing) {
+		t.Fatalf("Append during fsync failure err = %v, want cause wrapped", err)
+	}
+
+	// The journal is poisoned: the sticky error survives fsync healing,
+	// because the tail state of the file is unknown and a journal that
+	// cannot prove a record durable must never acknowledge another one.
+	if err := j.Err(); !errors.Is(err, ErrPoisoned) || !errors.Is(err, failing) {
+		t.Fatalf("Err() = %v, want ErrPoisoned wrapping cause", err)
+	}
+	if err := j.Append(sample(TypeDone, "j000001")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Append after poison err = %v, want sticky ErrPoisoned", err)
+	}
+	if got := j.Appended(); got != 1 {
+		t.Errorf("Appended() = %d after poisoned appends, want 1", got)
+	}
+	if err := j.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("Close of poisoned journal err = %v, want ErrPoisoned", err)
+	}
+}

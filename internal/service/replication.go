@@ -1,0 +1,376 @@
+// Journal replication: the service-side half of the fleet's durability
+// upgrade. A shard with replication configured ships every journal
+// record it commits to a set of follower peers (chosen by the fleet
+// layer from the consistent-hash ring) and refuses to acknowledge a
+// submission until a write quorum — the local fsync plus enough peer
+// fsyncs — holds the record. The follower side is a thin door onto
+// journal.ReplicaStore: ingest a framed batch, fsync, answer with the
+// position held so the primary always knows where to resume.
+//
+// The protocol is deliberately minimal. Frames carry (src, seq, record)
+// where seq is the record's 1-based position in the source journal, so
+// a follower can verify contiguity locally; a gap answer (HTTP 409 +
+// the follower's position) makes the primary re-ship the missing suffix
+// from its own journal file, which is the single source of truth. There
+// is no election and no log compaction: the fleet supervisor decides
+// promotions, and journals are bounded by the workload like they always
+// were.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"clustereval/internal/journal"
+)
+
+// Peer is one replication follower: a shard name and the base URL of
+// its daemon.
+type Peer struct {
+	Shard string `json:"shard"`
+	URL   string `json:"url"`
+}
+
+// DurabilityError reports a submission the service accepted in memory
+// but could not make durable — a poisoned journal or a missed write
+// quorum. The HTTP layer maps it to 503: the client should retry, and
+// by then the fleet has usually re-routed or healed the replica set.
+type DurabilityError struct {
+	Op  string
+	Err error
+}
+
+func (e *DurabilityError) Error() string { return "service: " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// replicator ships journal records to follower peers and tracks how far
+// each has acknowledged. Ship calls are serialized by the service's
+// commit lock, so the replicator itself only guards its peer set.
+type replicator struct {
+	src     string
+	quorum  int // total acks required, local fsync included
+	timeout time.Duration
+	client  *http.Client
+	// history reads frames [from, to] back out of the primary journal
+	// for catch-up resends; called under the commit lock, where the
+	// journal file is stable.
+	history func(from, to uint64) ([]journal.Frame, error)
+
+	mu    sync.Mutex
+	peers []Peer
+	acked map[string]uint64 // peer shard -> last acknowledged seq
+}
+
+// peerAck is one peer's outcome for a shipped batch.
+type peerAck struct {
+	peer Peer
+	seq  uint64 // position the peer holds (valid when err == nil)
+	err  error
+}
+
+// ship sends frames (ending at seq last) to every peer concurrently and
+// returns each peer's outcome. It never fails as a whole: quorum
+// arithmetic belongs to the caller.
+func (r *replicator) ship(frames []journal.Frame, last uint64) []peerAck {
+	r.mu.Lock()
+	peers := append([]Peer(nil), r.peers...)
+	r.mu.Unlock()
+	acks := make([]peerAck, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p Peer) {
+			defer wg.Done()
+			seq, err := r.shipPeer(p, frames, last)
+			acks[i] = peerAck{peer: p, seq: seq, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	r.mu.Lock()
+	for _, a := range acks {
+		if a.err == nil {
+			r.acked[a.peer.Shard] = a.seq
+		}
+	}
+	r.mu.Unlock()
+	return acks
+}
+
+// shipPeer delivers one batch to one peer, resolving at most one gap by
+// re-shipping the missing suffix from the primary journal.
+func (r *replicator) shipPeer(p Peer, frames []journal.Frame, last uint64) (uint64, error) {
+	seq, retryFrom, err := r.post(p, frames)
+	if err != nil {
+		return 0, err
+	}
+	if retryFrom > 0 {
+		// The peer is behind (a fresh follower, or one that missed
+		// batches while down): resend everything it lacks. The journal
+		// file already holds the records we just appended, so one read
+		// covers both the backlog and this batch.
+		if retryFrom > last {
+			return 0, fmt.Errorf("service: replica of %s on %s claims seq %d beyond journal end %d", r.src, p.Shard, retryFrom-1, last)
+		}
+		catchup, herr := r.history(retryFrom, last)
+		if herr != nil {
+			return 0, herr
+		}
+		seq, retryFrom, err = r.post(p, catchup)
+		if err != nil {
+			return 0, err
+		}
+		if retryFrom > 0 {
+			return 0, fmt.Errorf("service: replica of %s on %s still gapped at seq %d after catch-up", r.src, p.Shard, seq)
+		}
+	}
+	if seq != last {
+		// A peer holding more than the primary journal means the peer
+		// kept a replica from a previous life of this shard that the
+		// primary no longer remembers — acking against it would hide
+		// lost records, so it is an error, not a success.
+		return 0, fmt.Errorf("service: replica of %s on %s holds seq %d, journal ends at %d", r.src, p.Shard, seq, last)
+	}
+	return seq, nil
+}
+
+// ingestReply is the follower's answer: the position it durably holds.
+type ingestReply struct {
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// post delivers one framed batch. A 200 reply acks through the returned
+// seq; a 409 reply reports the peer's position and asks for a resend
+// from retryFrom = seq+1.
+func (r *replicator) post(p Peer, frames []journal.Frame) (seq, retryFrom uint64, err error) {
+	body, err := journal.EncodeFrames(frames)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+"/v1/replication/ingest", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, fmt.Errorf("service: replication request to %s: %w", p.Shard, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("service: shipping to %s: %w", p.Shard, err)
+	}
+	defer resp.Body.Close()
+	var reply ingestReply
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return 0, 0, fmt.Errorf("service: undecodable ack from %s: %w", p.Shard, err)
+		}
+		return reply.LastSeq, 0, nil
+	case http.StatusConflict:
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return 0, 0, fmt.Errorf("service: undecodable gap reply from %s: %w", p.Shard, err)
+		}
+		return reply.LastSeq, reply.LastSeq + 1, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return 0, 0, fmt.Errorf("service: %s refused replication batch: %s: %s", p.Shard, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// replicator returns the current replicator, nil when replication is
+// off.
+func (s *Service) replicator() *replicator {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.repl
+}
+
+// SetReplication (re)configures this shard's replication peer set and
+// write quorum. quorum counts the local fsync, so quorum=1 with no
+// peers is exactly the pre-replication behavior; quorum may be at most
+// 1+len(peers). The fleet layer calls this whenever follower addresses
+// change (children restart on ephemeral ports), carrying acknowledged
+// positions over so a re-push is not a re-send.
+func (s *Service) SetReplication(quorum int, peers []Peer) error {
+	if len(peers) == 0 && quorum <= 1 {
+		s.replMu.Lock()
+		s.repl = nil
+		s.replMu.Unlock()
+		return nil
+	}
+	if s.jnl == nil {
+		return errors.New("service: replication requires a durable journal")
+	}
+	if s.cfg.ShardName == "" {
+		return errors.New("service: replication requires a shard name")
+	}
+	if quorum < 1 || quorum > 1+len(peers) {
+		return fmt.Errorf("service: write quorum %d outside [1, %d]", quorum, 1+len(peers))
+	}
+	for _, p := range peers {
+		if p.Shard == "" || p.URL == "" {
+			return fmt.Errorf("service: replication peer %+v missing shard or url", p)
+		}
+		if p.Shard == s.cfg.ShardName {
+			return fmt.Errorf("service: shard %s cannot replicate to itself", p.Shard)
+		}
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	acked := map[string]uint64{}
+	if s.repl != nil {
+		s.repl.mu.Lock()
+		for _, p := range peers {
+			if seq, ok := s.repl.acked[p.Shard]; ok {
+				acked[p.Shard] = seq
+			}
+		}
+		s.repl.mu.Unlock()
+	}
+	s.repl = &replicator{
+		src:     s.cfg.ShardName,
+		quorum:  quorum,
+		timeout: s.cfg.ReplicationTimeout,
+		client:  &http.Client{},
+		history: s.journalFrames,
+		peers:   append([]Peer(nil), peers...),
+		acked:   acked,
+	}
+	return nil
+}
+
+// journalFrames reads records [from, to] back out of the primary
+// journal as replication frames. Only called under commitMu, where the
+// file cannot grow or shrink underfoot.
+func (s *Service) journalFrames(from, to uint64) ([]journal.Frame, error) {
+	data, err := os.ReadFile(s.jnl.Path())
+	if err != nil {
+		return nil, fmt.Errorf("service: reading journal for catch-up: %w", err)
+	}
+	recs, _, _, err := journal.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("service: decoding journal for catch-up: %w", err)
+	}
+	if uint64(len(recs)) < to || from < 1 || from > to {
+		return nil, fmt.Errorf("service: catch-up range [%d, %d] outside journal of %d records", from, to, len(recs))
+	}
+	frames := make([]journal.Frame, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		frames = append(frames, journal.Frame{Src: s.cfg.ShardName, Seq: i, Rec: recs[i-1]})
+	}
+	return frames, nil
+}
+
+// replicate ships freshly-committed records (ending at journal position
+// last) and enforces the write quorum. Called under commitMu.
+func (s *Service) replicate(r *replicator, recs []journal.Record, first, last uint64) error {
+	frames := make([]journal.Frame, len(recs))
+	for i, rec := range recs {
+		frames[i] = journal.Frame{Src: r.src, Seq: first + uint64(i), Rec: rec}
+	}
+	acks := 1 // the local fsync Append just performed
+	for _, a := range r.ship(frames, last) {
+		if a.err != nil {
+			s.replErrors.Inc()
+			s.replLag.Set(a.peer.Shard, float64(last-r.ackedSeq(a.peer.Shard)))
+			continue
+		}
+		acks++
+		s.replLag.Set(a.peer.Shard, float64(last-a.seq))
+	}
+	if acks < r.quorum {
+		return fmt.Errorf("service: write quorum not met: %d/%d acks for journal records %d..%d", acks, r.quorum, first, last)
+	}
+	s.replShipped.Add(uint64(len(recs)))
+	return nil
+}
+
+// ackedSeq returns the last acknowledged position for a peer, 0 when it
+// has never acked.
+func (r *replicator) ackedSeq(shard string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked[shard]
+}
+
+// IngestReplica appends one framed replication batch to this shard's
+// replica store and returns the position now held for the batch's
+// source. A journal.ErrGap error means the batch does not extend the
+// replica contiguously; the returned position still tells the primary
+// where to resume. Damaged batches are refused outright — the network
+// layer has no business delivering torn frames.
+func (s *Service) IngestReplica(data []byte) (uint64, error) {
+	if s.store == nil {
+		return 0, errors.New("service: no replica store on this shard")
+	}
+	frames, good, torn, err := journal.DecodeFrames(data)
+	if err != nil {
+		return 0, fmt.Errorf("service: replication batch: %w", err)
+	}
+	if torn || good != len(data) {
+		return 0, fmt.Errorf("service: replication batch damaged after %d of %d bytes", good, len(data))
+	}
+	if len(frames) == 0 {
+		return 0, errors.New("service: empty replication batch")
+	}
+	before := s.store.LastSeq(frames[0].Src)
+	last, err := s.store.Ingest(frames)
+	if last > before {
+		s.replIngested.Add(last - before)
+	}
+	if err != nil {
+		return last, fmt.Errorf("service: replica ingest: %w", err)
+	}
+	return last, nil
+}
+
+// PeerStatus reports one follower's replication progress on /healthz.
+type PeerStatus struct {
+	Shard    string `json:"shard"`
+	URL      string `json:"url"`
+	AckedSeq uint64 `json:"acked_seq"`
+}
+
+// ReplicationStatus is the /healthz replication block: this shard's
+// journal position, the quorum it enforces, each peer's acknowledged
+// position, and the replicas it holds for other shards.
+type ReplicationStatus struct {
+	Enabled bool              `json:"enabled"`
+	Quorum  int               `json:"quorum,omitempty"`
+	LastSeq uint64            `json:"last_seq"`
+	Peers   []PeerStatus      `json:"peers,omitempty"`
+	Held    map[string]uint64 `json:"held,omitempty"`
+}
+
+// ReplicationStatus snapshots the shard's replication state. Enabled is
+// false (and the block omitted from /healthz) unless the shard ships to
+// peers or hosts a replica store.
+func (s *Service) ReplicationStatus() ReplicationStatus {
+	st := ReplicationStatus{}
+	s.commitMu.Lock()
+	st.LastSeq = s.journalSeq
+	s.commitMu.Unlock()
+	if r := s.replicator(); r != nil {
+		st.Enabled = true
+		st.Quorum = r.quorum
+		r.mu.Lock()
+		for _, p := range r.peers {
+			st.Peers = append(st.Peers, PeerStatus{Shard: p.Shard, URL: p.URL, AckedSeq: r.acked[p.Shard]})
+		}
+		r.mu.Unlock()
+	}
+	if s.store != nil {
+		st.Enabled = true
+		st.Held = s.store.Sources()
+	}
+	return st
+}

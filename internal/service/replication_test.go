@@ -1,0 +1,359 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clustereval/internal/journal"
+)
+
+// newFollower starts a durable shard with a replica store behind an
+// httptest server — the receiving half of a replication pair.
+func newFollower(t *testing.T, shard string) (*Service, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	svc := openDurable(t, Config{
+		ShardName:  shard,
+		Workers:    1,
+		ReplicaDir: dir,
+		runner:     fastRunner,
+	}, filepath.Join(dir, "journal.wal"))
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		closeNow(t, svc)
+	})
+	return svc, ts
+}
+
+// pollHeld waits until the follower holds at least want frames for src.
+func pollHeld(t *testing.T, follower *Service, src string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if follower.ReplicationStatus().Held[src] >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower never held %d frames for %s (has %d)", want, src, follower.ReplicationStatus().Held[src])
+}
+
+// TestReplicationShipsEveryRecordAndPromotes is the service-level
+// tentpole check: a primary shipping to one follower under quorum 2
+// replicates its whole journal, and promoting the follower's replica
+// yields a journal OpenDurable replays exactly — the terminal job comes
+// back with its result and does not re-run, the in-flight job re-runs.
+func TestReplicationShipsEveryRecordAndPromotes(t *testing.T) {
+	fsvc, followerTS := newFollower(t, "s1")
+
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	runner := func(ctx context.Context, spec JobSpec) (*Result, error) {
+		calls.Add(1)
+		if spec.Nodes >= 8 { // the job we strand mid-flight
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return fastRunner(ctx, spec)
+	}
+	primary := openDurable(t, Config{
+		ShardName: "s0",
+		Workers:   1,
+		runner:    runner,
+	}, filepath.Join(t.TempDir(), "journal.wal"))
+	defer closeNow(t, primary)
+	defer close(gate) // unblock the stranded job before the drain
+
+	if err := primary.SetReplication(2, []Peer{{Shard: "s1", URL: followerTS.URL}}); err != nil {
+		t.Fatalf("SetReplication: %v", err)
+	}
+
+	done, err := primary.Submit(JobSpec{Kind: "hpl", Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, primary, done.ID)
+	stranded, err := primary.Submit(JobSpec{Kind: "hpl", Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j1: submitted+started+done, j2: submitted+started = 5 records.
+	pollHeld(t, fsvc, "s0", 5)
+
+	st := primary.ReplicationStatus()
+	if !st.Enabled || st.Quorum != 2 || len(st.Peers) != 1 {
+		t.Fatalf("primary replication status = %+v", st)
+	}
+	if st.Peers[0].AckedSeq != st.LastSeq {
+		t.Fatalf("peer acked %d, journal at %d", st.Peers[0].AckedSeq, st.LastSeq)
+	}
+	if got := primary.replShipped.Value(); got != 5 {
+		t.Errorf("clusterd_journal_replicated_total = %d, want 5", got)
+	}
+
+	// "Destroy" the primary: promote the follower's replica into a
+	// fresh journal and replay it.
+	promoted := filepath.Join(t.TempDir(), "journal.wal")
+	n, err := journal.PromoteReplica(journal.ReplicaPath(fsvc.store.Dir(), "s0"), promoted)
+	if err != nil {
+		t.Fatalf("PromoteReplica: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("promoted %d records, want 5", n)
+	}
+	counting := func(ctx context.Context, spec JobSpec) (*Result, error) {
+		calls.Add(1)
+		return fastRunner(ctx, spec)
+	}
+	revived := openDurable(t, Config{ShardName: "s0", Workers: 1, runner: counting}, promoted)
+	defer closeNow(t, revived)
+	if got := revived.RecoveredJobs(); got != 2 {
+		t.Fatalf("revived shard recovered %d jobs, want 2", got)
+	}
+	v, err := revived.Get(done.ID)
+	if err != nil || v.State != StateDone || v.Result == nil {
+		t.Fatalf("terminal job after promotion: %+v, %v", v, err)
+	}
+	before := calls.Load()
+	rerun := waitTerminal(t, revived, stranded.ID)
+	if rerun.State != StateDone {
+		t.Fatalf("stranded job after promotion = %s, want done", rerun.State)
+	}
+	if !rerun.Recovered {
+		t.Error("stranded job not marked recovered")
+	}
+	if calls.Load() != before+1 {
+		t.Errorf("revived shard made %d runner calls, want exactly 1 (the stranded job)", calls.Load()-before)
+	}
+}
+
+func getJSONT(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReplicationCatchUpAfterLateJoin points a primary with existing
+// history at a fresh follower: the first ship hits a gap, the catch-up
+// resend delivers the whole journal.
+func TestReplicationCatchUpAfterLateJoin(t *testing.T) {
+	fsvc, followerTS := newFollower(t, "s1")
+
+	primary := openDurable(t, Config{ShardName: "s0", Workers: 1, runner: fastRunner},
+		filepath.Join(t.TempDir(), "journal.wal"))
+	defer closeNow(t, primary)
+
+	// History accumulates before the follower exists.
+	v, err := primary.Submit(JobSpec{Kind: "hpl", Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, primary, v.ID)
+
+	if err := primary.SetReplication(2, []Peer{{Shard: "s1", URL: followerTS.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := primary.Submit(JobSpec{Kind: "hpl", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, primary, v2.ID)
+	// Both jobs' full lifecycles — including the records from before the
+	// follower joined — must be replicated: 3 + 3 = 6.
+	pollHeld(t, fsvc, "s0", 6)
+}
+
+// TestReplicationQuorumFailureRejectsSubmit starves the quorum (the
+// only peer is unreachable) and expects a DurabilityError from Submit —
+// and a 503 with Retry-After through the HTTP layer. Dropping the
+// quorum to 1 heals admission without touching the dead peer.
+func TestReplicationQuorumFailureRejectsSubmit(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens: every ship errors fast
+
+	primary := openDurable(t, Config{
+		ShardName:          "s0",
+		Workers:            1,
+		runner:             fastRunner,
+		ReplicationTimeout: 500 * time.Millisecond,
+	}, filepath.Join(t.TempDir(), "journal.wal"))
+	defer closeNow(t, primary)
+	ts := httptest.NewServer(NewServer(primary))
+	defer ts.Close()
+
+	if err := primary.SetReplication(2, []Peer{{Shard: "s1", URL: dead.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := primary.Submit(JobSpec{Kind: "hpl", Nodes: 4})
+	var derr *DurabilityError
+	if !errors.As(err, &derr) {
+		t.Fatalf("Submit with starved quorum err = %v, want DurabilityError", err)
+	}
+	if primary.replErrors.Value() == 0 {
+		t.Error("clusterd_replication_errors_total stayed 0")
+	}
+
+	// Through HTTP: 503 + Retry-After, the coordinator's retry signal.
+	buf, _ := json.Marshal(JobSpec{Kind: "hpl", Nodes: 2})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit over HTTP = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	// Quorum 1 = local fsync only: submissions flow again.
+	if err := primary.SetReplication(1, []Peer{{Shard: "s1", URL: dead.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := primary.Submit(JobSpec{Kind: "hpl", Nodes: 4})
+	if err != nil {
+		t.Fatalf("Submit with quorum 1: %v", err)
+	}
+	waitTerminal(t, primary, v.ID)
+}
+
+// TestSetReplicationValidation exercises the misconfigurations the
+// fleet layer must never be able to push.
+func TestSetReplicationValidation(t *testing.T) {
+	nondurable := New(Config{Workers: 1, runner: fastRunner})
+	defer closeNow(t, nondurable)
+	if err := nondurable.SetReplication(2, []Peer{{Shard: "s1", URL: "http://x"}}); err == nil {
+		t.Error("replication accepted without a journal")
+	}
+	if err := nondurable.SetReplication(1, nil); err != nil {
+		t.Errorf("disabling replication on a non-durable service: %v", err)
+	}
+
+	s := openDurable(t, Config{ShardName: "s0", Workers: 1, runner: fastRunner},
+		filepath.Join(t.TempDir(), "journal.wal"))
+	defer closeNow(t, s)
+	if err := s.SetReplication(3, []Peer{{Shard: "s1", URL: "http://x"}}); err == nil {
+		t.Error("quorum 3 accepted with one peer")
+	}
+	if err := s.SetReplication(2, []Peer{{Shard: "s0", URL: "http://x"}}); err == nil {
+		t.Error("self-replication accepted")
+	}
+	if err := s.SetReplication(2, []Peer{{Shard: "", URL: "http://x"}}); err == nil {
+		t.Error("anonymous peer accepted")
+	}
+}
+
+// TestIngestEndpointGapAndGarbage drives the follower's wire contract
+// directly: a gapped batch answers 409 with the held position, damaged
+// bytes are refused, and /healthz grows the replication block.
+func TestIngestEndpointGapAndGarbage(t *testing.T) {
+	_, ts := newFollower(t, "s1")
+
+	post := func(body []byte) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/replication/ingest", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp, m
+	}
+
+	mkBatch := func(seqs ...uint64) []byte {
+		frames := make([]journal.Frame, len(seqs))
+		for i, q := range seqs {
+			frames[i] = journal.Frame{Src: "s0", Seq: q, Rec: journal.Record{Type: journal.TypeSubmitted, JobID: "j000001", Spec: json.RawMessage(`{}`)}}
+		}
+		buf, err := journal.EncodeFrames(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	resp, m := post(mkBatch(1, 2))
+	if resp.StatusCode != http.StatusOK || m["last_seq"] != float64(2) {
+		t.Fatalf("contiguous batch = %d %v, want 200 last_seq=2", resp.StatusCode, m)
+	}
+	resp, m = post(mkBatch(5))
+	if resp.StatusCode != http.StatusConflict || m["last_seq"] != float64(2) {
+		t.Fatalf("gapped batch = %d %v, want 409 last_seq=2", resp.StatusCode, m)
+	}
+	resp, _ = post([]byte("deadbeef not a frame\n"))
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict {
+		t.Fatalf("garbage batch accepted with %d", resp.StatusCode)
+	}
+
+	var health struct {
+		Replication *ReplicationStatus `json:"replication"`
+	}
+	getJSONT(t, ts, "/v1/healthz", &health)
+	if health.Replication == nil || health.Replication.Held["s0"] != 2 {
+		t.Fatalf("healthz replication block = %+v, want held s0=2", health.Replication)
+	}
+}
+
+// TestPeersEndpoint pushes a peer set over HTTP the way the fleet
+// supervisor does and reads the resulting status back.
+func TestPeersEndpoint(t *testing.T) {
+	_, followerTS := newFollower(t, "s1")
+	primary := openDurable(t, Config{ShardName: "s0", Workers: 1, runner: fastRunner},
+		filepath.Join(t.TempDir(), "journal.wal"))
+	defer closeNow(t, primary)
+	ts := httptest.NewServer(NewServer(primary))
+	defer ts.Close()
+
+	put := func(body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/replication/peers", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := put(`{"quorum":2,"peers":[{"shard":"s1","url":"` + followerTS.URL + `"}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT peers = %d, want 200", resp.StatusCode)
+	}
+	if st := primary.ReplicationStatus(); !st.Enabled || st.Quorum != 2 {
+		t.Fatalf("status after PUT = %+v", st)
+	}
+	if resp := put(`{"quorum":9,"peers":[{"shard":"s1","url":"x"}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad quorum PUT = %d, want 400", resp.StatusCode)
+	}
+	if resp := put(`{"quorum":1,"peers":[]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("disable PUT = %d, want 200", resp.StatusCode)
+	}
+	if st := primary.ReplicationStatus(); st.Enabled {
+		t.Fatal("replication still enabled after disable PUT")
+	}
+}

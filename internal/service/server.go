@@ -3,12 +3,14 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"clustereval/internal/experiment"
+	"clustereval/internal/journal"
 	"clustereval/internal/machine"
 )
 
@@ -31,6 +33,8 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/replication/ingest", s.handleReplicaIngest)
+	s.mux.HandleFunc("PUT /v1/replication/peers", s.handleReplicaPeers)
 	return s
 }
 
@@ -81,6 +85,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, new(*DurabilityError)):
+		// The journal or its replication quorum could not commit the
+		// job. Retryable: the fleet re-routes or heals, then a resend
+		// lands.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
@@ -208,7 +218,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if shard := s.svc.ShardName(); shard != "" {
 		report["shard"] = shard
 	}
+	if repl := s.svc.ReplicationStatus(); repl.Enabled {
+		report["replication"] = repl
+	}
 	writeJSON(w, http.StatusOK, report)
+}
+
+// handleReplicaIngest is the follower half of journal replication: a
+// primary POSTs a framed batch of its journal records, and the reply
+// carries the position this shard durably holds for that source — 200
+// when the batch extended (or merely duplicated) the replica, 409 when
+// a gap means the primary must resend from last_seq+1.
+func (s *Server) handleReplicaIngest(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading replication batch: "+err.Error())
+		return
+	}
+	last, err := s.svc.IngestReplica(data)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]uint64{"last_seq": last})
+	case errors.Is(err, journal.ErrGap):
+		writeJSON(w, http.StatusConflict, map[string]uint64{"last_seq": last})
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// peersRequest is the body of PUT /v1/replication/peers: the write
+// quorum and follower set the fleet layer wants this shard to ship to.
+type peersRequest struct {
+	Quorum int    `json:"quorum"`
+	Peers  []Peer `json:"peers"`
+}
+
+// handleReplicaPeers lets the fleet layer (re)point this shard's
+// replication at the current follower addresses — children restart on
+// ephemeral ports, so the peer set changes across a shard's lifetime.
+func (s *Server) handleReplicaPeers(w http.ResponseWriter, r *http.Request) {
+	var req peersRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid peer set: "+err.Error())
+		return
+	}
+	if err := s.svc.SetReplication(req.Quorum, req.Peers); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.ReplicationStatus())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -103,6 +103,14 @@ type Config struct {
 	// BreakerCooldown is how long the breaker stays open before
 	// admitting a half-open probe; 0 means 5s.
 	BreakerCooldown time.Duration
+	// ReplicaDir, when set on a durable daemon, opens a replica store in
+	// that directory and serves the fleet's replication ingest endpoint:
+	// this shard then holds follower copies of its ring neighbours'
+	// journals. Requires a journal (OpenDurable).
+	ReplicaDir string
+	// ReplicationTimeout bounds one replication ship (including a
+	// catch-up resend) to one peer; 0 means 2s.
+	ReplicationTimeout time.Duration
 	// runner overrides job execution in tests.
 	runner func(context.Context, JobSpec) (*Result, error)
 	// runnerAttempt overrides job execution in tests that exercise the
@@ -157,6 +165,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ReplicationTimeout <= 0 {
+		c.ReplicationTimeout = 2 * time.Second
 	}
 	if c.clock == nil {
 		c.clock = time.Now
@@ -244,8 +255,18 @@ type Service struct {
 	cfg   Config
 	cache *resultCache
 	queue chan *Job
-	jnl   *journal.Journal // nil without durability
+	jnl   *journal.Journal      // nil without durability
+	store *journal.ReplicaStore // nil unless this shard hosts replicas
 	brk   *breaker
+
+	// commitMu serializes the commit pipeline — local journal append,
+	// sequence assignment, replication ship, quorum wait — so the frame
+	// order every follower sees is exactly the journal's record order.
+	commitMu   sync.Mutex
+	journalSeq uint64 // records in the journal file; guarded by commitMu
+
+	replMu sync.Mutex
+	repl   *replicator // nil while replication is off
 
 	mu     sync.Mutex
 	closed bool
@@ -271,6 +292,10 @@ type Service struct {
 	journalRecords *Counter
 	journalErrors  *Counter
 	recovered      *Counter
+	replShipped    *Counter
+	replErrors     *Counter
+	replIngested   *Counter
+	replLag        *GaugeVec
 	durations      *HistogramVec
 	recent         *outcomeWindow
 }
@@ -338,7 +363,16 @@ func OpenDurable(cfg Config, path string) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var store *journal.ReplicaStore
+	if cfg.ReplicaDir != "" {
+		store, err = journal.OpenReplicaStore(cfg.ReplicaDir)
+		if err != nil {
+			jnl.Close()
+			return nil, err
+		}
+	}
 	s, pending := newService(cfg, jnl, recs)
+	s.store = store
 	s.start(pending)
 	return s, nil
 }
@@ -373,6 +407,9 @@ func newService(cfg Config, jnl *journal.Journal, recs []journal.Record) (*Servi
 	s.journalRecords = s.reg.Counter("clusterd_journal_records_total", "Write-ahead journal records: replayed at startup plus appended since.")
 	s.journalErrors = s.reg.Counter("clusterd_journal_errors_total", "Failed journal appends (the in-memory state machine keeps going).")
 	s.recovered = s.reg.Counter("clusterd_recovered_jobs_total", "Jobs rehydrated or re-enqueued from the write-ahead journal at startup.")
+	s.replShipped = s.reg.Counter("clusterd_journal_replicated_total", "Journal records acknowledged by the replication write quorum.")
+	s.replErrors = s.reg.Counter("clusterd_replication_errors_total", "Replication ship attempts that failed (per peer, per batch).")
+	s.replIngested = s.reg.Counter("clusterd_replica_frames_ingested_total", "Replication frames appended to this shard's replica store for other shards.")
 	s.reg.GaugeFunc("clusterd_breaker_state", "Admission circuit breaker state: 0 closed, 1 half-open, 2 open.",
 		func() float64 { return float64(s.brk.current()) })
 	s.reg.GaugeFunc("clusterd_queue_depth", "Jobs currently waiting in the queue.",
@@ -391,10 +428,17 @@ func newService(cfg Config, jnl *journal.Journal, recs []journal.Record) (*Servi
 		s.QueueSaturation)
 	s.reg.GaugeFunc("clusterd_recent_failure_rate", "Failed fraction of the most recent executed jobs (window of 128).",
 		func() float64 { r, _ := s.recent.rate(); return r })
+	s.replLag = s.reg.GaugeVec("clusterd_replica_lag",
+		"Primary journal records not yet acknowledged by each replication peer.", "peer")
 	s.durations = s.reg.HistogramVec("clusterd_job_duration_seconds",
 		"Wall-clock execution time of completed jobs by kind (cache hits excluded).", "kind",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60})
 
+	if jnl != nil {
+		// Replicated frames are numbered by journal position, so the
+		// commit sequence resumes where the on-disk record stream ends.
+		s.journalSeq = uint64(len(recs))
+	}
 	pending := s.replay(recs)
 	return s, pending
 }
@@ -584,18 +628,20 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 
 	if res, ok := s.cache.Get(key); ok {
-		s.cacheHits.Inc()
-		s.completed.Inc()
 		job := newJob()
 		job.state = StateDone
 		job.cached = true
 		job.result = res
 		job.started = now
 		job.finished = now
-		s.journalAppend(
+		if err := s.journalAppend(
 			journal.Record{Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key},
 			journal.Record{Type: journal.TypeDone, JobID: job.ID, At: now, Cached: true, Result: mustJSON(res)},
-		)
+		); err != nil {
+			return JobView{}, err
+		}
+		s.cacheHits.Inc()
+		s.completed.Inc()
 		s.registerLocked(job)
 		return job.View(), nil
 	}
@@ -628,20 +674,28 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	job := newJob()
 	job.probe = isProbe
 	job.state = StateQueued
-	select {
-	case s.queue <- job:
-		s.journalAppend(journal.Record{
-			Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key,
-		})
-		s.registerLocked(job)
-		return job.View(), nil
-	default:
+	if len(s.queue) == cap(s.queue) {
 		if isProbe {
 			s.brk.abandonProbe()
 		}
 		s.queueRejected.Inc()
 		return JobView{}, ErrQueueFull
 	}
+	// The journal commit (and, when replication is on, its quorum wait)
+	// happens before the enqueue so a journaled job is always accepted:
+	// the capacity check above cannot go stale because only workers
+	// drain the queue and every other sender holds s.mu.
+	if err := s.journalAppend(journal.Record{
+		Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key,
+	}); err != nil {
+		if isProbe {
+			s.brk.abandonProbe()
+		}
+		return JobView{}, err
+	}
+	s.queue <- job
+	s.registerLocked(job)
+	return job.View(), nil
 }
 
 // mustJSON marshals values that are JSON round-trip safe by construction
@@ -654,19 +708,40 @@ func mustJSON(v any) json.RawMessage {
 	return buf
 }
 
-// journalAppend writes lifecycle records through the journal, if one is
-// attached. Append failures cannot be surfaced to a client mid-run, so
-// they are counted and the in-memory state machine keeps going — the
-// journal degrades to best-effort rather than wedging the service.
-func (s *Service) journalAppend(recs ...journal.Record) {
+// journalAppend commits lifecycle records: local journal append (fsync
+// included), then — when replication is configured — a ship to the
+// follower peers that blocks until the write quorum holds the records.
+// The commit lock makes the pipeline a single serialized stream, so
+// followers observe frames in exactly journal order.
+//
+// The error contract splits by caller. Submission paths propagate the
+// error (as a DurabilityError, mapped to 503): a job the journal cannot
+// vouch for must not be acknowledged, which is what makes a poisoned
+// journal fail-stop instead of fail-quiet. Mid-run transitions
+// (started, terminal records, shutdown) have no client to refuse, so
+// those callers count the error and keep the in-memory state machine
+// going.
+func (s *Service) journalAppend(recs ...journal.Record) error {
 	if s.jnl == nil {
-		return
+		return nil
 	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	if err := s.jnl.Append(recs...); err != nil {
 		s.journalErrors.Inc()
-		return
+		return &DurabilityError{Op: "journal append", Err: err}
 	}
 	s.journalRecords.Add(uint64(len(recs)))
+	first := s.journalSeq + 1
+	s.journalSeq += uint64(len(recs))
+	r := s.replicator()
+	if r == nil {
+		return nil
+	}
+	if err := s.replicate(r, recs, first, s.journalSeq); err != nil {
+		return &DurabilityError{Op: "replication", Err: err}
+	}
+	return nil
 }
 
 // registerLocked records the job and prunes the oldest finished jobs
@@ -743,7 +818,9 @@ func (s *Service) Cancel(id string) (JobView, error) {
 		job.finished = s.cfg.clock()
 		job.errMsg = "cancelled while queued"
 		s.cancelled.Inc()
-		s.journalAppend(journal.Record{
+		// A cancellation the journal missed re-runs the job after a
+		// crash instead of losing it; counted, not fatal.
+		_ = s.journalAppend(journal.Record{
 			Type: journal.TypeCancelled, JobID: job.ID, At: job.finished, Error: job.errMsg,
 		})
 		if job.probe {
@@ -790,7 +867,7 @@ func (s *Service) execute(job *Job) {
 	job.cancelFn = cancel
 	job.mu.Unlock()
 	defer cancel()
-	s.journalAppend(journal.Record{
+	_ = s.journalAppend(journal.Record{
 		Type: journal.TypeStarted, JobID: job.ID, At: job.started,
 	})
 
@@ -894,7 +971,7 @@ func (s *Service) execute(job *Job) {
 	state := job.state
 	isProbe := job.probe
 	job.mu.Unlock()
-	s.journalAppend(rec)
+	_ = s.journalAppend(rec)
 	if isProbe {
 		// The half-open probe's outcome decides the breaker: a fresh
 		// success closes it, any failure re-opens it; a cancelled probe
@@ -962,9 +1039,14 @@ func (s *Service) Close(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
-	s.journalAppend(journal.Record{Type: journal.TypeShutdown, At: s.cfg.clock()})
+	_ = s.journalAppend(journal.Record{Type: journal.TypeShutdown, At: s.cfg.clock()})
 	if s.jnl != nil {
 		if cerr := s.jnl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

@@ -1,0 +1,423 @@
+// Command disktest is the replication acceptance harness wired into
+// `make disktest`: it builds clusterd and clusterfleet, starts a
+// three-shard fleet with -replicas 2 -ack-quorum 2, pushes >=1000
+// distinct jobs through the coordinator (retrying retryable verdicts the
+// way a real client would), then destroys the busiest shard outright —
+// rm -rf of its whole data directory (journal plus the replicas it held
+// for others) followed by SIGKILL of its child. The supervisor must
+// detect the disk loss, promote the follower's replica back into a
+// primary journal and respawn the shard over it. The harness asserts
+// that every acknowledged job still reaches exactly one terminal state
+// under its original fleet ID — a lost disk loses nothing a quorum
+// acknowledged — and that the revived fleet is whole: three live shards,
+// a recorded promotion, recovered jobs on the victim, and fresh
+// submissions completing. It exits non-zero with a diagnostic on the
+// first violated invariant.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const (
+	jobCount        = 1000
+	terminalBefore  = 300 // jobs that must finish before the disk is destroyed
+	submitAttempts  = 200 // retries per job on 429/503/transport errors
+	submitRetryWait = 25 * time.Millisecond
+)
+
+type jobView struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "disktest: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("disktest: PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "clusterfleet-disktest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	clusterd := filepath.Join(dir, "clusterd")
+	clusterfleet := filepath.Join(dir, "clusterfleet")
+	for bin, pkg := range map[string]string{clusterd: "./cmd/clusterd", clusterfleet: "./cmd/clusterfleet"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			return fmt.Errorf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	data := filepath.Join(dir, "fleet-data")
+
+	fleet, base, err := startFleet(clusterfleet, clusterd, data)
+	if err != nil {
+		return err
+	}
+	defer fleet.Process.Kill()
+	if err := waitLiveShards(base, 3, 30*time.Second); err != nil {
+		return err
+	}
+
+	// Submit the workload. Every verdict a real client would retry
+	// (shed, quorum miss, transport blip) is retried here; only an
+	// acknowledged ID joins the set the durability promise covers.
+	ids := make([]string, 0, jobCount)
+	seen := map[string]bool{}
+	for i := 0; i < jobCount; i++ {
+		spec := fmt.Sprintf(`{"kind":"net","size_bytes":%d,"iters":3,"src_node":0,"dst_node":%d}`,
+			1024+i*64, 1+i%31)
+		v, err := submitWithRetry(base, spec)
+		if err != nil {
+			return fmt.Errorf("submitting job %d: %w", i, err)
+		}
+		if v.ID == "" || seen[v.ID] {
+			return fmt.Errorf("job %d got duplicate or empty fleet ID %q", i, v.ID)
+		}
+		seen[v.ID] = true
+		ids = append(ids, v.ID)
+	}
+	fmt.Printf("disktest: %d jobs acknowledged under quorum\n", len(ids))
+
+	// Let a chunk of the workload finish so the destroyed journal holds
+	// both terminal results (which must rehydrate) and in-flight jobs
+	// (which must re-run exactly once).
+	if err := waitTerminalCount(base, ids, terminalBefore, 120*time.Second); err != nil {
+		return fmt.Errorf("before disk loss: %w", err)
+	}
+
+	victim, pid, err := busiestShard(base, ids)
+	if err != nil {
+		return err
+	}
+	// The disk dies first, then the process: rm -rf takes the victim's
+	// journal AND every replica it was holding for the other shards,
+	// exactly what losing the physical disk would do.
+	if err := os.RemoveAll(filepath.Join(data, victim)); err != nil {
+		return fmt.Errorf("destroying shard %s data dir: %w", victim, err)
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		return fmt.Errorf("killing shard %s (pid %d): %w", victim, pid, err)
+	}
+	fmt.Printf("disktest: shard %s (pid %d) lost its disk and was killed\n", victim, pid)
+
+	// Zero lost jobs: every acknowledged ID reaches a terminal state
+	// under its original fleet ID, served by the promoted journal.
+	if err := waitTerminalCount(base, ids, jobCount, 300*time.Second); err != nil {
+		return fmt.Errorf("after disk loss: %w", err)
+	}
+	for _, id := range ids {
+		v, err := get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return fmt.Errorf("job %s lost across the disk loss: %w", id, err)
+		}
+		if v.State != "done" || len(v.Result) == 0 {
+			return fmt.Errorf("job %s ended %q (%s), want done with a result", id, v.State, v.Error)
+		}
+	}
+	fmt.Printf("disktest: all %d jobs terminal under their original fleet IDs\n", jobCount)
+
+	// The failover must have gone through promotion, not a fresh journal.
+	topo, err := getTopology(base)
+	if err != nil {
+		return err
+	}
+	if topo.Promotions < 1 {
+		return fmt.Errorf("fleet reports %d promotions; the victim came back without its replica", topo.Promotions)
+	}
+	if err := waitLiveShards(base, 3, 60*time.Second); err != nil {
+		return fmt.Errorf("victim never revived: %w", err)
+	}
+	metrics, err := getText(base + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	needle := `clusterd_recovered_jobs_total{shard="` + victim + `"}`
+	if !strings.Contains(metrics, needle) || strings.Contains(metrics, needle+" 0\n") {
+		return fmt.Errorf("revived shard %s recovered no jobs from its promoted journal", victim)
+	}
+
+	// Merged health must be whole again, and the revived fleet must take
+	// fresh quorum-acknowledged work.
+	if err := waitHealthzOK(base, 60*time.Second); err != nil {
+		return err
+	}
+	v, err := submitWithRetry(base, `{"kind":"net","size_bytes":2048,"iters":3,"dst_node":7}`)
+	if err != nil {
+		return fmt.Errorf("fresh submission after failover: %w", err)
+	}
+	if err := waitTerminalCount(base, []string{v.ID}, 1, 30*time.Second); err != nil {
+		return err
+	}
+	if err := stopFleet(fleet); err != nil {
+		return err
+	}
+	fmt.Printf("disktest: shard %s promoted from its follower and resumed service\n", victim)
+	return nil
+}
+
+// startFleet launches a replicated clusterfleet on an ephemeral port and
+// parses the bound address from its banner.
+func startFleet(clusterfleet, clusterd, data string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(clusterfleet,
+		"-addr", "127.0.0.1:0", "-bin", clusterd, "-shards", "3", "-data", data,
+		"-replicas", "2", "-ack-quorum", "2",
+		"-workers", "2", "-queue", "512", "-probe-interval", "100ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println("  |", line)
+			if rest, ok := strings.CutPrefix(line, "clusterfleet listening on "); ok {
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					select {
+					case addrCh <- rest[:i]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("clusterfleet never announced its address")
+	}
+}
+
+// stopFleet drains the coordinator and its children via SIGTERM.
+func stopFleet(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("clusterfleet exited uncleanly: %w", err)
+	}
+	return nil
+}
+
+// submitWithRetry submits one spec, retrying the verdicts the durability
+// contract declares retryable: 429 (shed), 503 (quorum miss, draining,
+// rerouting) and transport errors. Anything else is a hard failure.
+func submitWithRetry(base, spec string) (jobView, error) {
+	var lastErr error
+	for attempt := 0; attempt < submitAttempts; attempt++ {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+		if err != nil {
+			lastErr = err
+			time.Sleep(submitRetryWait)
+			continue
+		}
+		var v jobView
+		derr := json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			if derr != nil {
+				return jobView{}, fmt.Errorf("decoding accepted submission: %w", derr)
+			}
+			return v, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("HTTP %d", resp.StatusCode)
+			time.Sleep(submitRetryWait)
+		default:
+			return jobView{}, fmt.Errorf("HTTP %d (non-retryable)", resp.StatusCode)
+		}
+	}
+	return jobView{}, fmt.Errorf("gave up after %d attempts: %w", submitAttempts, lastErr)
+}
+
+// waitLiveShards polls /v1/healthz until the fleet reports n live shards.
+func waitLiveShards(base string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			var report struct {
+				LiveShards int `json:"live_shards"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&report)
+			resp.Body.Close()
+			if derr == nil && report.LiveShards >= n {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet never reached %d live shards", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitHealthzOK polls the merged health report until its status is "ok".
+func waitHealthzOK(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			var report struct {
+				Status string `json:"status"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&report)
+			resp.Body.Close()
+			if derr == nil && report.Status == "ok" {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("merged healthz never recovered to ok")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// getTopology reads /v1/fleet.
+func getTopology(base string) (struct {
+	Promotions int `json:"promotions_total"`
+}, error) {
+	var topo struct {
+		Promotions int `json:"promotions_total"`
+	}
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		return topo, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return topo, err
+	}
+	return topo, nil
+}
+
+// busiestShard finds the shard owning the most non-terminal jobs and its
+// child PID — destroying it maximizes what promotion must recover.
+func busiestShard(base string, ids []string) (string, int, error) {
+	inflight := map[string]int{}
+	for _, id := range ids {
+		v, err := get(base + "/v1/jobs/" + id)
+		if err != nil {
+			continue
+		}
+		switch v.State {
+		case "done", "failed", "cancelled":
+		default:
+			shard, _, ok := strings.Cut(id, "-")
+			if ok {
+				inflight[shard]++
+			}
+		}
+	}
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var topo struct {
+		Shards []struct {
+			Name string `json:"name"`
+			Live bool   `json:"live"`
+			PID  int    `json:"pid"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return "", 0, err
+	}
+	best, bestPID, bestCount := "", 0, -1
+	for _, s := range topo.Shards {
+		if !s.Live || s.PID == 0 {
+			continue
+		}
+		if inflight[s.Name] > bestCount {
+			best, bestPID, bestCount = s.Name, s.PID, inflight[s.Name]
+		}
+	}
+	if best == "" {
+		return "", 0, fmt.Errorf("no live shard with a PID to destroy")
+	}
+	return best, bestPID, nil
+}
+
+// waitTerminalCount polls until at least n of the jobs are terminal.
+// Non-OK answers (a shard answers 503 while its child restarts) count as
+// not-terminal-yet and are retried.
+func waitTerminalCount(base string, ids []string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		terminal := 0
+		for _, id := range ids {
+			v, err := get(base + "/v1/jobs/" + id)
+			if err != nil {
+				continue
+			}
+			switch v.State {
+			case "done", "failed", "cancelled":
+				terminal++
+			}
+		}
+		if terminal >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d/%d jobs terminal after %v", terminal, n, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func get(url string) (jobView, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobView{}, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return jobView{}, err
+	}
+	return v, nil
+}
+
+func getText(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err = buf.ReadFrom(resp.Body)
+	return buf.String(), err
+}
