@@ -9,7 +9,7 @@ GO ?= go
 # cannot run" without chasing @latest breakage).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff benchdiff-engine difftest profile ablation paper export serve fleet examples crashtest fleettest disktest loadtest clean
+.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff benchdiff-engine difftest fuzz profile ablation paper export serve fleet examples crashtest fleettest disktest loadtest clean
 
 all: build lint test
 
@@ -89,6 +89,13 @@ difftest:
 	$(GO) test -run 'Differential|Oracle|Fuzz|CondSignal|WorkerReuse' -v ./internal/des/... ./internal/experiment/
 	$(GO) test -tags desrefqueue ./internal/des/...
 
+# Coverage-guided fuzz smoke over the machine-preset validator. The
+# committed corpus (internal/machine/testdata/fuzz) replays as regression
+# seeds in every plain `go test` run; this target additionally mutates for
+# a short budget so CI keeps probing new layer compositions.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzPresetValidate' -fuzztime 20s ./internal/machine
+
 # CPU + heap profile of a full Fig. 11 regeneration (NEMO through the
 # DES-backed MPI runtime): the standard starting point for engine
 # performance work. Inspect with `go tool pprof cpu.pprof`.
@@ -155,6 +162,7 @@ examples:
 	$(GO) run ./examples/topology-explorer
 	$(GO) run ./examples/scaling-study
 	$(GO) run ./examples/pop-analysis
+	$(GO) run ./examples/energy-study
 
 clean:
 	rm -rf paperdata test_output.txt bench_output.txt coverage.out bin cpu.pprof mem.pprof

@@ -99,9 +99,9 @@ func TestExportAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 tables + 16 figures.
-	if len(entries) != 20 {
-		t.Errorf("exported %d files, want 20", len(entries))
+	// 4 tables + 16 figures + the energy-to-solution table.
+	if len(entries) != 21 {
+		t.Errorf("exported %d files, want 21", len(entries))
 	}
 	data, err := os.ReadFile(dir + "/fig2.csv")
 	if err != nil {

@@ -1,0 +1,60 @@
+// Energy study: energy-to-solution across every machine preset.
+//
+// It renders the framework's energy-to-solution figure — the canonical
+// workload set (STREAM, HPL, HPCG, the five Section V applications) run
+// on every registered machine preset through the experiment registry,
+// with modeled joules integrated over each run's node-hours and the
+// single-node HPL energy-delay product as the ranking metric, in the
+// style of the ThunderX2 evaluation (arxiv 2007.04868).
+//
+//	go run ./examples/energy-study
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"clustereval/internal/experiment"
+	"clustereval/internal/figures"
+	"clustereval/internal/machine"
+)
+
+func main() {
+	fmt.Println("registered machine presets:")
+	for _, slug := range machine.PresetNames() {
+		m, _ := machine.Preset(slug)
+		isa := machine.ISAScalar
+		if v := m.Node.Core.BestVector(machine.Double); v != nil {
+			isa = v.ISA
+		}
+		full := machine.Activity{
+			ActiveCores: m.Node.Cores(), ISA: isa,
+			ComputeFrac: 1, MemBWFrac: 1,
+		}
+		fmt.Printf("  %-10s %s: %d nodes, %s/node, %.0f W/node full load\n",
+			slug, m.Name, m.Nodes, m.Node.DoublePeak(),
+			float64(m.NodeEnergy(full, 1).Total()))
+	}
+	fmt.Println()
+
+	tbl, err := figures.EnergyToSolution()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same numbers ride along on every experiment result: any job
+	// submitted through the registry (CLI, daemon, fleet) carries an
+	// "energy" block next to its kind-specific payload.
+	res, err := experiment.Run(context.Background(), experiment.Spec{Kind: "hpl", Machine: "thunderx2", Nodes: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := res.Energy
+	fmt.Printf("\nsingle-node HPL on ThunderX2: %.0f s at %.0f W avg = %.1f kJ (EDP %.3g J*s)\n",
+		e.ModeledSeconds, e.AvgWatts, e.Joules/1e3, e.EDP)
+}

@@ -15,6 +15,16 @@ func latency(t units.Seconds, b units.Bytes) units.Seconds {
 	return t
 }
 
+func energy(p units.Watts, e units.Joules) units.Joules {
+	p = p + 7                 // want `raw literal 7 added to a units\.Watts`
+	e = e * 3.6e6             // want `scaling a units\.Joules by raw magnitude 3\.6e6`
+	e = e - 1                 // want `raw literal 1 subtracted from a units\.Joules`
+	e = e / 2                 // halving an energy keeps the unit: fine
+	e = e + units.Joules(0.5) // constructor makes the unit explicit: fine
+	_ = p
+	return e
+}
+
 func waived(t units.Seconds) units.Seconds {
 	//lint:allow unitsafe nanosecond conversion pinned by the wire format
 	return t * 1e9

@@ -7,6 +7,10 @@ type Seconds float64
 
 type Bytes float64
 
+type Watts float64
+
+type Joules float64
+
 // KiB is a conversion constant; defining it here (1024 against a raw
 // literal) must not be flagged.
 const KiB = Bytes(1) * 1024

@@ -1,5 +1,6 @@
 // Package unitsafe polices arithmetic on the typed physical quantities
-// in internal/units (Seconds, Bytes, BytesPerSecond, FlopsPerSecond).
+// in internal/units (Seconds, Bytes, BytesPerSecond, FlopsPerSecond,
+// Watts, Joules — any named type declared there is covered).
 // Every quantity in the model is an architectural ratio in explicit
 // units parameterised from Table I of the paper; a raw numeric literal
 // fused into that arithmetic is either a dimension error or an inline

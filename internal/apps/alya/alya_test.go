@@ -285,8 +285,16 @@ func TestScalingMonotone(t *testing.T) {
 func TestNewModelRejectsUnknownMachine(t *testing.T) {
 	m := machine.CTEArm()
 	m.Name = "Unknown"
+	m.CPUName = "POWER9"
+	m.Arch = "POWER"
 	if _, err := NewModel(m, TestCaseB()); err == nil {
-		t.Error("machine without a Table III row accepted")
+		t.Error("machine with unknown silicon accepted")
+	}
+	// A renamed A64FX system, by contrast, inherits the CTE-Arm build.
+	a := machine.CTEArm()
+	a.Name = "Other A64FX"
+	if _, err := NewModel(a, TestCaseB()); err != nil {
+		t.Errorf("renamed A64FX machine rejected: %v", err)
 	}
 }
 

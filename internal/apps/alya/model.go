@@ -80,9 +80,9 @@ type Model struct {
 // (GNU on CTE-Arm — the Fujitsu compiler hangs on Alya's modules — and GNU
 // on MareNostrum 4).
 func NewModel(m machine.Machine, cfg Config) (*Model, error) {
-	build, ok := toolchain.AppBuildFor("Alya", m.Name)
+	build, ok := toolchain.AppBuildOn("Alya", m)
 	if !ok {
-		return nil, fmt.Errorf("alya: no Table III build for machine %q", m.Name)
+		return nil, fmt.Errorf("alya: no build configuration for machine %q", m.Name)
 	}
 	exec, err := perfmodel.NewExec(m, build.Compiler, "Alya")
 	if err != nil {
@@ -215,6 +215,30 @@ func CTESweep() []int { return []int{12, 14, 16, 22, 32, 44, 62, 78} }
 // MN4Sweep is the node range the paper explores on MareNostrum 4, extended
 // with the Table IV columns.
 func MN4Sweep() []int { return []int{12, 14, 16, 32, 64} }
+
+// SweepOn returns the time-step scalability curve on an arbitrary
+// machine: the paper's node range on the paper machines, a doubling
+// ladder from the memory floor to the full partition elsewhere.
+func SweepOn(m machine.Machine) ([]scaling.Series, error) {
+	mod, err := NewModel(m, TestCaseB())
+	if err != nil {
+		return nil, err
+	}
+	var counts []int
+	switch m.Name {
+	case "CTE-Arm":
+		counts = CTESweep()
+	case "MareNostrum 4":
+		counts = MN4Sweep()
+	default:
+		counts = scaling.DoublingSweep(mod.MinNodes(), m.Nodes)
+	}
+	s, err := mod.series("time step", phaseTotal, counts)
+	if err != nil {
+		return nil, err
+	}
+	return []scaling.Series{s}, nil
+}
 
 // Figure8 returns the time-step scalability curves of Fig. 8.
 func Figure8(arm, mn4 machine.Machine) (cte, ref scaling.Series, err error) {

@@ -99,9 +99,9 @@ type Model struct {
 // 8.3.1-sve is too old for Gromacs and the Fujitsu compiler fails in
 // cmake — Intel 2018.4 on MareNostrum 4).
 func NewModel(m machine.Machine, cfg Config) (*Model, error) {
-	build, ok := toolchain.AppBuildFor("Gromacs", m.Name)
+	build, ok := toolchain.AppBuildOn("Gromacs", m)
 	if !ok {
-		return nil, fmt.Errorf("gromacs: no Table III build for machine %q", m.Name)
+		return nil, fmt.Errorf("gromacs: no build configuration for machine %q", m.Name)
 	}
 	exec, err := perfmodel.NewExec(m, build.Compiler, "Gromacs")
 	if err != nil {
@@ -244,6 +244,44 @@ func MultiNodeLayouts() []Layout {
 // tests to bypass the 16-rank anomaly (same 96 cores on 2 nodes).
 func AlternativeLayout() Layout {
 	return Layout{Nodes: 2, Ranks: 12, ThreadsPerRank: 8}
+}
+
+// LayoutsFor returns the Fig. 13-style full-node layouts for an arbitrary
+// machine: the paper's node range with 8x6 ranks/threads on the paper
+// machines, a doubling node ladder with 8 ranks per node (threads filling
+// the cores) elsewhere.
+func LayoutsFor(m machine.Machine) []Layout {
+	if m.Name == "CTE-Arm" || m.Name == "MareNostrum 4" {
+		return MultiNodeLayouts()
+	}
+	cores := m.Node.Cores()
+	ranksPerNode, threads := 8, cores/8
+	if cores%8 != 0 || threads == 0 {
+		ranksPerNode, threads = cores, 1
+	}
+	var ls []Layout
+	for _, nodes := range scaling.DoublingSweep(1, m.Nodes) {
+		ls = append(ls, Layout{Nodes: nodes, Ranks: ranksPerNode * nodes, ThreadsPerRank: threads})
+	}
+	return ls
+}
+
+// SweepOn returns the multi-node scalability curve (y = days/ns) on an
+// arbitrary machine.
+func SweepOn(m machine.Machine) ([]scaling.Series, error) {
+	mod, err := NewModel(m, LignocelluloseRF())
+	if err != nil {
+		return nil, err
+	}
+	s := scaling.Series{Machine: m.Name}
+	for _, l := range LayoutsFor(m) {
+		t, err := mod.StepTime(l)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, scaling.Point{Nodes: l.Nodes, Time: units.Seconds(mod.DaysPerNS(t))})
+	}
+	return []scaling.Series{s}, nil
 }
 
 // Figure12 returns the single-node curves (y = days/ns, x = cores).

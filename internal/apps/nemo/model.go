@@ -72,9 +72,9 @@ type Model struct {
 // on CTE-Arm — the Fujitsu compiler fails on NEMO's Fortran — and Intel on
 // MareNostrum 4).
 func NewModel(m machine.Machine, cfg Config) (*Model, error) {
-	build, ok := toolchain.AppBuildFor("NEMO", m.Name)
+	build, ok := toolchain.AppBuildOn("NEMO", m)
 	if !ok {
-		return nil, fmt.Errorf("nemo: no Table III build for machine %q", m.Name)
+		return nil, fmt.Errorf("nemo: no build configuration for machine %q", m.Name)
 	}
 	exec, err := perfmodel.NewExec(m, build.Compiler, "NEMO")
 	if err != nil {
@@ -155,6 +155,34 @@ func CTESweep() []int { return []int{8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 19
 // MN4Sweep is the paper's MareNostrum 4 node range (1 to 24), extended
 // with 27 (the equivalence point the paper quotes).
 func MN4Sweep() []int { return []int{1, 2, 4, 8, 12, 16, 24, 27} }
+
+// SweepOn returns the BENCH scalability curve on an arbitrary machine:
+// the paper's node range on the paper machines, a doubling ladder from
+// the memory floor elsewhere.
+func SweepOn(m machine.Machine) ([]scaling.Series, error) {
+	mod, err := NewModel(m, BenchORCA1())
+	if err != nil {
+		return nil, err
+	}
+	var counts []int
+	switch m.Name {
+	case "CTE-Arm":
+		counts = CTESweep()
+	case "MareNostrum 4":
+		counts = MN4Sweep()
+	default:
+		counts = scaling.DoublingSweep(mod.MinNodes(), m.Nodes)
+	}
+	s := scaling.Series{Machine: m.Name}
+	for _, n := range counts {
+		t, err := mod.ExecutionTime(n)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, scaling.Point{Nodes: n, Time: t})
+	}
+	return []scaling.Series{s}, nil
+}
 
 // Figure11 returns the scalability curves of Fig. 11.
 func Figure11(arm, mn4 machine.Machine) (cte, ref scaling.Series, err error) {

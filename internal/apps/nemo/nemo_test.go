@@ -242,7 +242,9 @@ func TestTableIVNemoRow(t *testing.T) {
 func TestModelRejectsUnknownMachine(t *testing.T) {
 	m := machine.CTEArm()
 	m.Name = "nope"
+	m.CPUName = "POWER9"
+	m.Arch = "POWER"
 	if _, err := NewModel(m, BenchORCA1()); err == nil {
-		t.Error("unknown machine accepted")
+		t.Error("machine with unknown silicon accepted")
 	}
 }

@@ -94,9 +94,9 @@ type Model struct {
 // internal BLAS/LAPACK — the Fujitsu build compiled but failed at runtime —
 // Intel + MKL on MareNostrum 4).
 func NewModel(m machine.Machine, cfg Config) (*Model, error) {
-	build, ok := toolchain.AppBuildFor("OpenIFS", m.Name)
+	build, ok := toolchain.AppBuildOn("OpenIFS", m)
 	if !ok {
-		return nil, fmt.Errorf("openifs: no Table III build for machine %q", m.Name)
+		return nil, fmt.Errorf("openifs: no build configuration for machine %q", m.Name)
 	}
 	exec, err := perfmodel.NewExec(m, build.Compiler, "OpenIFS")
 	if err != nil {
@@ -220,6 +220,29 @@ func Figure14(arm, mn4 machine.Machine) (cte, ref scaling.Series, err error) {
 		ref.Points = append(ref.Points, scaling.Point{Nodes: r, Time: tm})
 	}
 	return cte, ref, nil
+}
+
+// SweepOn returns the TC0511L91 multi-node curve on an arbitrary machine:
+// the paper's node range on the paper machines, a doubling ladder from the
+// memory floor elsewhere (full nodes of MPI ranks either way).
+func SweepOn(m machine.Machine) ([]scaling.Series, error) {
+	mod, err := NewModel(m, TC0511L91())
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{32, 48, 64, 96, 128}
+	if m.Name != "CTE-Arm" && m.Name != "MareNostrum 4" {
+		counts = scaling.DoublingSweep(mod.MinNodes(), m.Nodes)
+	}
+	s := scaling.Series{Machine: m.Name}
+	for _, n := range counts {
+		t, err := mod.DayTime(n, n*m.Node.Cores())
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, scaling.Point{Nodes: n, Time: t})
+	}
+	return []scaling.Series{s}, nil
 }
 
 // Figure15 returns the multi-node curves (x = nodes, full nodes of ranks)

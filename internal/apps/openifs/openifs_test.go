@@ -295,7 +295,9 @@ func TestFigure14SeriesShape(t *testing.T) {
 func TestModelRejectsUnknownMachine(t *testing.T) {
 	m := machine.CTEArm()
 	m.Name = "x"
+	m.CPUName = "POWER9"
+	m.Arch = "POWER"
 	if _, err := NewModel(m, TL255L91()); err == nil {
-		t.Error("unknown machine accepted")
+		t.Error("machine with unknown silicon accepted")
 	}
 }

@@ -56,6 +56,23 @@ func (s Series) MinNodes() int {
 	return min
 }
 
+// DoublingSweep returns a strong-scaling node ladder for machines outside
+// the paper's tables: doubling counts from min upward, with max itself
+// always included so the sweep reaches the machine's full partition.
+func DoublingSweep(min, max int) []int {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		return nil
+	}
+	var out []int
+	for n := min; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, max)
+}
+
 // Slowdown returns tA/tB at the given node count; both series must contain
 // the point.
 func Slowdown(a, b Series, nodes int) (float64, error) {

@@ -68,9 +68,9 @@ type Model struct {
 // NewModel builds the model from the Table III build (GNU on CTE-Arm,
 // Intel 2017.4 on MareNostrum 4).
 func NewModel(m machine.Machine, cfg Config) (*Model, error) {
-	build, ok := toolchain.AppBuildFor("WRF", m.Name)
+	build, ok := toolchain.AppBuildOn("WRF", m)
 	if !ok {
-		return nil, fmt.Errorf("wrf: no Table III build for machine %q", m.Name)
+		return nil, fmt.Errorf("wrf: no build configuration for machine %q", m.Name)
 	}
 	exec, err := perfmodel.NewExec(m, build.Compiler, "WRF")
 	if err != nil {
@@ -141,6 +141,37 @@ func sqrt(x float64) float64 {
 
 // NodeSweep is the paper's Fig. 16 node range.
 func NodeSweep() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// SweepOn returns the Iberia-4km curves (IO enabled and disabled) on an
+// arbitrary machine: the paper's node range on the paper machines, a
+// doubling ladder elsewhere.
+func SweepOn(m machine.Machine) ([]scaling.Series, error) {
+	mod, err := NewModel(m, Iberia4km())
+	if err != nil {
+		return nil, err
+	}
+	counts := NodeSweep()
+	if m.Name != "CTE-Arm" && m.Name != "MareNostrum 4" {
+		counts = scaling.DoublingSweep(1, m.Nodes)
+	}
+	var out []scaling.Series
+	for _, ioOn := range []bool{true, false} {
+		label := "IO disabled"
+		if ioOn {
+			label = "IO enabled"
+		}
+		s := scaling.Series{Machine: m.Name, Label: label}
+		for _, n := range counts {
+			t, err := mod.ElapsedTime(n, ioOn)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, scaling.Point{Nodes: n, Time: t})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
 
 // Figure16 returns the four curves of Fig. 16: each machine with IO
 // enabled and disabled.

@@ -269,8 +269,10 @@ func TestElapsedTimeValidation(t *testing.T) {
 	}
 	m := machine.CTEArm()
 	m.Name = "x"
+	m.CPUName = "POWER9"
+	m.Arch = "POWER"
 	if _, err := NewModel(m, Iberia4km()); err == nil {
-		t.Error("unknown machine accepted")
+		t.Error("machine with unknown silicon accepted")
 	}
 }
 

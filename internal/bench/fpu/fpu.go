@@ -29,6 +29,9 @@ type Bar struct {
 	Peak          units.FlopsPerSecond
 	PercentOfPeak float64
 	Checksum      float64
+	// Time is the kernel's modeled runtime — what the energy accounting
+	// integrates the core's power draw over.
+	Time units.Seconds
 }
 
 // Figure1 runs the six µKernel variants on one core of each machine.
@@ -56,6 +59,7 @@ func Figure1(machines []machine.Machine, iters int) ([]Bar, error) {
 			bar.Peak = k.TheoreticalPeak()
 			bar.PercentOfPeak = 100 * k.Efficiency(res)
 			bar.Checksum = res.Checksum
+			bar.Time = res.Time
 			bars = append(bars, bar)
 		}
 	}

@@ -9,15 +9,36 @@ import (
 	"clustereval/internal/apps/openifs"
 	"clustereval/internal/apps/scaling"
 	"clustereval/internal/apps/wrf"
+	"clustereval/internal/machine"
 )
 
 // AppInfo is one Section V application in the catalog: its name, the
-// primary scalability figure Table IV scores it by, and the model run
-// producing that figure's series for both machines.
+// primary scalability figure Table IV scores it by, the model run
+// producing that figure's series for both paper machines, and the
+// single-machine sweep used for machines outside the pair.
 type AppInfo struct {
-	Name   string
-	Figure string
-	Series func(Pair) ([]scaling.Series, error)
+	Name     string
+	Figure   string
+	Series   func(Pair) ([]scaling.Series, error)
+	SeriesOn func(machine.Machine) ([]scaling.Series, error)
+}
+
+// maxAppPartition caps the partition an application model schedules onto:
+// the Section V jobs are a few thousand nodes at most, so on a
+// Fugaku-scale system the model builds its fabric over one scheduler
+// partition instead of all ~159k nodes.
+const maxAppPartition = 6144
+
+// appPartition returns m capped to maxAppPartition nodes. The machine's
+// global topology shape no longer covers the capped count, so the
+// partition falls back to the interconnect's derived shape.
+func appPartition(m machine.Machine) machine.Machine {
+	if m.Nodes > maxAppPartition {
+		m.Nodes = maxAppPartition
+		m.Topology.Dims = nil
+		m.Topology.Wrap = nil
+	}
+	return m
 }
 
 // two adapts the common (cte, ref, err) figure signature to a series slice.
@@ -33,11 +54,21 @@ func two(cte, ref scaling.Series, err error) ([]scaling.Series, error) {
 // and the per-app figure labels all derive from it. Adding an application
 // here is the only step needed to expose it everywhere.
 var appCatalog = []AppInfo{
-	{"alya", "Fig. 8", func(p Pair) ([]scaling.Series, error) { return two(alya.Figure8(p.Arm, p.Ref)) }},
-	{"nemo", "Fig. 11", func(p Pair) ([]scaling.Series, error) { return two(nemo.Figure11(p.Arm, p.Ref)) }},
-	{"gromacs", "Fig. 13", func(p Pair) ([]scaling.Series, error) { return two(gromacs.Figure13(p.Arm, p.Ref)) }},
-	{"openifs", "Fig. 15", func(p Pair) ([]scaling.Series, error) { return two(openifs.Figure15(p.Arm, p.Ref)) }},
-	{"wrf", "Fig. 16", func(p Pair) ([]scaling.Series, error) { return wrf.Figure16(p.Arm, p.Ref) }},
+	{"alya", "Fig. 8",
+		func(p Pair) ([]scaling.Series, error) { return two(alya.Figure8(p.Arm, p.Ref)) },
+		alya.SweepOn},
+	{"nemo", "Fig. 11",
+		func(p Pair) ([]scaling.Series, error) { return two(nemo.Figure11(p.Arm, p.Ref)) },
+		nemo.SweepOn},
+	{"gromacs", "Fig. 13",
+		func(p Pair) ([]scaling.Series, error) { return two(gromacs.Figure13(p.Arm, p.Ref)) },
+		gromacs.SweepOn},
+	{"openifs", "Fig. 15",
+		func(p Pair) ([]scaling.Series, error) { return two(openifs.Figure15(p.Arm, p.Ref)) },
+		openifs.SweepOn},
+	{"wrf", "Fig. 16",
+		func(p Pair) ([]scaling.Series, error) { return wrf.Figure16(p.Arm, p.Ref) },
+		wrf.SweepOn},
 }
 
 // AppNames returns the catalog's application names in the paper's order.

@@ -278,6 +278,9 @@ func ExportAll(dir string) error {
 			t, _, err := pair.Figure7()
 			return t, err
 		},
+		// Beyond the paper: modeled energy-to-solution for every workload
+		// on every registered machine preset.
+		"energy.csv": func() (*report.Table, error) { return figures.EnergyToSolution() },
 	}
 	for name, get := range tables {
 		t, err := get()

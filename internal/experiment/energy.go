@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"strings"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/perfmodel"
+	"clustereval/internal/units"
+)
+
+// EnergyResult is the canonical energy-to-solution block every kind
+// attaches to its result when the machine has a power layer. It is
+// additive on the wire: machines without a power model (or results
+// recorded before one existed) simply omit it.
+type EnergyResult struct {
+	Nodes          int     `json:"nodes"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	AvgWatts       float64 `json:"avg_watts"`
+	Joules         float64 `json:"joules"`
+	CoreJoules     float64 `json:"core_joules"`
+	MemoryJoules   float64 `json:"memory_joules"`
+	NetworkJoules  float64 `json:"network_joules"`
+	BaseJoules     float64 `json:"base_joules"`
+	// EDP is the energy-delay product (J*s), the figure of merit that
+	// rewards finishing both fast and frugally.
+	EDP float64 `json:"edp"`
+}
+
+// energyResult derives the canonical block for a job of `nodes` nodes
+// running t under activity a, or nil when the machine has no power layer.
+func energyResult(m machine.Machine, nodes int, t units.Seconds, a machine.Activity) *EnergyResult {
+	return energyFromBreakdown(perfmodel.EnergyToSolution(m, nodes, t, a), nodes, t)
+}
+
+// energyFromBreakdown lifts an already-integrated breakdown into the wire
+// block. Nil when the breakdown is empty.
+func energyFromBreakdown(e machine.EnergyBreakdown, nodes int, t units.Seconds) *EnergyResult {
+	total := e.Total()
+	if total <= 0 || t <= 0 {
+		return nil
+	}
+	return &EnergyResult{
+		Nodes:          nodes,
+		ModeledSeconds: float64(t),
+		AvgWatts:       float64(total) / float64(t),
+		Joules:         float64(total),
+		CoreJoules:     float64(e.Core),
+		MemoryJoules:   float64(e.Memory),
+		NetworkJoules:  float64(e.Network),
+		BaseJoules:     float64(e.Base),
+		EDP:            perfmodel.EDP(total, t),
+	}
+}
+
+// wideISA returns the widest double-precision vector ISA of the machine,
+// or scalar when it has no vector unit.
+func wideISA(m machine.Machine) machine.ISA {
+	if v := m.Node.Core.BestVector(machine.Double); v != nil {
+		return v.ISA
+	}
+	return machine.ISAScalar
+}
+
+// meanStreamEff averages the memory domains' STREAM efficiency — the
+// bandwidth-rail utilisation of a memory-saturating workload.
+func meanStreamEff(m machine.Machine) float64 {
+	if len(m.Node.Domains) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range m.Node.Domains {
+		sum += d.StreamEff
+	}
+	return sum / float64(len(m.Node.Domains))
+}
+
+// streamNTimes is the STREAM kernel's repetition count (the reference
+// implementation's NTIMES): the measurement window the energy block
+// integrates.
+const streamNTimes = 10
+
+// streamEnergy models the energy of a Triad sweep's best point: NTIMES
+// passes over the three arrays at the measured bandwidth. Triad performs
+// 2 flops per 24 bytes, so the compute pipes run at bw/12 flop/s — a sliver
+// of peak, which is exactly why STREAM draws so differently from HPL.
+func streamEnergy(m machine.Machine, elements, threads int, bw units.BytesPerSecond) *EnergyResult {
+	if bw <= 0 || threads <= 0 {
+		return nil
+	}
+	bytes := 3 * 8 * float64(elements) * streamNTimes
+	t := units.Seconds(bytes / float64(bw))
+	computePeak := float64(m.Node.Core.DoublePeak()) * float64(threads)
+	a := machine.Activity{
+		ActiveCores: threads,
+		ISA:         wideISA(m),
+		MemBWFrac:   float64(bw) / float64(m.Node.MemoryPeak()),
+	}
+	if computePeak > 0 {
+		a.ComputeFrac = (float64(bw) / 12) / computePeak
+	}
+	return energyResult(m, 1, t, a)
+}
+
+// fpuEnergy sums the per-variant kernel energies: one core, compute
+// pipes saturated, negligible memory traffic (the chains live in
+// registers). Vector variants draw on the wide-ISA rail, scalar ones on
+// the scalar rail.
+func fpuEnergy(m machine.Machine, bars []FPUBar) *EnergyResult {
+	var sum machine.EnergyBreakdown
+	var total units.Seconds
+	for _, b := range bars {
+		if !b.Supported || b.TimeSeconds <= 0 {
+			continue
+		}
+		isa := machine.ISAScalar
+		if strings.HasPrefix(b.Variant, "vector") {
+			isa = wideISA(m)
+		}
+		a := machine.Activity{ActiveCores: 1, ISA: isa, ComputeFrac: b.PercentOfPeak / 100}
+		e := m.NodeEnergy(a, units.Seconds(b.TimeSeconds))
+		sum.Core += e.Core
+		sum.Memory += e.Memory
+		sum.Network += e.Network
+		sum.Base += e.Base
+		total += units.Seconds(b.TimeSeconds)
+	}
+	return energyFromBreakdown(sum, 1, total)
+}
+
+// netEnergy models the point-to-point measurement: two endpoints, one
+// busy core each, NIC rails up, compute pipes idle while the cores sit in
+// the MPI progress loop.
+func netEnergy(m machine.Machine, sizeBytes int64, iters int, bwBps float64) *EnergyResult {
+	if bwBps <= 0 {
+		return nil
+	}
+	t := units.Seconds(float64(sizeBytes) * float64(iters) / bwBps)
+	a := machine.Activity{
+		ActiveCores: 1,
+		ISA:         machine.ISAScalar,
+		MemBWFrac:   bwBps / float64(m.Node.MemoryPeak()),
+		Network:     true,
+	}
+	return energyResult(m, 2, t, a)
+}
+
+// hplEnergy integrates the full-load run: every core in the wide pipes at
+// the achieved fraction of peak, DGEMM's blocked reuse keeping the memory
+// rails at a fraction of STREAM.
+func hplEnergy(m machine.Machine, nodes int, t units.Seconds, pctOfPeak float64) *EnergyResult {
+	a := machine.Activity{
+		ActiveCores: m.Node.Cores(),
+		ISA:         wideISA(m),
+		ComputeFrac: pctOfPeak / 100,
+		MemBWFrac:   0.3 * meanStreamEff(m),
+		Network:     nodes > 1,
+	}
+	return energyResult(m, nodes, t, a)
+}
+
+// hpcgSteadyStateWindow is the measurement window the HPCG energy block
+// integrates. HPCG reports throughput, not time-to-solution, so the block
+// prices one minute of the benchmark's bandwidth-saturating steady state.
+const hpcgSteadyStateWindow = 60 * units.Seconds(1)
+
+// hpcgEnergy integrates the steady state: memory rails saturated at the
+// STREAM efficiency, compute pipes nearly idle — the mirror image of HPL.
+func hpcgEnergy(m machine.Machine, nodes int, pctOfPeak float64) *EnergyResult {
+	a := machine.Activity{
+		ActiveCores: m.Node.Cores(),
+		ISA:         wideISA(m),
+		ComputeFrac: pctOfPeak / 100,
+		MemBWFrac:   meanStreamEff(m),
+		Network:     nodes > 1,
+	}
+	return energyResult(m, nodes, hpcgSteadyStateWindow, a)
+}
+
+// appEnergy integrates one iteration unit (a time step, a simulated day)
+// at the given node count with a mixed compute/memory profile: full
+// nodes, the wide pipes moderately busy, the memory rails at most of
+// their sustainable bandwidth.
+func appEnergy(m machine.Machine, nodes int, t units.Seconds) *EnergyResult {
+	a := machine.Activity{
+		ActiveCores: m.Node.Cores(),
+		ISA:         wideISA(m),
+		ComputeFrac: 0.4,
+		MemBWFrac:   0.8 * meanStreamEff(m),
+		Network:     nodes > 1,
+	}
+	return energyResult(m, nodes, t, a)
+}

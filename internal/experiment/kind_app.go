@@ -57,7 +57,15 @@ func (p *AppParams) Run(ctx context.Context, env Env) (*Result, error) {
 		return nil, err
 	}
 	info, _ := AppByName(p.App)
-	series, err := env.Pair.AppSeries(p.App)
+	var series []scaling.Series
+	var err error
+	if env.Machine.Name == env.Pair.Arm.Name || env.Machine.Name == env.Pair.Ref.Name {
+		series, err = env.Pair.AppSeries(p.App)
+	} else {
+		// Machines outside the paper pair run the app's single-machine
+		// sweep on a bounded scheduler partition.
+		series, err = info.SeriesOn(appPartition(env.Pair.Member(env.Machine)))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +89,15 @@ func (p *AppParams) Run(ctx context.Context, env Env) (*Result, error) {
 	}
 	summary := fmt.Sprintf("%s (%s) on %s: %d-point scalability sweep",
 		p.App, ar.Figure, m.Name, len(ar.Series[0].Points))
+	// Energy-to-solution at the probed node count, or the sweep's largest.
+	energyNodes := p.Nodes
+	if energyNodes == 0 {
+		for _, pt := range ar.Series[0].Points {
+			if pt.Nodes > energyNodes {
+				energyNodes = pt.Nodes
+			}
+		}
+	}
 	if p.Nodes > 0 {
 		t, ok := timeAt(series, m.Name, p.Nodes)
 		if !ok {
@@ -91,7 +108,11 @@ func (p *AppParams) Run(ctx context.Context, env Env) (*Result, error) {
 		summary = fmt.Sprintf("%s (%s) on %d %s nodes: %v per iteration unit",
 			p.App, ar.Figure, p.Nodes, m.Name, t)
 	}
-	return &Result{Kind: KindApp, Machine: m.Name, Summary: summary, App: ar}, nil
+	var energy *EnergyResult
+	if t, ok := timeAt(series, m.Name, energyNodes); ok {
+		energy = appEnergy(env.Pair.Member(m), energyNodes, t)
+	}
+	return &Result{Kind: KindApp, Machine: m.Name, Summary: summary, App: ar, Energy: energy}, nil
 }
 
 // timeAt finds the sweep time of machineName's first series at nodes.

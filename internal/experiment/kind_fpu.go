@@ -67,6 +67,7 @@ func (p *FPUParams) Run(ctx context.Context, env Env) (*Result, error) {
 			fb.SustainedGFlops = b.Sustained.Giga()
 			fb.PeakGFlops = b.Peak.Giga()
 			fb.PercentOfPeak = b.PercentOfPeak
+			fb.TimeSeconds = float64(b.Time)
 			if fb.SustainedGFlops > best {
 				best = fb.SustainedGFlops
 			}
@@ -77,5 +78,6 @@ func (p *FPUParams) Run(ctx context.Context, env Env) (*Result, error) {
 		Kind: KindFPU, Machine: m.Name,
 		Summary: fmt.Sprintf("FPU µKernel on %s: %d variants, best %.1f GFlop/s sustained", m.Name, len(out), best),
 		FPU:     out,
+		Energy:  fpuEnergy(env.Pair.Member(m), out),
 	}, nil
 }

@@ -81,6 +81,7 @@ func (p *HPCGParams) Run(ctx context.Context, env Env) (*Result, error) {
 		Kind: KindHPCG, Machine: m.Name,
 		Summary: fmt.Sprintf("HPCG (%s) on %d %s nodes: %.1f GFlop/s (%.2f%% of peak)",
 			hr.Version, hr.Nodes, m.Name, hr.GFlops, hr.PercentOfPeak),
-		HPCG: hr,
+		HPCG:   hr,
+		Energy: hpcgEnergy(env.Pair.Member(m), run.Nodes, run.PercentOfPeak),
 	}, nil
 }

@@ -64,6 +64,7 @@ func (p *HPLParams) Run(ctx context.Context, env Env) (*Result, error) {
 		Kind: KindHPL, Machine: m.Name,
 		Summary: fmt.Sprintf("HPL on %d %s nodes: N=%d, %.0f GFlop/s (%.0f%% of peak)",
 			hr.Nodes, m.Name, hr.N, hr.GFlops, hr.PercentOfPeak),
-		HPL: hr,
+		HPL:    hr,
+		Energy: hplEnergy(env.Pair.Member(m), run.Nodes, run.Time, run.PercentOfPeak),
 	}, nil
 }

@@ -47,7 +47,7 @@ func (p *HybridStreamParams) Run(ctx context.Context, env Env) (*Result, error) 
 		return nil, err
 	}
 	m := env.Machine
-	series, err := env.Pair.HybridStreamSeries(m.Name, language(p.Language))
+	series, err := env.Pair.HybridStreamSeriesOn(m, language(p.Language))
 	if err != nil {
 		return nil, err
 	}
@@ -60,10 +60,15 @@ func (p *HybridStreamParams) Run(ctx context.Context, env Env) (*Result, error) 
 		BestGBps:      series.Best.Bandwidth.GB(),
 		PercentOfPeak: series.PercentOfPeak,
 	}
+	member := env.Pair.Member(m)
+	_, elements := streamSetup(member)
+	energy := streamEnergy(member, elements,
+		series.Best.Ranks*series.Best.ThreadsPerRank, series.Best.Bandwidth)
 	return &Result{
 		Kind: KindHybridStream, Machine: m.Name,
 		Summary: fmt.Sprintf("hybrid STREAM Triad on %s (%s): best %s = %.1f GB/s (%.0f%% of peak)",
 			m.Name, p.Language, hr.BestConfig, hr.BestGBps, hr.PercentOfPeak),
 		Hybrid: hr,
+		Energy: energy,
 	}, nil
 }

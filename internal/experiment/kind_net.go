@@ -89,11 +89,9 @@ func (p *NetParams) Run(ctx context.Context, env Env) (*Result, error) {
 		return nil, err
 	}
 	// Use the seeded pair's descriptor so the fabric noise follows the
-	// spec's seed exactly like the CLI -seed flag.
-	seeded, err := env.Pair.MachineByName(env.Machine.Name)
-	if err != nil {
-		return nil, err
-	}
+	// spec's seed exactly like the CLI -seed flag; machines outside the
+	// pair arrive pre-seeded from the run layer.
+	seeded := env.Pair.Member(env.Machine)
 	fab, err := interconnect.New(seeded, seeded.Nodes)
 	if err != nil {
 		return nil, err
@@ -114,6 +112,7 @@ func (p *NetParams) Run(ctx context.Context, env Env) (*Result, error) {
 		Kind: KindNet, Machine: env.Machine.Name,
 		Summary: fmt.Sprintf("%s nodes %d->%d, %v x %d iters: %.2f GB/s, %.2f us zero-byte latency",
 			env.Machine.Name, nr.SrcNode, nr.DstNode, units.Bytes(nr.SizeBytes), nr.Iters, nr.BandwidthGBps, nr.LatencyMicros),
-		Net: nr,
+		Net:    nr,
+		Energy: netEnergy(seeded, p.SizeBytes, p.Iters, float64(bw)),
 	}, nil
 }

@@ -66,7 +66,7 @@ func (p *StreamParams) Run(ctx context.Context, env Env) (*Result, error) {
 		return nil, err
 	}
 	m := env.Machine
-	series, err := env.Pair.StreamSeries(m.Name, language(p.Language))
+	series, err := env.Pair.StreamSeriesOn(m, language(p.Language))
 	if err != nil {
 		return nil, err
 	}
@@ -92,5 +92,6 @@ func (p *StreamParams) Run(ctx context.Context, env Env) (*Result, error) {
 		summary = fmt.Sprintf("STREAM Triad on %s (%s): %.1f GB/s @ %d threads",
 			m.Name, p.Language, sr.Points[0].GBps, p.Ranks)
 	}
-	return &Result{Kind: KindStream, Machine: m.Name, Summary: summary, Stream: sr}, nil
+	energy := streamEnergy(env.Pair.Member(m), series.Elements, series.Best.Threads, series.Best.Bandwidth)
+	return &Result{Kind: KindStream, Machine: m.Name, Summary: summary, Stream: sr, Energy: energy}, nil
 }

@@ -41,14 +41,32 @@ func PairWithSeed(seed uint64) Pair {
 	return p
 }
 
-// streamSetup returns the Table II STREAM build and array size the paper
-// uses on machine m. The element counts follow the paper's sizing rule on
-// each system's memory.
-func (p Pair) streamSetup(m machine.Machine) (toolchain.Compiler, int) {
-	if m.Name == p.Arm.Name {
+// streamSetup returns the STREAM build and array size used on machine m.
+// The paper machines get their Table II rows keyed by silicon — any A64FX
+// system builds like CTE-Arm, any x86 one like MareNostrum 4 — and other
+// Armv8 systems get the GNU/NEON build with the x86 sizing rule.
+func streamSetup(m machine.Machine) (toolchain.Compiler, int) {
+	switch {
+	case m.CPUName == "A64FX":
 		return toolchain.StreamOpenMPArm(), 610e6
+	case m.Arch == "Armv8":
+		return toolchain.StreamGNUArm(), 400e6
+	default:
+		return toolchain.StreamMN4(), 400e6
 	}
-	return toolchain.StreamMN4(), 400e6
+}
+
+// hybridStreamCompiler returns the Fig. 3 MPI+OpenMP STREAM build for m,
+// with the same silicon-keyed fallbacks as streamSetup.
+func hybridStreamCompiler(m machine.Machine) toolchain.Compiler {
+	switch {
+	case m.CPUName == "A64FX":
+		return toolchain.StreamHybridArm()
+	case m.Arch == "Armv8":
+		return toolchain.StreamGNUArm()
+	default:
+		return toolchain.StreamMN4()
+	}
 }
 
 // MachineByName resolves one of the pair's machines from its Table I name,
@@ -65,6 +83,20 @@ func (p Pair) MachineByName(name string) (machine.Machine, error) {
 	}
 }
 
+// Member resolves m against the pair: the pair's own copy (carrying any
+// PairWithSeed noise seed) when m is one of the paper machines, and m
+// itself — already seeded by the run layer — otherwise. This is what lets
+// every experiment kind run on machines outside the paper's pair.
+func (p Pair) Member(m machine.Machine) machine.Machine {
+	switch m.Name {
+	case p.Arm.Name:
+		return p.Arm
+	case p.Ref.Name:
+		return p.Ref
+	}
+	return m
+}
+
 // StreamSeries runs the Fig. 2 OpenMP thread sweep for a single machine and
 // language, with exactly the build and array size the full figure uses —
 // the evaluation service serves per-machine STREAM jobs through this entry
@@ -74,7 +106,14 @@ func (p Pair) StreamSeries(machineName string, lang toolchain.Language) (stream.
 	if err != nil {
 		return stream.Series{}, err
 	}
-	comp, elements := p.streamSetup(m)
+	return p.StreamSeriesOn(m, lang)
+}
+
+// StreamSeriesOn is StreamSeries for an arbitrary machine descriptor,
+// resolving paper machines through the pair and others directly.
+func (p Pair) StreamSeriesOn(m machine.Machine, lang toolchain.Language) (stream.Series, error) {
+	m = p.Member(m)
+	comp, elements := streamSetup(m)
 	return stream.Figure2(m, comp, lang, elements)
 }
 
@@ -85,11 +124,13 @@ func (p Pair) HybridStreamSeries(machineName string, lang toolchain.Language) (s
 	if err != nil {
 		return stream.HybridSeries{}, err
 	}
-	comp := toolchain.StreamMN4()
-	if m.Name == p.Arm.Name {
-		comp = toolchain.StreamHybridArm()
-	}
-	return stream.Figure3(m, comp, lang)
+	return p.HybridStreamSeriesOn(m, lang)
+}
+
+// HybridStreamSeriesOn is HybridStreamSeries for an arbitrary machine.
+func (p Pair) HybridStreamSeriesOn(m machine.Machine, lang toolchain.Language) (stream.HybridSeries, error) {
+	m = p.Member(m)
+	return stream.Figure3(m, hybridStreamCompiler(m), lang)
 }
 
 // AppSeries returns the scalability series of an application's primary

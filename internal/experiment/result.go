@@ -15,6 +15,9 @@ type Result struct {
 	HPL     *HPLResult    `json:"hpl,omitempty"`
 	HPCG    *HPCGResult   `json:"hpcg,omitempty"`
 	App     *AppResult    `json:"app,omitempty"`
+	// Energy is the canonical energy-to-solution block, present whenever
+	// the machine has a power layer (additive: absent otherwise).
+	Energy *EnergyResult `json:"energy,omitempty"`
 }
 
 // StreamPoint is one thread count of the Fig. 2 sweep.
@@ -48,6 +51,7 @@ type FPUBar struct {
 	SustainedGFlops float64 `json:"sustained_gflops,omitempty"`
 	PeakGFlops      float64 `json:"peak_gflops,omitempty"`
 	PercentOfPeak   float64 `json:"percent_of_peak,omitempty"`
+	TimeSeconds     float64 `json:"time_seconds,omitempty"`
 }
 
 // NetResult is one OSU-style point-to-point measurement.

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"clustereval/internal/machine"
+	"clustereval/internal/xrand"
 )
 
 // Env is the resolved execution environment of one run: the target
@@ -39,6 +40,11 @@ func RunAttempt(ctx context.Context, spec Spec, attempt int) (*Result, error) {
 		return nil, err
 	}
 	pair := PairWithSeed(spec.Seed)
+	if spec.Seed != 0 && m.Name != pair.Arm.Name && m.Name != pair.Ref.Name {
+		// Machines outside the paper pair carry their own derived noise
+		// stream; stream 3 keeps it disjoint from both pair fabrics.
+		m.Network.Seed = xrand.MixN(spec.Seed, 3)
+	}
 
 	if spec.Faults != nil {
 		model, err := spec.Faults.Compile(m.Nodes, attempt)

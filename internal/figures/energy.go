@@ -1,0 +1,71 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+
+	"clustereval/internal/experiment"
+	"clustereval/internal/machine"
+	"clustereval/internal/report"
+)
+
+// energyWorkloads is the canonical workload set of the energy-to-solution
+// figure: the node-level benchmarks plus the five Section V applications,
+// mirroring the per-app energy comparison of the ThunderX2 study
+// (arxiv 2007.04868). Benchmarks pin one node so machines of very
+// different scale stay comparable; applications run their scalability
+// sweep and report energy at the sweep's largest point.
+var energyWorkloads = []struct {
+	label string
+	spec  experiment.Spec
+}{
+	{"STREAM Triad (best threads)", experiment.Spec{Kind: "stream"}},
+	{"HPL (1 node)", experiment.Spec{Kind: "hpl", Nodes: 1}},
+	{"HPCG optimized (1 node)", experiment.Spec{Kind: "hpcg", Nodes: 1}},
+	{"Alya", experiment.Spec{Kind: "app", App: "alya"}},
+	{"NEMO", experiment.Spec{Kind: "app", App: "nemo"}},
+	{"Gromacs", experiment.Spec{Kind: "app", App: "gromacs"}},
+	{"OpenIFS", experiment.Spec{Kind: "app", App: "openifs"}},
+	{"WRF", experiment.Spec{Kind: "app", App: "wrf"}},
+}
+
+// EnergyToSolution tabulates modeled energy-to-solution for the canonical
+// workload set across machine presets. Each cell carries kilojoules and
+// the node count the energy was integrated over; a final row gives the
+// single-node HPL energy-delay product, the metric the ThunderX2 study
+// argues actually ranks Arm HPC systems. With no arguments, every
+// registered preset is evaluated in slug order.
+func EnergyToSolution(machines ...string) (*report.Table, error) {
+	if len(machines) == 0 {
+		machines = machine.PresetNames()
+	}
+	t := &report.Table{
+		Title:   "Energy to solution by workload and machine (modeled)",
+		Headers: append([]string{"Workload"}, machines...),
+	}
+	edpRow := []string{"HPL EDP [J*s]"}
+	for _, w := range energyWorkloads {
+		row := []string{w.label}
+		for _, name := range machines {
+			spec := w.spec
+			spec.Machine = name
+			res, err := experiment.Run(context.Background(), spec)
+			if err != nil {
+				return nil, fmt.Errorf("energy %s on %s: %w", w.spec.Kind, name, err)
+			}
+			if res.Energy == nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.4g kJ / %d nd", res.Energy.Joules/1e3, res.Energy.Nodes))
+			if w.spec.Kind == "hpl" {
+				edpRow = append(edpRow, fmt.Sprintf("%.4g", res.Energy.EDP))
+			}
+		}
+		t.AddRow(row...)
+	}
+	if len(edpRow) == len(machines)+1 {
+		t.AddRow(edpRow...)
+	}
+	return t, nil
+}

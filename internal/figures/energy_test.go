@@ -1,0 +1,46 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden file from current output.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestEnergyToSolutionGolden pins the energy-to-solution figure — every
+// workload on every registered preset — byte-for-byte. The table exercises
+// the whole power-model stack (per-kind activity profiles, preset power
+// rails, EDP derivation), so any drift in the energy path shows up here as
+// a one-line CSV diff. Refresh intentionally with:
+// go test ./internal/figures -update
+func TestEnergyToSolutionGolden(t *testing.T) {
+	tbl, err := EnergyToSolution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "energy_to_solution.csv")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("energy figure drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

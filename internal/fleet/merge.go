@@ -132,15 +132,16 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		scrapes = append(scrapes, shardScrape{name: name, fams: parsePromText(string(text))})
 	}
 
-	// Aggregates: sum every label-less counter (and the queue-depth gauge,
-	// whose sum is the fleet's total backlog) across shards.
+	// Aggregates: sum every counter (and the queue-depth gauge, whose sum
+	// is the fleet's total backlog) across shards. Labeled counters like
+	// clusterd_energy_joules_total{kind="hpl"} sum per label set, so the
+	// fleet exposes one per-kind energy series over all shards.
 	type agg struct {
 		help, typ string
-		sum       float64
+		sums      map[string]float64 // keyed by series, labels included
 		shards    int
 	}
 	aggs := map[string]*agg{}
-	var aggNames []string
 	for _, s := range scrapes {
 		famNames := sortedKeys(s.fams)
 		for _, fn := range famNames {
@@ -148,27 +149,32 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			if f.typ != "counter" && f.name != "clusterd_queue_depth" {
 				continue
 			}
+			a, ok := aggs[f.name]
+			if !ok {
+				a = &agg{help: f.help, typ: f.typ, sums: map[string]float64{}}
+				aggs[f.name] = a
+			}
+			a.shards++
 			for _, smp := range f.samples {
-				if strings.IndexByte(smp.series, '{') >= 0 {
-					continue
-				}
-				a, ok := aggs[f.name]
-				if !ok {
-					a = &agg{help: f.help, typ: f.typ}
-					aggs[f.name] = a
-					aggNames = append(aggNames, f.name)
-				}
-				a.sum += smp.value
-				a.shards++
+				a.sums[smp.series] += smp.value
 			}
 		}
 	}
-	sort.Strings(aggNames)
-	for _, name := range aggNames {
+	for _, name := range sortedKeys(aggs) {
 		a := aggs[name]
+		if len(a.sums) == 0 {
+			continue
+		}
 		fmt.Fprintf(w, "# HELP fleet_%s Fleet-wide sum over %d shard(s): %s\n", name, a.shards, a.help)
 		fmt.Fprintf(w, "# TYPE fleet_%s %s\n", name, a.typ)
-		fmt.Fprintf(w, "fleet_%s %s\n", name, formatFloat(a.sum))
+		series := make([]string, 0, len(a.sums))
+		for s := range a.sums {
+			series = append(series, s)
+		}
+		sort.Strings(series)
+		for _, s := range series {
+			fmt.Fprintf(w, "fleet_%s %s\n", s, formatFloat(a.sums[s]))
+		}
 	}
 
 	// Per-shard series, grouped per family so each family's TYPE header

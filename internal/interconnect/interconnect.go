@@ -68,10 +68,14 @@ type Fabric struct {
 // constructor the application models and the evaluation service use, so a
 // machine descriptor fully determines its network model.
 func New(m machine.Machine, nodes int) (*Fabric, error) {
-	if m.Network.Kind == machine.TofuD {
+	switch m.Network.Kind {
+	case machine.TofuD:
 		return NewTofuD(m, nodes)
+	case machine.Infiniband:
+		return NewInfiniband(m, nodes)
+	default:
+		return NewOmniPath(m, nodes)
 	}
-	return NewOmniPath(m, nodes)
 }
 
 // fabricSeed picks the noise seed for a fabric: the machine's requested
@@ -87,7 +91,7 @@ func fabricSeed(m machine.Machine, def uint64) uint64 {
 // NewTofuD builds the CTE-Arm fabric for the given node count, including the
 // degraded receiver arms0b1-11c (node 23) when the cluster is large enough.
 func NewTofuD(m machine.Machine, nodes int) (*Fabric, error) {
-	topo, err := topology.NewTofuD(nodes)
+	topo, err := tofuTopology(m, nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -113,10 +117,40 @@ func NewTofuD(m machine.Machine, nodes int) (*Fabric, error) {
 	return f, nil
 }
 
+// tofuTopology picks the torus shape for a TofuD fabric: the machine's
+// pinned Topology.Dims when the fabric spans the whole machine (Fugaku's
+// production 6-D shape), else the balanced shape derived from the node
+// count — what every sub-allocation and the original presets always got.
+func tofuTopology(m machine.Machine, nodes int) (topology.Topology, error) {
+	if dims := m.Topology.Dims; len(dims) > 0 {
+		product := 1
+		for _, d := range dims {
+			product *= d
+		}
+		if product == nodes {
+			wrap := m.Topology.Wrap
+			if len(wrap) == 0 {
+				wrap = make([]bool, len(dims))
+			}
+			return topology.NewTorus("TofuD", dims, wrap)
+		}
+	}
+	return topology.NewTofuD(nodes)
+}
+
+// fatTreeLeaf is the nodes-per-edge-switch of a fat-tree fabric: the
+// machine's pinned leaf size when set, else the MareNostrum 4 default.
+func fatTreeLeaf(m machine.Machine) int {
+	if m.Topology.LeafSize > 0 {
+		return m.Topology.LeafSize
+	}
+	return 24
+}
+
 // NewOmniPath builds the MareNostrum 4 fabric (two-level fat tree, 24 nodes
 // per leaf switch).
 func NewOmniPath(m machine.Machine, nodes int) (*Fabric, error) {
-	topo, err := topology.NewFatTree(nodes, 24)
+	topo, err := topology.NewFatTree(nodes, fatTreeLeaf(m))
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +168,34 @@ func NewOmniPath(m machine.Machine, nodes int) (*Fabric, error) {
 		IntraNodeBW:      units.BytesPerSecond(24 * units.Giga),
 		IntraNodeLatency: units.Seconds(0.30e-6),
 		Seed:             fabricSeed(m, 0x5ce8160),
+		Faults:           m.Faults,
+	}, nil
+}
+
+// NewInfiniband builds an EDR Infiniband fat-tree fabric (the Dibona
+// ThunderX2 cluster). EDR's hardware rendezvous pipeline has a milder
+// mid-size buffer lottery than OmniPath's PSM2, and standard MPI stacks
+// (OpenMPI/UCX) leave a slightly larger share of the link peak on the
+// table for mid-size messages.
+func NewInfiniband(m machine.Machine, nodes int) (*Fabric, error) {
+	topo, err := topology.NewFatTree(nodes, fatTreeLeaf(m))
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{
+		Topo:             topo,
+		Net:              m.Network,
+		EagerThreshold:   units.Bytes(16 * units.KiB),
+		MidSizeLow:       units.Bytes(1 * units.KiB),
+		MidSizeHigh:      units.Bytes(64 * units.KiB),
+		SlowPathFactor:   0.70,
+		SlowPathProb:     0.15,
+		NoiseSmall:       0.01,
+		NoiseLarge:       0.20,
+		DegradedRecv:     map[int]float64{},
+		IntraNodeBW:      units.BytesPerSecond(22 * units.Giga),
+		IntraNodeLatency: units.Seconds(0.30e-6),
+		Seed:             fabricSeed(m, 0x1b0d1ba),
 		Faults:           m.Faults,
 	}, nil
 }

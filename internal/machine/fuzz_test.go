@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"testing"
+
+	"clustereval/internal/units"
+)
+
+// FuzzPresetValidate mutates the layer composition of a registered
+// preset and checks the validator's contract: it never panics, it is
+// deterministic, and the derived-peak accessors stay total (no panics,
+// no NaN-driven crashes) on any composition the validator accepts.
+func FuzzPresetValidate(f *testing.F) {
+	names := PresetNames()
+	// Seed with the identity mutation of each preset plus a few
+	// deliberately broken compositions.
+	f.Add(uint8(0), int64(192), int16(0), int16(0), int16(0), 40.0, 1.7, 8.0, int8(4), uint8(2))
+	f.Add(uint8(1), int64(3456), int16(0), int16(0), int16(0), 60.0, 3.5, 15.0, int8(0), uint8(2))
+	f.Add(uint8(2), int64(40), int16(0), int16(0), int16(0), 50.0, 3.0, 18.0, int8(0), uint8(2))
+	f.Add(uint8(3), int64(158976), int16(24), int16(23), int16(24), 40.0, 1.7, 8.0, int8(4), uint8(2))
+	f.Add(uint8(0), int64(0), int16(1), int16(1), int16(1), -5.0, 0.0, 0.0, int8(-1), uint8(0))
+	f.Add(uint8(3), int64(7), int16(2), int16(3), int16(0), 1e18, -1.0, 3.6e6, int8(120), uint8(7))
+
+	f.Fuzz(func(t *testing.T, which uint8, nodes int64,
+		d0, d1, d2 int16, nodeBase, coreActive, memActive float64,
+		sectorWays int8, ports uint8) {
+		m, ok := Preset(names[int(which)%len(names)])
+		if !ok {
+			t.Fatal("registered preset vanished")
+		}
+		m.Nodes = int(nodes)
+		if d0 != 0 || d1 != 0 || d2 != 0 {
+			m.Topology.Dims = []int{int(d0), int(d1), int(d2)}
+			m.Topology.Wrap = []bool{true, true, true}
+		}
+		m.Power.NodeBase = units.Watts(nodeBase)
+		m.Power.CoreActive[m.SIMD[0]] = units.Watts(coreActive)
+		m.Power.MemActive = units.Watts(memActive)
+		m.Node.SectorCacheWays = int(sectorWays)
+		if n := int(ports) % 8; n != len(m.Node.Core.Ports) {
+			mut := make([]FPPort, n)
+			for i := range mut {
+				mut[i] = FPPort{Name: "P" + string(rune('0'+i)), FMA: true}
+			}
+			m.Node.Core.Ports = mut
+		}
+
+		err1 := m.Validate()
+		err2 := m.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Validate not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		// Accepted compositions must keep every derived quantity total.
+		_ = m.Node.DoublePeak()
+		_ = m.Node.MemoryPeak()
+		_ = m.ClusterPeak(m.Nodes)
+		_ = m.FullLoadPower()
+		e := m.NodeEnergy(Activity{
+			ActiveCores: m.Node.Cores(), ISA: m.SIMD[0],
+			ComputeFrac: 1, MemBWFrac: 1, Network: true,
+		}, 1)
+		if e.Total() < 0 {
+			t.Fatalf("accepted composition yields negative energy: %+v", e)
+		}
+	})
+}

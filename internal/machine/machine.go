@@ -81,8 +81,8 @@ type Cache struct {
 	Shared    bool // shared across the cores of a NUMA domain
 }
 
-// Core is the per-core micro-architecture model.
-type Core struct {
+// CoreModel is the per-core micro-architecture layer.
+type CoreModel struct {
 	FrequencyHz float64
 	// Vector units available, strongest first. The FPU µKernel picks the
 	// widest; application code uses whatever the compiler managed to emit.
@@ -96,7 +96,15 @@ type Core struct {
 	// out-of-order capabilities of the scalar core of the A64FX".
 	OoOFactor float64
 	Caches    []Cache
+	// Ports, when present, names the FP issue ports behind IssuePerCyc
+	// (SimEng's A64FX model: FLA full-SVE, FLB reduced). Validate checks
+	// the port list agrees with the issue width the peak formula uses.
+	Ports []FPPort
 }
+
+// Core is the historical name of the per-core layer; the two are the
+// same type.
+type Core = CoreModel
 
 // ScalarPeak returns the peak scalar FMA throughput of one core.
 func (c Core) ScalarPeak() units.FlopsPerSecond {
@@ -163,29 +171,16 @@ type MemoryDomain struct {
 	SingleCore units.BytesPerSecond // streaming bandwidth one core extracts from local memory
 }
 
-// Node describes one compute node.
+// Node describes one compute node: socket counts, the core layer, and
+// the embedded memory layer (whose fields — Domains, MemoryBytes,
+// FirstTouchNUMA, InterleaveCap, InterleavedCoreBW, OversubSlope and
+// the sector-cache/hugepage knobs — promote to Node, so consumers read
+// n.Domains exactly as before the layering).
 type Node struct {
 	Sockets        int
 	CoresPerSocket int
-	Core           Core
-	Domains        []MemoryDomain
-	MemoryBytes    float64
-	// FirstTouchNUMA reports whether the OS places pages on the domain of
-	// the touching thread. True on MareNostrum 4; effectively false on
-	// CTE-Arm's default paging policy, where a single shared-memory process
-	// sees its pages scattered across CMGs regardless of binding — the root
-	// cause of the poor OpenMP-only STREAM result of Fig. 2.
-	FirstTouchNUMA bool
-	// InterleaveCap is the aggregate bandwidth a single process whose pages
-	// are interleaved across domains can reach (ring-bus bound on A64FX).
-	// Unused when FirstTouchNUMA is true.
-	InterleaveCap units.BytesPerSecond
-	// InterleavedCoreBW is the streaming bandwidth one thread extracts when
-	// its pages are interleaved across remote domains.
-	InterleavedCoreBW units.BytesPerSecond
-	// OversubSlope is the relative bandwidth loss per extra thread beyond a
-	// domain's saturation point (memory-controller queue contention).
-	OversubSlope float64
+	Core           CoreModel
+	MemoryModel
 	// OSNoise is the relative magnitude of system-noise jitter per run.
 	OSNoise float64
 }
@@ -226,10 +221,11 @@ func (n Node) DomainOf(core int) int {
 // InterconnectKind names a cluster network technology.
 type InterconnectKind string
 
-// Interconnect technologies of the two systems.
+// Interconnect technologies of the registered presets.
 const (
-	TofuD    InterconnectKind = "TofuD"
-	OmniPath InterconnectKind = "Intel OmniPath"
+	TofuD      InterconnectKind = "TofuD"
+	OmniPath   InterconnectKind = "Intel OmniPath"
+	Infiniband InterconnectKind = "Infiniband" // EDR fat tree (Dibona/ThunderX2)
 )
 
 // Network describes the cluster interconnect at the level Table I reports.
@@ -267,6 +263,13 @@ type Machine struct {
 	Node       Node
 	Nodes      int
 	Network    Network
+	// Topology pins the exact interconnect shape when the preset knows
+	// it (Fugaku's 6-D Tofu-D); the zero value derives a shape from the
+	// node count as before.
+	Topology TopologyModel
+	// Power is the per-component power layer; the zero value models no
+	// energy (every energy figure reports zero joules).
+	Power PowerModel
 	// Faults, when non-nil, is a compiled fault-injection scenario
 	// (internal/faultsim) that every fabric and simulated MPI world built
 	// from this descriptor inherits — the same plumbing style as
@@ -326,5 +329,5 @@ func (m Machine) Validate() error {
 	if m.Network.LinkPeak <= 0 {
 		return fmt.Errorf("machine %s: non-positive link bandwidth", m.Name)
 	}
-	return nil
+	return m.validateLayers()
 }

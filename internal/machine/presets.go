@@ -2,68 +2,188 @@ package machine
 
 import "clustereval/internal/units"
 
-// The two systems of the paper (Table I). All headline numbers in Table I
-// are *derived* from these micro-architectural inputs; TestTableI asserts
-// the derivations reproduce the table.
+// The registered systems, as declarative layer compositions. The two
+// paper machines (Table I) keep every value they have always had — all
+// headline numbers are *derived* from these micro-architectural inputs
+// and TestTableI asserts the derivations reproduce the table. The
+// ThunderX2 and Fugaku-scale presets extend the same schema to the
+// related work (arxiv 2007.04868 and 2304.11002); their derived peaks
+// are cross-validated in presets_test.go.
 
-// CTEArm returns the descriptor of the CTE-Arm cluster: 192 nodes, one
-// Fujitsu A64FX (48 cores, 4 CMGs, HBM2) per node, TofuD interconnect.
-func CTEArm() Machine {
-	core := Core{
-		FrequencyHz: 2.20e9,
-		Vector: []VectorUnit{
-			// 512-bit SVE, two FMA pipes, full-rate FP16.
-			{ISA: ISASVE, WidthBits: 512, IssuePerCyc: 2, FMA: true, SupportsHalf: true},
-			// 128-bit NEON executed on the same two pipes.
-			{ISA: ISANEON, WidthBits: 128, IssuePerCyc: 2, FMA: true, SupportsHalf: true},
-		},
-		ScalarFMAPerCycle: 2,
-		// The A64FX scalar core is a much shallower out-of-order design than
-		// Skylake (smaller ROB, fewer AGUs, longer L1 latency); on irregular
-		// unvectorized code it sustains roughly 30 % of Skylake's per-core
-		// scalar IPC at equal frequency. This one constant is what drives
-		// the paper's 2-4x application slowdowns.
-		OoOFactor: 0.30,
-		Caches: []Cache{
-			{Level: 1, SizeBytes: 64 * units.KiB, Shared: false},
-			{Level: 2, SizeBytes: 8 * units.MiB, Shared: true}, // per CMG; 32 MB/node
-		},
-	}
-	domains := make([]MemoryDomain, 4)
-	for i := range domains {
-		domains[i] = MemoryDomain{
-			Name:       "CMG" + string(rune('0'+i)),
-			Cores:      12,
-			Channels:   1, // one HBM2 stack per CMG
-			PeakBW:     units.BytesPerSecond(256 * units.Giga),
-			Technology: "HBM2",
-			// One MPI rank per CMG with OpenMP inside sustains ~85 % of
-			// peak on the Fortran Triad (paper Fig. 3: 862.6 GB/s of 1024).
-			StreamEff:  0.851,
-			SingleCore: units.BytesPerSecond(19 * units.Giga),
+// PresetDef is one declarative preset: identity, the four hardware
+// layers, and the registry slug/aliases it answers to. Build composes
+// the layers into a Machine; the table below is the single source of
+// truth for every registered system.
+type PresetDef struct {
+	Slug    string
+	Aliases []string
+
+	Name       string
+	Integrator string
+	CPUName    string
+	Arch       string
+	SIMD       []ISA
+
+	Sockets        int
+	CoresPerSocket int
+	Core           CoreModel
+	Memory         MemoryModel
+	OSNoise        float64
+
+	Nodes            int
+	MPIBufferPerRank float64
+	Network          Network
+	Topology         TopologyModel
+	Power            PowerModel
+}
+
+// Build composes the layers into a Machine. Slices and maps are cloned
+// so callers can mutate the returned Machine (e.g. set Network.Seed)
+// without affecting other callers — the same on-demand-construction
+// contract the old per-preset constructor functions gave.
+func (p PresetDef) Build() Machine {
+	core := p.Core
+	core.Vector = append([]VectorUnit(nil), p.Core.Vector...)
+	core.Caches = append([]Cache(nil), p.Core.Caches...)
+	core.Ports = append([]FPPort(nil), p.Core.Ports...)
+	mem := p.Memory
+	mem.Domains = append([]MemoryDomain(nil), p.Memory.Domains...)
+	power := p.Power
+	if p.Power.CoreActive != nil {
+		power.CoreActive = make(map[ISA]units.Watts, len(p.Power.CoreActive))
+		for isa, w := range p.Power.CoreActive {
+			power.CoreActive[isa] = w
 		}
 	}
+	topo := p.Topology
+	topo.Dims = append([]int(nil), p.Topology.Dims...)
+	topo.Wrap = append([]bool(nil), p.Topology.Wrap...)
 	return Machine{
+		Name:       p.Name,
+		Integrator: p.Integrator,
+		CPUName:    p.CPUName,
+		Arch:       p.Arch,
+		SIMD:       append([]ISA(nil), p.SIMD...),
+		Node: Node{
+			Sockets:        p.Sockets,
+			CoresPerSocket: p.CoresPerSocket,
+			Core:           core,
+			MemoryModel:    mem,
+			OSNoise:        p.OSNoise,
+		},
+		Nodes:            p.Nodes,
+		MPIBufferPerRank: p.MPIBufferPerRank,
+		Network:          p.Network,
+		Topology:         topo,
+		Power:            power,
+	}
+}
+
+// domains replicates one MemoryDomain n times with numbered names —
+// the A64FX's four identical CMGs, a Xeon's two identical sockets.
+func domains(n int, prefix string, d MemoryDomain) []MemoryDomain {
+	ds := make([]MemoryDomain, n)
+	for i := range ds {
+		ds[i] = d
+		ds[i].Name = prefix + string(rune('0'+i))
+	}
+	return ds
+}
+
+// a64fxCore is the A64FX core layer, shared verbatim by the CTE-Arm and
+// Fugaku-scale presets: same chip, very different cluster around it.
+var a64fxCore = CoreModel{
+	FrequencyHz: 2.20e9,
+	Vector: []VectorUnit{
+		// 512-bit SVE, two FMA pipes, full-rate FP16.
+		{ISA: ISASVE, WidthBits: 512, IssuePerCyc: 2, FMA: true, SupportsHalf: true},
+		// 128-bit NEON executed on the same two pipes.
+		{ISA: ISANEON, WidthBits: 128, IssuePerCyc: 2, FMA: true, SupportsHalf: true},
+	},
+	ScalarFMAPerCycle: 2,
+	// The A64FX scalar core is a much shallower out-of-order design than
+	// Skylake (smaller ROB, fewer AGUs, longer L1 latency); on irregular
+	// unvectorized code it sustains roughly 30 % of Skylake's per-core
+	// scalar IPC at equal frequency. This one constant is what drives
+	// the paper's 2-4x application slowdowns.
+	OoOFactor: 0.30,
+	Caches: []Cache{
+		{Level: 1, SizeBytes: 64 * units.KiB, Shared: false},
+		{Level: 2, SizeBytes: 8 * units.MiB, Shared: true}, // per CMG; 32 MB/node
+	},
+	// SimEng's a64fx.yaml port map: FLA executes the full SVE set, FLB
+	// the simple/multiply subset; both issue FMAs, matching IssuePerCyc.
+	Ports: []FPPort{
+		{Name: "FLA", FMA: true, FullVector: true},
+		{Name: "FLB", FMA: true, FullVector: false},
+	},
+}
+
+// a64fxMemory is the A64FX node memory layer (32 GiB HBM2 over 4 CMGs),
+// shared by CTE-Arm and Fugaku-scale.
+var a64fxMemory = MemoryModel{
+	Domains: domains(4, "CMG", MemoryDomain{
+		Cores:      12,
+		Channels:   1, // one HBM2 stack per CMG
+		PeakBW:     units.BytesPerSecond(256 * units.Giga),
+		Technology: "HBM2",
+		// One MPI rank per CMG with OpenMP inside sustains ~85 % of
+		// peak on the Fortran Triad (paper Fig. 3: 862.6 GB/s of 1024).
+		StreamEff:  0.851,
+		SingleCore: units.BytesPerSecond(19 * units.Giga),
+	}),
+	MemoryBytes: 32 * units.Giga,
+	// Default paging scatters a single process's pages across CMGs;
+	// the ring bus then caps aggregate bandwidth at ~29 % of peak
+	// (Fig. 2: 292 of 1024 GB/s).
+	FirstTouchNUMA:    false,
+	InterleaveCap:     units.BytesPerSecond(294 * units.Giga),
+	InterleavedCoreBW: units.BytesPerSecond(12.3 * units.Giga),
+	OversubSlope:      0.002,
+	// The A64FX sector cache can pin up to 4 of the 16 L2 ways for
+	// streaming data; the production clusters run 2 MiB pages.
+	SectorCacheWays: 4,
+	HugePages:       true,
+}
+
+// a64fxPower is the A64FX node power layer. Full load comes to ~187 W
+// per node — 48 cores in SVE at ~1.7 W above idle dominate — which puts
+// the chip at ~18 GFlop/s/W of DP peak, landing HPL near the ~15 GF/W
+// the A64FX holds on the Green500.
+var a64fxPower = PowerModel{
+	NodeBase: 40,
+	CoreIdle: 0.25,
+	CoreActive: map[ISA]units.Watts{
+		ISAScalar: 0.6,
+		ISANEON:   1.0,
+		ISASVE:    1.7,
+	},
+	MemIdle:   4, // per HBM2 stack
+	MemActive: 8,
+	NIC:       10,
+}
+
+// presetDefs is the data-driven registry: adding a machine is adding a
+// literal here, and every experiment kind can run on it immediately.
+var presetDefs = []PresetDef{
+	{
+		// CTE-Arm: 192 nodes, one Fujitsu A64FX (48 cores, 4 CMGs,
+		// HBM2) per node, TofuD interconnect.
+		Slug:    "cte-arm",
+		Aliases: []string{"ctearm", "cte_arm", "a64fx", "CTE-Arm"},
+
 		Name:       "CTE-Arm",
 		Integrator: "Fujitsu",
 		CPUName:    "A64FX",
 		Arch:       "Armv8",
 		SIMD:       []ISA{ISANEON, ISASVE},
-		Node: Node{
-			Sockets:        1,
-			CoresPerSocket: 48,
-			Core:           core,
-			Domains:        domains,
-			MemoryBytes:    32 * units.Giga,
-			// Default paging scatters a single process's pages across CMGs;
-			// the ring bus then caps aggregate bandwidth at ~29 % of peak
-			// (Fig. 2: 292 of 1024 GB/s).
-			FirstTouchNUMA:    false,
-			InterleaveCap:     units.BytesPerSecond(294 * units.Giga),
-			InterleavedCoreBW: units.BytesPerSecond(12.3 * units.Giga),
-			OversubSlope:      0.002,
-			OSNoise:           0.004,
-		},
+
+		Sockets:        1,
+		CoresPerSocket: 48,
+		Core:           a64fxCore,
+		Memory:         a64fxMemory,
+		OSNoise:        0.004,
+
 		Nodes:            192,
 		MPIBufferPerRank: 0.43 * units.Giga, // Fujitsu MPI eager buffers
 		Network: Network{
@@ -73,59 +193,62 @@ func CTEArm() Machine {
 			PerHopLatency:  units.Seconds(0.10e-6),
 			InjectionLinks: 6, // six TNIs per node
 		},
-	}
-}
+		Power: a64fxPower,
+	},
+	{
+		// MareNostrum 4: 3456 nodes, two Intel Xeon Platinum 8160
+		// (Skylake, 24 cores) per node, OmniPath fabric.
+		Slug:    "mn4",
+		Aliases: []string{"marenostrum4", "marenostrum-4", "marenostrum 4", "skylake", "MareNostrum 4"},
 
-// MareNostrum4 returns the descriptor of MareNostrum 4: 3456 nodes, two
-// Intel Xeon Platinum 8160 (Skylake, 24 cores) per node, OmniPath fabric.
-func MareNostrum4() Machine {
-	core := Core{
-		FrequencyHz: 2.10e9,
-		Vector: []VectorUnit{
-			// Two 512-bit AVX-512 FMA units; no FP16 arithmetic.
-			{ISA: ISAAVX512, WidthBits: 512, IssuePerCyc: 2, FMA: true, SupportsHalf: false},
-		},
-		ScalarFMAPerCycle: 2,
-		OoOFactor:         1.0, // reference
-		Caches: []Cache{
-			{Level: 1, SizeBytes: 32 * units.KiB, Shared: false},
-			{Level: 2, SizeBytes: 1 * units.MiB, Shared: false},
-			{Level: 3, SizeBytes: 33 * units.MiB, Shared: true},
-		},
-	}
-	domains := make([]MemoryDomain, 2)
-	for i := range domains {
-		domains[i] = MemoryDomain{
-			Name:       "Socket" + string(rune('0'+i)),
-			Cores:      24,
-			Channels:   6,
-			PeakBW:     units.BytesPerSecond(128 * units.Giga), // 6 x DDR4-2666
-			Technology: "DDR4-2666",
-			// Skylake sustains ~79 % of DDR4 peak on Triad with a full
-			// socket of threads (paper Fig. 2: 201.2 of 256 GB/s).
-			StreamEff:  0.79,
-			SingleCore: units.BytesPerSecond(12.5 * units.Giga),
-		}
-	}
-	return Machine{
 		Name:       "MareNostrum 4",
 		Integrator: "Lenovo",
 		CPUName:    "Intel Xeon Platinum 8160",
 		Arch:       "Intel x86",
 		SIMD:       []ISA{ISAAVX512},
-		Node: Node{
-			Sockets:        2,
-			CoresPerSocket: 24,
-			Core:           core,
-			Domains:        domains,
-			MemoryBytes:    96 * units.Giga,
+
+		Sockets:        2,
+		CoresPerSocket: 24,
+		Core: CoreModel{
+			FrequencyHz: 2.10e9,
+			Vector: []VectorUnit{
+				// Two 512-bit AVX-512 FMA units; no FP16 arithmetic.
+				{ISA: ISAAVX512, WidthBits: 512, IssuePerCyc: 2, FMA: true, SupportsHalf: false},
+			},
+			ScalarFMAPerCycle: 2,
+			OoOFactor:         1.0, // reference
+			Caches: []Cache{
+				{Level: 1, SizeBytes: 32 * units.KiB, Shared: false},
+				{Level: 2, SizeBytes: 1 * units.MiB, Shared: false},
+				{Level: 3, SizeBytes: 33 * units.MiB, Shared: true},
+			},
+			// Skylake issues FMAs on ports 0 and 5; both run the full
+			// AVX-512 set once the second FMA unit powers up.
+			Ports: []FPPort{
+				{Name: "P0", FMA: true, FullVector: true},
+				{Name: "P5", FMA: true, FullVector: true},
+			},
+		},
+		Memory: MemoryModel{
+			Domains: domains(2, "Socket", MemoryDomain{
+				Cores:      24,
+				Channels:   6,
+				PeakBW:     units.BytesPerSecond(128 * units.Giga), // 6 x DDR4-2666
+				Technology: "DDR4-2666",
+				// Skylake sustains ~79 % of DDR4 peak on Triad with a full
+				// socket of threads (paper Fig. 2: 201.2 of 256 GB/s).
+				StreamEff:  0.79,
+				SingleCore: units.BytesPerSecond(12.5 * units.Giga),
+			}),
+			MemoryBytes: 96 * units.Giga,
 			// Linux first-touch places pages locally, so OpenMP-only
 			// STREAM on MareNostrum 4 is not NUMA-penalized, and Skylake's
 			// memory controllers do not degrade under full threading.
 			FirstTouchNUMA: true,
 			OversubSlope:   0,
-			OSNoise:        0.006,
 		},
+		OSNoise: 0.006,
+
 		Nodes:            3456,
 		MPIBufferPerRank: 0.10 * units.Giga,
 		Network: Network{
@@ -135,5 +258,158 @@ func MareNostrum4() Machine {
 			PerHopLatency:  units.Seconds(0.15e-6),
 			InjectionLinks: 1,
 		},
+		// Two 150 W sockets plus DDR4 and chassis floor: ~335 W per node
+		// at full AVX-512 load, ~9.6 GFlop/s/W of DP peak — the Skylake
+		// side of the ThunderX2 study's energy comparison.
+		Power: PowerModel{
+			NodeBase: 60,
+			CoreIdle: 1.0,
+			CoreActive: map[ISA]units.Watts{
+				ISAScalar: 2.0,
+				ISAAVX512: 3.5,
+			},
+			MemIdle:   10, // per socket's 6 DDR4 channels
+			MemActive: 15,
+			NIC:       15,
+		},
+	},
+	{
+		// Marvell ThunderX2 (the Dibona cluster of arxiv 2007.04868):
+		// 2 x 32-core CN9980 per node, 8-channel DDR4-2666 per socket,
+		// NEON only (no SVE), Infiniband EDR fat tree.
+		Slug:    "thunderx2",
+		Aliases: []string{"tx2", "thunder-x2", "dibona", "ThunderX2"},
+
+		Name:       "ThunderX2",
+		Integrator: "Atos",
+		CPUName:    "Marvell ThunderX2 CN9980",
+		Arch:       "Armv8",
+		SIMD:       []ISA{ISANEON},
+
+		Sockets:        2,
+		CoresPerSocket: 32,
+		Core: CoreModel{
+			FrequencyHz: 2.00e9,
+			Vector: []VectorUnit{
+				// Two 128-bit NEON FMA pipes; no FP16 arithmetic in FP units.
+				{ISA: ISANEON, WidthBits: 128, IssuePerCyc: 2, FMA: true, SupportsHalf: false},
+			},
+			ScalarFMAPerCycle: 2,
+			// Vulcan's out-of-order core is far closer to Skylake than the
+			// A64FX's: the Dibona study measures near-parity per-core on
+			// irregular scalar code at equal frequency.
+			OoOFactor: 0.90,
+			Caches: []Cache{
+				{Level: 1, SizeBytes: 32 * units.KiB, Shared: false},
+				{Level: 2, SizeBytes: 256 * units.KiB, Shared: false},
+				{Level: 3, SizeBytes: 32 * units.MiB, Shared: true}, // distributed L3 per socket
+			},
+			Ports: []FPPort{
+				{Name: "FP0", FMA: true, FullVector: true},
+				{Name: "FP1", FMA: true, FullVector: true},
+			},
+		},
+		Memory: MemoryModel{
+			Domains: domains(2, "Socket", MemoryDomain{
+				Cores:      32,
+				Channels:   8,
+				PeakBW:     units.BytesPerSecond(170.7 * units.Giga), // 8 x DDR4-2666
+				Technology: "DDR4-2666",
+				// Dibona's full-socket Triad sustains ~63 % of peak
+				// (2007.04868: ~215 GB/s of 341 across the node).
+				StreamEff:  0.63,
+				SingleCore: units.BytesPerSecond(11 * units.Giga),
+			}),
+			MemoryBytes:    256 * units.Giga,
+			FirstTouchNUMA: true,
+			OversubSlope:   0.001,
+		},
+		OSNoise: 0.005,
+
+		Nodes:            40, // Dibona: 40 compute nodes
+		MPIBufferPerRank: 0.12 * units.Giga,
+		Network: Network{
+			Kind:           Infiniband,
+			LinkPeak:       units.BytesPerSecond(12.5 * units.Giga), // EDR 100 Gb/s
+			BaseLatency:    units.Seconds(1.00e-6),
+			PerHopLatency:  units.Seconds(0.12e-6),
+			InjectionLinks: 1,
+		},
+		Topology: TopologyModel{LeafSize: 20},
+		// The study reports ~175 W per socket under HPL-class load; with
+		// 16 DDR4 channels and the chassis floor the node lands at ~335 W,
+		// ~3.1 GFlop/s/W of DP peak — NEON-bound, so ThunderX2 wins on
+		// energy only where bandwidth, not flops, is the bottleneck.
+		Power: PowerModel{
+			NodeBase: 50,
+			CoreIdle: 0.5,
+			CoreActive: map[ISA]units.Watts{
+				ISAScalar: 2.0,
+				ISANEON:   3.0,
+			},
+			MemIdle:   12, // per socket's 8 DDR4 channels
+			MemActive: 18,
+			NIC:       15,
+		},
+	},
+	{
+		// Fugaku-scale: the same A64FX node replicated 158,976 times on
+		// the full-system 6-D Tofu-D (arxiv 2304.11002 runs a 20M-cell
+		// stellar merger across this fabric). Core, memory and power
+		// layers are shared verbatim with CTE-Arm — same chip — while
+		// the cluster layers scale three orders of magnitude.
+		Slug:    "fugaku",
+		Aliases: []string{"fugaku-scale", "Fugaku"},
+
+		Name:       "Fugaku",
+		Integrator: "Fujitsu",
+		CPUName:    "A64FX",
+		Arch:       "Armv8",
+		SIMD:       []ISA{ISANEON, ISASVE},
+
+		Sockets:        1,
+		CoresPerSocket: 48,
+		Core:           a64fxCore,
+		Memory:         a64fxMemory,
+		OSNoise:        0.004,
+
+		Nodes:            158976,
+		MPIBufferPerRank: 0.43 * units.Giga,
+		Network: Network{
+			Kind:           TofuD,
+			LinkPeak:       units.BytesPerSecond(6.8 * units.Giga),
+			BaseLatency:    units.Seconds(0.49e-6),
+			PerHopLatency:  units.Seconds(0.10e-6),
+			InjectionLinks: 6,
+		},
+		// The production (X, Y, Z, a, b, c) shape: 24 x 23 x 24 racks of
+		// 2 x 3 x 2 node groups = 158,976 nodes.
+		Topology: TopologyModel{
+			Dims: []int{24, 23, 24, 2, 3, 2},
+			Wrap: []bool{true, true, true, false, true, false},
+		},
+		Power: a64fxPower,
+	},
+}
+
+// CTEArm returns the descriptor of the CTE-Arm cluster (Table I).
+func CTEArm() Machine { return mustPreset("cte-arm") }
+
+// MareNostrum4 returns the descriptor of MareNostrum 4 (Table I).
+func MareNostrum4() Machine { return mustPreset("mn4") }
+
+// ThunderX2 returns the descriptor of the Dibona ThunderX2 cluster
+// (arxiv 2007.04868).
+func ThunderX2() Machine { return mustPreset("thunderx2") }
+
+// Fugaku returns the Fugaku-scale descriptor: A64FX nodes on the full
+// 6-D Tofu-D (arxiv 2304.11002).
+func Fugaku() Machine { return mustPreset("fugaku") }
+
+func mustPreset(slug string) Machine {
+	m, ok := Preset(slug)
+	if !ok {
+		panic("machine: preset " + slug + " not registered")
 	}
+	return m
 }

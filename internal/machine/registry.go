@@ -1,31 +1,14 @@
 package machine
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
-// presetEntry binds the canonical preset name to its constructor. Presets
-// are constructed on demand so callers can mutate the returned Machine
-// (e.g. set Network.Seed) without affecting other callers.
-type presetEntry struct {
-	name    string
-	aliases []string
-	build   func() Machine
-}
-
-// presets is the registry of the machines the evaluation knows how to
-// model. The canonical names are the lower-case slugs the service API and
-// the CLIs accept.
-var presets = []presetEntry{
-	{
-		name:    "cte-arm",
-		aliases: []string{"ctearm", "cte_arm", "a64fx", "CTE-Arm"},
-		build:   CTEArm,
-	},
-	{
-		name:    "mn4",
-		aliases: []string{"marenostrum4", "marenostrum-4", "marenostrum 4", "skylake", "MareNostrum 4"},
-		build:   MareNostrum4,
-	},
-}
+// The registry resolves user-supplied machine names (service API specs,
+// CLI flags) to the declarative preset definitions in presets.go.
+// Presets are constructed on demand so callers can mutate the returned
+// Machine (e.g. set Network.Seed) without affecting other callers.
 
 // normalizePreset folds a user-supplied machine name to lookup form.
 func normalizePreset(name string) string {
@@ -33,44 +16,61 @@ func normalizePreset(name string) string {
 }
 
 // Preset returns the machine registered under name (canonical slug, full
-// Table I name, or a common alias, case-insensitively). The boolean is
+// system name, or a common alias, case-insensitively). The boolean is
 // false when no preset matches.
 func Preset(name string) (Machine, bool) {
 	slug, ok := PresetSlug(name)
 	if !ok {
 		return Machine{}, false
 	}
-	for _, p := range presets {
-		if p.name == slug {
-			return p.build(), true
+	for _, p := range presetDefs {
+		if p.Slug == slug {
+			return p.Build(), true
 		}
 	}
 	return Machine{}, false
 }
 
-// PresetSlug resolves name (slug, alias, or Table I name) to the preset's
-// canonical slug. The boolean is false when no preset matches.
+// PresetDefByName resolves name to the full declarative definition, for
+// callers that want the layers rather than the composed Machine.
+func PresetDefByName(name string) (PresetDef, bool) {
+	slug, ok := PresetSlug(name)
+	if !ok {
+		return PresetDef{}, false
+	}
+	for _, p := range presetDefs {
+		if p.Slug == slug {
+			return p, true
+		}
+	}
+	return PresetDef{}, false
+}
+
+// PresetSlug resolves name (slug, alias, or full system name) to the
+// preset's canonical slug. The boolean is false when no preset matches.
 func PresetSlug(name string) (string, bool) {
 	want := normalizePreset(name)
-	for _, p := range presets {
-		if p.name == want {
-			return p.name, true
+	for _, p := range presetDefs {
+		if p.Slug == want {
+			return p.Slug, true
 		}
-		for _, a := range p.aliases {
+		for _, a := range p.Aliases {
 			if normalizePreset(a) == want {
-				return p.name, true
+				return p.Slug, true
 			}
 		}
 	}
 	return "", false
 }
 
-// PresetNames returns the canonical slugs of all registered presets, in
-// registry order.
+// PresetNames returns the canonical slugs of all registered presets,
+// sorted, so -list output and error messages are stable regardless of
+// registration order.
 func PresetNames() []string {
-	names := make([]string, len(presets))
-	for i, p := range presets {
-		names[i] = p.name
+	names := make([]string, len(presetDefs))
+	for i, p := range presetDefs {
+		names[i] = p.Slug
 	}
+	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,49 @@
+package mpisim
+
+import (
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+// Energy integrates m's power model over the last Run: the job occupies
+// the distinct nodes of the placement for the elapsed virtual time, with
+// the ranks' accumulated Compute spans setting the compute-pipe activity
+// and the caller estimating memory-bandwidth utilisation (the simulator
+// prices messages, not cache misses). The NIC rail draws whenever the
+// ranks spent time in communication. Returns a zero breakdown when m has
+// no power layer or the world has not run.
+func (w *World) Energy(m machine.Machine, memBWFrac float64) machine.EnergyBreakdown {
+	if w.elapsed <= 0 || !m.Power.Defined() {
+		return machine.EnergyBreakdown{}
+	}
+	seen := make(map[int]bool, len(w.rankNode))
+	for _, n := range w.rankNode {
+		seen[n] = true
+	}
+	nodes := len(seen)
+	ranksPerNode := (w.ranks + nodes - 1) / nodes
+
+	// Compute fraction: busy compute time over the ranks' total
+	// wall-clock budget. Blocking communication keeps the core out of
+	// the FP pipes, so it draws at the idle-core rail, not the active one.
+	frac := float64(w.compute) / (float64(w.elapsed) * float64(w.ranks))
+
+	isa := machine.ISAScalar
+	if v := m.Node.Core.BestVector(machine.Double); v != nil {
+		isa = v.ISA
+	}
+	a := machine.Activity{
+		ActiveCores: ranksPerNode,
+		ISA:         isa,
+		ComputeFrac: frac,
+		MemBWFrac:   memBWFrac,
+		Network:     w.comm > 0,
+	}
+	return m.NodeEnergy(a, w.elapsed).Scale(float64(nodes))
+}
+
+// BusyTime returns the accumulated (compute, communication) rank-seconds
+// of the last Run.
+func (w *World) BusyTime() (compute, comm units.Seconds) {
+	return w.compute, w.comm
+}

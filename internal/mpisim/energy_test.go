@@ -1,0 +1,53 @@
+package mpisim
+
+import (
+	"testing"
+
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+func TestWorldEnergy(t *testing.T) {
+	m := machine.CTEArm()
+	w := newTofuWorld(t, 4, 2)
+
+	// Before any run the accounting is empty.
+	if e := w.Energy(m, 0.5); e.Total() != 0 {
+		t.Fatalf("energy before Run: %+v", e)
+	}
+
+	err := w.Run(func(c *Comm) {
+		c.Compute(1e-3)
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute, comm := w.BusyTime()
+	if compute < 4e-3 {
+		t.Errorf("compute busy time = %v, want >= 4 rank-ms", compute)
+	}
+	if comm <= 0 {
+		t.Errorf("comm busy time = %v, want > 0", comm)
+	}
+
+	e := w.Energy(m, 0.5)
+	if e.Core <= 0 || e.Memory <= 0 || e.Network <= 0 || e.Base <= 0 {
+		t.Fatalf("breakdown has a zero component: %+v", e)
+	}
+	// Two nodes for the elapsed window bound the total from both sides:
+	// at least the idle floor, at most full load.
+	elapsed := w.Elapsed()
+	floor := 2 * float64(units.EnergyFor(m.NodePower(machine.Activity{}), elapsed))
+	ceil := 2 * float64(units.EnergyFor(m.FullLoadPower(), elapsed))
+	if got := float64(e.Total()); got < floor || got > ceil {
+		t.Errorf("total %v outside [idle %v, full %v]", got, floor, ceil)
+	}
+
+	// A machine without a power layer yields zero, not garbage.
+	var bare machine.Machine
+	bare.Node = m.Node
+	if e := w.Energy(bare, 0.5); e.Total() != 0 {
+		t.Errorf("power-less machine produced energy: %+v", e)
+	}
+}

@@ -63,6 +63,11 @@ type World struct {
 
 	elapsed  units.Seconds
 	recorder *trace.Recorder
+	// compute and comm accumulate the ranks' busy time across the last
+	// Run: every Compute span and every blocking communication span adds
+	// its duration. Energy integrates the power model over them.
+	compute units.Seconds
+	comm    units.Seconds
 	// faults is the fabric's injected fault scenario (nil = none): Compute
 	// spans scale by the per-node slowdown, and any operation touching a
 	// failed node aborts the run with a typed *faultsim.NodeFailedError.
@@ -175,6 +180,7 @@ func (w *World) Run(program func(c *Comm)) error {
 // to the abort.
 func (w *World) RunContext(ctx context.Context, program func(c *Comm)) error {
 	start := w.eng.Now()
+	w.compute, w.comm = 0, 0
 	for r := 0; r < w.ranks; r++ {
 		r := r
 		comm := &Comm{w: w, rank: r}
@@ -238,8 +244,16 @@ func (c *Comm) Rand() *xrand.Rand {
 	return c.rng
 }
 
-// record emits one span to the attached recorder, if any.
+// record accumulates the span into the world's energy accounting and
+// emits it to the attached recorder, if any.
 func (c *Comm) record(kind trace.Kind, start units.Seconds) {
+	if d := c.Now() - start; d > 0 {
+		if kind == trace.Compute {
+			c.w.compute += d
+		} else {
+			c.w.comm += d
+		}
+	}
 	if rec := c.w.recorder; rec != nil {
 		// Ranks and times are valid by construction; ignore the error.
 		_ = rec.Record(c.GlobalRank(), kind, start, c.Now())

@@ -1,0 +1,26 @@
+package perfmodel
+
+import (
+	"clustereval/internal/machine"
+	"clustereval/internal/units"
+)
+
+// EnergyToSolution integrates m's power model over a job of `nodes` nodes
+// running for t under activity a, returning the whole-job per-component
+// breakdown. Zero when the machine has no power layer or the job shape is
+// degenerate — callers can treat a zero total as "no energy model".
+func EnergyToSolution(m machine.Machine, nodes int, t units.Seconds, a machine.Activity) machine.EnergyBreakdown {
+	if nodes <= 0 || t <= 0 || !m.Power.Defined() {
+		return machine.EnergyBreakdown{}
+	}
+	return m.NodeEnergy(a, t).Scale(float64(nodes))
+}
+
+// EDP is the energy-delay product, the figure of merit that rewards both
+// finishing fast and finishing frugally: joules times seconds.
+func EDP(e units.Joules, t units.Seconds) float64 {
+	if e <= 0 || t <= 0 {
+		return 0
+	}
+	return float64(e) * float64(t)
+}

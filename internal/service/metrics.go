@@ -134,6 +134,42 @@ func (gv *GaugeVec) snapshot() ([]string, []float64) {
 	return labels, vals
 }
 
+// CounterVec is a family of monotonically-increasing float counters
+// partitioned by one label (the daemon uses it for accumulated modeled
+// energy per experiment kind). Children render sorted by label value.
+type CounterVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]float64
+}
+
+// Add accumulates v into the child for a label value, creating it on
+// first use. Non-positive deltas are ignored: counters only go up.
+func (cv *CounterVec) Add(value string, v float64) {
+	if v <= 0 {
+		return
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	cv.children[value] += v
+}
+
+// snapshot returns the children sorted by label value.
+func (cv *CounterVec) snapshot() ([]string, []float64) {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	labels := make([]string, 0, len(cv.children))
+	for l := range cv.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	vals := make([]float64, len(labels))
+	for i, l := range labels {
+		vals[i] = cv.children[l]
+	}
+	return labels, vals
+}
+
 // metricKind tags a registered family for rendering.
 type metricKind int
 
@@ -141,6 +177,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeVec
+	kindCounterVec
 	kindHistogram
 )
 
@@ -151,6 +188,7 @@ type family struct {
 	counter    *Counter
 	gaugeFn    func() float64
 	gaugeVec   *GaugeVec
+	counterVec *CounterVec
 	hist       *HistogramVec
 }
 
@@ -195,6 +233,13 @@ func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
 	gv := &GaugeVec{label: label, children: map[string]float64{}}
 	r.register(&family{name: name, help: help, kind: kindGaugeVec, gaugeVec: gv})
 	return gv
+}
+
+// CounterVec registers a one-label family of float counters.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	cv := &CounterVec{label: label, children: map[string]float64{}}
+	r.register(&family{name: name, help: help, kind: kindCounterVec, counterVec: cv})
+	return cv
 }
 
 // HistogramVec registers a one-label histogram family with the given
@@ -249,6 +294,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 			labels, vals := f.gaugeVec.snapshot()
 			for i, l := range labels {
 				if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", f.name, f.gaugeVec.label, l, formatValue(vals[i])); err != nil {
+					return err
+				}
+			}
+		case kindCounterVec:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", f.name); err != nil {
+				return err
+			}
+			labels, vals := f.counterVec.snapshot()
+			for i, l := range labels {
+				if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", f.name, f.counterVec.label, l, formatValue(vals[i])); err != nil {
 					return err
 				}
 			}

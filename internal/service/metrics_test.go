@@ -14,6 +14,11 @@ func TestRegistryText(t *testing.T) {
 	hv.With("stream").Observe(0.05)
 	hv.With("stream").Observe(0.5)
 	hv.With("stream").Observe(5)
+	cv := r.CounterVec("test_joules_total", "A float counter family.", "kind")
+	cv.Add("hpl", 1200.5)
+	cv.Add("hpl", 99.5)
+	cv.Add("net", 3)
+	cv.Add("net", -7) // ignored: counters only go up
 
 	var sb strings.Builder
 	if err := r.WriteText(&sb); err != nil {
@@ -33,6 +38,9 @@ func TestRegistryText(t *testing.T) {
 		`test_seconds_bucket{kind="stream",le="+Inf"} 3`,
 		`test_seconds_sum{kind="stream"} 5.55`,
 		`test_seconds_count{kind="stream"} 3`,
+		"# TYPE test_joules_total counter",
+		`test_joules_total{kind="hpl"} 1300`,
+		`test_joules_total{kind="net"} 3`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q\n---\n%s", want, out)

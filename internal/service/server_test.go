@@ -166,6 +166,11 @@ func TestEndToEndStreamMatchesFigures(t *testing.T) {
 			t.Errorf("metrics missing %q\n---\n%s", want, metrics)
 		}
 	}
+	// The executed run accumulated modeled energy; the cache hit did not
+	// add a second helping (one executed stream job, one energy sample).
+	if !strings.Contains(string(metrics), `clusterd_energy_joules_total{kind="stream"} `) {
+		t.Errorf("metrics missing per-kind energy counter\n---\n%s", metrics)
+	}
 }
 
 func TestSubmitRejectsBadSpecs(t *testing.T) {
@@ -178,7 +183,7 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 		{"malformed json", `{"kind": `},
 		{"unknown field", `{"kind":"stream","flux_capacitor":1}`},
 		{"unknown kind", `{"kind":"dgemm"}`},
-		{"unknown machine", `{"kind":"stream","machine":"fugaku"}`},
+		{"unknown machine", `{"kind":"stream","machine":"summit"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -280,8 +285,8 @@ func TestMachinesAndHealth(t *testing.T) {
 	if resp := getJSON(t, ts, "/v1/machines", &machines); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /v1/machines = %d", resp.StatusCode)
 	}
-	if len(machines.Machines) != 2 {
-		t.Fatalf("machine count = %d, want 2", len(machines.Machines))
+	if len(machines.Machines) != 4 {
+		t.Fatalf("machine count = %d, want 4", len(machines.Machines))
 	}
 	byPreset := map[string]int{}
 	for _, m := range machines.Machines {
@@ -292,6 +297,12 @@ func TestMachinesAndHealth(t *testing.T) {
 	}
 	if byPreset["mn4"] != 48 {
 		t.Errorf("mn4 cores/node = %d, want 48", byPreset["mn4"])
+	}
+	if byPreset["thunderx2"] != 64 {
+		t.Errorf("thunderx2 cores/node = %d, want 64", byPreset["thunderx2"])
+	}
+	if byPreset["fugaku"] != 48 {
+		t.Errorf("fugaku cores/node = %d, want 48", byPreset["fugaku"])
 	}
 	if fmt.Sprint(machines.Kinds) != fmt.Sprint(Kinds()) {
 		t.Errorf("kinds = %v, want %v", machines.Kinds, Kinds())

@@ -296,6 +296,7 @@ type Service struct {
 	replErrors     *Counter
 	replIngested   *Counter
 	replLag        *GaugeVec
+	energyJoules   *CounterVec
 	durations      *HistogramVec
 	recent         *outcomeWindow
 }
@@ -430,6 +431,8 @@ func newService(cfg Config, jnl *journal.Journal, recs []journal.Record) (*Servi
 		func() float64 { r, _ := s.recent.rate(); return r })
 	s.replLag = s.reg.GaugeVec("clusterd_replica_lag",
 		"Primary journal records not yet acknowledged by each replication peer.", "peer")
+	s.energyJoules = s.reg.CounterVec("clusterd_energy_joules_total",
+		"Modeled energy-to-solution accumulated over executed jobs by kind (cache hits excluded).", "kind")
 	s.durations = s.reg.HistogramVec("clusterd_job_duration_seconds",
 		"Wall-clock execution time of completed jobs by kind (cache hits excluded).", "kind",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60})
@@ -927,6 +930,9 @@ func (s *Service) execute(job *Job) {
 		s.cache.Put(job.Key, out.res)
 		s.completed.Inc()
 		s.durations.With(job.Spec.Kind).Observe(elapsed.Seconds())
+		if out.res.Energy != nil {
+			s.energyJoules.Add(job.Spec.Kind, out.res.Energy.Joules)
+		}
 		s.recent.record(false)
 	case errors.Is(out.err, context.DeadlineExceeded) && !job.cancelWant:
 		job.state = StateFailed

@@ -58,7 +58,7 @@ func TestNormalizeRejects(t *testing.T) {
 		frag string // expected error fragment
 	}{
 		{"unknown kind", JobSpec{Kind: "dgemm"}, "unknown kind"},
-		{"unknown machine", JobSpec{Kind: "stream", Machine: "fugaku"}, "unknown machine"},
+		{"unknown machine", JobSpec{Kind: "stream", Machine: "summit"}, "unknown machine"},
 		{"unknown app", JobSpec{Kind: "app", App: "lammps"}, "unknown app"},
 		{"unknown language", JobSpec{Kind: "stream", Language: "rust"}, "unknown language"},
 		{"unknown hpcg version", JobSpec{Kind: "hpcg", Version: "turbo"}, "unknown hpcg version"},

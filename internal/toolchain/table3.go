@@ -1,5 +1,11 @@
 package toolchain
 
+import (
+	"strings"
+
+	"clustereval/internal/machine"
+)
+
 // AppBuildConfig is one row-group of Table III: how an application was built
 // on one machine.
 type AppBuildConfig struct {
@@ -111,4 +117,57 @@ func AppBuildFor(app, machineName string) (AppBuildConfig, bool) {
 		}
 	}
 	return AppBuildConfig{}, false
+}
+
+// AppBuildOn resolves the build configuration for app on an arbitrary
+// machine descriptor. Machines with an exact Table III row get it
+// verbatim; other systems inherit the row of the paper machine with the
+// same silicon (any A64FX cluster reuses the CTE-Arm builds, any x86
+// cluster the MareNostrum 4 ones), and remaining Armv8 systems — the
+// ThunderX2 — get the GNU toolchain the Dibona study used, with the
+// same app-specific flags as the CTE-Arm rows minus the SVE request.
+func AppBuildOn(app string, m machine.Machine) (AppBuildConfig, bool) {
+	if b, ok := AppBuildFor(app, m.Name); ok {
+		return b, true
+	}
+	proxy := ""
+	switch {
+	case m.CPUName == "A64FX":
+		proxy = "CTE-Arm"
+	case m.Arch == "Intel x86":
+		proxy = "MareNostrum 4"
+	}
+	if proxy != "" {
+		if b, ok := AppBuildFor(app, proxy); ok {
+			b.Machine = m.Name
+			return b, true
+		}
+		return AppBuildConfig{}, false
+	}
+	if m.Arch != "Armv8" {
+		return AppBuildConfig{}, false
+	}
+	base, ok := AppBuildFor(app, "CTE-Arm")
+	if !ok {
+		return AppBuildConfig{}, false
+	}
+	// Rebase the CTE-Arm row onto plain Armv8: same GNU flag set with
+	// the SVE codegen requests dropped, generic OpenMPI instead of the
+	// Fujitsu MPI.
+	c := base.Compiler
+	c.Vendor = GNU
+	c.SVECapable = false
+	flags := make([]string, 0, len(c.Flags))
+	for _, f := range c.Flags {
+		if strings.HasPrefix(f, "-march=armv8.2-a+sve") || strings.HasPrefix(f, "-msve-vector-bits") {
+			continue
+		}
+		flags = append(flags, f)
+	}
+	c.Flags = append(flags, "-mcpu=thunderx2t99")
+	return AppBuildConfig{
+		App: app, Machine: m.Name, Compiler: c,
+		MPIFlavor:    "OpenMPI/4.0.2",
+		Dependencies: base.Dependencies,
+	}, true
 }

@@ -129,6 +129,65 @@ func ComputeTime(flops float64, r FlopsPerSecond) Seconds {
 	return Seconds(flops / float64(r))
 }
 
+// Watts is an electrical power draw. Machine power models carry every
+// per-component draw (cores, memory, NIC, node floor) in this type so
+// dimension errors surface at compile time, like the other quantities.
+type Watts float64
+
+// Kilo returns the power in kilowatts.
+func (w Watts) Kilo() float64 { return float64(w) / Kilo }
+
+// String renders the power with an auto-selected SI prefix.
+func (w Watts) String() string {
+	v := float64(w)
+	av := math.Abs(v)
+	switch {
+	case av >= Mega:
+		return fmt.Sprintf("%.4g MW", v/Mega)
+	case av >= Kilo:
+		return fmt.Sprintf("%.4g kW", v/Kilo)
+	default:
+		return fmt.Sprintf("%.4g W", v)
+	}
+}
+
+// Joules is an amount of energy: power integrated over modeled time.
+// Energy-to-solution figures are carried in this type.
+type Joules float64
+
+// Kilo returns the energy in kilojoules.
+func (j Joules) Kilo() float64 { return float64(j) / Kilo }
+
+// KWh returns the energy in kilowatt-hours (the ThunderX2 study's unit
+// for full-system runs).
+func (j Joules) KWh() float64 { return float64(j) / (Kilo * 3600) }
+
+// String renders the energy with an auto-selected SI prefix.
+func (j Joules) String() string {
+	v := float64(j)
+	av := math.Abs(v)
+	switch {
+	case av >= Giga:
+		return fmt.Sprintf("%.4g GJ", v/Giga)
+	case av >= Mega:
+		return fmt.Sprintf("%.4g MJ", v/Mega)
+	case av >= Kilo:
+		return fmt.Sprintf("%.4g kJ", v/Kilo)
+	default:
+		return fmt.Sprintf("%.4g J", v)
+	}
+}
+
+// EnergyFor returns the energy drawn by power p held for duration t.
+// Negative inputs clamp to zero: a fault-degraded model must never
+// produce negative energy.
+func EnergyFor(p Watts, t Seconds) Joules {
+	if p <= 0 || t <= 0 {
+		return 0
+	}
+	return Joules(float64(p) * float64(t))
+}
+
 // Percent formats v as a percentage of total, guarding against zero totals.
 func Percent(v, total float64) float64 {
 	if total == 0 {

@@ -130,3 +130,62 @@ func TestSecondsProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWattsString(t *testing.T) {
+	cases := []struct {
+		in   Watts
+		want string
+	}{
+		{180, "180 W"},
+		{Watts(1.5 * Kilo), "1.5 kW"},
+		{Watts(2.2 * Mega), "2.2 MW"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Watts(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+	if got := Watts(2500).Kilo(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Kilo() = %v, want 2.5", got)
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	cases := []struct {
+		in   Joules
+		want string
+	}{
+		{42, "42 J"},
+		{Joules(3 * Kilo), "3 kJ"},
+		{Joules(1.25 * Mega), "1.25 MJ"},
+		{Joules(7 * Giga), "7 GJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Joules(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+	if got := Joules(3600 * Kilo).KWh(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("KWh() = %v, want 1", got)
+	}
+}
+
+func TestEnergyFor(t *testing.T) {
+	if got := EnergyFor(100, 30); got != 3000 {
+		t.Errorf("EnergyFor(100 W, 30 s) = %v, want 3000 J", got)
+	}
+	if got := EnergyFor(-5, 10); got != 0 {
+		t.Errorf("EnergyFor(-5 W, 10 s) = %v, want 0", got)
+	}
+	if got := EnergyFor(5, -10); got != 0 {
+		t.Errorf("EnergyFor(5 W, -10 s) = %v, want 0", got)
+	}
+	// Energy is power x time exactly, over a quick sweep.
+	err := quick.Check(func(p, s float64) bool {
+		pw, ts := Watts(math.Abs(p)), Seconds(math.Abs(s))
+		return float64(EnergyFor(pw, ts)) == float64(pw)*float64(ts)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
