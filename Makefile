@@ -9,7 +9,7 @@ GO ?= go
 # cannot run" without chasing @latest breakage).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet lint clusterlint staticcheck test race cover bench bench-baseline benchdiff benchdiff-engine difftest fuzz profile ablation paper export serve fleet examples crashtest fleettest disktest loadtest clean
+.PHONY: all build vet lint lint-json clusterlint staticcheck test race racesmoke cover bench bench-baseline benchdiff benchdiff-engine difftest fuzz profile ablation paper export serve fleet examples crashtest fleettest disktest loadtest clean
 
 all: build lint test
 
@@ -36,18 +36,37 @@ staticcheck:
 		echo "lint: staticcheck not installed, skipping (CI enforces it)"; \
 	fi
 
-# The in-repo analysis suite: determinism, ctxflow, canonkey, unitsafe,
-# errwrap. Built from source every run (it is part of the module) and
-# executed by go vet, which handles export data and caching.
+# The in-repo analysis suite: determinism, detflow, ctxflow, canonkey,
+# lockorder, goroleak, atomicfield, unitsafe, errwrap. Built from source
+# every run (it is part of the module) and executed by go vet, which
+# handles export data, fact propagation between packages (vetx files)
+# and caching.
 clusterlint:
 	$(GO) build -o bin/clusterlint ./cmd/clusterlint
 	$(GO) vet -vettool=$(abspath bin/clusterlint) ./...
+
+# Machine-readable lint: the same nine analyzers, emitting one JSON
+# object per package ({"pkg": {"analyzer": [diagnostics]}}) including
+# suppressed findings with their //lint:allow justifications. Exits 0;
+# consumers filter on "suppressed": false.
+lint-json:
+	$(GO) build -o bin/clusterlint ./cmd/clusterlint
+	$(GO) vet -vettool=$(abspath bin/clusterlint) -json ./...
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Race-detector smoke over the acceptance harnesses: shortened
+# fleettest and loadtest runs with every daemon (clusterd, clusterfleet,
+# loadgen) built -race. This drives the coordinator, supervisor, journal
+# and worker machinery under real concurrent load with the detector on —
+# interleavings the unit-test race lane cannot reach.
+racesmoke:
+	RACE=1 FLEETTEST_JOBS=20 $(GO) run ./scripts/fleettest
+	RACE=1 LOADTEST_SMOKE=1 $(GO) run ./scripts/loadtest
 
 # Coverage profile plus per-package floors on the packages the fault
 # injection work leans on (internal/service, internal/mpisim).

@@ -5,10 +5,13 @@
 //	go vet -vettool=bin/clusterlint ./...
 //
 // (or just `make lint`). It enforces the simulator's cross-cutting
-// invariants — determinism, context propagation, canonical-encoding
-// stability, unit-typed arithmetic, and error wrapping. Run
+// invariants — determinism (local and taint-tracked through calls),
+// context propagation, canonical-encoding stability, lock ordering,
+// goroutine exit paths, atomic-field consistency, unit-typed
+// arithmetic, and error wrapping. The concurrency analyzers see across
+// function and package boundaries through serialized facts. Run
 // `bin/clusterlint help` for the analyzer docs and the suppression
-// policy.
+// policy; `-json` emits machine-readable diagnostics.
 package main
 
 import (

@@ -57,10 +57,11 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 	return idx
 }
 
-// Filter drops diagnostics waived by a //lint:allow comment on their line
-// or the line above. It is applied by both vetdriver and analysistest, so
-// fixtures exercise the suppression path exactly as production runs do.
-func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// Annotate marks diagnostics waived by a //lint:allow comment on their
+// line or the line above as Suppressed, recording the justification. It
+// returns every diagnostic — callers choose whether suppressed findings
+// are dropped (text output, analysistest) or reported flagged (-json).
+func Annotate(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
 	if len(diags) == 0 {
 		return diags
 	}
@@ -68,28 +69,40 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagno
 	if len(idx) == 0 {
 		return diags
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if idx.waives(pos.Filename, pos.Line, d.Analyzer) {
-			continue
+	for i := range diags {
+		pos := fset.Position(diags[i].Pos)
+		if site, ok := idx.waiver(pos.Filename, pos.Line, diags[i].Analyzer); ok {
+			diags[i].Suppressed = true
+			diags[i].Justification = site.justification
 		}
-		kept = append(kept, d)
+	}
+	return diags
+}
+
+// Filter drops diagnostics waived by a //lint:allow comment on their line
+// or the line above. It is applied by both vetdriver and analysistest, so
+// fixtures exercise the suppression path exactly as production runs do.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range Annotate(fset, files, diags) {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
 	}
 	return kept
 }
 
-func (idx allowIndex) waives(file string, line int, analyzer string) bool {
+func (idx allowIndex) waiver(file string, line int, analyzer string) (allowSite, bool) {
 	byLine, ok := idx[file]
 	if !ok {
-		return false
+		return allowSite{}, false
 	}
 	for _, l := range []int{line, line - 1} {
 		for _, site := range byLine[l] {
 			if site.analyzer == analyzer {
-				return true
+				return site, true
 			}
 		}
 	}
-	return false
+	return allowSite{}, false
 }

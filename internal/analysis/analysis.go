@@ -30,6 +30,11 @@ type Analyzer struct {
 	// Run performs the analysis. A returned error aborts the whole run
 	// (reserve it for internal failures, not findings).
 	Run func(*Pass) error
+	// FactTypes lists prototypes (pointers to zero structs) of every
+	// Fact this analyzer exports, so drivers can register them with gob
+	// before vetx payloads are written or read. An analyzer with no
+	// FactTypes sees an empty facts view.
+	FactTypes []Fact
 }
 
 // Pass carries one type-checked package through an Analyzer.Run.
@@ -40,14 +45,20 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactDB
 	diags []Diagnostic
 }
 
 // Diagnostic is one finding, positioned in the analyzed package.
+// Suppressed and Justification are filled in by Annotate when a
+// `//lint:allow` waiver covers the finding; text output drops
+// suppressed findings, `-json` output reports them flagged.
 type Diagnostic struct {
-	Pos      token.Pos
-	Message  string
-	Analyzer string
+	Pos           token.Pos
+	Message       string
+	Analyzer      string
+	Suppressed    bool
+	Justification string
 }
 
 // Reportf records a finding at pos.
@@ -63,9 +74,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
 // NewPass assembles a Pass for one package. Callers (vetdriver,
-// analysistest) run pass.Analyzer.Run(pass) themselves.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
-	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+// analysistest) run pass.Analyzer.Run(pass) themselves. facts may be
+// nil, in which case every fact import misses and exports are dropped —
+// analyzers must degrade to intra-package precision, not crash.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactDB) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, facts: facts}
 }
 
 // NewInfo returns a types.Info with every map allocated, as analyzers
@@ -130,6 +143,36 @@ func CalleeName(call *ast.CallExpr) string {
 		return fun.Name
 	}
 	return ""
+}
+
+// NamedType unwraps pointers and returns the named type beneath t, or
+// nil when t is not (a pointer to) a named type.
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// MethodOf resolves a call to a method and returns it, or nil when the
+// callee is anything else. The complement of PkgFunc.
+func (p *Pass) MethodOf(call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	return fn
 }
 
 // IsMapType reports whether the expression's static type is (or points

@@ -36,7 +36,7 @@ import (
 // finding.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	l := newLoader("testdata/src")
+	l := newLoader("testdata/src", a)
 	for _, pkgPath := range pkgPaths {
 		t.Run(strings.ReplaceAll(pkgPath, "/", "_"), func(t *testing.T) {
 			t.Helper()
@@ -51,7 +51,7 @@ func runOne(t *testing.T, l *loader, a *analysis.Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
-	pass := analysis.NewPass(a, l.fset, lp.files, lp.pkg, lp.info)
+	pass := analysis.NewPass(a, l.fset, lp.files, lp.pkg, lp.info, l.facts)
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
 	}
@@ -139,16 +139,26 @@ type loadedPkg struct {
 }
 
 // loader type-checks fixture packages on demand, resolving
-// fixture-to-fixture imports within the same testdata/src root.
+// fixture-to-fixture imports within the same testdata/src root. It
+// mirrors the vetdriver's bottom-up fact flow: when a fixture imports a
+// sibling fixture, the analyzer runs over the dependency first (facts
+// only — its diagnostics are discarded) so the importing fixture sees
+// exactly the cross-package facts a production run would.
 type loader struct {
-	root string
-	fset *token.FileSet
-	pkgs map[string]*loadedPkg
-	std  types.Importer
+	root     string
+	fset     *token.FileSet
+	pkgs     map[string]*loadedPkg
+	std      types.Importer
+	analyzer *analysis.Analyzer
+	facts    *analysis.FactDB
+	factRan  map[string]bool
 }
 
-func newLoader(root string) *loader {
-	l := &loader{root: root, fset: token.NewFileSet(), pkgs: map[string]*loadedPkg{}}
+func newLoader(root string, a *analysis.Analyzer) *loader {
+	l := &loader{
+		root: root, fset: token.NewFileSet(), pkgs: map[string]*loadedPkg{},
+		analyzer: a, facts: analysis.NewFactDB(), factRan: map[string]bool{},
+	}
 	l.std = importer.ForCompiler(l.fset, "source", nil)
 	return l
 }
@@ -198,9 +208,26 @@ func (l *loader) importPkg(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := l.runFacts(path, lp); err != nil {
+			return nil, err
+		}
 		return lp.pkg, nil
 	}
 	return l.std.Import(path)
+}
+
+// runFacts runs the analyzer over a fixture dependency once, to harvest
+// its exported facts before any dependent fixture is analyzed.
+func (l *loader) runFacts(path string, lp *loadedPkg) error {
+	if l.factRan[path] {
+		return nil
+	}
+	l.factRan[path] = true
+	pass := analysis.NewPass(l.analyzer, l.fset, lp.files, lp.pkg, lp.info, l.facts)
+	if err := l.analyzer.Run(pass); err != nil {
+		return fmt.Errorf("facts pass %s on %s: %w", l.analyzer.Name, path, err)
+	}
+	return nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -1,0 +1,188 @@
+// Package atomicfield enforces the all-or-nothing contract of
+// sync/atomic: a struct field that is accessed atomically anywhere must
+// be accessed atomically everywhere. A single plain read or write races
+// with every atomic.Add/Load/Store on the same address, and the race
+// detector only catches the interleavings a given run happens to hit.
+//
+// The fact engine makes the contract cross-package: the declaring
+// package exports an AtomicFact per atomically-accessed field, and a
+// package that atomically touches a field of an imported type publishes
+// that observation as a package fact, so a third package mixing in a
+// plain access is caught even though it never sees the atomic call.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer flags plain accesses to struct fields that are accessed via
+// sync/atomic elsewhere in the module.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: `require atomic access to fields that are accessed atomically anywhere
+
+If one goroutine runs atomic.AddInt64(&s.n, 1) and another reads s.n
+plainly, the program has a data race regardless of how rarely the plain
+access runs. This analyzer collects every struct field that appears as
+an &x.f argument to a sync/atomic call, then reports every plain
+(non-atomic) access to the same field anywhere in the module, seeing
+across packages through field facts.
+
+Initialization inside constructor functions (New*, new*, init) is not
+reported: before the value is published, plain stores cannot race. Any
+other provably single-threaded access needs
+'//lint:allow atomicfield <justification>'.`,
+	Run:       run,
+	FactTypes: []analysis.Fact{&AtomicFact{}, &ForeignAtomics{}},
+}
+
+// AtomicFact marks a field of a type declared in the exporting package
+// as atomically accessed; keyed by analysis.FieldKey.
+type AtomicFact struct{}
+
+// AFact marks AtomicFact as a fact.
+func (*AtomicFact) AFact() {}
+
+// ForeignAtomics lists atomic accesses this package performs on fields
+// of types declared in other in-module packages, as
+// "<declaring-pkg>\x00<Type.field>" entries.
+type ForeignAtomics struct {
+	Keys []string
+}
+
+// AFact marks ForeignAtomics as a fact.
+func (*ForeignAtomics) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	if _, inModule := analysis.RelPkgPath(pass.Pkg.Path()); !inModule {
+		return nil
+	}
+
+	// Phase 1: every &x.f argument to a sync/atomic call names an atomic
+	// field. The selector itself is sanctioned — it is the atomic access.
+	atomicKeys := map[string]bool{} // "<declPkg>\x00<Type.field>"
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				declPkg, key, ok := fieldOf(pass, sel)
+				if !ok {
+					continue
+				}
+				sanctioned[sel] = true
+				atomicKeys[declPkg+"\x00"+key] = true
+			}
+			return true
+		})
+	}
+
+	// Phase 2: export. Fields of our own types go out as field facts;
+	// atomic accesses to imported in-module types go out as a package
+	// fact so packages that never import us still learn of them.
+	var foreign []string
+	for combined := range atomicKeys {
+		declPkg, key, _ := strings.Cut(combined, "\x00")
+		if declPkg == pass.Pkg.Path() {
+			pass.ExportFactByKey(key, &AtomicFact{})
+		} else if _, in := analysis.RelPkgPath(declPkg); in {
+			foreign = append(foreign, combined)
+		}
+	}
+	if len(foreign) > 0 {
+		sort.Strings(foreign)
+		pass.ExportPackageFact(&ForeignAtomics{Keys: foreign})
+	}
+	for _, pf := range pass.AllPackageFacts(&ForeignAtomics{}) {
+		for _, k := range pf.Fact.(*ForeignAtomics).Keys {
+			atomicKeys[k] = true
+		}
+	}
+	isAtomic := func(declPkg, key string) bool {
+		if atomicKeys[declPkg+"\x00"+key] {
+			return true
+		}
+		var f AtomicFact
+		return pass.ImportFactByKey(declPkg, key, &f)
+	}
+
+	// Phase 3: report plain accesses. Constructors are exempt — stores
+	// before the value escapes cannot race.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isConstructor(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				declPkg, key, ok := fieldOf(pass, sel)
+				if !ok || !isAtomic(declPkg, key) {
+					return true
+				}
+				rel, _ := analysis.RelPkgPath(declPkg)
+				pass.Reportf(sel.Pos(),
+					"plain access to %s.%s, a field accessed via sync/atomic elsewhere: this races with those atomic operations — use sync/atomic here too (//lint:allow atomicfield <why> if provably single-threaded)",
+					rel, key)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves sel to its declaring package path and
+// analysis.FieldKey when it selects a field of a named struct type.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (declPkg, key string, ok bool) {
+	s, found := pass.TypesInfo.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	named := analysis.NamedType(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), analysis.FieldKey(named.Obj().Name(), s.Obj().Name()), true
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isConstructor matches the initialization functions whose plain stores
+// happen before the value is published.
+func isConstructor(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}

@@ -1,0 +1,18 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/atomicfield"
+)
+
+func Test(t *testing.T) {
+	// Order matters: internal/fleet's run publishes the foreign-upgrade
+	// package fact that internal/service's run consumes.
+	analysistest.Run(t, atomicfield.Analyzer,
+		"internal/journal",
+		"internal/fleet",
+		"internal/service",
+	)
+}

@@ -1,0 +1,36 @@
+// Fixture: cross-package detection through imported field facts, the
+// foreign-upgrade package fact, and purely local mixing.
+package fleet
+
+import (
+	"sync/atomic"
+
+	"internal/journal"
+)
+
+// Drain reads a field the declaring package maintains atomically: the
+// AtomicFact arrives with internal/journal's facts.
+func Drain(g *journal.Gauge) int64 {
+	return g.Hits // want `plain access to internal/journal\.Gauge\.Hits`
+}
+
+// Observe does it right: non-report.
+func Observe(g *journal.Gauge) int64 { return atomic.LoadInt64(&g.Hits) }
+
+// Roll upgrades Window.Count to atomic from outside its declaring
+// package; the observation is published as a package fact.
+func Roll(w *journal.Window) { atomic.AddInt64(&w.Count, 1) }
+
+// RollBad mixes a plain store into the same package's upgrade.
+func RollBad(w *journal.Window) {
+	w.Count = 0 // want `plain access to internal/journal\.Window\.Count`
+}
+
+// tally never leaves this package: both sides caught without facts.
+type tally struct{ n uint64 }
+
+func (t *tally) add() { atomic.AddUint64(&t.n, 1) }
+
+func (t *tally) read() uint64 {
+	return t.n // want `plain access to internal/fleet\.tally\.n`
+}

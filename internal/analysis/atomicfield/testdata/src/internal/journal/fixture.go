@@ -1,0 +1,47 @@
+// Fixture: the declaring package's own atomic/plain mix, the
+// constructor exemption, and the suppression escape hatch. Window is
+// deliberately untouched by sync/atomic here — internal/fleet upgrades
+// it from outside, which internal/service must then respect.
+package journal
+
+import "sync/atomic"
+
+// Gauge mixes an atomically-maintained counter with plain metadata.
+type Gauge struct {
+	Hits int64  // every access must go through sync/atomic
+	name string // plain field, never atomic: free to access directly
+}
+
+// NewGauge stores plainly before the value escapes: a pinned
+// non-report (constructor exemption).
+func NewGauge(name string) *Gauge {
+	g := &Gauge{}
+	g.Hits = 0
+	g.name = name
+	return g
+}
+
+// Inc is the access that makes Hits an atomic field.
+func (g *Gauge) Inc() { atomic.AddInt64(&g.Hits, 1) }
+
+// Load does it right: non-report.
+func (g *Gauge) Load() int64 { return atomic.LoadInt64(&g.Hits) }
+
+// Snapshot races with Inc: reported.
+func (g *Gauge) Snapshot() int64 {
+	return g.Hits // want `plain access to internal/journal\.Gauge\.Hits, a field accessed via sync/atomic elsewhere`
+}
+
+// Name touches only the never-atomic field: non-report.
+func (g *Gauge) Name() string { return g.name }
+
+// Reset is a deliberate plain store with a written waiver.
+func (g *Gauge) Reset() {
+	//lint:allow atomicfield called only under the registry's stop barrier, after every writer has exited
+	g.Hits = 0
+}
+
+// Window has no atomic accesses in its declaring package.
+type Window struct {
+	Count int64
+}

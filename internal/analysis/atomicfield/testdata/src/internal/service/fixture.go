@@ -1,0 +1,11 @@
+// Fixture: internal/fleet atomically bumps journal.Window.Count; that
+// foreign observation reaches this package as a package fact even
+// though internal/service never imports internal/fleet.
+package service
+
+import "internal/journal"
+
+// Sample races with internal/fleet's atomic.AddInt64 on the same field.
+func Sample(w *journal.Window) int64 {
+	return w.Count // want `plain access to internal/journal\.Window\.Count`
+}

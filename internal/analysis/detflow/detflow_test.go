@@ -1,0 +1,15 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/detflow"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer,
+		"internal/report",
+		"internal/experiment",
+	)
+}

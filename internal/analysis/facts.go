@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// The facts engine: cross-function, cross-package analysis state,
+// mirroring golang.org/x/tools/go/analysis Facts on this module's
+// stdlib-only substrate.
+//
+// An analyzer that needs to see through a call — "does this function
+// acquire a lock?", "does this return value derive from the wall
+// clock?" — computes a summary while analyzing the defining package and
+// exports it as a Fact attached to the function (or field, or package).
+// Packages are analyzed bottom-up (go vet schedules dependency vets
+// before dependents; analysistest loads fixture imports recursively), so
+// by the time a caller is analyzed, every in-module callee's facts are
+// already available. Between vettool invocations facts travel through
+// the vetx files of the `go vet` unit-checker protocol, gob-encoded;
+// within one analysistest run they stay in a shared in-memory FactDB.
+//
+// Restrictions relative to x/tools, chosen to keep the engine small:
+// facts may only be exported about the package currently under analysis
+// (its objects, its fields, the package itself), and fact types must be
+// pointers to gob-encodable structs registered via Analyzer.FactTypes.
+
+// Fact is an arbitrary datum attached to an object or package by one
+// analyzer and visible to later runs of the *same* analyzer on
+// dependent packages. Implementations must be pointers to structs with
+// exported fields (they cross process boundaries via encoding/gob).
+type Fact interface{ AFact() }
+
+// ObjectKey derives the stable cross-process identity of a
+// package-level object: "Name" for functions, types, consts and vars;
+// "Recv.Name" for methods (pointer receivers fold onto their element
+// type). Objects with no stable path — locals, closure temporaries,
+// interface method instantiations without a named receiver — yield
+// ok=false and cannot carry facts.
+func ObjectKey(obj types.Object) (key string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, isSig := o.Type().(*types.Signature)
+		if isSig && sig.Recv() != nil {
+			named := namedRecv(sig.Recv().Type())
+			if named == nil {
+				return "", false
+			}
+			return named.Obj().Name() + "." + o.Name(), true
+		}
+		return o.Name(), true
+	case *types.TypeName, *types.Const:
+		return obj.Name(), true
+	case *types.Var:
+		if o.IsField() {
+			return "", false // fields carry facts via explicit FieldKey
+		}
+		if o.Pkg().Scope() == o.Parent() {
+			return o.Name(), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// FieldKey is the fact key of a struct field: "Type.field". Analyzers
+// compute it from the named type they resolved at the access site
+// (struct-field objects do not link back to their named type, so the
+// generic ObjectKey cannot).
+func FieldKey(typeName, field string) string { return typeName + "." + field }
+
+// namedRecv unwraps a method receiver type to its *types.Named.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// factKey locates one fact: (analyzer, package, object-or-"", concrete
+// fact type). The fact type is part of the key so one analyzer can
+// attach several independent facts to the same object.
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string // "" = package-level fact
+	typ      string
+}
+
+// FactDB is the shared store one driver run (vetdriver invocation or
+// analysistest Run) accumulates facts into.
+type FactDB struct {
+	m map[factKey]Fact
+}
+
+// NewFactDB returns an empty store.
+func NewFactDB() *FactDB { return &FactDB{m: map[factKey]Fact{}} }
+
+func factType(f Fact) string { return reflect.TypeOf(f).String() }
+
+func (db *FactDB) set(analyzer, pkg, obj string, f Fact) {
+	db.m[factKey{analyzer, pkg, obj, factType(f)}] = f
+}
+
+// get copies the stored fact into dst (a pointer to the same concrete
+// struct type) and reports whether one was found.
+func (db *FactDB) get(analyzer, pkg, obj string, dst Fact) bool {
+	stored, ok := db.m[factKey{analyzer, pkg, obj, factType(dst)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// PackageFact pairs a package path with one of its package-level facts,
+// for analyzers that merge state across every dependency (lockorder's
+// edge graph).
+type PackageFact struct {
+	Path string
+	Fact Fact
+}
+
+// allPackageFacts lists every package-level fact of prototype's type
+// exported by analyzer, sorted by package path for deterministic
+// iteration.
+func (db *FactDB) allPackageFacts(analyzer string, prototype Fact) []PackageFact {
+	typ := factType(prototype)
+	var out []PackageFact
+	for k, f := range db.m {
+		if k.analyzer == analyzer && k.obj == "" && k.typ == typ {
+			out = append(out, PackageFact{Path: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// wireFact is the serialized form: the vetx file of package P holds the
+// facts exported while analyzing P, so the package path stays implicit.
+type wireFact struct {
+	Analyzer string
+	Obj      string
+	Fact     Fact
+}
+
+// RegisterFactTypes makes every analyzer's fact prototypes known to gob.
+// Drivers call it once before encoding or decoding vetx payloads.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// EncodeFacts serializes every fact the DB holds about pkg (the package
+// just analyzed) into a vetx payload.
+func (db *FactDB) EncodeFacts(pkg string) ([]byte, error) {
+	var wire []wireFact
+	for k, f := range db.m {
+		if k.pkg == pkg {
+			wire = append(wire, wireFact{Analyzer: k.analyzer, Obj: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		a, b := wire[i], wire[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return factType(a.Fact) < factType(b.Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("encoding facts for %s: %w", pkg, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts merges a vetx payload previously written for pkg into the
+// DB. Empty payloads (fact-free dependencies, pre-facts vetx files) are
+// valid and contribute nothing.
+func (db *FactDB) DecodeFacts(pkg string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("decoding facts of %s: %w", pkg, err)
+	}
+	for _, w := range wire {
+		db.set(w.Analyzer, pkg, w.Obj, w.Fact)
+	}
+	return nil
+}
+
+// --- Pass-level API (what analyzers actually call) ---
+
+// ExportObjectFact attaches fact to obj, which must belong to the
+// package under analysis and have a stable key. Exports about foreign
+// or keyless objects are dropped — analyzers treat facts as best-effort
+// summaries, never as load-bearing soundness.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	p.facts.set(p.Analyzer.Name, p.Pkg.Path(), key, fact)
+}
+
+// ImportObjectFact copies the fact previously exported about obj (by
+// this analyzer, in obj's defining package) into fact, reporting
+// whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), key, fact)
+}
+
+// ExportFactByKey attaches a fact to an explicitly keyed member of the
+// current package (struct fields, via FieldKey).
+func (p *Pass) ExportFactByKey(key string, fact Fact) {
+	if p.facts == nil || key == "" {
+		return
+	}
+	p.facts.set(p.Analyzer.Name, p.Pkg.Path(), key, fact)
+}
+
+// ImportFactByKey looks up an explicitly keyed fact in pkgPath.
+func (p *Pass) ImportFactByKey(pkgPath, key string, fact Fact) bool {
+	if p.facts == nil || key == "" {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, pkgPath, key, fact)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.set(p.Analyzer.Name, p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact copies pkgPath's package-level fact into fact.
+func (p *Pass) ImportPackageFact(pkgPath string, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, pkgPath, "", fact)
+}
+
+// AllPackageFacts lists this analyzer's package-level facts of
+// prototype's type across every package analyzed or decoded so far
+// (including the current one), sorted by package path.
+func (p *Pass) AllPackageFacts(prototype Fact) []PackageFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.allPackageFacts(p.Analyzer.Name, prototype)
+}

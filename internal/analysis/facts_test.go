@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testFact is a minimal gob-encodable fact for the round-trip tests.
+type testFact struct {
+	Acquires []string
+	Bound    bool
+}
+
+func (*testFact) AFact() {}
+
+func init() { gob.Register(&testFact{}) }
+
+// typecheck parses and checks one synthetic package.
+func typecheck(t *testing.T, path, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+"/x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+const factSrc = `package locka
+
+type Store struct{ n int }
+
+func (s *Store) Append() {}
+
+func Open() *Store { return nil }
+
+var Registry = 0
+`
+
+// TestObjectKey pins the stable-key scheme: package functions by name,
+// methods as Recv.Name, package vars by name, locals keyless.
+func TestObjectKey(t *testing.T) {
+	_, _, pkg, _ := typecheck(t, "internal/locka", factSrc)
+	scope := pkg.Scope()
+
+	open := scope.Lookup("Open")
+	if key, ok := ObjectKey(open); !ok || key != "Open" {
+		t.Errorf("Open key = %q, %v", key, ok)
+	}
+	store := scope.Lookup("Store").Type().(*types.Named)
+	appendM := store.Method(0)
+	if key, ok := ObjectKey(appendM); !ok || key != "Store.Append" {
+		t.Errorf("method key = %q, %v", key, ok)
+	}
+	reg := scope.Lookup("Registry")
+	if key, ok := ObjectKey(reg); !ok || key != "Registry" {
+		t.Errorf("var key = %q, %v", key, ok)
+	}
+}
+
+// TestFactRoundTrip exports facts through a Pass, serializes them as a
+// vetx payload, decodes into a fresh DB, and imports them the way a
+// dependent package's pass would.
+func TestFactRoundTrip(t *testing.T) {
+	fset, files, pkg, info := typecheck(t, "internal/locka", factSrc)
+	a := &Analyzer{Name: "lockorder", FactTypes: []Fact{&testFact{}}}
+
+	db := NewFactDB()
+	pass := NewPass(a, fset, files, pkg, info, db)
+	open := pkg.Scope().Lookup("Open")
+	pass.ExportObjectFact(open, &testFact{Acquires: []string{"locka.Store.mu"}, Bound: true})
+	pass.ExportPackageFact(&testFact{Acquires: []string{"edge"}})
+	pass.ExportFactByKey(FieldKey("Store", "n"), &testFact{Bound: true})
+
+	payload, err := db.EncodeFacts(pkg.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) == 0 {
+		t.Fatal("encoded facts are empty")
+	}
+
+	db2 := NewFactDB()
+	if err := db2.DecodeFacts(pkg.Path(), payload); err != nil {
+		t.Fatal(err)
+	}
+	pass2 := NewPass(a, fset, files, pkg, info, db2)
+
+	var got testFact
+	if !pass2.ImportObjectFact(open, &got) {
+		t.Fatal("object fact did not survive the round trip")
+	}
+	if len(got.Acquires) != 1 || got.Acquires[0] != "locka.Store.mu" || !got.Bound {
+		t.Errorf("object fact = %+v", got)
+	}
+	var pf testFact
+	if !pass2.ImportPackageFact(pkg.Path(), &pf) || len(pf.Acquires) != 1 || pf.Acquires[0] != "edge" {
+		t.Errorf("package fact = %+v", pf)
+	}
+	var ff testFact
+	if !pass2.ImportFactByKey(pkg.Path(), FieldKey("Store", "n"), &ff) || !ff.Bound {
+		t.Errorf("field fact = %+v", ff)
+	}
+	if all := pass2.AllPackageFacts(&testFact{}); len(all) != 1 || all[0].Path != pkg.Path() {
+		t.Errorf("AllPackageFacts = %+v", all)
+	}
+
+	// A fresh pass with a nil DB must degrade, not crash.
+	nilPass := NewPass(a, fset, files, pkg, info, nil)
+	nilPass.ExportObjectFact(open, &testFact{})
+	if nilPass.ImportObjectFact(open, &got) {
+		t.Error("nil-DB pass imported a fact")
+	}
+}
+
+// TestDecodeEmptyPayload pins that fact-free vetx files (stdlib deps,
+// pre-facts files) decode to nothing.
+func TestDecodeEmptyPayload(t *testing.T) {
+	db := NewFactDB()
+	if err := db.DecodeFacts("fmt", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.m) != 0 {
+		t.Errorf("empty payload produced %d facts", len(db.m))
+	}
+}

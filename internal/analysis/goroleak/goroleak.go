@@ -1,0 +1,274 @@
+// Package goroleak requires every goroutine spawned in the concurrent
+// machinery (supervisor restart loops, replica ingest streams, pooled
+// DES procs, loadgen workers) to have a reachable exit path: a
+// context.Context, a sync.WaitGroup, or an owned channel whose close
+// terminates the loop. Named spawn targets are seen through via the
+// facts engine, so `go s.worker()` is judged by worker's body wherever
+// it is defined.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer flags `go` statements with no statically visible exit path
+// in analysis.GoroPackages (non-test code).
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: `require an exit path for every spawned goroutine
+
+A goroutine that loops forever with no cancellation path outlives its
+owner: the supervisor cannot drain it, tests leak it, and under heavy
+traffic the fleet accumulates them until memory or the scheduler gives
+out. Inside the concurrency packages this analyzer requires every
+go statement in non-test code to spawn a function with at least one of:
+
+  - a context.Context in reach (parameter, captured variable, or a
+    select on ctx.Done());
+  - a sync.WaitGroup Done call (the owner waits for it);
+  - a loop bounded by an owned channel: range over a channel, a
+    comma-ok receive, or a select case receive whose body returns;
+  - no loop at all (a straight-line body ends when its calls return).
+
+Named spawn targets are resolved through function facts, so the exit
+path may live in the callee's body in another package. Spawns of
+functions this module cannot see into (stdlib, function values) are not
+reported. A genuinely fire-and-forget goroutine carries
+'//lint:allow goroleak <justification>'.`,
+	Run:       run,
+	FactTypes: []analysis.Fact{&ExitFact{}},
+}
+
+// ExitFact records whether a function's body offers the spawned
+// goroutine an exit path.
+type ExitFact struct {
+	Bound bool
+}
+
+// AFact marks ExitFact as a fact.
+func (*ExitFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	rel, inModule := analysis.RelPkgPath(pass.Pkg.Path())
+	if !inModule {
+		return nil
+	}
+	report := analysis.UnderAny(rel, analysis.GoroPackages)
+
+	// Facts first (module-wide): every top-level function's exit
+	// boundness, so spawns in dependent packages can see through calls.
+	local := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			bound := hasCtxParam(fn) || exitBound(pass, fd.Body)
+			local[fn] = bound
+			pass.ExportObjectFact(fn, &ExitFact{Bound: bound})
+		}
+	}
+	if !report {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, g, local)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGo judges one `go` statement.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, local map[*types.Func]bool) {
+	// An argument of type context.Context ties the goroutine's life to
+	// the caller's cancellation graph regardless of the callee.
+	for _, arg := range g.Call.Args {
+		if isContextType(pass.TypesInfo.TypeOf(arg)) {
+			return
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if litBound(pass, fun) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine has no reachable exit path: tie it to a context.Context, a sync.WaitGroup, or an owned channel close (//lint:allow goroleak <why> if genuinely fire-and-forget)")
+	default:
+		fn := calleeFunc(pass, g.Call)
+		if fn == nil {
+			return // function value or builtin: cannot see inside, stay quiet
+		}
+		if bound, ok := local[fn]; ok {
+			if !bound {
+				reportNamed(pass, g, fn)
+			}
+			return
+		}
+		var fact ExitFact
+		if pass.ImportObjectFact(fn, &fact) {
+			if !fact.Bound {
+				reportNamed(pass, g, fn)
+			}
+			return
+		}
+		// No fact: out-of-module (stdlib) target; stay quiet.
+	}
+}
+
+func reportNamed(pass *analysis.Pass, g *ast.GoStmt, fn *types.Func) {
+	pass.Reportf(g.Pos(),
+		"goroutine runs %s, which has no reachable exit path: tie it to a context.Context, a sync.WaitGroup, or an owned channel close (//lint:allow goroleak <why> if genuinely fire-and-forget)",
+		fn.Name())
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	if fn := pass.PkgFunc(call); fn != nil {
+		return fn
+	}
+	return pass.MethodOf(call)
+}
+
+// litBound judges a spawned function literal: its own parameters count
+// (the spawn site may pass a context positionally), then the body.
+func litBound(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	return exitBound(pass, lit.Body)
+}
+
+// exitBound reports whether body offers an exit path: a context in
+// reach, a WaitGroup.Done, a channel-bounded loop, or no loop at all.
+func exitBound(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	var (
+		usesContext   bool
+		waitGroupDone bool
+		chanBounded   bool
+		hasLoop       bool
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isContextType(pass.TypesInfo.TypeOf(n)) {
+				usesContext = true
+			}
+		case *ast.CallExpr:
+			if fn := pass.MethodOf(n); fn != nil && fn.Name() == "Done" {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					if named := analysis.NamedType(recv.Type()); named != nil &&
+						named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" &&
+						named.Obj().Name() == "WaitGroup" {
+						waitGroupDone = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					chanBounded = true // terminates when the owner closes the channel
+				}
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch: the loop observes the channel close.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if u, isRecv := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); isRecv && u.Op == token.ARROW {
+					chanBounded = true
+				}
+			}
+		case *ast.SelectStmt:
+			// A select case that receives and then returns/breaks is a
+			// quit-channel exit.
+			for _, clause := range n.Body.List {
+				cc, isComm := clause.(*ast.CommClause)
+				if !isComm || cc.Comm == nil {
+					continue
+				}
+				if commReceives(cc.Comm) && bodyEscapes(cc.Body) {
+					chanBounded = true
+				}
+			}
+		}
+		return true
+	})
+	return usesContext || waitGroupDone || chanBounded || !hasLoop
+}
+
+// commReceives reports whether a select comm clause is a receive.
+func commReceives(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// bodyEscapes reports whether stmts contain a return or break at the
+// top level of the clause body.
+func bodyEscapes(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named := analysis.NamedType(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

@@ -1,0 +1,16 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/goroleak"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer,
+		"internal/des",
+		"internal/fleet",
+		"internal/report",
+	)
+}

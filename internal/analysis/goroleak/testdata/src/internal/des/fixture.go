@@ -1,0 +1,20 @@
+// Fixture: spawn targets defined in another package. Spin has no exit
+// path; Pump is bounded by an owned-channel range. Their ExitFact facts
+// are what the fleet fixture's cross-package spawns are judged by.
+package des
+
+// Spin loops forever with no cancellation path.
+func Spin() {
+	for {
+		step()
+	}
+}
+
+// Pump drains an owned channel: it exits when the owner closes ch.
+func Pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func step() {}

@@ -1,0 +1,150 @@
+// Fixture: the goroleak vocabulary — leaking closures, leaking named
+// targets (same package and cross-package via facts), and every
+// sanctioned exit-path shape as pinned non-reports.
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"internal/des"
+)
+
+type coordinator struct {
+	jobs chan int
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// LeakClosure loops forever with nothing to stop it: reported.
+func (c *coordinator) LeakClosure() {
+	go func() { // want `goroutine has no reachable exit path`
+		for {
+			work()
+		}
+	}()
+}
+
+// LeakNamed spawns a same-package function with no exit path: reported
+// through the local summary.
+func (c *coordinator) LeakNamed() {
+	go spinLocal() // want `goroutine runs spinLocal, which has no reachable exit path`
+}
+
+// LeakCrossPackage spawns a function in another package with no exit
+// path: reported through the imported ExitFact.
+func (c *coordinator) LeakCrossPackage() {
+	go des.Spin() // want `goroutine runs Spin, which has no reachable exit path`
+}
+
+func spinLocal() {
+	for {
+		work()
+	}
+}
+
+// CtxClosure selects on ctx.Done: bound.
+func (c *coordinator) CtxClosure(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-c.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// CtxArg passes a context to the spawned function: bound regardless of
+// the callee's body.
+func (c *coordinator) CtxArg(ctx context.Context) {
+	go runWith(ctx)
+}
+
+func runWith(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// WaitGrouped signals a WaitGroup: the owner waits for it; bound.
+func (c *coordinator) WaitGrouped() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			if work() {
+				return
+			}
+		}
+	}()
+}
+
+// RangeOwned drains an owned channel; exits on close: bound.
+func (c *coordinator) RangeOwned() {
+	go func() {
+		for j := range c.jobs {
+			_ = j
+		}
+	}()
+}
+
+// CommaOk observes the channel close through a comma-ok receive: bound.
+func (c *coordinator) CommaOk() {
+	go func() {
+		for {
+			j, ok := <-c.jobs
+			if !ok {
+				return
+			}
+			_ = j
+		}
+	}()
+}
+
+// QuitChannel returns from a select receive case: bound.
+func (c *coordinator) QuitChannel() {
+	go func() {
+		for {
+			select {
+			case <-c.quit:
+				return
+			case j := <-c.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// StraightLine has no loop: it ends when its blocking call returns
+// (the one-shot completion-notifier idiom); a pinned non-report.
+func (c *coordinator) StraightLine(errCh chan error) {
+	go func() {
+		errCh <- work2()
+	}()
+}
+
+// CrossPackageBounded spawns a channel-bounded function from another
+// package: bound through the imported ExitFact.
+func (c *coordinator) CrossPackageBounded() {
+	go des.Pump(c.jobs)
+}
+
+// FuncValue spawns through a function value the analyzer cannot see
+// into: a pinned non-report (unknown targets stay quiet).
+func (c *coordinator) FuncValue(f func()) {
+	go f()
+}
+
+// Justified is a deliberate fire-and-forget with a written waiver.
+func (c *coordinator) Justified() {
+	//lint:allow goroleak lifetime intentionally process-long: the scavenger must outlive every coordinator
+	go spinLocal()
+}
+
+func work() bool   { return true }
+func work2() error { return nil }

@@ -1,0 +1,10 @@
+// Fixture: internal/report is outside analysis.GoroPackages — even a
+// blatant leak is a pinned non-report there.
+package report
+
+func Leak() {
+	go func() {
+		for {
+		}
+	}()
+}

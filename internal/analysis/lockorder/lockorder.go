@@ -1,0 +1,707 @@
+// Package lockorder builds a mutex-acquisition graph across function
+// calls and packages (via the facts engine) and enforces the lock
+// discipline of the fleet, service and journal packages: consistent
+// lock-pair orderings, no locks held across blocking channel
+// operations, and no locks held across calls that fsync a journal.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"clustereval/internal/analysis"
+)
+
+// Analyzer enforces mutex ordering and no-blocking-under-lock in
+// analysis.LockPackages. Function summaries (which locks a function
+// acquires, whether it fsyncs) are computed for every module package and
+// exported as facts, so a caller sees through calls into other packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `enforce mutex acquisition order and no-blocking-under-lock
+
+The fleet coordinator, shard supervisor, service queue and journal are
+the hot concurrent machinery under heavy traffic; this analyzer reports,
+inside internal/fleet, internal/service and internal/journal:
+
+  - acquiring lock B while holding lock A when somewhere else (any
+    function, any of the three packages) B is held while acquiring A: an
+    inconsistent lock-pair ordering is one unlucky interleaving away
+    from deadlock;
+  - a blocking channel operation (send, receive, select, range over a
+    channel) while holding a mutex: the channel's peer may need the same
+    mutex to make progress;
+  - calling a function that (transitively, through any call depth and
+    across packages) fsyncs — journal.Append and friends — while
+    holding a mutex: the lock serializes on platter latency and every
+    waiter stalls for milliseconds.
+
+A function fsyncing under its *own* mutex acquired in the same function
+(the journal's append serialization) is the sanctioned idiom and is not
+reported; only an outer lock held across a call into fsyncing code is.
+Lock identity is type-level ("fleet.shardState.mu"), so two instances of
+the same type alias onto one identity: self-pairs (A,A) are skipped.
+Genuine can't-fix sites carry '//lint:allow lockorder <justification>'.`,
+	Run:       run,
+	FactTypes: []analysis.Fact{&Summary{}, &Edges{}},
+}
+
+// Summary is the per-function fact: the lock set the function (or any
+// callee, transitively) acquires, and whether it fsyncs.
+type Summary struct {
+	Acquires []string
+	Fsyncs   bool
+}
+
+// AFact marks Summary as a fact.
+func (*Summary) AFact() {}
+
+// Edge is one observed ordering: To was acquired while From was held.
+// Where records the source position for cross-package diagnostics.
+type Edge struct {
+	From, To, Where string
+}
+
+// Edges is the per-package fact carrying every ordering edge observed in
+// the package, so dependent packages can check their acquisitions
+// against the whole graph below them.
+type Edges struct {
+	Edges []Edge
+}
+
+// AFact marks Edges as a fact.
+func (*Edges) AFact() {}
+
+// mutexMethods classifies the sync.Mutex/RWMutex method vocabulary.
+var mutexMethods = map[string]int{
+	"Lock": +1, "RLock": +1, "TryLock": +1, "TryRLock": +1,
+	"Unlock": -1, "RUnlock": -1,
+}
+
+func run(pass *analysis.Pass) error {
+	rel, inModule := analysis.RelPkgPath(pass.Pkg.Path())
+	if !inModule {
+		return nil
+	}
+	report := analysis.UnderAny(rel, analysis.LockPackages)
+
+	a := &pkgAnalysis{
+		pass:      pass,
+		rel:       rel,
+		summaries: map[*types.Func]*Summary{},
+		callees:   map[*types.Func][]*types.Func{},
+		edges:     map[[2]string]localEdge{},
+	}
+
+	// Phase A: direct summaries (locks acquired and fsyncs performed in
+	// the function body itself) plus the intra-package call graph.
+	decls := a.collectFuncs()
+	for _, d := range decls {
+		a.directSummary(d)
+	}
+	// Phase B: propagate through same-package calls to a fixpoint, then
+	// export. Cross-package callees resolve through facts inside
+	// calleeSummary, which Phase A already consulted for direct edges —
+	// their contribution is folded here too.
+	a.propagate(decls)
+	for fn, s := range a.summaries {
+		sort.Strings(s.Acquires)
+		pass.ExportObjectFact(fn, s)
+	}
+	// Phase C: re-walk with complete summaries, recording edges and (in
+	// scope) diagnostics.
+	a.reporting = report
+	for _, d := range decls {
+		a.checkFunc(d)
+	}
+
+	// Merge the edge graph below this package and flag local edges whose
+	// reversal exists anywhere in it.
+	a.exportAndCheckEdges(report)
+	return nil
+}
+
+// pkgAnalysis carries one package through the three phases.
+type pkgAnalysis struct {
+	pass      *analysis.Pass
+	rel       string
+	reporting bool
+	summaries map[*types.Func]*Summary
+	callees   map[*types.Func][]*types.Func
+	edges     map[[2]string]localEdge // local ordering edges, keyed (from, to)
+}
+
+// localEdge pairs an exported Edge with the token.Pos it was observed
+// at, so ordering diagnostics anchor to real source positions.
+type localEdge struct {
+	Edge
+	pos token.Pos
+}
+
+// collectFuncs lists the package's top-level function declarations with
+// bodies, skipping test files (test-local lock use follows different
+// idioms and is the race detector's turf).
+func (a *pkgAnalysis) collectFuncs() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range a.pass.Files {
+		if a.pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+func (a *pkgAnalysis) funcObj(fd *ast.FuncDecl) *types.Func {
+	fn, _ := a.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// directSummary records the locks fd acquires and fsyncs it performs
+// directly, and its in-package callees.
+func (a *pkgAnalysis) directSummary(fd *ast.FuncDecl) {
+	fn := a.funcObj(fd)
+	if fn == nil {
+		return
+	}
+	s := &Summary{}
+	a.summaries[fn] = s
+	seen := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // closures are separate execution contexts
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, delta := a.mutexOp(call); delta > 0 && !seen[id] {
+			seen[id] = true
+			s.Acquires = append(s.Acquires, id)
+		}
+		if a.isDirectFsync(call) {
+			s.Fsyncs = true
+		}
+		if callee := a.calleeFunc(call); callee != nil {
+			if callee.Pkg() == a.pass.Pkg {
+				a.callees[fn] = append(a.callees[fn], callee)
+			} else if imported := a.importedSummary(callee); imported != nil {
+				// Cross-package callee: fold its fact in now; it is
+				// final (dependencies are analyzed bottom-up).
+				s.Fsyncs = s.Fsyncs || imported.Fsyncs
+				for _, l := range imported.Acquires {
+					if !seen[l] {
+						seen[l] = true
+						s.Acquires = append(s.Acquires, l)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagate folds same-package callee summaries in until nothing
+// changes.
+func (a *pkgAnalysis) propagate(decls []*ast.FuncDecl) {
+	for changed := true; changed; {
+		changed = false
+		for fn, s := range a.summaries {
+			for _, callee := range a.callees[fn] {
+				cs := a.summaries[callee]
+				if cs == nil {
+					continue
+				}
+				if cs.Fsyncs && !s.Fsyncs {
+					s.Fsyncs = true
+					changed = true
+				}
+				for _, l := range cs.Acquires {
+					if !contains(s.Acquires, l) {
+						s.Acquires = append(s.Acquires, l)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	_ = decls
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeSummary resolves the full summary of a called function: local
+// fixpoint result for same-package callees, imported fact otherwise.
+func (a *pkgAnalysis) calleeSummary(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	if s, ok := a.summaries[fn]; ok {
+		return s
+	}
+	return a.importedSummary(fn)
+}
+
+func (a *pkgAnalysis) importedSummary(fn *types.Func) *Summary {
+	var s Summary
+	if a.pass.ImportObjectFact(fn, &s) {
+		return &s
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to a package function or method (the two
+// shapes facts can attach to).
+func (a *pkgAnalysis) calleeFunc(call *ast.CallExpr) *types.Func {
+	if fn := a.pass.PkgFunc(call); fn != nil {
+		return fn
+	}
+	return a.pass.MethodOf(call)
+}
+
+// mutexOp classifies call as a sync mutex acquisition (+1) or release
+// (-1) and returns the lock identity; delta 0 means not a mutex op.
+func (a *pkgAnalysis) mutexOp(call *ast.CallExpr) (id string, delta int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0
+	}
+	d, listed := mutexMethods[fn.Name()]
+	if !listed {
+		return "", 0
+	}
+	return a.lockID(sel.X), d
+}
+
+// lockID derives the type-level identity of the mutex value e.
+func (a *pkgAnalysis) lockID(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// v.mu — identity is the owner's named type plus field name.
+		if named := analysis.NamedType(a.pass.TypesInfo.TypeOf(x.X)); named != nil && named.Obj().Pkg() != nil {
+			return a.typeID(named) + "." + x.Sel.Name
+		}
+		// Anonymous-struct package var (des.workerPool style): var name
+		// plus field name.
+		if id, ok := x.X.(*ast.Ident); ok {
+			return a.rel + "." + id.Name + "." + x.Sel.Name
+		}
+		return a.rel + ".<unknown>." + x.Sel.Name
+	case *ast.Ident:
+		obj := a.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return a.rel + "." + x.Name
+		}
+		// A receiver or value with an embedded Mutex: identity is the
+		// named type itself.
+		if named := analysis.NamedType(obj.Type()); named != nil && !isSyncType(named) && named.Obj().Pkg() != nil {
+			return a.typeID(named)
+		}
+		if obj.Parent() == a.pass.Pkg.Scope() {
+			return a.rel + "." + x.Name // package-level mutex var
+		}
+		return a.rel + ".local." + x.Name
+	}
+	return a.rel + ".<unknown>"
+}
+
+func (a *pkgAnalysis) typeID(named *types.Named) string {
+	rel, ok := analysis.RelPkgPath(named.Obj().Pkg().Path())
+	if !ok {
+		rel = named.Obj().Pkg().Path()
+	}
+	return rel + "." + named.Obj().Name()
+}
+
+func isSyncType(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync"
+}
+
+// isDirectFsync reports calls that hit the platter in this very
+// function: (*os.File).Sync, or the journal package's fsync binding.
+func (a *pkgAnalysis) isDirectFsync(call *ast.CallExpr) bool {
+	if fn := a.pass.MethodOf(call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if named := analysis.NamedType(recv.Type()); named != nil &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os" &&
+				named.Obj().Name() == "File" && fn.Name() == "Sync" {
+				return true
+			}
+		}
+	}
+	// The journal's injectable fsync binding is a package-level func
+	// var, invisible to PkgFunc; match the identifier through its object.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, isVar := a.pass.TypesInfo.Uses[id].(*types.Var); isVar &&
+			v.Name() == "fsync" && v.Parent() == a.pass.Pkg.Scope() {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Phase C: held-set walking ---
+
+// held is one currently-held lock.
+type held struct {
+	id       string
+	pos      token.Pos
+	deferred bool // released by a deferred Unlock: held to function end
+}
+
+// walker tracks the held-lock set through one function body in source
+// order. Branches are walked on copies of the set (the common
+// lock/unlock idioms are linear; locks leaked from a single branch are
+// deliberately not tracked past it).
+type walker struct {
+	a     *pkgAnalysis
+	fname string
+	held  []held
+}
+
+func (a *pkgAnalysis) checkFunc(fd *ast.FuncDecl) {
+	w := &walker{a: a, fname: fd.Name.Name}
+	w.stmts(fd.Body.List)
+}
+
+func (w *walker) snapshot() []held {
+	s := make([]held, len(w.held))
+	copy(s, w.held)
+	return s
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+		w.chanOp(s.Pos(), "send")
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, e := range vs.Values {
+					w.expr(e)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		w.deferStmt(s)
+	case *ast.GoStmt:
+		// The spawned goroutine runs under its own (empty) held set.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.a.checkLit(lit, w.fname)
+		}
+		for _, arg := range s.Call.Args {
+			w.expr(arg)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		snap := w.snapshot()
+		w.stmts(s.Body.List)
+		w.held = snap
+		if s.Else != nil {
+			w.stmt(s.Else)
+			w.held = snap
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		snap := w.snapshot()
+		w.stmts(s.Body.List)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+		w.held = snap
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		if t := w.a.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.chanOp(s.Pos(), "range receive")
+			}
+		}
+		snap := w.snapshot()
+		w.stmts(s.Body.List)
+		w.held = snap
+	case *ast.SelectStmt:
+		w.chanOp(s.Pos(), "select")
+		snap := w.snapshot()
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+				w.held = snap
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.caseClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.caseClauses(s.Body)
+	}
+}
+
+func (w *walker) caseClauses(body *ast.BlockStmt) {
+	snap := w.snapshot()
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			w.stmts(cc.Body)
+			w.held = snap
+		}
+	}
+}
+
+// deferStmt handles `defer x.Unlock()` (the lock stays held to function
+// end) and deferred closures (walked as separate contexts). Other
+// deferred calls run at return time under whatever is then held;
+// attributing them to the current held set would be wrong, so they are
+// skipped.
+func (w *walker) deferStmt(s *ast.DeferStmt) {
+	if id, delta := w.a.mutexOp(s.Call); delta < 0 {
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i].id == id && !w.held[i].deferred {
+				w.held[i].deferred = true
+				return
+			}
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		w.a.checkLit(lit, w.fname)
+	}
+}
+
+// expr scans an expression for calls, receives and closures, in source
+// order.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.a.checkLit(n, w.fname)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.expr(n.X)
+				w.chanOp(n.Pos(), "receive")
+				return false
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				w.expr(arg)
+			}
+			w.call(n)
+			return false
+		}
+		return true
+	})
+}
+
+// checkLit walks a function literal as its own execution context.
+func (a *pkgAnalysis) checkLit(lit *ast.FuncLit, enclosing string) {
+	w := &walker{a: a, fname: enclosing + ".func"}
+	w.stmts(lit.Body.List)
+}
+
+// call processes one call under the current held set: mutex ops adjust
+// the set and record ordering edges; calls into summarized functions
+// contribute their transitive acquisitions as edges and their fsyncs as
+// findings.
+func (w *walker) call(call *ast.CallExpr) {
+	if id, delta := w.a.mutexOp(call); delta != 0 {
+		if delta > 0 {
+			for _, h := range w.held {
+				if h.id != id { // type-level identity: skip self-pairs
+					w.a.addEdge(h.id, id, call.Pos())
+				}
+			}
+			w.held = append(w.held, held{id: id, pos: call.Pos()})
+		} else {
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].id == id {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	callee := w.a.calleeFunc(call)
+	if callee == nil {
+		return
+	}
+	if s := w.a.calleeSummary(callee); s != nil {
+		for _, h := range w.held {
+			for _, acq := range s.Acquires {
+				if acq != h.id {
+					w.a.addEdge(h.id, acq, call.Pos())
+				}
+			}
+		}
+		if s.Fsyncs && w.a.reporting {
+			w.a.pass.Reportf(call.Pos(),
+				"call to %s while holding %s: the callee fsyncs, so the lock serializes on disk latency (release it first, or justify with //lint:allow)",
+				callee.Name(), w.heldNames())
+		}
+	}
+}
+
+// chanOp reports a blocking channel operation under a held lock.
+func (w *walker) chanOp(pos token.Pos, kind string) {
+	if len(w.held) == 0 || !w.a.reporting {
+		return
+	}
+	w.a.pass.Reportf(pos,
+		"channel %s while holding %s: the peer goroutine may need the same lock to make progress",
+		kind, w.heldNames())
+}
+
+func (w *walker) heldNames() string {
+	names := make([]string, len(w.held))
+	for i, h := range w.held {
+		names[i] = h.id
+	}
+	sort.Strings(names)
+	switch len(names) {
+	case 1:
+		return "lock " + names[0]
+	default:
+		return "locks " + fmt.Sprint(names)
+	}
+}
+
+// addEdge records a local ordering edge (first occurrence wins).
+func (a *pkgAnalysis) addEdge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if _, ok := a.edges[key]; ok {
+		return
+	}
+	a.edges[key] = localEdge{
+		Edge: Edge{From: from, To: to, Where: a.pass.Fset.Position(pos).String()},
+		pos:  pos,
+	}
+}
+
+// exportAndCheckEdges publishes this package's edges as a package fact
+// and reports every local edge whose reversal exists anywhere in the
+// merged graph (local edges plus every dependency's exported edges).
+func (a *pkgAnalysis) exportAndCheckEdges(report bool) {
+	local := make([]localEdge, 0, len(a.edges))
+	for _, e := range a.edges {
+		local = append(local, e)
+	}
+	sort.Slice(local, func(i, j int) bool {
+		if local[i].From != local[j].From {
+			return local[i].From < local[j].From
+		}
+		return local[i].To < local[j].To
+	})
+	if len(local) > 0 {
+		exported := make([]Edge, len(local))
+		for i, e := range local {
+			exported[i] = e.Edge
+		}
+		a.pass.ExportPackageFact(&Edges{Edges: exported})
+	}
+	if !report {
+		return
+	}
+
+	// The merged graph: every dependency's exported edges plus this
+	// package's own.
+	global := map[[2]string]Edge{}
+	for _, pf := range a.pass.AllPackageFacts(&Edges{}) {
+		for _, e := range pf.Fact.(*Edges).Edges {
+			key := [2]string{e.From, e.To}
+			if _, ok := global[key]; !ok {
+				global[key] = e
+			}
+		}
+	}
+
+	reported := map[[2]string]bool{}
+	for _, e := range local {
+		rev, ok := global[[2]string{e.To, e.From}]
+		if !ok {
+			continue
+		}
+		pair := [2]string{e.From, e.To}
+		if e.To < e.From {
+			pair = [2]string{e.To, e.From}
+		}
+		if reported[pair] {
+			continue
+		}
+		reported[pair] = true
+		a.pass.Reportf(e.pos,
+			"lock %s acquired while holding %s, but the opposite order is taken at %s: inconsistent lock-pair ordering risks deadlock",
+			e.To, e.From, rev.Where)
+	}
+}

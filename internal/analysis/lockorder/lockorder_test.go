@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"clustereval/internal/analysis/analysistest"
+	"clustereval/internal/analysis/lockorder"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer,
+		"internal/journal",
+		"internal/service",
+		"internal/fleet",
+		"internal/des",
+	)
+}

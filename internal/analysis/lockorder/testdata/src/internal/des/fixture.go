@@ -1,0 +1,20 @@
+// Fixture: internal/des is outside analysis.LockPackages — its facts
+// are computed (callers in scoped packages can see through calls into
+// it) but nothing here is ever reported, even a blatant
+// channel-send-under-lock.
+package des
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// sendLocked would be reported in a scoped package; here it is a pinned
+// non-report because the package is out of scope.
+func (p *pool) sendLocked() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- 1
+}

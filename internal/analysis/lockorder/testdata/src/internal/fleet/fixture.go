@@ -1,0 +1,50 @@
+// Fixture: lock-pair ordering, including an inversion reached only
+// through a helper function (the cross-function mutex-acquisition
+// graph), and the type-level-identity non-report for two instances of
+// the same type.
+package fleet
+
+import "sync"
+
+// Coordinator and shardState mirror the production fleet's two-level
+// locking.
+type Coordinator struct {
+	mu sync.Mutex
+}
+
+type shardState struct {
+	mu sync.Mutex
+}
+
+// lockPair takes coordinator-then-shard: this is the canonical order.
+func lockPair(c *Coordinator, st *shardState) {
+	c.mu.Lock()
+	st.mu.Lock() // want `lock internal/fleet\.shardState\.mu acquired while holding internal/fleet\.Coordinator\.mu, but the opposite order is taken at .*fixture\.go`
+	st.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// lockCoord acquires the coordinator lock; callers holding a shard lock
+// create the inverted edge through this helper's Summary fact.
+func lockCoord(c *Coordinator) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// invertedViaHelper holds shard-then-(coordinator via helper): the
+// inversion is only visible through the cross-function graph.
+func invertedViaHelper(c *Coordinator, st *shardState) {
+	st.mu.Lock()
+	lockCoord(c)
+	st.mu.Unlock()
+}
+
+// twoShards locks two instances of the same type: identity is
+// type-level, so the self-pair is deliberately not reported (a pinned
+// non-report; instance aliasing is invisible to static analysis).
+func twoShards(a, b *shardState) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

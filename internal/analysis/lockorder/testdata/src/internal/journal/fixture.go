@@ -1,0 +1,38 @@
+// Fixture: the journal's own append serialization — fsync performed
+// directly under the journal's own mutex — is the sanctioned idiom and
+// must NOT be reported. The exported Summary fact (Append fsyncs) is
+// what lets the service fixture's cross-package finding fire.
+package journal
+
+import (
+	"os"
+	"sync"
+)
+
+// fsync mirrors the production journal's injectable platter hook.
+var fsync = func(f *os.File) error { return f.Sync() }
+
+// Journal is a minimal stand-in for the production write-ahead journal.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Append fsyncs under its own lock acquired in the same function: the
+// owner's serialization idiom, a pinned non-report.
+func (j *Journal) Append(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	return fsync(j.f)
+}
+
+// Sync fsyncs directly through the os.File method rather than the hook;
+// also a non-report, and also exported as an fsyncing summary.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}

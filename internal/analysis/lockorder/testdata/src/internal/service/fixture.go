@@ -1,0 +1,91 @@
+// Fixture: cross-package fact flow. The journal fixture's Append/Sync
+// summaries (they fsync) arrive as facts; holding a service lock across
+// those calls is reported here, in the calling package.
+package service
+
+import (
+	"sync"
+
+	"internal/journal"
+)
+
+// Server is a minimal stand-in for the production service.
+type Server struct {
+	mu sync.Mutex
+	j  *journal.Journal
+	ch chan int
+}
+
+// Submit holds the server mutex across a call that fsyncs (one call
+// deep, in another package): reported via the imported Summary fact.
+func (s *Server) Submit(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Append(rec) // want `call to Append while holding lock internal/service\.Server\.mu: the callee fsyncs`
+}
+
+// SubmitUnlocked appends after releasing: no report.
+func (s *Server) SubmitUnlocked(rec []byte) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.j.Append(rec)
+}
+
+// Notify sends on a channel while holding the mutex: reported.
+func (s *Server) Notify() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding lock internal/service\.Server\.mu`
+	s.mu.Unlock()
+}
+
+// Wait receives while holding the mutex: reported.
+func (s *Server) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while holding lock internal/service\.Server\.mu`
+}
+
+// Drain ranges over a channel while holding the mutex: reported.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want `channel range receive while holding lock internal/service\.Server\.mu`
+	}
+}
+
+// Pick selects while holding the mutex: reported.
+func (s *Server) Pick(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `channel select while holding lock internal/service\.Server\.mu`
+	case <-done:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// NotifyAfter sends after the critical section: no report.
+func (s *Server) NotifyAfter() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// NotifyAsync spawns a goroutine from the critical section; the
+// goroutine body runs under its own empty held set — a pinned
+// non-report (the spawned send does not block the lock holder).
+func (s *Server) NotifyAsync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// NotifyJustified carries a written waiver: the finding is suppressed.
+func (s *Server) NotifyJustified() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockorder the channel is buffered with capacity for every waiter, so the send cannot block
+	s.ch <- 1
+}

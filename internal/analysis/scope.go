@@ -82,6 +82,32 @@ var WrapPackages = []string{
 // BytesPerSecond, FlopsPerSecond) whose arithmetic unitsafe polices.
 const UnitsPackage = "internal/units"
 
+// LockPackages are the packages whose mutex discipline lockorder
+// enforces: the fleet coordinator/supervisor, the service's queue and
+// metrics registry, and the journal — the code where an inconsistent
+// lock-pair ordering or a lock held across a blocking channel op or
+// journal fsync turns "heavy traffic" into a fleet-wide stall.
+var LockPackages = []string{
+	"internal/fleet",
+	"internal/service",
+	"internal/journal",
+}
+
+// GoroPackages are the packages where goroleak polices `go` statements:
+// long-lived concurrent machinery (supervisor restart loops, replica
+// ingest streams, pooled DES procs, loadgen workers, daemon mains)
+// where a goroutine with no cancellation path outlives its owner.
+var GoroPackages = []string{
+	"internal/des",
+	"internal/fleet",
+	"internal/service",
+	"internal/journal",
+	"internal/loadgen",
+	"internal/omp",
+	"internal/experiment/cli",
+	"cmd",
+}
+
 // RelPkgPath maps an import path onto its module-relative form:
 // "clustereval/internal/hpl" and the fixture path "internal/hpl" both
 // yield ("internal/hpl", true). Paths outside the module — stdlib,

@@ -5,19 +5,30 @@ package suite
 
 import (
 	"clustereval/internal/analysis"
+	"clustereval/internal/analysis/atomicfield"
 	"clustereval/internal/analysis/canonkey"
 	"clustereval/internal/analysis/ctxflow"
 	"clustereval/internal/analysis/determinism"
+	"clustereval/internal/analysis/detflow"
 	"clustereval/internal/analysis/errwrap"
+	"clustereval/internal/analysis/goroleak"
+	"clustereval/internal/analysis/lockorder"
 	"clustereval/internal/analysis/unitsafe"
 )
 
 // Analyzers is the full clusterlint suite, ordered roughly from the
-// broadest invariant (determinism) to the most local (errwrap).
+// broadest invariant (determinism) to the most local (errwrap). The
+// concurrency analyzers (lockorder, goroleak, atomicfield) and the
+// taint-based detflow compute cross-function facts, so they sit after
+// the purely local checks.
 var Analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
+	detflow.Analyzer,
 	ctxflow.Analyzer,
 	canonkey.Analyzer,
+	lockorder.Analyzer,
+	goroleak.Analyzer,
+	atomicfield.Analyzer,
 	unitsafe.Analyzer,
 	errwrap.Analyzer,
 }

@@ -8,17 +8,30 @@
 //     (cmd/go folds the line into its action cache key, so rebuilt tools
 //     invalidate cached vet results);
 //   - `tool -flags` must print a JSON description of the tool's flags
-//     (this tool has none: "[]");
-//   - `tool <dir>/vet.cfg` must analyze the one package described by the
-//     JSON config: parse cfg.GoFiles, type-check against the export data
-//     of the already-compiled dependencies (cfg.PackageFile), run, write
-//     the facts file cfg.VetxOutput, print findings to stderr, and exit
+//     (this tool has one: -json), which cmd/go then accepts on the
+//     `go vet` command line and forwards to every tool invocation;
+//   - `tool [-json] <dir>/vet.cfg` must analyze the one package described
+//     by the JSON config: parse cfg.GoFiles, type-check against the
+//     export data of the already-compiled dependencies (cfg.PackageFile),
+//     run, write the facts file cfg.VetxOutput, report findings, and exit
 //     2 when there are findings, 0 otherwise.
 //
+// Facts: analyzers that declare FactTypes export per-object and
+// per-package summaries while a package is analyzed; the driver
+// serializes them into cfg.VetxOutput and, when analyzing a dependent
+// package, decodes every file in cfg.PackageVetx back into the shared
+// FactDB. cmd/go schedules dependency vets before dependents, so facts
+// always flow bottom-up over the package graph.
+//
 // Dependency packages arrive with VetxOnly=true — vet only wants their
-// facts. The clusterlint analyzers export no facts, so those invocations
-// write an empty facts file and return immediately; real work happens
-// only for this module's packages.
+// facts. For packages of this module the driver runs the full suite in
+// facts-only mode (diagnostics are the importing run's job); packages
+// outside the module (the stdlib) carry no clusterlint facts, so those
+// invocations write an empty facts file and return immediately.
+//
+// Exit codes are stable: 0 clean (or -json, whose findings live in the
+// payload), 1 internal error (bad config, typecheck failure the config
+// does not excuse), 2 unsuppressed findings in text mode.
 package vetdriver
 
 import (
@@ -40,8 +53,8 @@ import (
 )
 
 // vetConfig mirrors the JSON config cmd/go hands a vettool. Fields the
-// driver does not consume (NonGoFiles, PackageVetx, ...) are listed so a
-// future reader sees the full wire format in one place.
+// driver does not consume (NonGoFiles, ...) are listed so a future
+// reader sees the full wire format in one place.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -74,31 +87,95 @@ func Main(analyzers []*analysis.Analyzer) {
 			fmt.Printf("%s version devel\n", progname)
 			os.Exit(0)
 		case "-flags":
-			fmt.Println("[]")
+			// The one pass-through flag cmd/go should accept on the
+			// `go vet` command line and forward to tool invocations.
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit machine-readable JSON diagnostics (includes suppressed findings) and exit 0"}]`)
 			os.Exit(0)
 		case "help", "-help", "--help", "-h":
 			printHelp(progname, analyzers)
 			os.Exit(0)
 		}
 	}
+	jsonOut := false
+	for len(args) > 0 {
+		switch args[0] {
+		case "-json", "-json=true", "--json", "--json=true":
+			jsonOut = true
+			args = args[1:]
+			continue
+		case "-json=false", "--json=false":
+			jsonOut = false
+			args = args[1:]
+			continue
+		}
+		break
+	}
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		fmt.Fprintf(os.Stderr,
-			"usage: go vet -vettool=%s ./...\n(the tool is driven by go vet; it does not accept package patterns itself)\n",
+			"usage: go vet -vettool=%s [-json] ./...\n(the tool is driven by go vet; it does not accept package patterns itself)\n",
 			progname)
 		os.Exit(1)
 	}
-	diags, fset, err := runConfig(args[0], analyzers)
+	analysis.RegisterFactTypes(analyzers)
+	diags, fset, pkgPath, err := runConfig(args[0], analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clusterlint: %v\n", err)
 		os.Exit(1)
 	}
-	if len(diags) > 0 {
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	if jsonOut {
+		emitJSON(os.Stdout, pkgPath, fset, diags)
+		os.Exit(0)
+	}
+	unsuppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
 		}
+		unsuppressed++
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if unsuppressed > 0 {
 		os.Exit(2)
 	}
 	os.Exit(0)
+}
+
+// jsonDiagnostic is the -json wire form of one finding. Posn keeps the
+// go/analysis "file:line:col" convention for editors that parse the
+// unitchecker format; File/Line/Col carry the same position pre-split.
+type jsonDiagnostic struct {
+	Posn          string `json:"posn"`
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// emitJSON writes the unitchecker-shaped payload for one package:
+// {"<pkg>": {"<analyzer>": [diagnostics...]}}. go vet concatenates the
+// per-package objects on stdout.
+func emitJSON(w io.Writer, pkgPath string, fset *token.FileSet, diags []analysis.Diagnostic) {
+	byAnalyzer := map[string][]jsonDiagnostic{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:          pos.String(),
+			File:          pos.Filename,
+			Line:          pos.Line,
+			Col:           pos.Column,
+			Analyzer:      d.Analyzer,
+			Message:       d.Message,
+			Suppressed:    d.Suppressed,
+			Justification: d.Justification,
+		})
+	}
+	payload := map[string]map[string][]jsonDiagnostic{pkgPath: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(payload)
 }
 
 // printVersion emits the version line cmd/go parses for its cache key:
@@ -114,7 +191,7 @@ func printVersion(progname string) {
 
 func printHelp(progname string, analyzers []*analysis.Analyzer) {
 	fmt.Printf("%s: static analysis suite for the clustereval module\n\n", progname)
-	fmt.Printf("Run it through go vet:\n\n\tgo vet -vettool=%s ./...\n\nAnalyzers:\n\n", progname)
+	fmt.Printf("Run it through go vet:\n\n\tgo vet -vettool=%s [-json] ./...\n\nAnalyzers:\n\n", progname)
 	for _, a := range analyzers {
 		fmt.Printf("%s:\n%s\n\n", a.Name, strings.TrimSpace(a.Doc))
 	}
@@ -122,25 +199,28 @@ func printHelp(progname string, analyzers []*analysis.Analyzer) {
 	fmt.Println("on the flagged line or the line above it; see TESTING.md.")
 }
 
-// runConfig analyzes the one package described by cfgPath.
-func runConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+// runConfig analyzes the one package described by cfgPath. Returned
+// diagnostics are annotated (suppressed findings included, flagged);
+// the caller decides the output policy.
+func runConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, string, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	cfg := new(vetConfig)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		return nil, nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+		return nil, nil, "", fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 	// go vet caches per-package results keyed on the facts output, so the
-	// file must exist even though clusterlint exports no facts.
+	// file must exist on every exit path; successful runs overwrite it
+	// with the real fact payload below.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, nil, fmt.Errorf("writing facts output: %w", err)
+			return nil, nil, "", fmt.Errorf("writing facts output: %w", err)
 		}
 	}
-	if cfg.VetxOnly {
-		return nil, nil, nil // dependency package: facts only, and we have none
+	if _, inModule := analysis.RelPkgPath(cfg.ImportPath); cfg.VetxOnly && !inModule {
+		return nil, nil, cfg.ImportPath, nil // stdlib dependency: no clusterlint facts
 	}
 
 	fset := token.NewFileSet()
@@ -149,9 +229,9 @@ func runConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagn
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil, nil
+				return nil, nil, cfg.ImportPath, nil
 			}
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		files = append(files, f)
 	}
@@ -165,22 +245,50 @@ func runConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagn
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil, nil
+			return nil, nil, cfg.ImportPath, nil
 		}
-		return nil, nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+		return nil, nil, "", fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	// Rehydrate the facts of every dependency this run can see. Files
+	// written by fact-free invocations (the stdlib) are empty and
+	// contribute nothing.
+	facts := analysis.NewFactDB()
+	for depPath, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // missing facts degrade precision, never correctness
+		}
+		if err := facts.DecodeFacts(depPath, payload); err != nil {
+			return nil, nil, "", err
+		}
 	}
 
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
-		pass := analysis.NewPass(a, fset, files, pkg, info)
+		pass := analysis.NewPass(a, fset, files, pkg, info, facts)
 		if err := a.Run(pass); err != nil {
-			return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, cfg.ImportPath, err)
+			return nil, nil, "", fmt.Errorf("analyzer %s on %s: %w", a.Name, cfg.ImportPath, err)
 		}
 		diags = append(diags, pass.Diagnostics()...)
 	}
-	diags = analysis.Filter(fset, files, diags)
+
+	if cfg.VetxOutput != "" {
+		payload, err := facts.EncodeFacts(cfg.ImportPath)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			return nil, nil, "", fmt.Errorf("writing facts output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil, cfg.ImportPath, nil // facts harvested; diagnostics are the in-pattern run's job
+	}
+
+	diags = analysis.Annotate(fset, files, diags)
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, fset, nil
+	return diags, fset, cfg.ImportPath, nil
 }
 
 // newExportImporter builds the importer the type checker uses: import

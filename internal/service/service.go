@@ -637,6 +637,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		job.result = res
 		job.started = now
 		job.finished = now
+		//lint:allow lockorder acknowledged-before-durable is the bug this guards: the cache-hit ack must not race a crash, so the fsync stays inside the submission critical section by design
 		if err := s.journalAppend(
 			journal.Record{Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key},
 			journal.Record{Type: journal.TypeDone, JobID: job.ID, At: now, Cached: true, Result: mustJSON(res)},
@@ -688,6 +689,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	// happens before the enqueue so a journaled job is always accepted:
 	// the capacity check above cannot go stale because only workers
 	// drain the queue and every other sender holds s.mu.
+	//lint:allow lockorder commit-before-enqueue under s.mu is the durability ordering documented above; releasing the lock would let the capacity check go stale
 	if err := s.journalAppend(journal.Record{
 		Type: journal.TypeSubmitted, JobID: job.ID, At: now, Spec: mustJSON(norm), Key: key,
 	}); err != nil {
@@ -696,6 +698,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		}
 		return JobView{}, err
 	}
+	//lint:allow lockorder non-blocking by construction: the capacity check above ran under the same s.mu hold and only workers (which never take s.mu first) drain the queue
 	s.queue <- job
 	s.registerLocked(job)
 	return job.View(), nil
@@ -730,6 +733,7 @@ func (s *Service) journalAppend(recs ...journal.Record) error {
 	}
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	//lint:allow lockorder serializing append+replicate into one fsynced stream is commitMu's entire purpose; followers must observe frames in journal order
 	if err := s.jnl.Append(recs...); err != nil {
 		s.journalErrors.Inc()
 		return &DurabilityError{Op: "journal append", Err: err}
@@ -823,6 +827,7 @@ func (s *Service) Cancel(id string) (JobView, error) {
 		s.cancelled.Inc()
 		// A cancellation the journal missed re-runs the job after a
 		// crash instead of losing it; counted, not fatal.
+		//lint:allow lockorder the queued->cancelled transition and its journal record must be atomic under job.mu, or a concurrent worker could start a job already acknowledged as cancelled
 		_ = s.journalAppend(journal.Record{
 			Type: journal.TypeCancelled, JobID: job.ID, At: job.finished, Error: job.errMsg,
 		})

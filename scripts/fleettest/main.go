@@ -20,12 +20,35 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 )
 
-const jobCount = 60
+// jobCount is overridable through FLEETTEST_JOBS for the race-detector
+// smoke lane, which trades workload size for instrumented builds.
+var jobCount = envInt("FLEETTEST_JOBS", 60)
+
+// envInt reads a positive integer override from the environment.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// goBuild compiles pkg into bin, adding -race when the RACE environment
+// variable is set (the smoke lane runs every daemon instrumented).
+func goBuild(bin, pkg string) *exec.Cmd {
+	args := []string{"build"}
+	if os.Getenv("RACE") != "" {
+		args = append(args, "-race")
+	}
+	return exec.Command("go", append(args, "-o", bin, pkg)...)
+}
 
 type jobView struct {
 	ID     string          `json:"id"`
@@ -52,8 +75,7 @@ func run() error {
 	clusterd := filepath.Join(dir, "clusterd")
 	clusterfleet := filepath.Join(dir, "clusterfleet")
 	for bin, pkg := range map[string]string{clusterd: "./cmd/clusterd", clusterfleet: "./cmd/clusterfleet"} {
-		build := exec.Command("go", "build", "-o", bin, pkg)
-		if out, err := build.CombinedOutput(); err != nil {
+		if out, err := goBuild(bin, pkg).CombinedOutput(); err != nil {
 			return fmt.Errorf("building %s: %v\n%s", pkg, err, out)
 		}
 	}

@@ -20,15 +20,46 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 )
 
+// smoke marks the shortened race-detector lane (LOADTEST_SMOKE=1):
+// fewer jobs, a looser throughput floor (instrumented binaries are
+// several times slower), and no cooldown wave — the health-recovery
+// assertion needs a full-size wave to cycle the shards' outcome
+// windows, so only the full run makes it.
+var smoke = os.Getenv("LOADTEST_SMOKE") != ""
+
 // Two phases of 2500 submissions each: ≥5k jobs through the fleet per
 // run, most answered from the shards' result caches once the unique
-// pools are primed.
-const phaseJobs = 2500
+// pools are primed. Overridable through LOADTEST_JOBS; the smoke lane
+// defaults to 600 per phase.
+var phaseJobs = defaultPhaseJobs()
+
+func defaultPhaseJobs() int {
+	if v := os.Getenv("LOADTEST_JOBS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	if smoke {
+		return 300
+	}
+	return 2500
+}
+
+// goBuild compiles pkg into bin, adding -race when the RACE environment
+// variable is set.
+func goBuild(bin, pkg string) *exec.Cmd {
+	args := []string{"build"}
+	if os.Getenv("RACE") != "" {
+		args = append(args, "-race")
+	}
+	return exec.Command("go", append(args, "-o", bin, pkg)...)
+}
 
 // report mirrors the loadgen JSON report fields the harness asserts on.
 type report struct {
@@ -59,8 +90,7 @@ func run() error {
 	bins := map[string]string{}
 	for _, name := range []string{"clusterd", "clusterfleet", "loadgen"} {
 		bin := filepath.Join(dir, name)
-		build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
-		if out, err := build.CombinedOutput(); err != nil {
+		if out, err := goBuild(bin, "./cmd/"+name).CombinedOutput(); err != nil {
 			return fmt.Errorf("building %s: %v\n%s", name, err, out)
 		}
 		bins[name] = bin
@@ -111,6 +141,21 @@ func run() error {
 	}
 	if rep2.Lost != 0 {
 		return fmt.Errorf("phase 2 lost %d jobs across the shard kill", rep2.Lost)
+	}
+
+	if smoke {
+		// The smoke lane stops after the chaos phase: its goal is
+		// driving the concurrent machinery under instrumented builds,
+		// not proving health-window recovery, which needs the full-size
+		// cooldown below.
+		if err := fleet.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		if err := fleet.Wait(); err != nil {
+			return fmt.Errorf("clusterfleet exited uncleanly: %w", err)
+		}
+		fmt.Printf("loadtest: smoke run, %d jobs across both phases\n", rep1.Jobs+rep2.Jobs)
+		return nil
 	}
 
 	// Phase 3: clean cooldown wave. The fault tranche left one shard's
@@ -172,19 +217,30 @@ func run() error {
 // tranche every 25th submission, and loose SLO floors suited to noisy CI
 // machines.
 func phaseArgs(jobs, seed int) []string {
+	concurrency, rate, unique := "12", "400", "200"
+	pollTimeout, minThroughput, maxSubmitP99, maxE2EP99 := "3m", "25", "5", "90"
+	if smoke {
+		// Instrumented binaries run the DES kernels several times
+		// slower: pace arrivals so the six -race workers keep up
+		// (rather than queueing the whole run), shrink the unique-spec
+		// pool so the cache-hit assertion still holds, and loosen the
+		// latency floors accordingly.
+		concurrency, rate, unique = "8", "2", "60"
+		pollTimeout, minThroughput, maxSubmitP99, maxE2EP99 = "10m", "0.5", "10", "180"
+	}
 	return []string{
 		"-jobs", fmt.Sprint(jobs),
-		"-concurrency", "12",
-		"-rate", "400",
+		"-concurrency", concurrency,
+		"-rate", rate,
 		"-seed", fmt.Sprint(seed),
-		"-unique", "200",
+		"-unique", unique,
 		"-fault-every", "25",
 		"-deadline-every", "5",
 		"-deadline-ms", "600000",
-		"-poll-timeout", "3m",
-		"-min-throughput", "25",
-		"-max-submit-p99", "5",
-		"-max-e2e-p99", "90",
+		"-poll-timeout", pollTimeout,
+		"-min-throughput", minThroughput,
+		"-max-submit-p99", maxSubmitP99,
+		"-max-e2e-p99", maxE2EP99,
 	}
 }
 
